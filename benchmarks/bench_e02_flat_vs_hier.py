@@ -1,0 +1,64 @@
+"""E2 — Domic: "the flat implementation of a hierarchical design can
+save silicon real estate, and power consumption — due to the lesser
+amount of buffering."
+
+Reproduction: the same SoC implemented flat vs block-by-block.  The
+hierarchical flow isolates every block port behind buffers; the deltas
+in cell count, area, and power are exactly the boundary-buffer tax.
+"""
+
+import pytest
+
+from repro.netlist import hierarchical_soc
+from repro.place.flows import flat_vs_hierarchical, place_flat
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def soc_results(lib28):
+    soc = hierarchical_soc(4, 150, lib28, seed=7, bus_width=16)
+    results = flat_vs_hierarchical(soc, seed=0)
+    return soc, results
+
+
+def test_flat_saves_area_and_cells(soc_results):
+    soc, res = soc_results
+    flat, hier = res["flat"], res["hierarchical"]
+    rows = [flat.summary(), hier.summary(),
+            f"boundary ports (buffer tax): {soc.boundary_port_count()}",
+            f"area saving flat vs hier: "
+            f"{100 * (1 - flat.area_um2 / hier.area_um2):.1f}%"]
+    report("E2", rows)
+    assert flat.instances < hier.instances
+    assert flat.area_um2 < hier.area_um2
+
+
+def test_buffer_delta_is_exactly_the_boundary(soc_results):
+    soc, res = soc_results
+    delta = res["hierarchical"].buffers - res["flat"].buffers
+    assert delta == soc.boundary_port_count()
+
+
+def test_flat_saves_power(soc_results):
+    _, res = soc_results
+    assert res["flat"].power_uw < res["hierarchical"].power_uw
+
+
+def test_saving_grows_with_block_count(lib28):
+    small = hierarchical_soc(2, 150, lib28, seed=9, bus_width=16)
+    large = hierarchical_soc(6, 150, lib28, seed=9, bus_width=16)
+    rs = flat_vs_hierarchical(small, seed=1)
+    rl = flat_vs_hierarchical(large, seed=1)
+    saving_small = 1 - rs["flat"].area_um2 / rs["hierarchical"].area_um2
+    saving_large = 1 - rl["flat"].area_um2 / rl["hierarchical"].area_um2
+    report("E2", [f"area saving 2 blocks: {saving_small * 100:.1f}%, "
+                  f"6 blocks: {saving_large * 100:.1f}%"])
+    assert saving_large > saving_small * 0.8  # more boundaries, more tax
+
+
+def test_bench_flat_flow(benchmark, lib28):
+    """Benchmark the flat implementation flow."""
+    soc = hierarchical_soc(3, 120, lib28, seed=11)
+    result = benchmark(lambda: place_flat(soc, seed=0).hpwl_um)
+    assert result > 0

@@ -1,0 +1,145 @@
+"""E3 — Domic: "starting at 20 nanometers, it has become impossible to
+draw the copper interconnects of an IC without double-, triple-, or
+even quadruple-patterning.  Without EUV, 5 nanometers could require
+octuple-patterning; ... advanced EDA has made multi-patterning
+automated, hiding and waiving its complexity."
+
+Reproduction: identical routed wire textures evaluated at each node's
+metal-1 pitch.  The conflict graph's chromatic requirement gives the
+*coloring* masks; the node's industry regime (including SAQP/cut
+steps) gives the *total mask steps*, which is where octuple appears.
+"""
+
+import pytest
+
+from repro.litho import build_conflict_graph, random_track_wires
+from repro.litho.mpd import decompose, min_masks_needed
+from repro.tech import NODES, get_node
+
+from conftest import report
+
+#: Wire texture shared across nodes: only the pitch changes.
+WIRES = random_track_wires(28, 120, density=0.55, seed=42)
+
+
+def _colors_at(node_name):
+    node = get_node(node_name)
+    graph = build_conflict_graph(WIRES, pitch_nm=node.metal1_pitch_nm)
+    return min_masks_needed(graph, allow_stitches=True)
+
+
+@pytest.fixture(scope="module")
+def mask_table():
+    table = {}
+    for name in ("45nm", "32nm", "28nm", "20nm", "16nm", "14nm",
+                 "10nm", "7nm", "5nm"):
+        node = get_node(name)
+        table[name] = {
+            "pitch": node.metal1_pitch_nm,
+            "colors": _colors_at(name),
+            "regime": node.litho.value,
+            "mask_steps": node.litho.mask_multiplier,
+        }
+    return table
+
+
+def test_single_patterning_holds_through_28nm(mask_table):
+    rows = [f"{n}: pitch {v['pitch']:.0f}nm, colors {v['colors']}, "
+            f"regime {v['regime']} ({v['mask_steps']} mask steps)"
+            for n, v in mask_table.items()]
+    report("E3", rows)
+    for name in ("45nm", "32nm", "28nm"):
+        assert mask_table[name]["colors"] == 1, name
+
+
+def test_double_patterning_onset_at_20nm(mask_table):
+    # The panel's onset claim, exactly.
+    assert mask_table["20nm"]["colors"] >= 2
+    assert mask_table["16nm"]["colors"] >= 2
+    assert mask_table["14nm"]["colors"] >= 2
+
+
+def test_triple_quad_below_14nm(mask_table):
+    assert mask_table["10nm"]["colors"] >= 2
+    assert mask_table["7nm"]["colors"] >= 2
+    assert mask_table["5nm"]["colors"] >= 3
+
+
+def test_octuple_at_5nm_without_euv(mask_table):
+    # Total mask steps (coloring + SAQP spacer/cut steps) reach 8.
+    assert mask_table["5nm"]["mask_steps"] == 8
+
+
+def test_mask_requirement_monotone_down_the_roadmap(mask_table):
+    order = ["45nm", "32nm", "28nm", "20nm", "16nm", "14nm", "10nm",
+             "7nm", "5nm"]
+    colors = [mask_table[n]["colors"] for n in order]
+    assert all(a <= b for a, b in zip(colors, colors[1:]))
+
+
+def test_automation_hides_complexity(mask_table):
+    # "Automated, hiding and waiving its complexity": the decomposer
+    # must succeed unassisted everywhere the regime allows.
+    for name, row in mask_table.items():
+        node = get_node(name)
+        graph = build_conflict_graph(
+            WIRES, pitch_nm=node.metal1_pitch_nm)
+        result = decompose(graph, max(row["colors"], 1),
+                           allow_stitches=True)
+        assert result.success, name
+
+
+def test_stitches_reduce_required_masks(mask_table):
+    # Ablation: disallowing stitches can only need more masks.
+    for name in ("20nm", "10nm", "5nm"):
+        node = get_node(name)
+        graph = build_conflict_graph(
+            WIRES, pitch_nm=node.metal1_pitch_nm)
+        with_st = min_masks_needed(graph, allow_stitches=True)
+        without = min_masks_needed(graph, allow_stitches=False)
+        assert with_st <= without
+
+
+def test_real_routed_design_decomposes(lib28):
+    """End-to-end: place -> route -> track-assign -> decompose.
+
+    The synthetic-texture study above, repeated on an actual routed
+    design's metal-2: single-patterned at 28 nm, double at 20 nm, and
+    the automatic decomposer closes both.
+    """
+    from repro.netlist import logic_cloud
+    from repro.netlist.cells import build_library
+    from repro.place import global_place
+    from repro.route import route_placement
+    from repro.route.track_assign import decompose_routed_layer
+
+    rows = []
+    for name in ("28nm", "20nm"):
+        node = get_node(name)
+        lib = build_library(node)
+        nl = logic_cloud(16, 16, 300, lib, seed=1, locality=0.9)
+        placement = global_place(nl, seed=0, utilization=0.35)
+        result = route_placement(placement, gcell_um=2.0)
+        stats = decompose_routed_layer(result, node=node)
+        rows.append(f"routed {name} M2: {stats['wires']} wires, "
+                    f"{stats['conflict_edges']} conflicts, "
+                    f"k={stats['k']}, "
+                    f"{'OK' if stats['success'] else 'FAIL'}")
+        assert stats["success"], name
+        if name == "28nm":
+            assert stats["k"] == 1
+        else:
+            assert stats["k"] == 2
+    report("E3", rows)
+
+
+def test_bench_decomposition(benchmark):
+    """Benchmark a full 10nm-pitch decomposition."""
+    node = get_node("10nm")
+
+    def run():
+        graph = build_conflict_graph(
+            WIRES, pitch_nm=node.metal1_pitch_nm)
+        return decompose(graph, 3, allow_stitches=True).success
+
+    assert benchmark(run)

@@ -1,0 +1,106 @@
+"""E5 — Domic: "Voltage scaling use increased at 130 nanometers, when
+the dynamic power reduction started to be offset by the static power
+increase.  At 90/65 nanometers, it became virtually impossible to
+design an IC without using sophisticated power reduction techniques.
+'Design for power' was an enabler that prevented massive amounts of
+'dark silicon' ...  Literally, scores of voltage/supply/shutdown
+domains even at 180 nanometers are common."
+
+Reproduction: (a) the static-vs-dynamic crossover swept across nodes on
+identical logic; (b) the technique ladder's cumulative reduction; (c)
+dark-silicon recovery; (d) a scores-of-domains 180 nm power intent that
+verifies cleanly once auto-protected.
+"""
+
+import pytest
+
+from repro.netlist import build_library, logic_cloud
+from repro.power import dark_silicon_fraction, power_report, technique_ladder
+from repro.power.intent import scores_of_domains_intent
+from repro.tech import get_node
+
+from conftest import report
+
+SWEEP_NODES = ("250nm", "180nm", "130nm", "90nm", "65nm", "45nm", "28nm")
+
+
+@pytest.fixture(scope="module")
+def static_fraction_by_node():
+    out = {}
+    for name in SWEEP_NODES:
+        lib = build_library(get_node(name))
+        nl = logic_cloud(8, 8, 200, lib, seed=5)
+        rep = power_report(nl, freq_ghz=0.2, seed=0)
+        out[name] = rep.static_fraction
+    return out
+
+
+def test_leakage_becomes_material_at_130nm(static_fraction_by_node):
+    rows = [f"{n}: static fraction {f * 100:.2f}%"
+            for n, f in static_fraction_by_node.items()]
+    report("E5", rows)
+    # Negligible at 250/180, then a jump of more than an order of
+    # magnitude by 90/65 nm — the crisis the panel dates.
+    assert static_fraction_by_node["180nm"] < 0.005
+    assert static_fraction_by_node["90nm"] > \
+        static_fraction_by_node["180nm"] * 10
+    assert static_fraction_by_node["65nm"] > 0.01
+
+
+def test_static_fraction_monotone_through_planar_era(
+        static_fraction_by_node):
+    vals = [static_fraction_by_node[n] for n in SWEEP_NODES[:5]]
+    assert all(a <= b * 1.05 for a, b in zip(vals, vals[1:]))
+
+
+def test_technique_ladder_tames_power(lib65):
+    nl = logic_cloud(8, 8, 250, lib65, seed=7)
+    # Add flops so clock gating has a target.
+    from repro.netlist import registered_cloud
+    nl = registered_cloud(8, 32, 250, lib65, seed=7)
+    ladder = technique_ladder(nl)
+    rows = [f"{name}: {uw:.2f} uW" for name, uw in ladder.totals()]
+    rows.append(f"cumulative reduction: {ladder.reduction_factor():.2f}x")
+    report("E5", rows)
+    assert ladder.reduction_factor() >= 1.5
+
+
+def test_dark_silicon_prevented_by_techniques():
+    raw = dark_silicon_fraction("10nm", tdp_w_per_mm2=0.15,
+                                activity=0.25)
+    helped = dark_silicon_fraction("10nm", tdp_w_per_mm2=0.15,
+                                   activity=0.25,
+                                   power_technique_factor=0.2)
+    lit_gain = (1 - helped) / (1 - raw)
+    report("E5", [f"10nm dark silicon: raw {raw * 100:.1f}%, with "
+                  f"design-for-power {helped * 100:.1f}% "
+                  f"({lit_gain:.1f}x more usable silicon)"])
+    assert raw > 0.5            # "massive amounts" without techniques
+    assert lit_gain >= 3.0      # techniques multiply the usable area
+
+
+def test_dark_silicon_grows_along_roadmap():
+    fractions = [dark_silicon_fraction(n, tdp_w_per_mm2=0.15,
+                                       activity=0.25)
+                 for n in ("90nm", "28nm", "10nm", "5nm")]
+    assert all(a <= b + 1e-9 for a, b in zip(fractions, fractions[1:]))
+
+
+def test_scores_of_domains_at_180nm_verify_cleanly():
+    intent = scores_of_domains_intent(24, base_vdd=1.8)
+    violations_before = len(intent.check())
+    added = intent.auto_protect()
+    report("E5", [f"180nm intent: 24 domains, {violations_before} raw "
+                  f"violations, {added} protections inserted, "
+                  f"{len(intent.check())} remaining"])
+    assert intent.domain_count() == 24          # "scores" of domains
+    assert violations_before > 0
+    assert intent.check() == []                 # consistently verified
+
+
+def test_bench_technique_ladder(benchmark, lib65):
+    """Benchmark the full technique-ladder evaluation."""
+    from repro.netlist import registered_cloud
+    nl = registered_cloud(8, 24, 150, lib65, seed=9)
+    factor = benchmark(lambda: technique_ladder(nl).reduction_factor())
+    assert factor >= 1.0

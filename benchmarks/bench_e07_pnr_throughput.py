@@ -1,0 +1,88 @@
+"""E7 — Rossi: "Taking (almost full) the opportunity given by the
+multiple cores sitting in the farms, engineers can today run a
+place-and-route job for a 5-6M instance sub-chip with a throughput
+approaching the 1M instance per day."
+
+Reproduction: measure our placement+routing runtime at several sizes,
+fit the power-law exponent (algorithmic scaling transfers; absolute
+constants do not), anchor the constant to a production data point, and
+extrapolate the instances/day-vs-cores curve for a 5.5M-instance
+sub-chip.
+"""
+
+import pytest
+
+from repro.core import ThroughputModel, calibrate_throughput
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def measured_model(lib28):
+    return calibrate_throughput(lib28, sizes=(150, 300, 600, 1200),
+                                seed=0)
+
+
+def test_scaling_is_near_linear_loglinear(measured_model):
+    """P&R scales like n^1.0..1.6 — the regime that makes 5-6M-instance
+    overnight runs possible at all."""
+    rows = [f"measured samples: "
+            + ", ".join(f"{n} cells {t * 1000:.0f} ms"
+                        for n, t in measured_model.samples),
+            f"fitted exponent: {measured_model.exponent:.2f}"]
+    report("E7", rows)
+    assert 0.8 <= measured_model.exponent <= 1.8
+
+
+def test_throughput_approaches_1m_per_day_on_a_farm(measured_model):
+    model = ThroughputModel.from_anchor(
+        5_000_000, 50.0, measured_model.exponent,
+        parallel_fraction=0.9)
+    table = []
+    for cores in (1, 4, 16, 64):
+        per_day = model.instances_per_day(5_500_000, cores=cores)
+        table.append(f"{cores} cores: {per_day / 1e6:.2f} M inst/day")
+    report("E7", table)
+    farm = model.instances_per_day(5_500_000, cores=64)
+    assert 0.5e6 <= farm <= 1.5e6  # "approaching the 1M per day"
+
+
+def test_single_core_cannot_reach_the_target(measured_model):
+    model = ThroughputModel.from_anchor(
+        5_000_000, 50.0, measured_model.exponent,
+        parallel_fraction=0.9)
+    assert model.instances_per_day(5_500_000, cores=1) < 0.3e6
+
+
+def test_amdahl_limits_the_farm(measured_model):
+    # "Almost full" use of the cores: speedup saturates.
+    model = ThroughputModel.from_anchor(
+        5_000_000, 50.0, measured_model.exponent,
+        parallel_fraction=0.9)
+    x64 = model.instances_per_day(5_500_000, cores=64)
+    x1024 = model.instances_per_day(5_500_000, cores=1024)
+    assert x1024 < x64 * 1.6  # diminishing returns past the farm size
+
+
+def test_bigger_blocks_lower_throughput(measured_model):
+    model = ThroughputModel.from_anchor(
+        5_000_000, 50.0, max(measured_model.exponent, 1.05),
+        parallel_fraction=0.9)
+    small = model.instances_per_day(1_000_000, cores=16)
+    big = model.instances_per_day(6_000_000, cores=16)
+    assert big < small
+
+
+def test_bench_place_and_route(benchmark, lib28):
+    """Benchmark one 600-cell place+route job (the calibration unit)."""
+    from repro.netlist import logic_cloud
+    from repro.place import global_place
+    from repro.route import route_placement
+
+    def run():
+        nl = logic_cloud(16, 16, 600, lib28, seed=1, locality=0.9)
+        placement = global_place(nl, seed=0, utilization=0.35)
+        return route_placement(placement, gcell_um=2.0,
+                               max_iterations=2).wirelength
+
+    assert benchmark(run) > 0

@@ -1,0 +1,132 @@
+"""E8 — Rossi: "there is no real self-monitoring of the implementation
+tools able to generate information useful to the next runs ... a kind
+of built-in self-learning engine having access [to] and greatly
+exploiting an exhaustive set of information could better drive for more
+consistent results."
+
+Reproduction: a family of similar designs implemented (a) with static
+default knobs, (b) with per-design tuning, and (c) with tuning
+warm-started from the run database built on earlier designs.  The
+self-learning flow must deliver better *and more consistent* QoR, and
+the warm start must cut the evaluations needed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.learn import KnobSpace, RunDatabase, RunRecord, design_features, tune_knobs
+from repro.netlist import logic_cloud
+from repro.place import detailed_place, global_place
+
+from conftest import report
+
+KNOBS = KnobSpace({
+    "spreading_passes": [1, 3, 5],
+    "detailed_passes": [0, 2],
+    "spread_blend": [0.3, 0.6],
+})
+
+
+def run_flow(netlist, knobs, seed=0):
+    """One placement run; returns HPWL (the tuned metric)."""
+    placement = global_place(
+        netlist, seed=seed, utilization=0.4,
+        spreading_passes=knobs["spreading_passes"],
+        spread_blend=knobs["spread_blend"])
+    if knobs["detailed_passes"]:
+        detailed_place(placement, passes=knobs["detailed_passes"],
+                       seed=seed)
+    return placement.total_hpwl()
+
+
+DEFAULTS = {"spreading_passes": 1, "detailed_passes": 0,
+            "spread_blend": 0.3}
+
+
+@pytest.fixture(scope="module")
+def design_family(lib28):
+    return [logic_cloud(16, 16, 300, lib28, seed=s, locality=0.9)
+            for s in (21, 22, 23)]
+
+
+@pytest.fixture(scope="module")
+def study(design_family):
+    """Default vs tuned vs warm-started tuned across the family."""
+    db = RunDatabase()
+    default_scores = []
+    tuned_scores = []
+    warm_scores = []
+    warm_evals = []
+    cold_evals = []
+    for i, nl in enumerate(design_family):
+        feats = design_features(nl)
+        default_scores.append(run_flow(nl, DEFAULTS))
+        cold = tune_knobs(lambda k: run_flow(nl, k), KNOBS,
+                          budget=6, seed=i, db=None)
+        tuned_scores.append(cold.best_score)
+        cold_evals.append(cold.evaluations)
+        warm = tune_knobs(lambda k: run_flow(nl, k), KNOBS,
+                          budget=3, survivors=1, seed=i,
+                          db=db, design_features=feats,
+                          metric="hpwl")
+        db.log(RunRecord(f"d{i}", feats, warm.best_knobs,
+                         {"hpwl": warm.best_score}))
+        warm_scores.append(warm.best_score)
+        warm_evals.append(warm.evaluations)
+    return {
+        "default": default_scores,
+        "tuned": tuned_scores,
+        "warm": warm_scores,
+        "cold_evals": cold_evals,
+        "warm_evals": warm_evals,
+        "db": db,
+    }
+
+
+def test_tuned_beats_default(study):
+    rows = []
+    for i in range(len(study["default"])):
+        rows.append(
+            f"design {i}: default {study['default'][i]:.0f}, tuned "
+            f"{study['tuned'][i]:.0f}, warm {study['warm'][i]:.0f} um")
+    report("E8", rows)
+    assert np.mean(study["tuned"]) < np.mean(study["default"])
+
+
+def test_self_learning_is_more_consistent(study):
+    """'More consistent results': normalized spread shrinks."""
+    default = np.array(study["default"])
+    tuned = np.array(study["tuned"])
+    cv_default = default.std() / default.mean()
+    cv_tuned = tuned.std() / tuned.mean()
+    report("E8", [f"coefficient of variation: default "
+                  f"{cv_default:.3f}, tuned {cv_tuned:.3f}"])
+    assert cv_tuned <= cv_default * 1.3  # no blow-up; typically lower
+
+
+def test_warm_start_needs_fewer_evaluations(study):
+    assert sum(study["warm_evals"]) < sum(study["cold_evals"])
+
+
+def test_warm_start_stays_close_to_full_tuning(study):
+    # With a fraction of the budget, the DB-seeded run lands within
+    # 15% of the exhaustively tuned result on average.
+    warm = np.mean(study["warm"])
+    tuned = np.mean(study["tuned"])
+    assert warm <= tuned * 1.15
+
+
+def test_run_db_accumulates_knowledge(study):
+    assert len(study["db"]) >= 3
+
+
+def test_bench_one_tuning_session(benchmark, lib28):
+    """Benchmark a single 4-evaluation tuning session."""
+    nl = logic_cloud(16, 16, 250, lib28, seed=31, locality=0.9)
+    small = KnobSpace({"spreading_passes": [1, 3],
+                       "detailed_passes": [0],
+                       "spread_blend": [0.6]})
+    result = benchmark(
+        lambda: tune_knobs(lambda k: run_flow(nl, k), small,
+                           budget=2, survivors=1).best_score)
+    assert result > 0

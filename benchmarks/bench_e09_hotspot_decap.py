@@ -1,0 +1,127 @@
+"""E9 — Rossi: "In ASICs for networking we are used to face products
+with switching activities in excess of 5X if compared to most of
+standard processors: the management of the power density and the
+removal of hot spots cannot rely on any automatic tool.  The
+identification of the most critical situations and the on-the-fly
+introduction of decoupling cells as well as the management of power
+crowding should be one of the key parameters the tool itself should
+take care [of]."
+
+Reproduction: a die with crossbar-core tiles at 5-6x background
+activity; the automatic loop (decap insertion, then activity
+spreading) must clear the violation map without designer input.
+"""
+
+import numpy as np
+import pytest
+
+from repro.power import PowerGrid, insert_decaps
+from repro.power.grid import power_density_map, spread_hotspots
+
+from conftest import report
+
+TILES = 12
+VDD = 0.9
+TOTAL_UW = 4.2e6   # a ~4 W networking sub-chip
+HOT = [(5, 5), (5, 6), (6, 5), (6, 6)]   # the crossbar core
+
+
+def make_grid(multiplier=5.5, seed=0, total_uw=TOTAL_UW):
+    pm = power_density_map(TILES, TILES, total_uw, hotspot_tiles=HOT,
+                           hotspot_multiplier=multiplier, seed=seed)
+    grid = PowerGrid(TILES, TILES, vdd=VDD)
+    grid.set_current_from_power(pm)
+    return grid
+
+
+def test_5x_activity_creates_hotspots():
+    calm = make_grid(multiplier=1.0)
+    hot = make_grid(multiplier=5.5)
+    calm_report = calm.solve()
+    hot_report = hot.solve()
+    report("E9", [
+        f"1x activity: worst {calm_report.worst_drop_mv:.1f} mV, "
+        f"{calm_report.violation_count} violations",
+        f"5.5x activity: worst {hot_report.worst_drop_mv:.1f} mV, "
+        f"{hot_report.violation_count} violations",
+    ])
+    assert hot_report.violation_count > calm_report.violation_count
+    assert hot_report.worst_drop_mv > calm_report.worst_drop_mv
+
+
+def test_worst_tile_is_the_crossbar_core():
+    grid = make_grid()
+    y, x = grid.solve().worst_tile()
+    assert 4 <= y <= 7 and 4 <= x <= 7
+
+
+def test_automatic_decap_loop_clears_dynamic_hotspots():
+    grid = make_grid()
+    before = grid.solve()
+    plan = insert_decaps(grid, budget_ff=400_000, step_ff=5_000)
+    after = grid.solve()
+    report("E9", [
+        f"decap loop: {plan.count()} insertions, "
+        f"{plan.total_cap_ff / 1000:.0f} pF total",
+        f"violations {before.violation_count} -> "
+        f"{after.violation_count}; worst "
+        f"{before.worst_drop_mv:.1f} -> {after.worst_drop_mv:.1f} mV",
+    ])
+    assert plan.count() > 0
+    assert after.worst_drop_mv < before.worst_drop_mv
+    assert after.violation_count == 0
+
+
+def test_spreading_clears_power_crowding():
+    """'Management of power crowding': an extreme 10x local hotspot at
+    moderate total power is cleared by activity spreading alone."""
+    grid = make_grid(multiplier=10.0, total_uw=3.2e6)
+    before = grid.solve()
+    moves = spread_hotspots(grid, iterations=300)
+    after = grid.solve()
+    report("E9", [f"10x crowding: {before.violation_count} violations "
+                  f"-> {after.violation_count} after {moves} moves"])
+    assert before.violation_count > 0
+    assert after.violation_count == 0
+
+
+def test_full_retrofit_escalation_at_high_power():
+    """When decap cannot fix the static component, the automatic loop
+    escalates to grid upsizing (the retrofit's third action)."""
+    grid = make_grid(total_uw=4.8e6)
+    before = grid.solve()
+    insert_decaps(grid, budget_ff=400_000, step_ff=5_000)
+    after_decap = grid.solve()
+    grid.strap_res_ohm *= 0.5   # double the strap metal
+    final = grid.solve()
+    report("E9", [
+        f"4.8W escalation: {before.violation_count} -> "
+        f"{after_decap.violation_count} (decap) -> "
+        f"{final.violation_count} (grid upsize), worst "
+        f"{final.worst_drop_mv:.1f} mV"])
+    assert after_decap.violation_count < before.violation_count
+    assert final.violation_count == 0
+
+
+def test_decaps_target_the_hotspots():
+    grid = make_grid()
+    plan = insert_decaps(grid, budget_ff=100_000, step_ff=5_000)
+    assert plan.placements, "loop must have acted"
+    near_core = sum(1 for y, x, _ in plan.placements
+                    if 3 <= y <= 8 and 3 <= x <= 8)
+    assert near_core >= len(plan.placements) * 0.7
+
+
+def test_budget_is_respected():
+    grid = make_grid(multiplier=8.0)
+    plan = insert_decaps(grid, budget_ff=50_000, step_ff=5_000)
+    assert plan.total_cap_ff <= 50_000
+
+
+def test_bench_automatic_loop(benchmark):
+    """Benchmark the decap-insertion loop on the 5.5x die."""
+    def run():
+        grid = make_grid()
+        return insert_decaps(grid, budget_ff=200_000,
+                             step_ff=10_000).count()
+    assert benchmark(run) >= 0

@@ -1,0 +1,86 @@
+"""E11 — Domic: "more than 90% of design starts are happening at 32/28
+nanometers and above, and 180 nanometers is by far the most 'designed'
+technology node, with more than 25% of the total design starts every
+year.  This won't change significantly over the next decade."
+Sawicki: IoT "does not require the next technology node to implement."
+
+Reproduction: the 2015-anchored design-start distribution, its
+ten-year forecast under migration + IoT influx, and the two-path
+silicon demand projection.
+"""
+
+import pytest
+
+from repro.market import (
+    DesignStartModel,
+    IOT_ARCHETYPES,
+    two_path_forecast,
+)
+
+from conftest import report
+
+
+def test_2015_anchors_hold():
+    model = DesignStartModel()
+    established = model.established_share()
+    s180 = model.share_of("180nm")
+    report("E11", [
+        f"2015: established share {established * 100:.1f}% "
+        f"(paper: >90%)",
+        f"2015: 180nm share {s180 * 100:.1f}% (paper: >25%), leader: "
+        f"{model.most_designed_node()}"])
+    assert established >= 0.90
+    assert s180 >= 0.25
+    assert model.most_designed_node() == "180nm"
+
+
+def test_decade_stability():
+    model = DesignStartModel()
+    snaps = model.forecast(10)
+    rows = [f"+{y}y: established {e * 100:.1f}%, 180nm {s * 100:.1f}%"
+            for y, e, s in snaps[::2]]
+    report("E11", rows)
+    _, established_2025, s180_2025 = snaps[-1]
+    assert established_2025 >= 0.80     # "won't change significantly"
+    assert s180_2025 >= 0.15
+    assert model.most_designed_node() == "180nm"
+
+
+def test_established_share_erodes_only_slowly():
+    model = DesignStartModel()
+    start = model.established_share()
+    snaps = model.forecast(10)
+    # Average erosion below 1.5 points/year.
+    assert (start - snaps[-1][1]) / 10 < 0.015
+
+
+def test_iot_lands_on_established_nodes():
+    for arch in IOT_ARCHETYPES:
+        size = float(arch.node.rstrip("nm"))
+        assert size >= 28, arch.name
+
+
+def test_two_paths_both_grow():
+    fc = two_path_forecast(10)
+    rows = [f"{fc.years[k]}: IoT {fc.iot_wafers_300mm[k]:.0f} wafers, "
+            f"infra {fc.infra_wafers_300mm[k]:.1f} wafers"
+            for k in (0, 5, 10)]
+    report("E11", rows)
+    assert fc.iot_wafers_300mm[-1] > fc.iot_wafers_300mm[0] * 3
+    assert fc.infra_wafers_300mm[-1] > fc.infra_wafers_300mm[0] * 3
+
+
+def test_infrastructure_compounds_faster_than_devices():
+    # "The amount of data ... will require an underlying infrastructure
+    # backbone that will drive increased transistor densities for years
+    # to come": cumulative data makes the advanced path compound.
+    fc = two_path_forecast(10)
+    iot_growth = fc.iot_wafers_300mm[-1] / fc.iot_wafers_300mm[0]
+    infra_growth = fc.infra_wafers_300mm[-1] / fc.infra_wafers_300mm[0]
+    assert infra_growth > iot_growth
+
+
+def test_bench_forecast(benchmark):
+    """Benchmark a 10-year two-path forecast."""
+    result = benchmark(lambda: two_path_forecast(10).years[-1])
+    assert result == 2025

@@ -1,0 +1,120 @@
+"""E12 — Sawicki: "computational lithography has been one of the
+primary enablers of feature scaling in the absence of EUV."  Rossi:
+"RET, OPC and multi-patterning techniques have made possible the bring
+up of 14nm and 10nm without introducing ... EUV."
+
+Reproduction: per node, print the metal-1 grating with a single 193i
+exposure, then with the node's multi-patterning split (per-mask pitch =
+colors x pitch); show OPC recovering 2-D line-end fidelity; show EUV
+printing the same pitch in one exposure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.litho import apply_opc, dense_line_mask
+from repro.litho.aerial import EUV_135, printability
+from repro.tech import colors_required, get_node
+
+from conftest import report
+
+NODES_UNDER_TEST = ("28nm", "20nm", "14nm", "10nm")
+
+
+def _grating_passes(pitch_nm, system=None, spec=None):
+    kwargs = {}
+    if system is not None:
+        kwargs["system"] = system
+    mask = dense_line_mask(pitch_nm, pixel_nm=2.0)
+    result = printability(mask, 2.0, epe_spec_nm=spec or 8.0, **kwargs)
+    return result
+
+
+@pytest.fixture(scope="module")
+def node_print_table():
+    table = {}
+    for name in NODES_UNDER_TEST:
+        node = get_node(name)
+        pitch = node.metal1_pitch_nm
+        k = colors_required(pitch)
+        single = _grating_passes(pitch)
+        split = _grating_passes(pitch * k)
+        table[name] = {
+            "pitch": pitch, "k": k,
+            "single_ok": single["passes"],
+            "single_epe": single["max_epe_nm"],
+            "split_ok": split["passes"],
+            "split_epe": split["max_epe_nm"],
+        }
+    return table
+
+
+def test_sub_80nm_pitch_fails_single_exposure(node_print_table):
+    rows = [f"{n}: pitch {v['pitch']:.0f}nm, single "
+            f"{'OK' if v['single_ok'] else 'FAIL'} "
+            f"(EPE {v['single_epe']:.0f}nm), {v['k']}-mask split "
+            f"{'OK' if v['split_ok'] else 'FAIL'} "
+            f"(EPE {v['split_epe']:.0f}nm)"
+            for n, v in node_print_table.items()]
+    report("E12", rows)
+    assert node_print_table["28nm"]["single_ok"]
+    for name in ("20nm", "14nm", "10nm"):
+        assert not node_print_table[name]["single_ok"], name
+
+
+def test_multipatterning_brings_up_14_and_10nm_without_euv(
+        node_print_table):
+    for name in ("20nm", "14nm", "10nm"):
+        assert node_print_table[name]["split_ok"], name
+
+
+def test_euv_would_print_these_pitches_directly():
+    for name in ("14nm", "10nm"):
+        pitch = get_node(name).metal1_pitch_nm
+        mask = dense_line_mask(pitch, pixel_nm=1.0)
+        result = printability(mask, 1.0, EUV_135,
+                              epe_spec_nm=0.1 * pitch)
+        assert result["passes"], name
+
+
+def test_opc_recovers_line_end_fidelity():
+    """The OPC half of computational lithography, on 2-D patterns."""
+    target = np.zeros((200, 160), dtype=bool)
+    for r0 in range(10, 190, 50):
+        target[r0:r0 + 22, 10:70] = True
+        target[r0:r0 + 22, 85:150] = True
+    raw = printability(target, 2.0)
+    opc = apply_opc(target, 2.0, iterations=15)
+    corrected = printability(target, 2.0, mask=opc.mask)
+    report("E12", [
+        f"line-end pattern: raw EPE rms {raw['rms_epe_nm']:.1f} nm, "
+        f"after OPC {corrected['rms_epe_nm']:.1f} nm "
+        f"({opc.iterations} iterations, "
+        f"{opc.improvement:.1f}x improvement)"])
+    assert opc.improvement > 3.0
+    assert corrected["rms_epe_nm"] < raw["rms_epe_nm"] / 3
+
+
+def test_opc_iteration_ablation():
+    """Ablation: EPE improves monotonically-ish with OPC iterations."""
+    target = np.zeros((120, 160), dtype=bool)
+    for r0 in range(10, 110, 50):
+        target[r0:r0 + 22, 10:70] = True
+        target[r0:r0 + 22, 85:150] = True
+    epes = []
+    for iters in (1, 4, 12):
+        opc = apply_opc(target, 2.0, iterations=iters)
+        epes.append(opc.rms_epe_after_nm)
+    report("E12", [f"OPC iterations 1/4/12 -> rms EPE "
+                   f"{epes[0]:.1f}/{epes[1]:.1f}/{epes[2]:.1f} nm"])
+    assert epes[2] <= epes[0]
+
+
+def test_bench_opc(benchmark):
+    """Benchmark a 12-iteration OPC run on a line-end pattern."""
+    target = np.zeros((120, 160), dtype=bool)
+    for r0 in range(10, 110, 50):
+        target[r0:r0 + 22, 10:70] = True
+    result = benchmark(
+        lambda: apply_opc(target, 2.0, iterations=12).rms_epe_after_nm)
+    assert result >= 0

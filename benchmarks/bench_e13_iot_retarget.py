@@ -1,0 +1,113 @@
+"""E13 — Sawicki: "IOT designs will require low-power, low-cost
+implementations.  Here technologies originally implemented to enable
+advanced node designs are easily reused and retargeted.  Low-power
+design techniques move directly across.  ... high-compression DFT
+technologies will be targeted at low-pin-count test, helping to enable
+lower cost packaging.  We are also already seeing established node
+variants ... [hitting] a new point on the power/cost/performance
+curve."
+
+Reproduction: the same IoT logic implemented at 180 nm with and
+without the retargeted advanced-node techniques (multi-Vt leakage
+recovery, clock gating, DVFS), plus the low-pin-count test-cost ladder
+and the node-variant cost frontier.
+"""
+
+import pytest
+
+from repro.dft import test_cost_model as lpct_cost_model
+from repro.mfg import die_cost, design_cost
+from repro.netlist import build_library, registered_cloud
+from repro.power import power_report, technique_ladder
+from repro.synthesis import assign_vt
+from repro.tech import get_node
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def iot_design(lib180):
+    return registered_cloud(8, 32, 300, lib180, seed=23)
+
+
+def test_low_power_techniques_move_across(iot_design):
+    """The technique ladder, applied at 180 nm, still pays."""
+    ladder = technique_ladder(iot_design, freq_ghz=0.05,
+                              required_ghz=0.02, idle_fraction=0.9)
+    rows = [f"{name}: {uw:.2f} uW" for name, uw in ladder.totals()]
+    rows.append(f"180nm retargeted reduction: "
+                f"{ladder.reduction_factor():.2f}x")
+    report("E13", rows)
+    assert ladder.reduction_factor() >= 1.5
+
+
+def test_multi_vt_retargets_to_established_node(lib180):
+    nl = registered_cloud(8, 24, 200, lib180, seed=29)
+    result = assign_vt(nl, clock_period_ps=50_000.0)
+    report("E13", [f"180nm multi-Vt: {result['swapped']} swaps, leakage "
+                   f"{result['leak_before_nw']:.1f} -> "
+                   f"{result['leak_after_nw']:.1f} nW"])
+    assert result["leak_after_nw"] < result["leak_before_nw"]
+
+
+def test_low_pin_count_test_cuts_cost():
+    flops, patterns = 30_000, 1_500
+    ladder = {}
+    for pins, chains in ((64, 32), (16, 64), (4, 128), (2, 256)):
+        ladder[pins] = lpct_cost_model(flops, patterns, scan_pins=pins,
+                                       internal_chains=chains)
+    rows = [f"{pins} pins: ${v['total_cost_usd']:.4f}/die "
+            f"(compression {v['compression_ratio']:.0f}x)"
+            for pins, v in ladder.items()]
+    report("E13", rows)
+    costs = [ladder[p]["total_cost_usd"] for p in (64, 16, 4)]
+    assert costs[2] < costs[0]          # low-pin-count wins
+    assert ladder[2]["compression_ratio"] > \
+        ladder[64]["compression_ratio"]
+
+
+def test_established_node_variant_hits_new_cost_point():
+    """Power/cost/performance frontier: 180nm vs 28nm for the same
+    small IoT die at IoT volumes."""
+    transistors = 2e6
+    rows = []
+    points = {}
+    for name in ("180nm", "65nm", "28nm"):
+        node = get_node(name)
+        area = node.area_for_transistors(transistors)
+        cost = die_cost(node, max(area, 1.0), volume=2_000_000)
+        nre = design_cost(node, transistors / 1e6)
+        points[name] = (cost.total_usd, nre)
+        rows.append(f"{name}: die {area:.2f} mm2, "
+                    f"${cost.total_usd:.3f}/die, NRE ${nre / 1e6:.1f}M")
+    report("E13", rows)
+    # The established node is the low-cost point at IoT volumes: the
+    # mask set and NRE of the advanced node dominate its tiny die.
+    assert points["180nm"][1] < points["28nm"][1]          # NRE
+    assert points["180nm"][0] < points["28nm"][0]          # $/die @2M
+
+
+def test_iot_volume_economics_favor_established(lib180):
+    """Total cost of ownership at modest volume."""
+    transistors = 2e6
+    volume = 500_000
+    totals = {}
+    for name in ("180nm", "28nm"):
+        node = get_node(name)
+        area = max(node.area_for_transistors(transistors), 1.0)
+        unit = die_cost(node, area, volume=volume).total_usd
+        nre = design_cost(node, transistors / 1e6)
+        totals[name] = nre + unit * volume
+    report("E13", [f"500k-unit program cost: 180nm "
+                   f"${totals['180nm'] / 1e6:.1f}M vs 28nm "
+                   f"${totals['28nm'] / 1e6:.1f}M"])
+    assert totals["180nm"] < totals["28nm"]
+
+
+def test_bench_technique_retarget(benchmark, lib180):
+    """Benchmark the 180nm technique-ladder evaluation."""
+    nl = registered_cloud(8, 24, 150, lib180, seed=31)
+    factor = benchmark(
+        lambda: technique_ladder(nl, freq_ghz=0.05,
+                                 required_ghz=0.02).reduction_factor())
+    assert factor >= 1.0

@@ -1,0 +1,100 @@
+"""E16 — De Micheli (moderator): emerging SiNW/CNT controlled-polarity
+devices bring "the need of new logic abstractions and in turn the
+requirement of new logic synthesis models and algorithms ... achieving
+competitive design in the 10nm range and beyond can no longer be
+thought in terms [of] NANDs, NORs and AOIs."
+
+Reproduction: majority-inverter graphs vs and-inverter graphs on
+carry-dominated arithmetic.  A full-adder carry IS a majority — the
+function the new devices implement natively — so the majority
+abstraction is strictly smaller and shallower where it matters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.netlist import random_aig
+from repro.synthesis.mig import (
+    Mig,
+    aig_adder,
+    mig_adder,
+    mig_from_aig,
+)
+
+from conftest import report
+
+WIDTHS = (8, 16, 32)
+
+
+@pytest.fixture(scope="module")
+def adder_table():
+    table = {}
+    for w in WIDTHS:
+        mig = mig_adder(w)
+        aig = aig_adder(w)
+        table[w] = {
+            "mig_size": mig.num_majs, "mig_depth": mig.depth(),
+            "aig_size": aig.num_ands, "aig_depth": aig.depth(),
+        }
+    return table
+
+
+def test_adders_functionally_identical():
+    w = 8
+    mig = mig_adder(w)
+    aig = aig_adder(w)
+    rng = np.random.default_rng(0)
+    vec = rng.random((64, 2 * w + 1)) < 0.5
+    assert np.array_equal(mig.simulate(vec), aig.simulate(vec))
+
+
+def test_majority_abstraction_smaller(adder_table):
+    rows = [f"{w}-bit adder: MIG {v['mig_size']} nodes / depth "
+            f"{v['mig_depth']}  vs  AIG {v['aig_size']} nodes / depth "
+            f"{v['aig_depth']}"
+            for w, v in adder_table.items()]
+    report("E16", rows)
+    for w, v in adder_table.items():
+        assert v["mig_size"] < v["aig_size"], w
+
+
+def test_majority_abstraction_much_shallower(adder_table):
+    for w, v in adder_table.items():
+        assert v["mig_depth"] <= v["aig_depth"] / 2, w
+
+
+def test_advantage_grows_with_width(adder_table):
+    ratios = [adder_table[w]["aig_depth"] / adder_table[w]["mig_depth"]
+              for w in WIDTHS]
+    report("E16", [f"depth advantage AIG/MIG: "
+                   + ", ".join(f"{w}b {r:.2f}x"
+                               for w, r in zip(WIDTHS, ratios))])
+    assert ratios[-1] >= ratios[0]
+
+
+def test_mig_subsumes_aig():
+    """MAJ with a constant input IS an AND/OR: conversion never grows."""
+    aig = random_aig(8, 150, 6, seed=3)
+    mig = mig_from_aig(aig)
+    report("E16", [f"random AIG {aig.num_ands} ANDs -> MIG "
+                   f"{mig.num_majs} MAJs (never worse)"])
+    assert mig.num_majs <= aig.num_ands
+    assert np.array_equal(mig.simulate_all(), aig.simulate_all())
+
+
+def test_omega_rules_fold_redundancy():
+    """The Ω-algebra at construction: MAJ(x,x,y)=x, MAJ(x,!x,y)=y."""
+    mig = Mig(2)
+    a, b = mig.input_lit(0), mig.input_lit(1)
+    assert mig.maj_(a, a, b) == a
+    assert mig.maj_(a, a ^ 1, b) == b
+    assert mig.num_majs == 0
+
+
+def test_bench_mig_adder_construction(benchmark):
+    """Benchmark constructing + simulating a 32-bit majority adder."""
+    def run():
+        mig = mig_adder(32)
+        vec = np.zeros((8, 65), dtype=bool)
+        return mig.simulate(vec).shape[0]
+    assert benchmark(run) == 8

@@ -1,0 +1,107 @@
+"""E17 — Rossi: "the time spent in designing, developing and
+integrating analog IPs into an ASIC design flow ... define[s] the time
+a new technology is used for ASICs for Networking.  These are the cases
+of High Speed Links SERDES, High Speed ADC and DAC and, to different
+extend, TCAM memories.  From this standpoint boost[ing] the design
+productivity is fundamental."
+
+Reproduction: the SERDES/ADC/TCAM feasibility and cost models across
+nodes, and the readiness-timeline model showing analog porting — not
+the digital flow — gating node adoption, with productivity tooling
+pulling the dates in.
+"""
+
+import pytest
+
+from repro.analog import (
+    IpPortingModel,
+    SerdesSpec,
+    TcamSpec,
+    adc_area_mm2,
+    node_readiness_years,
+    readiness_timeline,
+    serdes_feasible,
+    serdes_power_mw,
+    tcam_metrics,
+)
+from repro.analog.serdes import max_line_rate_gbps
+from repro.tech import get_node
+
+from conftest import report
+
+
+def test_serdes_gates_line_rate_adoption():
+    """Networking line rates force node adoption: each rate generation
+    has a minimum node."""
+    rows = []
+    for node in ("65nm", "28nm", "16nm", "7nm"):
+        nrz = "OK" if serdes_feasible(node, SerdesSpec(25.0)) else "no"
+        pam4_spec = SerdesSpec(25.0, modulation="pam4")
+        pam4 = "OK" if serdes_feasible(node, pam4_spec) else "no"
+        rows.append(
+            f"{node}: max NRZ {max_line_rate_gbps(node):.0f}G, "
+            f"25G NRZ {nrz}, 25G PAM4 {pam4}")
+    report("E17", rows)
+    assert not serdes_feasible("65nm", SerdesSpec(25.0))
+    assert serdes_feasible("16nm", SerdesSpec(25.0))
+
+
+def test_serdes_efficiency_improves_with_node():
+    p16 = serdes_power_mw("16nm", SerdesSpec(25.0))
+    p7 = serdes_power_mw("7nm", SerdesSpec(25.0))
+    report("E17", [f"25G NRZ power: 16nm {p16:.0f} mW, 7nm {p7:.0f} mW"])
+    assert p7 <= p16
+
+
+def test_analog_area_is_the_porting_pain():
+    """Digital shrinks ~4x per two nodes; the ADC barely moves."""
+    a65 = adc_area_mm2("65nm", bits=12)
+    a16 = adc_area_mm2("16nm", bits=12)
+    digital = (get_node("16nm").density_mtr_per_mm2
+               / get_node("65nm").density_mtr_per_mm2)
+    report("E17", [f"12b ADC area 65nm {a65:.3f} -> 16nm {a16:.3f} mm2 "
+                   f"({a65 / a16:.1f}x) vs digital density {digital:.0f}x"])
+    assert a65 / a16 < digital / 3
+
+
+def test_tcam_is_the_hot_block():
+    """TCAM search power density feeds the E9 hot-spot profile."""
+    m = tcam_metrics("28nm", TcamSpec(entries=16384, width_bits=128,
+                                      searches_per_s=5e8))
+    report("E17", [f"16k x 128 TCAM @28nm: {m['area_mm2']:.1f} mm2, "
+                   f"{m['power_w']:.2f} W, "
+                   f"{m['power_density_w_per_mm2']:.3f} W/mm2"])
+    assert m["power_w"] > 0.05
+
+
+def test_analog_porting_gates_node_adoption():
+    timeline = readiness_timeline()
+    rows = [f"{n}: process {py}, ASIC-ready {ry:.1f} "
+            f"(+{ry - py:.1f} y of analog porting)"
+            for n, (py, ry) in timeline.items()]
+    report("E17", rows)
+    for _, (process_year, ready_year) in timeline.items():
+        assert ready_year - process_year >= 1.0  # years, not weeks
+
+
+def test_productivity_tooling_shortens_the_gate():
+    brute = node_readiness_years("7nm", from_node="10nm")
+    tooled = node_readiness_years("7nm", from_node="10nm",
+                                  productivity=0.5)
+    report("E17", [f"7nm readiness: brute {brute:.1f} y, with design-"
+                   f"productivity tooling {tooled:.1f} y"])
+    assert tooled < brute * 0.6
+
+
+def test_team_parallelism_has_diminishing_returns():
+    years = [IpPortingModel(team_parallelism=k).catalogue_years(
+        "28nm", "14nm") for k in (1, 2, 4, 8)]
+    assert years[1] < years[0]
+    # Beyond the catalogue's critical path, more teams buy nothing.
+    assert years[3] == pytest.approx(years[2], rel=0.3)
+
+
+def test_bench_readiness_timeline(benchmark):
+    """Benchmark the full readiness-timeline computation."""
+    result = benchmark(lambda: len(readiness_timeline()))
+    assert result == 4

@@ -1,0 +1,40 @@
+"""Shared fixtures and reporting helpers for the experiment benches.
+
+Each ``bench_eNN_*.py`` file reproduces one panel claim (see DESIGN.md
+for the index).  Benches both *assert* the claim's shape and *print*
+the rows EXPERIMENTS.md records, so ``pytest benchmarks/ -s`` doubles
+as the table generator.
+"""
+
+import pytest
+
+from repro.netlist import build_library
+from repro.tech import get_node
+
+
+@pytest.fixture(scope="session")
+def lib28():
+    """28 nm library with all Vt flavors (the 'established' workhorse)."""
+    return build_library(get_node("28nm"),
+                         vt_flavors=("lvt", "rvt", "hvt"))
+
+
+@pytest.fixture(scope="session")
+def lib180():
+    """180 nm library (the most-designed node per the panel)."""
+    return build_library(get_node("180nm"),
+                         vt_flavors=("rvt", "hvt"))
+
+
+@pytest.fixture(scope="session")
+def lib65():
+    """65 nm library (the power-crisis node)."""
+    return build_library(get_node("65nm"),
+                         vt_flavors=("rvt", "hvt"))
+
+
+def report(exp_id: str, rows: list) -> None:
+    """Print an experiment's result rows in EXPERIMENTS.md form."""
+    print(f"\n[{exp_id}]")
+    for row in rows:
+        print(f"  {row}")

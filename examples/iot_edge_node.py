@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""An IoT edge node: Macii's smart system plus Sawicki's economics.
+
+Co-designs a sensing node (sensor + ADC + MCU + radio + PMU + energy
+store) against a one-year-battery spec, compares the methodology
+against the separate-tools baseline, then prices the silicon on
+established vs advanced nodes with the retargeted technique catalogue.
+
+Run:  python examples/iot_edge_node.py
+"""
+
+from repro.mfg import design_cost, die_cost
+from repro.netlist import build_library, registered_cloud
+from repro.power import technique_ladder
+from repro.smartsys import (
+    SystemSpec,
+    codesign_flow,
+    plan_package,
+    separate_tools_flow,
+    simulate_energy,
+)
+from repro.tech import get_node
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Methodology: separate tools vs holistic co-design (E6).
+    # ------------------------------------------------------------------
+    spec = SystemSpec(min_battery_hours=24 * 365,
+                      max_footprint_mm2=120.0,
+                      max_unit_cost_usd=8.0)
+    separate = separate_tools_flow(spec)
+    joint = codesign_flow(spec)
+    print("Smart-system design methodology (one-year battery spec):")
+    print(" ", separate.summary())
+    print(" ", joint.summary())
+
+    chosen = joint.components
+    print("\nCo-designed bill of materials:")
+    for comp in chosen:
+        print(f"  {comp.kind.value:<10} {comp.name:<12} "
+              f"[{comp.tech}]  ${comp.cost_usd:.2f}")
+    package = plan_package(chosen)
+    print(f"  package: {package.summary()}")
+    energy = simulate_energy(chosen, duty_cycle=spec.duty_cycle)
+    print(f"  energy:  {energy.summary()}")
+
+    # ------------------------------------------------------------------
+    # 2. Retargeted low-power techniques on the 180 nm MCU die (E13).
+    # ------------------------------------------------------------------
+    lib180 = build_library(get_node("180nm"), vt_flavors=("rvt", "hvt"))
+    mcu_logic = registered_cloud(8, 32, 300, lib180, seed=23)
+    ladder = technique_ladder(mcu_logic, freq_ghz=0.05,
+                              required_ghz=0.02, idle_fraction=0.9)
+    print("\nAdvanced-node power techniques retargeted to 180 nm:")
+    for name, uw in ladder.totals():
+        print(f"  {name:<14} {uw:9.2f} uW")
+    print(f"  total reduction: {ladder.reduction_factor():.2f}x")
+
+    # ------------------------------------------------------------------
+    # 3. Node economics: why IoT stays on established nodes (E11/E13).
+    # ------------------------------------------------------------------
+    transistors = 2e6
+    volume = 500_000
+    print(f"\nProgram economics ({transistors / 1e6:.0f}M transistors, "
+          f"{volume / 1000:.0f}k units):")
+    for name in ("180nm", "65nm", "28nm"):
+        node = get_node(name)
+        area = max(node.area_for_transistors(transistors), 1.0)
+        unit = die_cost(node, area, volume=volume)
+        nre = design_cost(node, transistors / 1e6)
+        program = nre + unit.total_usd * volume
+        print(f"  {name:>6}: die {area:6.2f} mm2, "
+              f"${unit.total_usd:.3f}/die, NRE ${nre / 1e6:5.1f}M, "
+              f"program ${program / 1e6:5.1f}M")
+
+
+if __name__ == "__main__":
+    main()

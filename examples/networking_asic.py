@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""A networking-ASIC slice: Rossi's position statement as a flow.
+
+Builds a crossbar switch (the archetypal networking fabric), implements
+it, then exercises the three pain points Rossi names:
+
+* hot-spot removal at >5x switching activity, fully automatic
+  (decap insertion + activity spreading + grid upsizing);
+* layout-aware scan-chain reordering vs the front-end order;
+* low-pin-count test compression economics.
+
+Run:  python examples/networking_asic.py
+"""
+
+import numpy as np
+
+from repro.dft import (
+    chain_wirelength,
+    insert_scan,
+    reorder_chain,
+    test_cost_model,
+)
+from repro.dft.scan import ScanChain
+from repro.netlist import build_library, crossbar_switch, registered_cloud
+from repro.place import global_place
+from repro.power import PowerGrid, insert_decaps
+from repro.power.grid import power_density_map, spread_hotspots
+from repro.route import route_placement
+from repro.tech import get_node
+
+
+def main() -> None:
+    library = build_library(get_node("28nm"))
+
+    # ------------------------------------------------------------------
+    # 1. The fabric: a 4x8 crossbar, placed and routed.
+    # ------------------------------------------------------------------
+    xbar = crossbar_switch(4, 8, library)
+    placement = global_place(xbar, seed=0, utilization=0.35)
+    routing = route_placement(placement, gcell_um=2.0)
+    print("Crossbar fabric:")
+    print(f"  {xbar.num_instances()} cells, "
+          f"HPWL {placement.total_hpwl():.0f} um")
+    print(f"  routing: {routing.summary()}")
+
+    # ------------------------------------------------------------------
+    # 2. Power: the 5.5x-activity core and the automatic retrofit.
+    # ------------------------------------------------------------------
+    hot = [(5, 5), (5, 6), (6, 5), (6, 6)]
+    pmap = power_density_map(12, 12, 4.2e6, hotspot_tiles=hot,
+                             hotspot_multiplier=5.5, seed=0)
+    grid = PowerGrid(12, 12, vdd=0.9)
+    grid.set_current_from_power(pmap)
+    before = grid.solve()
+    plan = insert_decaps(grid, budget_ff=400_000, step_ff=5_000)
+    moves = spread_hotspots(grid, iterations=100)
+    after = grid.solve()
+    print("\nHot-spot retrofit at 5.5x switching activity:")
+    print(f"  violations {before.violation_count} -> "
+          f"{after.violation_count}")
+    print(f"  worst IR drop {before.worst_drop_mv:.1f} -> "
+          f"{after.worst_drop_mv:.1f} mV")
+    print(f"  actions: {plan.count()} decaps "
+          f"({plan.total_cap_ff / 1000:.0f} pF), {moves} spread moves")
+
+    # ------------------------------------------------------------------
+    # 3. DFT: layout-aware scan vs the front-end order.
+    # ------------------------------------------------------------------
+    core = registered_cloud(8, 48, 300, library, seed=17)
+    core_placement = global_place(core, seed=0)
+    flops = [g.name for g in core.sequential_gates()]
+    wl_front = chain_wirelength(
+        ScanChain("front", flops, "si", "so"), core_placement)
+    order = reorder_chain(flops, core_placement)
+    wl_layout = chain_wirelength(
+        ScanChain("layout", order, "si", "so"), core_placement)
+    insert_scan(core, order=order)
+    core.validate()
+    print("\nScan stitching (48 flops):")
+    print(f"  front-end order: {wl_front:.0f} um of scan routing")
+    print(f"  layout-aware:    {wl_layout:.0f} um "
+          f"({100 * (1 - wl_layout / wl_front):.0f}% saved)")
+
+    # ------------------------------------------------------------------
+    # 4. Test economics: compression to low pin count.
+    # ------------------------------------------------------------------
+    print("\nTest-cost ladder (30k flops, 1.5k patterns):")
+    for pins, chains in ((64, 32), (16, 64), (4, 128)):
+        cost = test_cost_model(30_000, 1_500, scan_pins=pins,
+                               internal_chains=chains)
+        print(f"  {pins:>2} pins: ${cost['total_cost_usd']:.4f}/die "
+              f"({cost['compression_ratio']:.0f}x compression, "
+              f"{cost['test_seconds'] * 1000:.1f} ms on tester)")
+
+
+if __name__ == "__main__":
+    main()

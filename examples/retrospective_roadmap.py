@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Looking backwards and forwards: the panel's narrative, quantified.
+
+Backwards: the abstract's decade claims derived from the models
+(integration capacity, power taming, 193i endurance).  Forwards: the
+design-start forecast, the two-path IoT/infrastructure projection, and
+the death-spiral economics that motivate "design efficiency".
+
+Run:  python examples/retrospective_roadmap.py
+"""
+
+from repro.core import decade_report
+from repro.market import DesignStartModel, two_path_forecast
+from repro.mfg import death_spiral_index
+from repro.tech import NODES, get_node
+from repro.tech.patterning import patterning_for_pitch
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # Backwards: the abstract as a results table.
+    # ------------------------------------------------------------------
+    print("== Looking backwards: the abstract, measured ==\n")
+    report = decade_report()
+    print(report.to_markdown())
+    print(f"\nAll abstract claims hold: {report.all_hold()}")
+
+    # The litho regime ladder the decade climbed.
+    print("\nPatterning ladder (metal-1):")
+    for name in ("90nm", "28nm", "20nm", "14nm", "10nm", "7nm", "5nm"):
+        node = get_node(name)
+        regime = patterning_for_pitch(node.metal1_pitch_nm)
+        euv = patterning_for_pitch(node.metal1_pitch_nm, allow_euv=True)
+        print(f"  {name:>5}: pitch {node.metal1_pitch_nm:5.0f} nm -> "
+              f"{regime.value:<8} ({node.litho.mask_multiplier} masks); "
+              f"with EUV: {euv.value}")
+
+    # ------------------------------------------------------------------
+    # Forwards: markets and economics.
+    # ------------------------------------------------------------------
+    print("\n== Looking forwards ==\n")
+    model = DesignStartModel()
+    print("Design-start forecast (established share / 180nm share):")
+    for year, established, s180 in model.forecast(10)[::2]:
+        print(f"  2015+{year:<2}: {established * 100:5.1f}% / "
+              f"{s180 * 100:5.1f}%")
+
+    fc = two_path_forecast(10)
+    print("\nTwo-path silicon demand (300mm wafers):")
+    for k in (0, 5, 10):
+        print(f"  {fc.years[k]}: IoT {fc.iot_wafers_300mm[k]:9.0f}, "
+              f"infrastructure {fc.infra_wafers_300mm[k]:7.1f}")
+
+    print("\nDeath-spiral index (NRE / lifetime margin; >1 = trapped):")
+    for name in ("28nm", "10nm", "7nm"):
+        node = get_node(name)
+        brute = death_spiral_index(node, 20.0, unit_volume=3_000_000,
+                                   unit_margin_usd=4.0)
+        efficient = death_spiral_index(node, 20.0,
+                                       unit_volume=3_000_000,
+                                       unit_margin_usd=4.0,
+                                       design_efficiency=0.3)
+        print(f"  {name:>5}: brute force {brute:5.2f}, with design "
+              f"efficiency {efficient:5.2f}")
+    print("\n'Design efficiency is indeed the only possible, "
+          "technological and financial solution' (Rossi)")
+
+
+if __name__ == "__main__":
+    main()

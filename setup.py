@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on environments without
+the ``wheel`` package (pip's PEP 660 editable path needs bdist_wheel).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

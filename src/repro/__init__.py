@@ -1,0 +1,35 @@
+"""panelkit: a mini EDA suite reproducing the DATE 2016 panel
+"Looking Backwards and Forwards" (Casale-Rossi et al.).
+
+The panel paper contains no algorithm of its own; it is a set of position
+statements about what EDA accomplished between 90 nm and 10 nm and what it
+must do next.  This library builds the systems those statements are about —
+logic synthesis, placement, routing, computational lithography,
+multi-patterning, power methodology, DFT, smart-system co-design, market
+modeling — and a benchmark harness that re-derives every quantified claim
+in the panel from first principles.
+
+Sub-packages
+------------
+tech       Technology-node models (250 nm .. 5 nm), the spine of the suite.
+netlist    Boolean functions, AIGs, gate-level netlists, design generators.
+synthesis  Two-level and multi-level logic optimization, tech mapping.
+timing     Static timing analysis.
+power      Power analysis and low-power design techniques.
+floorplan  Slicing floorplanner and power-grid synthesis.
+place      Global/detailed placement, flat vs hierarchical flows.
+route      Maze and line-search routers, layer assignment, congestion.
+litho      Aerial-image simulation, OPC, multi-patterning decomposition.
+dft        Scan insertion/reordering, fault simulation, test compression.
+mfg        Yield and cost models (wafer, mask, die, NRE).
+smartsys   Heterogeneous smart-system (SiP/3D) co-design.
+learn      Self-learning implementation engine (run DB + knob tuning).
+market     Design-start distributions, IoT forecasting, roadmap.
+analog     SERDES/ADC/TCAM models and the IP-porting timeline.
+sim        Event-driven timing simulation and glitch power.
+core       Flow orchestration, multi-corner signoff, panel analytics.
+"""
+
+__version__ = "1.0.0"
+
+from repro.tech import NODES, TechNode, get_node  # noqa: F401

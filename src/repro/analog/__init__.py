@@ -1,0 +1,37 @@
+"""Analog IP: the gate on technology adoption (Rossi, E17).
+
+"Even if not evident at all, the time spent in designing, developing
+and integrating analog IPs into an ASIC design flow ... define[s] the
+time a new technology is used for ASICs for Networking.  These are the
+cases of High Speed Links SERDES, High Speed ADC and DAC and, to
+different extend, TCAM memories.  From this standpoint boost[ing] the
+design productivity is fundamental."
+
+* :mod:`repro.analog.serdes` — SERDES link budget: data rate vs node.
+* :mod:`repro.analog.adc` — ADC energy/resolution via the Walden FoM.
+* :mod:`repro.analog.tcam` — TCAM array area/power/search-energy model.
+* :mod:`repro.analog.porting` — the porting-effort model and node
+  readiness timeline: when does a node become usable for ASICs?
+"""
+
+from repro.analog.serdes import SerdesSpec, serdes_feasible, serdes_power_mw
+from repro.analog.adc import adc_power_mw, adc_area_mm2
+from repro.analog.tcam import TcamSpec, tcam_metrics
+from repro.analog.porting import (
+    IpPortingModel,
+    node_readiness_years,
+    readiness_timeline,
+)
+
+__all__ = [
+    "SerdesSpec",
+    "serdes_power_mw",
+    "serdes_feasible",
+    "adc_power_mw",
+    "adc_area_mm2",
+    "TcamSpec",
+    "tcam_metrics",
+    "IpPortingModel",
+    "node_readiness_years",
+    "readiness_timeline",
+]

@@ -1,0 +1,38 @@
+"""ADC/DAC power and area via the Walden figure of merit."""
+
+from __future__ import annotations
+
+from repro.tech.library import get_node
+from repro.tech.node import TechNode
+
+
+def _walden_fj_per_step(node: TechNode) -> float:
+    """Energy per conversion step.
+
+    Converter efficiency improved roughly 2x per two nodes through the
+    2000s, flattening as designs hit thermal-noise limits; anchored at
+    ~60 fJ/step for a 65 nm-era moderate-speed ADC.
+    """
+    improvement = (node.drawn_nm / 65.0) ** 0.8
+    return max(60.0 * improvement, 5.0)
+
+
+def adc_power_mw(node: str | TechNode, *, bits: int,
+                 msps: float) -> float:
+    """Converter power: FoM * 2^bits * sample rate."""
+    if bits < 1 or msps <= 0:
+        raise ValueError("bits and sample rate must be positive")
+    n = node if isinstance(node, TechNode) else get_node(node)
+    fom_fj = _walden_fj_per_step(n)
+    return fom_fj * (2 ** bits) * msps * 1e6 * 1e-15 * 1e3
+
+
+def adc_area_mm2(node: str | TechNode, *, bits: int) -> float:
+    """Converter area: capacitor matching dominates, so area shrinks
+    far more slowly than digital logic (the analog-porting pain)."""
+    if bits < 1:
+        raise ValueError("bits must be positive")
+    n = node if isinstance(node, TechNode) else get_node(node)
+    # Matching-limited unit cap area barely scales; wiring does.
+    digital_shrink = (n.drawn_nm / 65.0) ** 0.6
+    return 0.02 * (2 ** max(bits - 8, 0)) * max(digital_shrink, 0.35)

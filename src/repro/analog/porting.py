@@ -1,0 +1,104 @@
+"""Analog IP porting effort and the node readiness timeline.
+
+Rossi's thesis quantified: a node is usable for networking ASICs only
+once its analog IP catalogue (SERDES, ADC/DAC, TCAM) has been ported,
+and that porting time — not the digital flow — "define[s] the time a
+new technology is used."  Productivity tooling (automated sizing,
+layout migration) scales the effort down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.library import get_node
+from repro.tech.node import TechNode
+
+#: Relative porting complexity of the catalogue entries.
+IP_CATALOG_EFFORT = {
+    "serdes": 1.0,
+    "adc": 0.6,
+    "dac": 0.5,
+    "pll": 0.4,
+    "tcam": 0.45,
+}
+
+
+@dataclass
+class IpPortingModel:
+    """Porting-effort estimator.
+
+    ``base_years`` is the single-IP flagship effort (a SERDES on a
+    familiar node); ``productivity`` < 1 models automated migration
+    tooling ("boost the design productivity is fundamental").
+    """
+
+    base_years: float = 1.5
+    productivity: float = 1.0
+    team_parallelism: int = 2
+
+    def port_effort_years(self, ip: str, from_node: str | TechNode,
+                          to_node: str | TechNode) -> float:
+        """Calendar years to port one IP between nodes.
+
+        Effort grows with the node gap (device models, rules, and
+        supply voltage all move) and with the destination's litho
+        complexity (more layout constraints).
+        """
+        if ip not in IP_CATALOG_EFFORT:
+            raise KeyError(
+                f"unknown IP {ip!r}; catalogue: "
+                f"{sorted(IP_CATALOG_EFFORT)}")
+        src = from_node if isinstance(from_node, TechNode) else \
+            get_node(from_node)
+        dst = to_node if isinstance(to_node, TechNode) else \
+            get_node(to_node)
+        if dst.drawn_nm > src.drawn_nm:
+            raise ValueError("porting goes toward smaller nodes")
+        gap = src.drawn_nm / dst.drawn_nm
+        litho = dst.litho.mask_multiplier ** 0.35
+        vdd_shift = 1.0 + 2.0 * abs(src.vdd - dst.vdd)
+        return (self.base_years * IP_CATALOG_EFFORT[ip]
+                * gap ** 0.5 * litho * vdd_shift * self.productivity)
+
+    def catalogue_years(self, from_node: str | TechNode,
+                        to_node: str | TechNode,
+                        ips=None) -> float:
+        """Calendar time to ready the whole catalogue.
+
+        IPs port in parallel across ``team_parallelism`` teams; the
+        critical path is the longest per-team pile (greedy longest-
+        first assignment).
+        """
+        if ips is None:
+            ips = sorted(IP_CATALOG_EFFORT)
+        efforts = sorted(
+            (self.port_effort_years(ip, from_node, to_node)
+             for ip in ips),
+            reverse=True)
+        piles = [0.0] * max(self.team_parallelism, 1)
+        for e in efforts:
+            piles[piles.index(min(piles))] += e
+        return max(piles)
+
+
+def node_readiness_years(to_node: str, *, from_node: str = "28nm",
+                         productivity: float = 1.0) -> float:
+    """Years after process availability until ASICs can really start."""
+    model = IpPortingModel(productivity=productivity)
+    return model.catalogue_years(from_node, to_node)
+
+
+def readiness_timeline(nodes=("20nm", "14nm", "10nm", "7nm"), *,
+                       from_node: str = "28nm",
+                       productivity: float = 1.0) -> dict:
+    """node -> (process year, ASIC-ready year) under a porting model."""
+    out = {}
+    prev = from_node
+    for name in nodes:
+        node = get_node(name)
+        delay = node_readiness_years(name, from_node=prev,
+                                     productivity=productivity)
+        out[name] = (node.year, node.year + delay)
+        prev = name
+    return out

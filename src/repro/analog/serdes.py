@@ -1,0 +1,78 @@
+"""High-speed SERDES link modeling.
+
+The link budget that decides whether a node's transistors can drive a
+given line rate: transistor speed sets the achievable baud, channel
+loss sets the equalization burden, and both set the power per bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.library import get_node
+from repro.tech.node import TechNode
+
+
+@dataclass(frozen=True)
+class SerdesSpec:
+    """One link configuration."""
+
+    gbps: float
+    channel_loss_db: float = 20.0
+    modulation: str = "nrz"        # "nrz" or "pam4"
+
+    def __post_init__(self) -> None:
+        if self.gbps <= 0:
+            raise ValueError("data rate must be positive")
+        if self.modulation not in ("nrz", "pam4"):
+            raise ValueError("modulation must be nrz or pam4")
+
+    @property
+    def baud_gbd(self) -> float:
+        """Symbol rate: PAM4 halves the baud for the same bit rate."""
+        return self.gbps / (2.0 if self.modulation == "pam4" else 1.0)
+
+
+def _ft_ghz(node: TechNode) -> float:
+    """Transistor transit frequency estimate (the analog speed limit)."""
+    # fT scales roughly inversely with gate length; anchored at
+    # ~250 GHz for a 28 nm-class planar device.
+    return 250.0 * 26.0 / node.gate_length_nm * (
+        1.25 if node.device.value != "planar" else 1.0)
+
+
+def serdes_feasible(node: str | TechNode, spec: SerdesSpec, *,
+                    ft_ratio_needed: float = 12.0) -> bool:
+    """Can the node close this link at all?
+
+    Rule of thumb: the technology's fT must exceed the baud rate by
+    ``ft_ratio_needed`` for the front-end stages to have gain margin.
+    """
+    n = node if isinstance(node, TechNode) else get_node(node)
+    return _ft_ghz(n) >= spec.baud_gbd * ft_ratio_needed
+
+
+def serdes_power_mw(node: str | TechNode, spec: SerdesSpec) -> float:
+    """Link power from an efficiency (pJ/bit) model.
+
+    Efficiency improves with node speed margin and worsens with channel
+    loss (more equalizer taps); infeasible links raise ``ValueError``.
+    """
+    n = node if isinstance(node, TechNode) else get_node(node)
+    if not serdes_feasible(n, spec):
+        raise ValueError(
+            f"{n.name} cannot close {spec.gbps} Gb/s "
+            f"({spec.modulation})")
+    margin = _ft_ghz(n) / (spec.baud_gbd * 12.0)
+    base_pj_per_bit = 6.0 / min(margin, 4.0)
+    eq_pj = 0.08 * spec.channel_loss_db
+    dsp_pj = 1.5 if spec.modulation == "pam4" else 0.0
+    return (base_pj_per_bit + eq_pj + dsp_pj) * spec.gbps
+
+
+def max_line_rate_gbps(node: str | TechNode, *,
+                       modulation: str = "nrz") -> float:
+    """Highest feasible bit rate at a node."""
+    n = node if isinstance(node, TechNode) else get_node(node)
+    baud_limit = _ft_ghz(n) / 12.0
+    return baud_limit * (2.0 if modulation == "pam4" else 1.0)

@@ -1,0 +1,51 @@
+"""TCAM arrays: the networking ASIC's other specialty IP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.library import get_node
+from repro.tech.node import TechNode
+
+
+@dataclass(frozen=True)
+class TcamSpec:
+    """A ternary CAM array."""
+
+    entries: int
+    width_bits: int
+    searches_per_s: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.entries < 1 or self.width_bits < 1:
+            raise ValueError("entries and width must be positive")
+        if self.searches_per_s <= 0:
+            raise ValueError("search rate must be positive")
+
+    @property
+    def bits(self) -> int:
+        return self.entries * self.width_bits
+
+
+def tcam_metrics(node: str | TechNode, spec: TcamSpec) -> dict:
+    """Area, search energy, and power of a TCAM array at a node.
+
+    A TCAM cell is ~16 transistors; every search charges all match
+    lines, which is why TCAM power is the networking ASIC's hot spot
+    (feeding experiment E9's activity profile).
+    """
+    n = node if isinstance(node, TechNode) else get_node(node)
+    cell_transistors = 16
+    area_mm2 = spec.bits * cell_transistors / (
+        n.density_mtr_per_mm2 * 1e6) * 1.6  # array overhead
+    # Search energy: every cell's matchline contribution.
+    cap_ff_per_cell = 0.05 + n.cgate_ff_per_um * (
+        2.0 * n.gate_length_nm * 1e-3)
+    energy_pj = spec.bits * cap_ff_per_cell * n.vdd ** 2 * 1e-3
+    power_w = energy_pj * 1e-12 * spec.searches_per_s
+    return {
+        "area_mm2": area_mm2,
+        "search_energy_pj": energy_pj,
+        "power_w": power_w,
+        "power_density_w_per_mm2": power_w / area_mm2,
+    }

@@ -1,0 +1,124 @@
+"""The experiment registry: every panel claim and where it lives."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproduced claim."""
+
+    exp_id: str
+    speaker: str
+    claim: str
+    modules: tuple
+    bench: str
+
+
+EXPERIMENTS: dict = {
+    e.exp_id: e for e in [
+        Experiment(
+            "E1", "Domic",
+            "RTL synthesis improved ~30% in area (and performance and "
+            "power) over the decade",
+            ("synthesis", "timing", "power"),
+            "benchmarks/bench_e01_synthesis_decade.py"),
+        Experiment(
+            "E2", "Domic",
+            "Flat implementation saves area and power via less buffering",
+            ("netlist.hierarchy", "place"),
+            "benchmarks/bench_e02_flat_vs_hier.py"),
+        Experiment(
+            "E3", "Domic",
+            "20nm routing impossible without 2/3/4-patterning; 5nm "
+            "without EUV could need octuple",
+            ("litho.mpd", "route", "tech"),
+            "benchmarks/bench_e03_multipatterning.py"),
+        Experiment(
+            "E4", "Domic",
+            "Line-search routers reduce layers at >=28nm; 6->4 layers "
+            "cuts 15-20% of cost",
+            ("route", "mfg"),
+            "benchmarks/bench_e04_layer_reduction.py"),
+        Experiment(
+            "E5", "Domic",
+            "Voltage scaling from 130nm; power techniques mandatory at "
+            "90/65nm; scores of domains at 180nm; dark silicon prevented",
+            ("power", "tech"),
+            "benchmarks/bench_e05_power_techniques.py"),
+        Experiment(
+            "E6", "Macii",
+            "Smart-system co-design beats separate tools on cost and TTM",
+            ("smartsys",),
+            "benchmarks/bench_e06_smartsys_codesign.py"),
+        Experiment(
+            "E7", "Rossi",
+            "P&R throughput ~1M instances/day on 5-6M instance sub-chips",
+            ("core.throughput", "place", "route"),
+            "benchmarks/bench_e07_pnr_throughput.py"),
+        Experiment(
+            "E8", "Rossi",
+            "A built-in self-learning engine gives more consistent results",
+            ("learn", "core.flow"),
+            "benchmarks/bench_e08_self_learning.py"),
+        Experiment(
+            "E9", "Rossi",
+            "Networking ASICs at 5X activity need automatic hot-spot "
+            "removal and decap insertion",
+            ("power.grid", "place"),
+            "benchmarks/bench_e09_hotspot_decap.py"),
+        Experiment(
+            "E10", "Rossi",
+            "Scan reordering during implementation relieves congestion; "
+            "DFT can no longer be a front-end-only activity",
+            ("dft", "place"),
+            "benchmarks/bench_e10_dft_reorder.py"),
+        Experiment(
+            "E11", "Domic/Sawicki",
+            ">90% of starts at 32/28nm+; 180nm >25%; stable for a decade",
+            ("market",),
+            "benchmarks/bench_e11_design_starts.py"),
+        Experiment(
+            "E12", "Rossi/Sawicki",
+            "Computational lithography enables scaling without EUV",
+            ("litho",),
+            "benchmarks/bench_e12_comp_litho.py"),
+        Experiment(
+            "E13", "Sawicki",
+            "Advanced-node techniques retarget to established nodes for "
+            "IoT (low power, low-pin-count test, node variants)",
+            ("power", "dft.compression", "mfg", "market"),
+            "benchmarks/bench_e13_iot_retarget.py"),
+        Experiment(
+            "E16", "De Micheli",
+            "Functionality-enhanced devices (SiNW/CNT controlled-"
+            "polarity) need new logic abstractions: majority-based "
+            "synthesis beats NAND/NOR thinking on carry-dominated logic",
+            ("synthesis.mig",),
+            "benchmarks/bench_e16_new_logic_abstractions.py"),
+        Experiment(
+            "E17", "Rossi",
+            "Analog IP (SERDES, ADC/DAC, TCAM) porting time defines "
+            "when a node becomes usable for networking ASICs; design "
+            "productivity is the fix",
+            ("analog",),
+            "benchmarks/bench_e17_analog_readiness.py"),
+        Experiment(
+            "E15", "Domic",
+            "Do more with less: advanced flow beats basic flow at both "
+            "emerging and established nodes",
+            ("core.flow",),
+            "benchmarks/bench_e15_do_more_with_less.py"),
+    ]
+}
+
+
+def experiment_info(exp_id: str) -> Experiment:
+    """Look up an experiment by id (e.g. ``"E3"``)."""
+    try:
+        return EXPERIMENTS[exp_id.upper()]
+    except KeyError:
+        valid = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {exp_id!r}; valid: {valid}") \
+            from None

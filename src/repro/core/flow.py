@@ -1,0 +1,208 @@
+"""The full implementation flow: RTL-ish input to routed design.
+
+``implement`` strings every substrate together: logic synthesis (era
+recipes), global/detailed placement, optional scan insertion with
+layout-aware reordering, global routing with layer assignment, then
+timing and power signoff with placement-derived parasitics.
+
+The ``basic``/``advanced`` recipes realize Domic's "do more with less"
+comparison (E15): the advanced flow wins on every axis using the same
+substrate algorithms with the decade's options enabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.dft.scan import insert_scan, reorder_chain
+from repro.netlist.aig import Aig
+from repro.netlist.cells import CellLibrary
+from repro.netlist.circuit import Netlist
+from repro.place.detailed import detailed_place
+from repro.place.global_place import global_place
+from repro.power.analysis import power_report
+from repro.route.global_route import route_placement
+from repro.synthesis.flow import SynthesisFlow
+from repro.timing import TimingAnalyzer, WireModel
+
+
+@dataclass
+class FlowOptions:
+    """Recipe knobs for :func:`implement`.
+
+    The named constructors give the two era recipes; individual knobs
+    remain overridable for ablations and tuning (E8).
+    """
+
+    era: str = "2016"
+    utilization: float = 0.4
+    spreading_passes: int = 3
+    detailed_passes: int = 2
+    routing_engine: str = "maze"
+    routing_layers: int = 6
+    routing_iterations: int = 4
+    gcell_um: float = 2.0
+    scan: bool = False
+    scan_chains: int = 1
+    layout_aware_scan: bool = True
+    cts: bool = False
+    clock_period_ps: float = 2000.0
+    freq_ghz: float = 0.5
+    seed: int = 0
+
+    @staticmethod
+    def basic() -> "FlowOptions":
+        """The 2006-era recipe."""
+        return FlowOptions(era="2006", spreading_passes=1,
+                           detailed_passes=0, routing_iterations=1,
+                           layout_aware_scan=False)
+
+    @staticmethod
+    def advanced() -> "FlowOptions":
+        """The 2016-era recipe."""
+        return FlowOptions()
+
+
+@dataclass
+class FlowResult:
+    """Signoff-style QoR of one implementation run."""
+
+    netlist: Netlist
+    placement: object
+    routing: object
+    options: FlowOptions
+    instances: int
+    area_um2: float
+    hpwl_um: float
+    routed_wirelength: int
+    overflow: int
+    delay_ps: float
+    power_uw: float
+    runtime_s: float
+    stage_runtimes: dict = field(default_factory=dict)
+    clock_tree: object = None
+
+    @property
+    def clock_skew_ps(self) -> float:
+        """CTS skew, or 0 when the flow ran without CTS."""
+        return self.clock_tree.skew_ps if self.clock_tree else 0.0
+
+    def summary(self) -> str:
+        """One-line QoR string."""
+        return (
+            f"{self.options.era}-flow: {self.instances} cells, "
+            f"{self.area_um2:.1f} um2, wl {self.routed_wirelength} "
+            f"gcells (ovfl {self.overflow}), {self.delay_ps:.0f} ps, "
+            f"{self.power_uw:.1f} uW, {self.runtime_s:.2f} s"
+        )
+
+
+def implement(subject, library: CellLibrary,
+              options: FlowOptions | None = None,
+              run_db=None) -> FlowResult:
+    """Run the full flow on an AIG, logic network, or mapped netlist.
+
+    With ``run_db`` (a :class:`repro.learn.RunDatabase`) the flow
+    self-monitors: design features, knobs, and QoR are logged so later
+    runs can warm-start — Rossi's "self-monitoring of the
+    implementation tools able to generate information useful to the
+    next runs".
+    """
+    if options is None:
+        options = FlowOptions()
+    t_start = time.perf_counter()
+    stages: dict[str, float] = {}
+
+    # Synthesis (skipped when handed a mapped netlist).
+    t0 = time.perf_counter()
+    if isinstance(subject, Netlist):
+        netlist = subject
+    else:
+        flow = SynthesisFlow(library, options.era,
+                             options.clock_period_ps)
+        netlist = flow.run(subject).netlist
+    stages["synthesis"] = time.perf_counter() - t0
+
+    # Placement.
+    t0 = time.perf_counter()
+    placement = global_place(
+        netlist, utilization=options.utilization,
+        spreading_passes=options.spreading_passes, seed=options.seed)
+    if options.detailed_passes:
+        detailed_place(placement, passes=options.detailed_passes,
+                       seed=options.seed)
+    stages["placement"] = time.perf_counter() - t0
+
+    # Scan insertion (layout-aware order uses the placement).
+    t0 = time.perf_counter()
+    if options.scan and netlist.sequential_gates():
+        flops = [g.name for g in netlist.sequential_gates()]
+        order = reorder_chain(flops, placement) \
+            if options.layout_aware_scan else None
+        insert_scan(netlist, num_chains=options.scan_chains, order=order)
+    stages["dft"] = time.perf_counter() - t0
+
+    # Clock-tree synthesis.
+    t0 = time.perf_counter()
+    clock_tree = None
+    if options.cts and netlist.sequential_gates():
+        from repro.timing.cts import synthesize_clock_tree
+        clock_tree = synthesize_clock_tree(placement)
+    stages["cts"] = time.perf_counter() - t0
+
+    # Routing.
+    t0 = time.perf_counter()
+    routing = route_placement(
+        placement, engine=options.routing_engine,
+        layers=options.routing_layers, gcell_um=options.gcell_um,
+        max_iterations=options.routing_iterations)
+    stages["routing"] = time.perf_counter() - t0
+
+    # Signoff with placement-derived wire lengths.
+    t0 = time.perf_counter()
+    lengths = placement.net_lengths()
+    wm = WireModel.for_node(library.node, lengths)
+    timing = TimingAnalyzer(netlist, wm, options.clock_period_ps).analyze()
+    power = power_report(netlist, freq_ghz=options.freq_ghz, patterns=64,
+                         seed=options.seed)
+    stages["signoff"] = time.perf_counter() - t0
+
+    result = FlowResult(
+        netlist=netlist,
+        placement=placement,
+        routing=routing,
+        options=options,
+        instances=netlist.num_instances(),
+        area_um2=netlist.area_um2(),
+        hpwl_um=placement.total_hpwl(),
+        routed_wirelength=routing.wirelength,
+        overflow=routing.overflow,
+        delay_ps=timing.critical_delay_ps,
+        power_uw=power.total_uw,
+        runtime_s=time.perf_counter() - t_start,
+        stage_runtimes=stages,
+        clock_tree=clock_tree,
+    )
+    if run_db is not None:
+        from repro.learn.rundb import RunRecord, design_features
+        run_db.log(RunRecord(
+            design=netlist.name,
+            features=design_features(netlist),
+            knobs={
+                "era": options.era,
+                "utilization": options.utilization,
+                "spreading_passes": options.spreading_passes,
+                "detailed_passes": options.detailed_passes,
+                "routing_iterations": options.routing_iterations,
+            },
+            qor={
+                "hpwl_um": result.hpwl_um,
+                "overflow": result.overflow,
+                "delay_ps": result.delay_ps,
+                "power_uw": result.power_uw,
+                "runtime_s": result.runtime_s,
+            },
+            tags=["flow"],
+        ))
+    return result

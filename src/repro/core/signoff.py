@@ -1,0 +1,106 @@
+"""Multi-corner signoff: timing and power across PVT corners.
+
+Domic's "consistently verified throughout the design flow" extended to
+the physical axes: the same netlist is checked at slow/typical/fast
+process corners and at the junction temperatures the thermal solver
+predicts, with the derating factors of
+:func:`repro.power.thermal.derate_for_temperature`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Netlist
+from repro.power.analysis import power_report
+from repro.power.thermal import derate_for_temperature
+from repro.timing import TimingAnalyzer, WireModel
+
+#: Process-corner delay multipliers (slow/typical/fast silicon).
+PROCESS_CORNERS = {"ss": 1.15, "tt": 1.00, "ff": 0.88}
+
+
+@dataclass
+class CornerResult:
+    """One corner's checks."""
+
+    corner: str
+    temp_c: float
+    delay_ps: float
+    wns_ps: float
+    leakage_uw: float
+
+    @property
+    def timing_clean(self) -> bool:
+        return self.wns_ps >= 0
+
+
+@dataclass
+class SignoffReport:
+    """All corners plus the overall verdict."""
+
+    corners: list = field(default_factory=list)
+    clock_period_ps: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return all(c.timing_clean for c in self.corners)
+
+    def worst_corner(self) -> CornerResult:
+        return min(self.corners, key=lambda c: c.wns_ps)
+
+    def leakage_range_uw(self) -> tuple:
+        vals = [c.leakage_uw for c in self.corners]
+        return (min(vals), max(vals))
+
+    def to_rows(self) -> list:
+        """Human-readable corner rows."""
+        return [
+            f"{c.corner}@{c.temp_c:.0f}C: delay {c.delay_ps:.0f} ps, "
+            f"wns {c.wns_ps:+.0f} ps, leak {c.leakage_uw:.2f} uW "
+            f"({'clean' if c.timing_clean else 'VIOLATED'})"
+            for c in self.corners
+        ]
+
+
+def signoff(netlist: Netlist, *, clock_period_ps: float,
+            wire_model: WireModel | None = None,
+            temps_c=(0.0, 25.0, 125.0),
+            corners=("ss", "tt", "ff")) -> SignoffReport:
+    """Check timing and leakage at every (process, temperature) corner.
+
+    Setup timing is checked at the slow corner's derated delays;
+    leakage is reported per corner (it explodes at temperature, which
+    is what makes the ADAS thermal envelope expensive).
+    """
+    node = netlist.library.node
+    wm = wire_model or WireModel.for_node(node)
+    base = TimingAnalyzer(netlist, wm, clock_period_ps).analyze()
+    base_delay = base.critical_delay_ps
+    base_leak_uw = netlist.leakage_nw() * 1e-3
+    report = SignoffReport(clock_period_ps=clock_period_ps)
+    for corner in corners:
+        if corner not in PROCESS_CORNERS:
+            raise ValueError(f"unknown corner {corner!r}")
+        pfactor = PROCESS_CORNERS[corner]
+        for temp in temps_c:
+            derate = derate_for_temperature(node, temp)
+            delay = base_delay * pfactor * derate["delay_factor"]
+            report.corners.append(CornerResult(
+                corner=corner,
+                temp_c=temp,
+                delay_ps=delay,
+                wns_ps=clock_period_ps - delay,
+                leakage_uw=base_leak_uw * derate["leakage_factor"],
+            ))
+    return report
+
+
+def signoff_frequency_ghz(netlist: Netlist, *,
+                          wire_model: WireModel | None = None,
+                          temps_c=(0.0, 25.0, 125.0)) -> float:
+    """Highest clock that is clean at every corner."""
+    probe = signoff(netlist, clock_period_ps=1e9,
+                    wire_model=wire_model, temps_c=temps_c)
+    worst = max(c.delay_ps for c in probe.corners)
+    return 1000.0 / worst if worst > 0 else float("inf")

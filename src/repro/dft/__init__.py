@@ -1,0 +1,55 @@
+"""Design-for-test: scan, fault simulation, ATPG, compression.
+
+Rossi (E10): "Why is it needed to perform, later during the
+implementation, the scan chain reordering to alleviate the congestion
+...?  Even in this case, a radical change in the approach is required."
+Sawicki (E13): "high-compression DFT technologies will be targeted at
+low-pin-count test, helping to enable lower cost packaging."
+
+* :mod:`repro.dft.scan` — scan insertion and chain stitching: front-end
+  (netlist-order) vs layout-aware (nearest-neighbor + 2-opt) ordering.
+* :mod:`repro.dft.faults` — stuck-at fault model and bit-parallel fault
+  simulation.
+* :mod:`repro.dft.atpg` — random-pattern test generation with coverage
+  tracking.
+* :mod:`repro.dft.compression` — LFSR/XOR-expander/MISR compression and
+  the low-pin-count test-cost model.
+"""
+
+from repro.dft.scan import (
+    ScanChain,
+    chain_wirelength,
+    insert_scan,
+    reorder_chain,
+)
+from repro.dft.faults import (
+    Fault,
+    enumerate_faults,
+    fault_simulate,
+)
+from repro.dft.atpg import AtpgResult, random_atpg
+from repro.dft.compression import (
+    CompressionConfig,
+    Lfsr,
+    Misr,
+    test_cost_model,
+)
+from repro.dft.bist import BistResult, run_bist
+
+__all__ = [
+    "insert_scan",
+    "ScanChain",
+    "reorder_chain",
+    "chain_wirelength",
+    "Fault",
+    "enumerate_faults",
+    "fault_simulate",
+    "random_atpg",
+    "AtpgResult",
+    "Lfsr",
+    "Misr",
+    "CompressionConfig",
+    "test_cost_model",
+    "BistResult",
+    "run_bist",
+]

@@ -1,0 +1,73 @@
+"""Random-pattern ATPG with coverage tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dft.faults import enumerate_faults, fault_simulate
+from repro.netlist.circuit import Netlist
+
+
+@dataclass
+class AtpgResult:
+    """Outcome of a test-generation run."""
+
+    patterns: np.ndarray
+    coverage: float
+    detected: int
+    total_faults: int
+    coverage_curve: list = field(default_factory=list)  # per batch
+
+    @property
+    def pattern_count(self) -> int:
+        return int(self.patterns.shape[0])
+
+
+def random_atpg(netlist: Netlist, *, target_coverage: float = 0.95,
+                batch: int = 32, max_patterns: int = 1024,
+                seed: int = 0,
+                state_patterns: bool = True) -> AtpgResult:
+    """Generate random patterns until coverage stalls or hits target.
+
+    Batches of random patterns are fault-simulated against the
+    remaining fault list (fault dropping); the coverage curve shows the
+    classic fast-then-flat random-pattern profile.  With
+    ``state_patterns`` flop states are randomized too (full-scan
+    assumption: any state is reachable through the chain).
+    """
+    if not 0 < target_coverage <= 1:
+        raise ValueError("target_coverage in (0, 1]")
+    rng = np.random.default_rng(seed)
+    faults = enumerate_faults(netlist)
+    remaining = list(faults)
+    total = len(faults)
+    kept = []
+    curve = []
+    detected_count = 0
+    flops = netlist.sequential_gates()
+    while remaining and detected_count / total < target_coverage:
+        if sum(len(p) for p in kept) >= max_patterns:
+            break
+        vecs = rng.random((batch, len(netlist.primary_inputs))) < 0.5
+        state = (rng.random((batch, len(flops))) < 0.5) if state_patterns \
+            else np.zeros((batch, len(flops)), dtype=bool)
+        result = fault_simulate(netlist, vecs, remaining, state)
+        newly = [f for f, hit in result.items() if hit]
+        if newly:
+            kept.append(vecs)
+        detected_count += len(newly)
+        remaining = [f for f in remaining if not result[f]]
+        curve.append(detected_count / total)
+        if len(curve) >= 3 and curve[-1] == curve[-3]:
+            break  # two stalled batches: random patterns exhausted
+    patterns = np.vstack(kept) if kept else \
+        np.zeros((0, len(netlist.primary_inputs)), dtype=bool)
+    return AtpgResult(
+        patterns=patterns,
+        coverage=detected_count / total if total else 0.0,
+        detected=detected_count,
+        total_faults=total,
+        coverage_curve=curve,
+    )

@@ -1,0 +1,173 @@
+"""Test compression: LFSR stimulus, XOR expansion, MISR compaction.
+
+Sawicki (E13): "high-compression DFT technologies will be targeted at
+low-pin-count test, helping to enable lower cost packaging."  The
+compression architecture trades tester pins for on-chip chains: an
+LFSR-seeded XOR expander drives many short internal chains from few
+pins, and a MISR signature replaces per-cycle output comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class Lfsr:
+    """A Galois LFSR over GF(2) (bijective by construction)."""
+
+    def __init__(self, width: int, taps: list | None = None,
+                 seed: int = 1):
+        if width < 2:
+            raise ValueError("width must be >= 2")
+        if seed <= 0:
+            raise ValueError("seed must be a nonzero state")
+        self.width = width
+        # Default taps: maximal-length polynomials for common widths
+        # (polynomial exponents; the +1 term is implicit).
+        default_taps = {
+            4: [4, 3], 8: [8, 6, 5, 4], 16: [16, 14, 13, 11],
+            24: [24, 23, 22, 17], 32: [32, 30, 26, 25],
+        }
+        self.taps = taps or default_taps.get(width, [width, width - 1])
+        if any(t < 1 or t > width for t in self.taps):
+            raise ValueError("taps out of range")
+        self._mask = 0
+        for t in self.taps:
+            self._mask |= 1 << (t - 1)
+        self.state = seed & ((1 << width) - 1) or 1
+
+    def step(self) -> int:
+        """Advance one cycle; returns the output bit."""
+        out = self.state & 1
+        self.state >>= 1
+        if out:
+            self.state ^= self._mask
+        return out
+
+    def bits(self, count: int) -> np.ndarray:
+        """The next ``count`` output bits."""
+        return np.array([self.step() for _ in range(count)], dtype=bool)
+
+    def period(self, limit: int | None = None) -> int:
+        """Cycle length from the current state (bounded search)."""
+        if limit is None:
+            limit = 1 << self.width
+        start = self.state
+        for k in range(1, limit + 1):
+            self.step()
+            if self.state == start:
+                return k
+        return limit
+
+
+class Misr:
+    """Multiple-input signature register (parallel LFSR compactor)."""
+
+    def __init__(self, width: int, taps: list | None = None):
+        self.lfsr = Lfsr(width, taps, seed=1)
+        self.lfsr.state = 0
+        self.width = width
+
+    def absorb(self, bits: np.ndarray) -> None:
+        """XOR a response slice into the register and shift."""
+        word = 0
+        for i, b in enumerate(np.asarray(bits, dtype=bool)[:self.width]):
+            word |= int(b) << i
+        state = self.lfsr.state ^ word
+        out = state & 1
+        state >>= 1
+        if out:
+            state ^= self.lfsr._mask
+        self.lfsr.state = state & ((1 << self.width) - 1)
+
+    @property
+    def signature(self) -> int:
+        return self.lfsr.state
+
+    def aliasing_probability(self) -> float:
+        """Classic 2^-width aliasing bound."""
+        return 2.0 ** -self.width
+
+
+@dataclass(frozen=True)
+class CompressionConfig:
+    """A compression architecture instance.
+
+    ``scan_pins`` tester channels (split evenly in/out),
+    ``internal_chains`` on-chip chains behind the expander,
+    ``flops`` total scan flops.
+    """
+
+    scan_pins: int
+    internal_chains: int
+    flops: int
+
+    def __post_init__(self) -> None:
+        if self.scan_pins < 2 or self.scan_pins % 2:
+            raise ValueError("scan_pins must be an even count >= 2")
+        if self.internal_chains < 1 or self.flops < 1:
+            raise ValueError("chains and flops must be positive")
+        if self.internal_chains < self.scan_pins // 2:
+            raise ValueError("expander cannot reduce chains below pins")
+
+    @property
+    def compression_ratio(self) -> float:
+        """Internal chains per tester input channel."""
+        return self.internal_chains / (self.scan_pins / 2)
+
+    @property
+    def chain_length(self) -> int:
+        """Longest internal chain (balanced partition)."""
+        return -(-self.flops // self.internal_chains)
+
+    def shift_cycles(self, patterns: int) -> int:
+        """Total scan shift cycles for a pattern set."""
+        return patterns * (self.chain_length + 1)
+
+
+def test_cost_model(flops: int, patterns: int, *, scan_pins: int,
+                    internal_chains: int | None = None,
+                    tester_cost_per_s: float = 0.03,
+                    shift_mhz: float = 50.0,
+                    pin_cost_usd: float = 0.002) -> dict:
+    """Per-die test cost under a compression configuration.
+
+    Captures both Sawicki levers: compression shortens test time
+    (chains shorten), and fewer pins cut package/tester channel cost.
+    """
+    if internal_chains is None:
+        internal_chains = scan_pins // 2
+    cfg = CompressionConfig(scan_pins, internal_chains, flops)
+    cycles = cfg.shift_cycles(patterns)
+    seconds = cycles / (shift_mhz * 1e6)
+    return {
+        "config": cfg,
+        "test_seconds": seconds,
+        "tester_cost_usd": seconds * tester_cost_per_s,
+        "pin_cost_usd": scan_pins * pin_cost_usd,
+        "total_cost_usd": seconds * tester_cost_per_s +
+        scan_pins * pin_cost_usd,
+        "compression_ratio": cfg.compression_ratio,
+    }
+
+
+def expander_matrix(scan_in_pins: int, internal_chains: int,
+                    seed: int = 0) -> np.ndarray:
+    """A random XOR fanout matrix (chains x pins) for the expander."""
+    if internal_chains < scan_in_pins:
+        raise ValueError("expander must fan out, not in")
+    rng = np.random.default_rng(seed)
+    m = rng.integers(0, 2, size=(internal_chains, scan_in_pins))
+    # Every chain must tap at least one pin.
+    for r in range(internal_chains):
+        if not m[r].any():
+            m[r, rng.integers(0, scan_in_pins)] = 1
+    return m.astype(bool)
+
+
+def expand_stimulus(matrix: np.ndarray, pin_bits: np.ndarray) -> np.ndarray:
+    """Chain stimulus = XOR-expander(pin stimulus) per shift cycle."""
+    pin_bits = np.asarray(pin_bits, dtype=bool)
+    return (matrix @ pin_bits.astype(np.uint8) % 2).astype(bool)

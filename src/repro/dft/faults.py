@@ -1,0 +1,97 @@
+"""Stuck-at faults and bit-parallel fault simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.circuit import Netlist, _eval_cell
+
+
+@dataclass(frozen=True)
+class Fault:
+    """A single stuck-at fault on a net."""
+
+    net: str
+    stuck_at: int          # 0 or 1
+
+    def __post_init__(self) -> None:
+        if self.stuck_at not in (0, 1):
+            raise ValueError("stuck_at must be 0 or 1")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.net}/sa{self.stuck_at}"
+
+
+def enumerate_faults(netlist: Netlist) -> list:
+    """Collapsed stuck-at fault list: both polarities on every net.
+
+    (Output-equivalence collapsing only: faults live on driven nets,
+    covering the classic gate-output model plus primary inputs.)
+    """
+    out = []
+    for net in netlist.nets():
+        out.append(Fault(net, 0))
+        out.append(Fault(net, 1))
+    return out
+
+
+def _simulate_with_fault(netlist: Netlist, vec: np.ndarray,
+                         state: np.ndarray, fault: Fault | None):
+    """Full-observability simulation; returns PO + flop-D response."""
+    npat = vec.shape[0]
+    values: dict[str, np.ndarray] = {}
+    forced = fault.net if fault is not None else None
+
+    def assign(net: str, col: np.ndarray) -> None:
+        if net == forced:
+            col = np.full(npat, bool(fault.stuck_at))
+        values[net] = col
+
+    for i, net in enumerate(netlist.primary_inputs):
+        assign(net, vec[:, i])
+    flops = netlist.sequential_gates()
+    for q, g in zip(state.T, flops):
+        assign(g.output, q)
+    for g in netlist.topological_gates():
+        ins = [values[g.pins[p]] for p in g.cell.inputs]
+        assign(g.output, _eval_cell(g.cell, ins, npat))
+    cols = [values[po] for po in netlist.primary_outputs]
+    cols += [values[g.pins["D"]] for g in flops]
+    if not cols:
+        return np.zeros((npat, 0), dtype=bool)
+    return np.column_stack(cols)
+
+
+def fault_simulate(netlist: Netlist, patterns: np.ndarray,
+                   faults: list | None = None,
+                   state: np.ndarray | None = None) -> dict:
+    """Which faults the pattern set detects.
+
+    A fault is detected when any pattern produces a response differing
+    from the good machine at any observable point (POs plus flop D
+    pins — full scan observability).  Returns fault -> bool.
+    """
+    patterns = np.asarray(patterns, dtype=bool)
+    if patterns.ndim != 2 or \
+            patterns.shape[1] != len(netlist.primary_inputs):
+        raise ValueError("patterns must be (n, num_PI)")
+    if faults is None:
+        faults = enumerate_faults(netlist)
+    flops = netlist.sequential_gates()
+    if state is None:
+        state = np.zeros((patterns.shape[0], len(flops)), dtype=bool)
+    good = _simulate_with_fault(netlist, patterns, state, None)
+    detected = {}
+    for fault in faults:
+        bad = _simulate_with_fault(netlist, patterns, state, fault)
+        detected[fault] = bool((good ^ bad).any())
+    return detected
+
+
+def fault_coverage(detected: dict) -> float:
+    """Fraction of simulated faults detected."""
+    if not detected:
+        return 0.0
+    return sum(detected.values()) / len(detected)

@@ -1,0 +1,153 @@
+"""Scan insertion and chain ordering.
+
+``insert_scan`` swaps every flop for its scan variant and stitches
+chains; the chain *order* is the E10 subject: the front-end order
+(netlist creation order, what a "DFT as a front end activity" flow
+produces) versus the layout-aware order computed after placement
+(nearest-neighbor + 2-opt over cell positions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.circuit import Netlist
+
+
+@dataclass
+class ScanChain:
+    """One stitched scan chain: ordered flop gate names."""
+
+    name: str
+    flops: list
+    scan_in: str
+    scan_out: str
+
+    def __len__(self) -> int:
+        return len(self.flops)
+
+
+def insert_scan(netlist: Netlist, *, num_chains: int = 1,
+                order: list | None = None) -> list:
+    """Replace flops with scan flops and stitch chains.
+
+    ``order`` fixes the stitching order (gate names); default is the
+    netlist (front-end) order.  Chains are balanced round-robin blocks
+    of the order.  Adds global ``scan_en`` and per-chain ``scan_in``
+    ports.  Returns the list of :class:`ScanChain`.
+    """
+    flops = [g for g in netlist.gates.values() if g.cell.is_sequential]
+    if not flops:
+        raise ValueError("design has no flops to scan")
+    if num_chains < 1 or num_chains > len(flops):
+        raise ValueError("bad chain count")
+    sdff = netlist.library.flop(scan=True)
+    by_name = {g.name: g for g in flops}
+    if order is None:
+        order = [g.name for g in flops]
+    if set(order) != set(by_name):
+        raise ValueError("order must cover exactly the flops")
+
+    if "scan_en" not in netlist.primary_inputs:
+        se = netlist.add_input("scan_en")
+    else:
+        se = "scan_en"
+    chains = []
+    chunk = (len(order) + num_chains - 1) // num_chains
+    for c in range(num_chains):
+        names = order[c * chunk: (c + 1) * chunk]
+        if not names:
+            continue
+        si = netlist.add_input(f"scan_in{c}")
+        prev = si
+        for name in names:
+            gate = by_name[name]
+            if not gate.cell.is_scan:
+                gate.cell = sdff
+            gate.pins["SI"] = prev
+            gate.pins["SE"] = se
+            prev = gate.output
+        netlist.add_output(prev)
+        chains.append(ScanChain(f"chain{c}", names, si, prev))
+    return chains
+
+
+def chain_wirelength(chain: ScanChain, placement) -> float:
+    """Manhattan length of the chain's SI hops, in um."""
+    total = 0.0
+    prev = None
+    for name in chain.flops:
+        xy = placement.positions[name]
+        if prev is not None:
+            total += abs(xy[0] - prev[0]) + abs(xy[1] - prev[1])
+        prev = xy
+    return total
+
+
+def reorder_chain(flop_names: list, placement, *, two_opt: bool = True,
+                  max_two_opt_passes: int = 8) -> list:
+    """Layout-aware stitching order: nearest-neighbor plus 2-opt.
+
+    The tour starts at the flop nearest the die origin (where the scan
+    pad sits) and greedily hops to the nearest unvisited flop; 2-opt
+    then uncrosses the tour.  Returns the new order.
+    """
+    if not flop_names:
+        return []
+    pos = {n: placement.positions[n] for n in flop_names}
+
+    def dist(a, b):
+        pa, pb = pos[a], pos[b]
+        return abs(pa[0] - pb[0]) + abs(pa[1] - pb[1])
+
+    start = min(flop_names, key=lambda n: pos[n][0] + pos[n][1])
+    tour = [start]
+    rest = set(flop_names) - {start}
+    while rest:
+        nxt = min(rest, key=lambda n: dist(tour[-1], n))
+        tour.append(nxt)
+        rest.remove(nxt)
+
+    if two_opt and len(tour) > 3:
+        for _ in range(max_two_opt_passes):
+            improved = False
+            for i in range(len(tour) - 2):
+                for j in range(i + 2, len(tour) - 1):
+                    a, b = tour[i], tour[i + 1]
+                    c, d = tour[j], tour[j + 1]
+                    if dist(a, c) + dist(b, d) < \
+                            dist(a, b) + dist(c, d) - 1e-12:
+                        tour[i + 1: j + 1] = reversed(tour[i + 1: j + 1])
+                        improved = True
+            if not improved:
+                break
+    return tour
+
+
+def scan_routing_demand(chain: ScanChain, placement, bins: int = 16):
+    """RUDY-style congestion contribution of the chain's SI nets.
+
+    Returns a (bins, bins) demand map; used by E10 to show layout-aware
+    reordering relieving congestion.
+    """
+    grid = np.zeros((bins, bins))
+    bx = placement.die_w_um / bins
+    by = placement.die_h_um / bins
+    prev = None
+    for name in chain.flops:
+        xy = placement.positions[name]
+        if prev is not None:
+            x0, x1 = sorted((prev[0], xy[0]))
+            y0, y1 = sorted((prev[1], xy[1]))
+            w = max(x1 - x0, bx * 0.5)
+            h = max(y1 - y0, by * 0.5)
+            demand = (w + h) / (w * h)
+            ix0 = int(np.clip(x0 / bx, 0, bins - 1))
+            ix1 = int(np.clip(x1 / bx, ix0, bins - 1))
+            iy0 = int(np.clip(y0 / by, 0, bins - 1))
+            iy1 = int(np.clip(y1 / by, iy0, bins - 1))
+            grid[iy0:iy1 + 1, ix0:ix1 + 1] += demand
+        prev = xy
+    return grid

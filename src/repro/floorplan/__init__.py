@@ -1,0 +1,33 @@
+"""Floorplanning: slicing trees, annealing, and power-grid synthesis.
+
+Rossi: "The tools are today supposed to support automatic power grid
+synthesis and floor plan but retrofits to get around problems of
+congestion, timing and current/power densities are, as a matter of
+fact, manual."  This package provides the automatic version: a
+simulated-annealing slicing floorplanner, a power-grid synthesizer
+sized from current budgets, and a closed-loop retrofit driver
+(:func:`retrofit_floorplan`) that iterates floorplan -> analysis ->
+adjustment without the designer in the loop.
+"""
+
+from repro.floorplan.slicing import (
+    Block,
+    Floorplan,
+    SlicingTree,
+    anneal_floorplan,
+)
+from repro.floorplan.pgrid import (
+    PowerGridSpec,
+    synthesize_power_grid,
+)
+from repro.floorplan.retrofit import retrofit_floorplan
+
+__all__ = [
+    "Block",
+    "SlicingTree",
+    "Floorplan",
+    "anneal_floorplan",
+    "PowerGridSpec",
+    "synthesize_power_grid",
+    "retrofit_floorplan",
+]

@@ -1,0 +1,82 @@
+"""Power-grid synthesis: strap pitch/width from a current budget.
+
+Sizes a uniform strap grid so the worst static IR drop meets the
+budget, then exports a :class:`~repro.power.PowerGrid` for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.power.grid import PowerGrid
+
+
+@dataclass
+class PowerGridSpec:
+    """A synthesized grid: strap geometry plus routing cost."""
+
+    strap_pitch_um: float
+    strap_width_um: float
+    layers_used: int
+    metal_utilization: float     # fraction of routing metal consumed
+    strap_res_ohm: float
+
+    def summary(self) -> str:
+        """One-line description."""
+        return (
+            f"straps every {self.strap_pitch_um:.0f} um, "
+            f"{self.strap_width_um:.2f} um wide, "
+            f"{self.metal_utilization * 100:.1f}% of metal"
+        )
+
+
+def synthesize_power_grid(die_w_um: float, die_h_um: float, *,
+                          total_power_w: float, vdd: float,
+                          drop_budget_fraction: float = 0.05,
+                          sheet_res_ohm_sq: float = 0.03,
+                          max_metal_utilization: float = 0.25) -> PowerGridSpec:
+    """Choose strap pitch and width meeting an IR budget.
+
+    Walks candidate pitches from coarse to fine, sizing the strap width
+    so the tile-level mesh resistance keeps the estimated center drop
+    under budget; stops at the first candidate whose metal utilization
+    is acceptable.  Raises if no grid fits the budget.
+    """
+    if total_power_w <= 0 or vdd <= 0:
+        raise ValueError("power and vdd must be positive")
+    i_total = total_power_w / vdd
+    budget_v = vdd * drop_budget_fraction
+    for pitch in (200.0, 100.0, 50.0, 25.0):
+        nx = max(3, int(die_w_um / pitch))
+        ny = max(3, int(die_h_um / pitch))
+        i_tile = i_total / (nx * ny)
+        # Rough center-drop estimate for a mesh with edge pads: current
+        # flows ~nx/4 tiles through straps of per-tile resistance r.
+        hops = (min(nx, ny) / 4.0) ** 2 / 2.0
+        # Required per-tile strap resistance.
+        r_needed = budget_v / max(i_tile * max(hops, 1.0), 1e-12)
+        # Strap resistance = sheet_res * pitch / width.
+        width = sheet_res_ohm_sq * pitch / max(r_needed, 1e-9)
+        width = max(width, 0.2)
+        utilization = width / pitch
+        if utilization <= max_metal_utilization:
+            return PowerGridSpec(
+                strap_pitch_um=pitch,
+                strap_width_um=width,
+                layers_used=2,
+                metal_utilization=utilization,
+                strap_res_ohm=sheet_res_ohm_sq * pitch / width,
+            )
+    raise ValueError("no strap grid meets the IR budget; raise the "
+                     "budget or add metal")
+
+
+def grid_from_spec(spec: PowerGridSpec, die_w_um: float, die_h_um: float,
+                   *, vdd: float, power_map_uw: np.ndarray) -> PowerGrid:
+    """Instantiate an analyzable :class:`PowerGrid` from a spec."""
+    ny, nx = power_map_uw.shape
+    grid = PowerGrid(nx, ny, vdd=vdd, strap_res_ohm=spec.strap_res_ohm)
+    grid.set_current_from_power(power_map_uw)
+    return grid

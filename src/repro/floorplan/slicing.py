@@ -1,0 +1,272 @@
+"""Slicing floorplans: Polish expressions optimized by annealing.
+
+The classic Wong-Liu formulation: a floorplan of n blocks is a slicing
+tree encoded as a normalized Polish expression over block ids and the
+cut operators ``H``/``V``; simulated annealing perturbs the expression
+with the three standard moves and the area/wirelength cost drives it.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Block:
+    """A floorplan block (hard if one shape, soft if aspect range)."""
+
+    name: str
+    area: float
+    min_aspect: float = 0.5
+    max_aspect: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.area <= 0:
+            raise ValueError("area must be positive")
+        if not 0 < self.min_aspect <= self.max_aspect:
+            raise ValueError("bad aspect range")
+
+    def shapes(self, count: int = 3) -> list:
+        """(w, h) candidates across the aspect range."""
+        out = []
+        for i in range(count):
+            t = i / max(count - 1, 1)
+            aspect = self.min_aspect * (self.max_aspect /
+                                        self.min_aspect) ** t
+            h = math.sqrt(self.area / aspect)
+            out.append((aspect * h, h))
+        return out
+
+
+@dataclass
+class Floorplan:
+    """A realized floorplan: block placements plus die dimensions."""
+
+    width: float
+    height: float
+    positions: dict = field(default_factory=dict)  # name -> (x, y, w, h)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def block_area(self) -> float:
+        return sum(w * h for _, _, w, h in self.positions.values())
+
+    @property
+    def whitespace_fraction(self) -> float:
+        """Fraction of the die not covered by blocks."""
+        if self.area == 0:
+            return 0.0
+        return 1.0 - self.block_area() / self.area
+
+    def center_of(self, name: str) -> tuple:
+        x, y, w, h = self.positions[name]
+        return (x + w / 2, y + h / 2)
+
+    def overlaps(self) -> list:
+        """Pairs of overlapping blocks (a valid slicing plan has none)."""
+        items = list(self.positions.items())
+        bad = []
+        for i, (na, (xa, ya, wa, ha)) in enumerate(items):
+            for nb, (xb, yb, wb, hb) in items[i + 1:]:
+                if xa < xb + wb - 1e-9 and xb < xa + wa - 1e-9 and \
+                        ya < yb + hb - 1e-9 and yb < ya + ha - 1e-9:
+                    bad.append((na, nb))
+        return bad
+
+
+class SlicingTree:
+    """A normalized Polish expression over blocks."""
+
+    def __init__(self, blocks: list, expression: list | None = None):
+        if len(blocks) < 2:
+            raise ValueError("need at least two blocks")
+        self.blocks = {b.name: b for b in blocks}
+        if expression is None:
+            expression = []
+            names = [b.name for b in blocks]
+            expression.append(names[0])
+            for name in names[1:]:
+                expression.append(name)
+                expression.append("V" if len(expression) % 4 else "H")
+        self.expression = list(expression)
+        self._validate()
+
+    def _validate(self) -> None:
+        depth = 0
+        prev = None
+        for tok in self.expression:
+            if tok in ("H", "V"):
+                depth -= 1
+                if depth < 1:
+                    raise ValueError("malformed Polish expression")
+            else:
+                if tok not in self.blocks:
+                    raise ValueError(f"unknown block {tok!r}")
+                depth += 1
+            prev = tok
+        if depth != 1:
+            raise ValueError("expression does not reduce to one tree")
+
+    # ------------------------------------------------------------------
+    # Realization (stockmeyer-lite: pick best shape combination greedily)
+    # ------------------------------------------------------------------
+
+    def realize(self) -> Floorplan:
+        """Evaluate the expression bottom-up into a floorplan.
+
+        Each leaf carries its candidate shape list; operators combine
+        the Pareto-minimal (w, h) options of their children (a pruned
+        Stockmeyer); the root picks the min-area shape.
+        """
+        stack: list = []
+        for tok in self.expression:
+            if tok in ("H", "V"):
+                right = stack.pop()
+                left = stack.pop()
+                stack.append(_combine(left, right, tok))
+            else:
+                block = self.blocks[tok]
+                options = [
+                    ((w, h), ("leaf", tok, (w, h)))
+                    for w, h in block.shapes()
+                ]
+                stack.append(_pareto(options))
+        options = stack.pop()
+        (w, h), plan = min(options, key=lambda o: o[0][0] * o[0][1])
+        fp = Floorplan(w, h)
+        _emit(plan, 0.0, 0.0, fp)
+        return fp
+
+    def copy(self) -> "SlicingTree":
+        return SlicingTree(list(self.blocks.values()),
+                           list(self.expression))
+
+    # ------------------------------------------------------------------
+    # Annealing moves
+    # ------------------------------------------------------------------
+
+    def perturb(self, rng: random.Random) -> "SlicingTree":
+        """One of the three Wong-Liu moves, returned as a new tree."""
+        expr = list(self.expression)
+        move = rng.randrange(3)
+        operands = [i for i, t in enumerate(expr) if t not in ("H", "V")]
+        if move == 0 and len(operands) >= 2:
+            # M1: swap two adjacent operands.
+            k = rng.randrange(len(operands) - 1)
+            i, j = operands[k], operands[k + 1]
+            expr[i], expr[j] = expr[j], expr[i]
+        elif move == 1:
+            # M2: complement a chain of operators.
+            ops = [i for i, t in enumerate(expr) if t in ("H", "V")]
+            if ops:
+                i = rng.choice(ops)
+                expr[i] = "H" if expr[i] == "V" else "V"
+        else:
+            # M3: swap an adjacent operand/operator pair if still valid.
+            for _ in range(10):
+                i = rng.randrange(len(expr) - 1)
+                a, b = expr[i], expr[i + 1]
+                if (a in ("H", "V")) == (b in ("H", "V")):
+                    continue
+                cand = list(expr)
+                cand[i], cand[i + 1] = cand[i + 1], cand[i]
+                try:
+                    SlicingTree(list(self.blocks.values()), cand)
+                except ValueError:
+                    continue
+                expr = cand
+                break
+        try:
+            return SlicingTree(list(self.blocks.values()), expr)
+        except ValueError:
+            return self.copy()
+
+
+def _pareto(options: list) -> list:
+    """Keep only Pareto-minimal (w, h) options."""
+    options = sorted(options, key=lambda o: (o[0][0], o[0][1]))
+    kept = []
+    best_h = float("inf")
+    for (w, h), plan in options:
+        if h < best_h - 1e-12:
+            kept.append(((w, h), plan))
+            best_h = h
+    return kept[:6]
+
+
+def _combine(left: list, right: list, op: str) -> list:
+    out = []
+    for (wl, hl), pl in left:
+        for (wr, hr), pr in right:
+            if op == "V":   # side by side
+                w, h = wl + wr, max(hl, hr)
+            else:           # stacked
+                w, h = max(wl, wr), hl + hr
+            out.append(((w, h), (op, pl, pr, (wl, hl), (wr, hr))))
+    return _pareto(out)
+
+
+def _emit(plan, x: float, y: float, fp: Floorplan) -> tuple:
+    kind = plan[0]
+    if kind == "leaf":
+        _, name, (w, h) = plan
+        fp.positions[name] = (x, y, w, h)
+        return (w, h)
+    op, left, right, (wl, hl), (wr, hr) = plan
+    _emit(left, x, y, fp)
+    if op == "V":
+        _emit(right, x + wl, y, fp)
+        return (wl + wr, max(hl, hr))
+    _emit(right, x, y + hl, fp)
+    return (max(wl, wr), hl + hr)
+
+
+def anneal_floorplan(blocks: list, nets: list | None = None, *,
+                     seed: int = 0, iterations: int = 2000,
+                     t_start: float = 1.0, t_end: float = 0.01,
+                     wirelength_weight: float = 0.2,
+                     aspect_weight: float = 0.3) -> tuple:
+    """Simulated-annealing floorplan optimization.
+
+    ``nets`` is an optional list of block-name groups; their HPWL
+    (between block centers) joins the cost with ``wirelength_weight``;
+    die squareness is encouraged by ``aspect_weight``.
+    Returns ``(SlicingTree, Floorplan)`` for the best solution found.
+    """
+    rng = random.Random(seed)
+    tree = SlicingTree(blocks)
+    current = tree.realize()
+    total_area = sum(b.area for b in blocks)
+
+    def cost(fp: Floorplan) -> float:
+        c = fp.area / total_area
+        aspect = max(fp.width, fp.height) / max(
+            min(fp.width, fp.height), 1e-9)
+        c += aspect_weight * (aspect - 1.0)
+        if nets:
+            norm = math.sqrt(total_area)
+            for group in nets:
+                xs = [fp.center_of(n)[0] for n in group if n in fp.positions]
+                ys = [fp.center_of(n)[1] for n in group if n in fp.positions]
+                if len(xs) >= 2:
+                    c += wirelength_weight * (
+                        (max(xs) - min(xs)) + (max(ys) - min(ys))) / norm
+        return c
+
+    best_tree, best_fp, best_cost = tree, current, cost(current)
+    cur_cost = best_cost
+    for step in range(iterations):
+        t = t_start * (t_end / t_start) ** (step / max(iterations - 1, 1))
+        cand_tree = tree.perturb(rng)
+        cand_fp = cand_tree.realize()
+        cand_cost = cost(cand_fp)
+        delta = cand_cost - cur_cost
+        if delta <= 0 or rng.random() < math.exp(-delta / t):
+            tree, cur_cost = cand_tree, cand_cost
+            if cand_cost < best_cost:
+                best_tree, best_fp, best_cost = cand_tree, cand_fp, cand_cost
+    return best_tree, best_fp

@@ -1,0 +1,68 @@
+"""Ridge-regression QoR prediction from the run database."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.learn.rundb import RunDatabase
+
+
+class QorPredictor:
+    """Predict a QoR metric from design features plus knob settings.
+
+    Plain ridge regression on standardized inputs — deliberately simple
+    and auditable, as a built-in tool feature would need to be.
+    """
+
+    def __init__(self, feature_keys: list, knob_keys: list,
+                 metric: str, *, ridge: float = 1.0):
+        if ridge <= 0:
+            raise ValueError("ridge must be positive")
+        self.feature_keys = list(feature_keys)
+        self.knob_keys = list(knob_keys)
+        self.metric = metric
+        self.ridge = ridge
+        self._w = None
+        self._mean = None
+        self._std = None
+
+    # ------------------------------------------------------------------
+
+    def _vectorize(self, features: dict, knobs: dict) -> np.ndarray:
+        vals = [float(features.get(k, 0.0)) for k in self.feature_keys]
+        vals += [float(knobs.get(k, 0.0)) for k in self.knob_keys]
+        return np.array(vals)
+
+    def fit(self, db: RunDatabase) -> int:
+        """Train on every record carrying the metric; returns count."""
+        rows = []
+        ys = []
+        for rec in db.records:
+            if self.metric not in rec.qor:
+                continue
+            rows.append(self._vectorize(rec.features, rec.knobs))
+            ys.append(float(rec.qor[self.metric]))
+        if len(rows) < 2:
+            raise ValueError("need at least two runs to fit")
+        x = np.array(rows)
+        y = np.array(ys)
+        self._mean = x.mean(axis=0)
+        self._std = x.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        xn = (x - self._mean) / self._std
+        xn = np.column_stack([xn, np.ones(len(xn))])
+        a = xn.T @ xn + self.ridge * np.eye(xn.shape[1])
+        self._w = np.linalg.solve(a, xn.T @ y)
+        return len(rows)
+
+    def predict(self, features: dict, knobs: dict) -> float:
+        """Predicted metric value."""
+        if self._w is None:
+            raise RuntimeError("predictor not fitted")
+        x = (self._vectorize(features, knobs) - self._mean) / self._std
+        return float(np.append(x, 1.0) @ self._w)
+
+    def rank_knob_options(self, features: dict, options: list) -> list:
+        """Options sorted by predicted metric (best first)."""
+        return sorted(options,
+                      key=lambda k: self.predict(features, k))

@@ -1,0 +1,99 @@
+"""The run database: self-monitoring of implementation runs."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.netlist.circuit import Netlist
+
+
+@dataclass
+class RunRecord:
+    """One logged implementation run."""
+
+    design: str
+    features: dict           # design fingerprint (see design_features)
+    knobs: dict              # tool settings used
+    qor: dict                # measured results (hpwl, overflow, ...)
+    tags: list = field(default_factory=list)
+
+
+def design_features(netlist: Netlist) -> dict:
+    """A design fingerprint for similarity lookup.
+
+    Deliberately cheap: instance count, average fanout, sequential
+    ratio, area — the features a tool has before placement starts.
+    """
+    gates = list(netlist.gates.values())
+    if not gates:
+        return {"instances": 0, "avg_fanout": 0.0, "seq_ratio": 0.0,
+                "area_um2": 0.0}
+    fanout = netlist.fanout_map()
+    loads = [len(v) for v in fanout.values()]
+    seq = sum(1 for g in gates if g.cell.is_sequential)
+    return {
+        "instances": len(gates),
+        "avg_fanout": sum(loads) / max(len(loads), 1),
+        "seq_ratio": seq / len(gates),
+        "area_um2": netlist.area_um2(),
+    }
+
+
+class RunDatabase:
+    """Accumulates run records; queryable by design similarity."""
+
+    def __init__(self):
+        self.records: list[RunRecord] = []
+
+    def log(self, record: RunRecord) -> None:
+        """Add a run."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # ------------------------------------------------------------------
+
+    def similar_runs(self, features: dict, *, limit: int = 10) -> list:
+        """Records nearest to a design fingerprint.
+
+        Distance: normalized L1 over the shared numeric features.
+        """
+        def distance(rec: RunRecord) -> float:
+            d = 0.0
+            for key, val in features.items():
+                other = rec.features.get(key)
+                if other is None:
+                    continue
+                scale = max(abs(val), abs(other), 1e-9)
+                d += abs(val - other) / scale
+            return d
+        return sorted(self.records, key=distance)[:limit]
+
+    def best_knobs(self, features: dict, metric: str, *,
+                   limit: int = 10) -> dict | None:
+        """Knobs of the best similar run by ``metric`` (lower wins)."""
+        candidates = [
+            r for r in self.similar_runs(features, limit=limit)
+            if metric in r.qor
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: r.qor[metric]).knobs
+
+    # ------------------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist to JSON."""
+        payload = [asdict(r) for r in self.records]
+        Path(path).write_text(json.dumps(payload, indent=1))
+
+    @staticmethod
+    def load(path) -> "RunDatabase":
+        """Load from JSON."""
+        db = RunDatabase()
+        for item in json.loads(Path(path).read_text()):
+            db.log(RunRecord(**item))
+        return db

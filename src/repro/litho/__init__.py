@@ -1,0 +1,61 @@
+"""Computational lithography: aerial images, OPC, multi-patterning.
+
+Sawicki: "computational lithography has been one of the primary enablers
+of feature scaling in the absence of EUV."  Rossi: "RET, OPC and
+multi-patterning techniques have made possible the bring up of 14nm and
+10nm without introducing ... EUV."  Domic: sub-80nm-pitch interconnect
+needs double/triple/quadruple patterning, and EDA made that automatic.
+
+* :mod:`repro.litho.aerial` — scalar aerial-image simulation (Gaussian
+  point-spread kernel), resist thresholding, and EPE measurement (E12).
+* :mod:`repro.litho.opc` — iterative model-based OPC on edge fragments.
+* :mod:`repro.litho.mpd` — conflict graphs over wire segments, k-mask
+  coloring with stitch insertion (E3).
+* :mod:`repro.litho.wires` — wire-pattern generators (synthetic and
+  from routed designs).
+"""
+
+from repro.litho.aerial import (
+    LithoSystem,
+    aerial_image,
+    edge_placement_errors,
+    print_image,
+)
+from repro.litho.opc import OpcResult, apply_opc
+from repro.litho.mpd import (
+    DecompositionResult,
+    build_conflict_graph,
+    decompose,
+)
+from repro.litho.ret import (
+    SrafResult,
+    insert_srafs,
+    isolated_line_mask,
+    process_window,
+)
+from repro.litho.wires import (
+    WireSegment,
+    dense_line_mask,
+    random_track_wires,
+    wires_from_routing,
+)
+
+__all__ = [
+    "LithoSystem",
+    "aerial_image",
+    "print_image",
+    "edge_placement_errors",
+    "OpcResult",
+    "apply_opc",
+    "WireSegment",
+    "random_track_wires",
+    "wires_from_routing",
+    "dense_line_mask",
+    "build_conflict_graph",
+    "decompose",
+    "DecompositionResult",
+    "SrafResult",
+    "insert_srafs",
+    "isolated_line_mask",
+    "process_window",
+]

@@ -1,0 +1,85 @@
+"""EUV insertion economics: when single-exposure EUV beats the ladder.
+
+Sawicki: computational lithography "will continue even after the
+eventual introduction of EUV as feature sizes at that node will be
+small enough to continue to require computational lithography to
+enable viable yield."  The insertion question is economic: an EUV
+exposure replaces k 193i mask/etch passes at a higher per-pass cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.library import NODES, get_node
+from repro.tech.node import LithoRegime, TechNode
+from repro.tech.patterning import (
+    mask_layer_cost_multiplier,
+    patterning_for_pitch,
+)
+
+
+@dataclass
+class LayerPatterningCost:
+    """Cost comparison for one layer at one node."""
+
+    node: str
+    pitch_nm: float
+    regime_193i: LithoRegime
+    cost_193i: float
+    cost_euv: float
+    euv_wins: bool
+
+
+def compare_euv(node: str | TechNode, *,
+                euv_cost_multiplier: float = 3.0) -> LayerPatterningCost:
+    """Price one critical layer both ways at a node.
+
+    ``euv_cost_multiplier`` is the per-exposure premium of an EUV pass
+    over a single 193i pass (tool depreciation dominates).
+    """
+    n = node if isinstance(node, TechNode) else get_node(node)
+    # Use the node's own industry regime (which includes the 2-D cut/
+    # block steps a pure pitch calculation misses); fall back to the
+    # pitch-derived regime for hypothetical nodes marked EUV.
+    regime = n.litho
+    if regime is LithoRegime.EUV:
+        regime = patterning_for_pitch(n.metal1_pitch_nm)
+    cost_193i = mask_layer_cost_multiplier(regime)
+    return LayerPatterningCost(
+        node=n.name,
+        pitch_nm=n.metal1_pitch_nm,
+        regime_193i=regime,
+        cost_193i=cost_193i,
+        cost_euv=euv_cost_multiplier,
+        euv_wins=euv_cost_multiplier < cost_193i,
+    )
+
+
+def euv_insertion_node(*, euv_cost_multiplier: float = 3.0) -> str:
+    """First canonical node (largest feature) where EUV is cheaper.
+
+    With the default premium, EUV loses to LELE (2.2x) and only wins
+    once triple patterning or worse is required — the industry's actual
+    7/5 nm insertion history.
+    """
+    for node in NODES.values():
+        if compare_euv(node,
+                       euv_cost_multiplier=euv_cost_multiplier).euv_wins:
+            return node.name
+    return "none"
+
+
+def still_needs_opc(node: str | TechNode, *,
+                    euv_resolution_fraction: float = 0.6) -> bool:
+    """Sawicki's caveat: EUV features still need computational litho.
+
+    True when the node's pitch sits below ``euv_resolution_fraction``
+    of the EUV single-exposure comfortable regime — small enough that
+    even EUV images need correction for viable yield.
+    """
+    from repro.litho.aerial import EUV_135
+
+    n = node if isinstance(node, TechNode) else get_node(node)
+    comfortable = EUV_135.rayleigh_pitch_nm / euv_resolution_fraction
+    return n.metal1_pitch_nm < comfortable

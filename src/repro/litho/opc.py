@@ -1,0 +1,83 @@
+"""Model-based OPC: iterative edge-fragment correction.
+
+The mask is adjusted pixel-column by pixel-column: wherever the printed
+edge lands inside the target the mask is locally widened, and vice
+versa — the feedback loop at the heart of production OPC, on a scalar
+imaging model.  Used by E12 to show computational lithography buying
+back printability without EUV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.litho.aerial import (
+    LithoSystem,
+    IMMERSION_193,
+    aerial_image,
+    edge_placement_errors,
+    print_image,
+)
+
+
+@dataclass
+class OpcResult:
+    """Outcome of an OPC run."""
+
+    mask: np.ndarray
+    iterations: int
+    rms_epe_before_nm: float
+    rms_epe_after_nm: float
+    converged: bool
+
+    @property
+    def improvement(self) -> float:
+        """EPE reduction ratio (before / after)."""
+        if self.rms_epe_after_nm == 0:
+            return float("inf")
+        return self.rms_epe_before_nm / self.rms_epe_after_nm
+
+
+def apply_opc(target: np.ndarray, pixel_nm: float,
+              system: LithoSystem = IMMERSION_193, *,
+              iterations: int = 12, gain: float = 0.8,
+              converge_nm: float = 1.0) -> OpcResult:
+    """Iteratively correct the mask so the print matches the target.
+
+    The mask is kept gray-scale internally (continuous transmission,
+    modeling sub-resolution fragment movement) and the correction step
+    adds ``gain * error`` blurred to the fragment scale; the exposed
+    image is evaluated against the binary target each round.
+    """
+    target = np.asarray(target, dtype=float)
+    mask = target.copy()
+    before = None
+    rms = float("inf")
+    it = 0
+    sigma_px = max(system.psf_sigma_nm / pixel_nm / 2.0, 0.5)
+    for it in range(1, iterations + 1):
+        intensity = aerial_image(mask, pixel_nm, system)
+        printed = print_image(intensity)
+        epe = edge_placement_errors(
+            target.astype(bool), printed, pixel_nm)
+        rms = float(np.sqrt(np.mean(epe ** 2))) if epe.size else 0.0
+        if before is None:
+            before = rms
+        if rms <= converge_nm:
+            break
+        # Feedback: where intensity is low inside the target, add
+        # transmission; where high outside, remove.
+        error = target - intensity
+        correction = ndimage.gaussian_filter(
+            error, sigma=sigma_px, mode="nearest")
+        mask = np.clip(mask + gain * correction, 0.0, 1.5)
+    return OpcResult(
+        mask=mask,
+        iterations=it,
+        rms_epe_before_nm=before if before is not None else 0.0,
+        rms_epe_after_nm=rms,
+        converged=rms <= converge_nm,
+    )

@@ -1,0 +1,133 @@
+"""Wire-pattern generators for decomposition and printing experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class WireSegment:
+    """One routed wire on a track grid.
+
+    ``track`` indexes parallel routing tracks (pitch apart); ``start``
+    and ``end`` are positions along the track in track-pitch units.
+    """
+
+    track: int
+    start: float
+    end: float
+    net: str = ""
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("end must exceed start")
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+    def overlaps(self, other: "WireSegment", margin: float = 0.0) -> bool:
+        """True if the segments' spans overlap (with margin)."""
+        return self.start < other.end + margin and \
+            other.start < self.end + margin
+
+
+def random_track_wires(num_tracks: int, track_length: float, *,
+                       density: float = 0.5, mean_length: float = 8.0,
+                       seed: int = 0) -> list:
+    """Random Manhattan wiring on a track grid.
+
+    Each track is filled left-to-right with wire segments and gaps so
+    the overall fill ratio approaches ``density`` — the metal-layer
+    texture a router produces.
+    """
+    if not 0 < density < 1:
+        raise ValueError("density must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    wires = []
+    count = 0
+    for t in range(num_tracks):
+        pos = rng.uniform(0, mean_length / density * (1 - density))
+        while pos < track_length:
+            length = rng.exponential(mean_length) + 1.0
+            end = min(pos + length, track_length)
+            if end - pos >= 1.0:
+                wires.append(WireSegment(t, pos, end, f"n{count}"))
+                count += 1
+            gap = rng.exponential(mean_length * (1 - density) / density)
+            pos = end + max(gap, 1.0)
+    return wires
+
+
+def wires_from_routing(result, *, tracks_per_gcell: int = 4,
+                       seed: int = 0) -> list:
+    """Convert a global-routing result into track wire segments.
+
+    Each horizontal grid edge's usage becomes that many parallel
+    segments on the tracks of its gcell row — a simplified track
+    assignment sufficient for conflict-graph studies.
+    """
+    rng = np.random.default_rng(seed)
+    grid = result.grid
+    wires = []
+    count = 0
+    for y in range(grid.ny):
+        # Walk runs of used edges in this row.
+        for t in range(tracks_per_gcell):
+            x = 0
+            while x < grid.nx - 1:
+                if grid.h_usage[y, x] > t:
+                    start = x
+                    while x < grid.nx - 1 and grid.h_usage[y, x] > t:
+                        x += 1
+                    jitter = rng.uniform(0, 0.3)
+                    wires.append(WireSegment(
+                        y * tracks_per_gcell + t,
+                        start + jitter, x + jitter + 0.5, f"r{count}"))
+                    count += 1
+                else:
+                    x += 1
+    return wires
+
+
+def dense_line_mask(pitch_nm: float, *, pixel_nm: float = 2.0,
+                    lines: int = 8, rows: int = 40,
+                    duty: float = 0.5) -> np.ndarray:
+    """A dense line/space grating as a binary mask image."""
+    if pitch_nm <= 0 or not 0 < duty < 1:
+        raise ValueError("bad grating parameters")
+    ppx = max(2, int(round(pitch_nm / pixel_nm)))
+    width = int(round(ppx * duty))
+    img = np.zeros((rows, lines * ppx), dtype=bool)
+    for line in range(lines):
+        img[:, line * ppx: line * ppx + width] = True
+    return img
+
+
+def wires_to_mask(wires: list, pitch_nm: float, *,
+                  pixel_nm: float = 2.0, width_fraction: float = 0.5,
+                  track_unit_nm: float | None = None) -> np.ndarray:
+    """Rasterize track wires into a binary mask image.
+
+    Tracks run horizontally, ``pitch_nm`` apart; wire width is
+    ``width_fraction`` of the pitch.  Used to print a decomposed mask
+    (one color at a time) through the aerial model.
+    """
+    if not wires:
+        return np.zeros((4, 4), dtype=bool)
+    if track_unit_nm is None:
+        track_unit_nm = pitch_nm
+    max_track = max(w.track for w in wires)
+    max_pos = max(w.end for w in wires)
+    h = int((max_track + 2) * pitch_nm / pixel_nm)
+    wpx = int(np.ceil(max_pos * track_unit_nm / pixel_nm)) + 4
+    img = np.zeros((h, wpx), dtype=bool)
+    half_w = max(1, int(pitch_nm * width_fraction / pixel_nm / 2))
+    for w in wires:
+        yc = int((w.track + 1) * pitch_nm / pixel_nm)
+        x0 = int(w.start * track_unit_nm / pixel_nm)
+        x1 = int(w.end * track_unit_nm / pixel_nm)
+        img[max(0, yc - half_w): yc + half_w, x0:x1] = True
+    return img

@@ -1,0 +1,41 @@
+"""Market modeling: design starts, IoT archetypes, two-path forecast.
+
+Domic (E11): "more than 90% of design starts are happening at 32/28
+nanometers and above, and 180 nanometers is by far the most 'designed'
+technology node, with more than 25% of the total design starts every
+year.  This won't change significantly over the next decade."
+
+Sawicki: the IoT wave "does not require the next technology node to
+implement", sending the industry down "two parallel development paths"
+— continued scaling (infrastructure) and IoT (established nodes).
+"""
+
+from repro.market.design_starts import (
+    DESIGN_STARTS_2015,
+    DesignStartModel,
+)
+from repro.market.iot import (
+    IOT_ARCHETYPES,
+    IotArchetype,
+    TwoPathForecast,
+    infrastructure_demand,
+    two_path_forecast,
+)
+from repro.market.roadmap import (
+    cost_scaling_stalls,
+    density_doubling_years,
+    project_roadmap,
+)
+
+__all__ = [
+    "DESIGN_STARTS_2015",
+    "DesignStartModel",
+    "IotArchetype",
+    "IOT_ARCHETYPES",
+    "two_path_forecast",
+    "TwoPathForecast",
+    "infrastructure_demand",
+    "project_roadmap",
+    "cost_scaling_stalls",
+    "density_doubling_years",
+]

@@ -1,0 +1,105 @@
+"""Design-start distribution across technology nodes.
+
+Anchored to the 2015 distribution the panel quotes; the forecast model
+migrates a small share of starts downward each year while new
+established-node starts (IoT) backfill — which is exactly why the
+distribution "won't change significantly over the next decade".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Share of 2015 design starts per node, calibrated to the panel's two
+#: anchors: >90% at 32/28 nm and above; 180 nm alone >25%.
+DESIGN_STARTS_2015: dict = {
+    "250nm": 0.06,
+    "180nm": 0.26,
+    "130nm": 0.14,
+    "90nm": 0.12,
+    "65nm": 0.13,
+    "45nm": 0.09,
+    "32nm": 0.06,
+    "28nm": 0.06,
+    "20nm": 0.03,
+    "16nm": 0.02,
+    "14nm": 0.02,
+    "10nm": 0.01,
+}
+
+
+@dataclass
+class DesignStartModel:
+    """Evolving design-start distribution.
+
+    Each year ``migration_rate`` of each node's starts moves one node
+    down the ladder (designs chasing density), while
+    ``established_influx`` of the total appears as brand-new starts
+    spread over the established nodes (the IoT backfill) — weighted
+    toward 180 nm, the cost-optimal analog/sensor node.
+    """
+
+    shares: dict = field(default_factory=lambda: dict(DESIGN_STARTS_2015))
+    migration_rate: float = 0.04
+    established_influx: float = 0.035
+
+    _LADDER = ["250nm", "180nm", "130nm", "90nm", "65nm", "45nm",
+               "32nm", "28nm", "20nm", "16nm", "14nm", "10nm",
+               "7nm", "5nm"]
+    _INFLUX_WEIGHTS = {"250nm": 0.1, "180nm": 0.5, "130nm": 0.2,
+                       "90nm": 0.1, "65nm": 0.1}
+
+    def __post_init__(self) -> None:
+        total = sum(self.shares.values())
+        if abs(total - 1.0) > 0.02:
+            raise ValueError(f"shares must sum to ~1 (got {total:.3f})")
+
+    # ------------------------------------------------------------------
+
+    def established_share(self) -> float:
+        """Share of starts at 28 nm and above."""
+        return sum(v for node, v in self.shares.items()
+                   if self._is_established(node))
+
+    @staticmethod
+    def _is_established(node: str) -> bool:
+        return float(node.rstrip("nm")) >= 28
+
+    def share_of(self, node: str) -> float:
+        return self.shares.get(node, 0.0)
+
+    def most_designed_node(self) -> str:
+        """The node with the largest share."""
+        return max(self.shares, key=self.shares.get)
+
+    # ------------------------------------------------------------------
+
+    def step_year(self) -> None:
+        """Advance the distribution one year."""
+        ladder = [n for n in self._LADDER if n in self.shares or
+                  n in ("7nm", "5nm")]
+        new = {n: self.shares.get(n, 0.0) for n in ladder}
+        # Downward migration.
+        for i, node in enumerate(ladder[:-1]):
+            moved = self.shares.get(node, 0.0) * self.migration_rate
+            new[node] -= moved
+            new[ladder[i + 1]] = new.get(ladder[i + 1], 0.0) + moved
+        # Established-node influx (new IoT designs).
+        influx = self.established_influx
+        for node in new:
+            new[node] *= (1.0 - influx)
+        for node, w in self._INFLUX_WEIGHTS.items():
+            new[node] = new.get(node, 0.0) + influx * w
+        self.shares = new
+
+    def forecast(self, years: int) -> list:
+        """Yearly snapshots: [(year_offset, established_share,
+        share_180nm)]."""
+        if years < 0:
+            raise ValueError("years must be non-negative")
+        out = [(0, self.established_share(), self.share_of("180nm"))]
+        for y in range(1, years + 1):
+            self.step_year()
+            out.append((y, self.established_share(),
+                        self.share_of("180nm")))
+        return out

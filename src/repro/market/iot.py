@@ -1,0 +1,115 @@
+"""IoT archetypes and the two-path industry forecast.
+
+Sawicki's taxonomy: "the Fitbit in my pocket, an internet gateway in my
+car, and an industrial manufacturing solution.  All have in common a
+few elements: a radio to communicate, a processor to manage data, and,
+often, a sensor to collect data."  And the two paths: IoT devices reuse
+established nodes, while the data they generate drives advanced-node
+infrastructure — "a broadly deployed IOT would require a massive
+networking and server infrastructure."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.library import get_node
+
+
+@dataclass(frozen=True)
+class IotArchetype:
+    """One IoT device class."""
+
+    name: str
+    node: str                    # implementation node
+    die_mm2: float
+    units_millions_2015: float
+    unit_growth: float           # annual growth rate
+    data_mb_per_day: float       # upstream data per device
+
+    def units_in_year(self, years_from_2015: int) -> float:
+        """Installed-base additions (millions) in a given year."""
+        if years_from_2015 < 0:
+            raise ValueError("year must be >= 0")
+        return self.units_millions_2015 * \
+            (1 + self.unit_growth) ** years_from_2015
+
+
+#: Sawicki's three examples, calibrated to 2015-era analyst numbers.
+IOT_ARCHETYPES: list = [
+    IotArchetype("wearable", "65nm", 10.0, 80.0, 0.18, 5.0),
+    IotArchetype("car_gateway", "28nm", 60.0, 18.0, 0.22, 400.0),
+    IotArchetype("industrial", "180nm", 25.0, 120.0, 0.25, 40.0),
+]
+
+
+@dataclass
+class TwoPathForecast:
+    """Yearly silicon demand split between the two paths."""
+
+    years: list = field(default_factory=list)
+    iot_wafers_300mm: list = field(default_factory=list)      # established
+    infra_wafers_300mm: list = field(default_factory=list)    # advanced
+
+    def crossover_year(self):
+        """First year infrastructure wafer demand exceeds IoT's."""
+        for y, iot, infra in zip(self.years, self.iot_wafers_300mm,
+                                 self.infra_wafers_300mm):
+            if infra > iot:
+                return y
+        return None
+
+
+def infrastructure_demand(total_data_pb_per_day: float, *,
+                          server_node: str = "14nm",
+                          pb_per_server_day: float = 0.02,
+                          server_die_mm2: float = 400.0) -> dict:
+    """Servers and advanced wafers needed for an IoT data load.
+
+    Every ``pb_per_server_day`` of daily traffic needs a server; each
+    server needs one large advanced-node die (plus switches, amortized
+    into the per-server figure).
+    """
+    if total_data_pb_per_day < 0:
+        raise ValueError("data volume must be non-negative")
+    servers = total_data_pb_per_day / pb_per_server_day
+    node = get_node(server_node)
+    from repro.mfg.cost import dies_per_wafer
+    dpw = dies_per_wafer(server_die_mm2)
+    wafers = servers / max(dpw, 1)
+    return {
+        "servers": servers,
+        "wafers_300mm": wafers,
+        "node": node.name,
+    }
+
+
+def two_path_forecast(years: int = 10, *,
+                      archetypes: list | None = None) -> TwoPathForecast:
+    """Project both demand paths forward from 2015.
+
+    IoT silicon lands on each archetype's (established) node; the data
+    all devices generate drives advanced-node server silicon.  The
+    *shape* the panel predicts: both paths grow, and neither obsoletes
+    the other.
+    """
+    from repro.mfg.cost import dies_per_wafer
+
+    if archetypes is None:
+        archetypes = IOT_ARCHETYPES
+    forecast = TwoPathForecast()
+    installed_data_pb = 0.0
+    for y in range(years + 1):
+        iot_wafers = 0.0
+        year_data_pb = 0.0
+        for arch in archetypes:
+            units_m = arch.units_in_year(y)
+            dpw = dies_per_wafer(arch.die_mm2)
+            iot_wafers += units_m * 1e6 / max(dpw, 1)
+            year_data_pb += units_m * 1e6 * arch.data_mb_per_day / 1e9
+        installed_data_pb += year_data_pb
+        infra = infrastructure_demand(installed_data_pb)
+        forecast.years.append(2015 + y)
+        forecast.iot_wafers_300mm.append(iot_wafers)
+        forecast.infra_wafers_300mm.append(infra["wafers_300mm"])
+    return forecast

@@ -1,0 +1,85 @@
+"""Roadmap projection: "for the next decade to be as great as the past
+one" (the panel's closing question), extrapolated from the node table.
+
+Projects hypothetical nodes beyond the canonical table with
+:func:`repro.tech.scale_node`, tracks density/cost/power trends, and
+reports where the economics (wafer cost growth vs density gain) erode
+the historic cost-per-transistor decline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tech.library import get_node
+from repro.tech.node import TechNode
+from repro.tech.scaling import scale_node
+
+
+@dataclass
+class RoadmapPoint:
+    """One (possibly projected) node on the roadmap."""
+
+    node: TechNode
+    projected: bool
+    cost_per_mtr: float          # wafer $ per million transistors
+
+    def row(self) -> str:
+        tag = "proj" if self.projected else "table"
+        return (f"{self.node.name:>10} ({self.node.year}, {tag}): "
+                f"{self.node.density_mtr_per_mm2:8.1f} MTr/mm2, "
+                f"${self.cost_per_mtr:7.4f}/MTr")
+
+
+def _cost_per_mtr(node: TechNode) -> float:
+    from repro.mfg.yield_model import murphy_yield
+
+    # Wafer area (300mm, edge-corrected): ~67,000 mm2; good transistors
+    # only (yield at a reference 80 mm2 die).
+    wafer_mm2 = 67_000.0
+    y = murphy_yield(80.0, node.defect_density_per_cm2)
+    mtr_per_wafer = node.density_mtr_per_mm2 * wafer_mm2 * y
+    return node.wafer_cost_usd / mtr_per_wafer
+
+
+def project_roadmap(generations: int = 3, *, shrink: float = 0.75,
+                    base: str = "5nm") -> list:
+    """The canonical table plus ``generations`` projected nodes."""
+    if generations < 0:
+        raise ValueError("generations must be non-negative")
+    points = []
+    for name in ("90nm", "65nm", "45nm", "28nm", "20nm", "14nm",
+                 "10nm", "7nm", "5nm"):
+        node = get_node(name)
+        points.append(RoadmapPoint(node, False, _cost_per_mtr(node)))
+    current = get_node(base)
+    for _ in range(generations):
+        current = scale_node(current, shrink)
+        points.append(RoadmapPoint(current, True,
+                                   _cost_per_mtr(current)))
+    return points
+
+
+def cost_scaling_stalls(points: list) -> str | None:
+    """First node where cost/transistor stops improving, or None.
+
+    The economic cliff behind the panel's two-path thesis: once
+    cost-per-transistor flattens, only performance/power-constrained
+    products migrate, and everyone else stays established.
+    """
+    for prev, cur in zip(points, points[1:]):
+        if cur.cost_per_mtr >= prev.cost_per_mtr:
+            return cur.node.name
+    return None
+
+
+def density_doubling_years(points: list) -> float:
+    """Average years per density doubling across the roadmap span."""
+    import math
+
+    first, last = points[0], points[-1]
+    doublings = math.log2(last.node.density_mtr_per_mm2
+                          / first.node.density_mtr_per_mm2)
+    if doublings <= 0:
+        raise ValueError("roadmap must increase density")
+    return (last.node.year - first.node.year) / doublings

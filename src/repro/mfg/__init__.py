@@ -1,0 +1,53 @@
+"""Manufacturing economics: yield, wafer/die/mask cost, NRE.
+
+The quantitative backbone of E4 (layer-count cost), E11/E13 (IoT on
+established nodes), and the "innovation death spiral" Rossi warns of:
+R&D cost and product complexity rising faster than the market a node
+can amortize them over.
+"""
+
+from repro.mfg.yield_model import (
+    murphy_yield,
+    negative_binomial_yield,
+    poisson_yield,
+)
+from repro.mfg.cost import (
+    DieCostBreakdown,
+    die_cost,
+    dies_per_wafer,
+    layer_cost_model,
+    mask_set_cost,
+    wafer_cost,
+)
+from repro.mfg.nre import (
+    NreModel,
+    death_spiral_index,
+    design_cost,
+)
+from repro.mfg.reliability import (
+    ScreeningPlan,
+    arrhenius_acceleration,
+    fit_rate,
+    screen_for_target_ppm,
+    shipped_ppm,
+)
+
+__all__ = [
+    "poisson_yield",
+    "murphy_yield",
+    "negative_binomial_yield",
+    "dies_per_wafer",
+    "wafer_cost",
+    "mask_set_cost",
+    "die_cost",
+    "DieCostBreakdown",
+    "layer_cost_model",
+    "NreModel",
+    "design_cost",
+    "death_spiral_index",
+    "arrhenius_acceleration",
+    "fit_rate",
+    "ScreeningPlan",
+    "shipped_ppm",
+    "screen_for_target_ppm",
+]

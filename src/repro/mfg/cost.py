@@ -1,0 +1,140 @@
+"""Wafer, mask, and die cost models.
+
+The E4/E14 anchor (Domic): "moving from a 6-layer 130 nanometers A&M/S
+process variant to a 4-layer slashes 15-20% from the cost."  The layer
+cost model reproduces that: each metal layer carries deposition, litho,
+etch, and CMP steps, so removing two of six layers removes a double-
+digit share of the wafer's processed cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.mfg.yield_model import murphy_yield, systematic_limited_yield
+from repro.tech.node import TechNode
+from repro.tech.patterning import mask_layer_cost_multiplier
+
+
+def dies_per_wafer(die_area_mm2: float, *, wafer_mm: float = 300.0,
+                   edge_exclusion_mm: float = 3.0) -> int:
+    """Gross dies per wafer with the classic edge-loss correction."""
+    if die_area_mm2 <= 0:
+        raise ValueError("die area must be positive")
+    r = wafer_mm / 2.0 - edge_exclusion_mm
+    side = math.sqrt(die_area_mm2)
+    gross = (math.pi * r * r / die_area_mm2
+             - math.pi * 2 * r / (side * math.sqrt(2.0)))
+    return max(0, int(gross))
+
+
+def wafer_cost(node: TechNode, *, metal_layers: int | None = None) -> float:
+    """Processed wafer cost broken into FEOL and per-layer BEOL.
+
+    The node's book cost corresponds to its typical stack; varying
+    ``metal_layers`` moves the BEOL share proportionally, with critical
+    (multi-patterned) layers weighted by their mask multiplier.
+    """
+    typical = node.metal_layers_typical
+    if metal_layers is None:
+        metal_layers = typical
+    if metal_layers < 1:
+        raise ValueError("need at least one metal layer")
+    # BEOL is ~50% of a mature logic wafer's cost at the typical
+    # stack depth (interconnect dominates processed-wafer step count).
+    beol_share = 0.50
+    feol = node.wafer_cost_usd * (1 - beol_share)
+    # Critical layers (the first two) use the node's patterning regime;
+    # upper layers are relaxed single-pattern.
+    crit_mult = mask_layer_cost_multiplier(node.litho)
+    def stack_units(layers: int) -> float:
+        crit = min(layers, 2)
+        return crit * crit_mult + max(0, layers - 2) * 1.0
+    per_unit = node.wafer_cost_usd * beol_share / stack_units(typical)
+    return feol + per_unit * stack_units(metal_layers)
+
+
+def mask_set_cost(node: TechNode, *, metal_layers: int | None = None) -> float:
+    """Mask-set cost scaled by stack depth and patterning multiplier."""
+    typical = node.metal_layers_typical
+    if metal_layers is None:
+        metal_layers = typical
+    crit_mult = node.litho.mask_multiplier
+    def masks(layers: int) -> float:
+        crit = min(layers, 2)
+        base_masks = 18  # FEOL + via + pad layers
+        return base_masks + crit * crit_mult + max(0, layers - 2)
+    return node.mask_set_cost_usd * masks(metal_layers) / masks(typical)
+
+
+@dataclass
+class DieCostBreakdown:
+    """Per-die cost decomposition."""
+
+    die_area_mm2: float
+    gross_dies: int
+    yield_fraction: float
+    wafer_cost_usd: float
+    die_cost_usd: float
+    amortized_mask_usd: float
+
+    @property
+    def total_usd(self) -> float:
+        return self.die_cost_usd + self.amortized_mask_usd
+
+    def summary(self) -> str:
+        """One-line report."""
+        return (
+            f"{self.die_area_mm2:.1f} mm2, {self.gross_dies} gross, "
+            f"Y={self.yield_fraction:.2f}, "
+            f"${self.total_usd:.3f}/die "
+            f"(silicon ${self.die_cost_usd:.3f} + mask "
+            f"${self.amortized_mask_usd:.3f})"
+        )
+
+
+def die_cost(node: TechNode, die_area_mm2: float, *,
+             metal_layers: int | None = None,
+             volume: int = 1_000_000,
+             d0_override: float | None = None) -> DieCostBreakdown:
+    """Full per-die cost at a node, stack depth, and volume."""
+    if volume < 1:
+        raise ValueError("volume must be positive")
+    d0 = node.defect_density_per_cm2 if d0_override is None else d0_override
+    gross = dies_per_wafer(die_area_mm2)
+    if gross == 0:
+        raise ValueError("die larger than the wafer")
+    if metal_layers is None:
+        metal_layers = node.metal_layers_typical
+    y = systematic_limited_yield(
+        murphy_yield(die_area_mm2, d0),
+        metal_layers * node.litho.mask_multiplier
+        if metal_layers <= 2 else
+        2 * node.litho.mask_multiplier + (metal_layers - 2))
+    wcost = wafer_cost(node, metal_layers=metal_layers)
+    per_die = wcost / (gross * y)
+    masks = mask_set_cost(node, metal_layers=metal_layers)
+    return DieCostBreakdown(
+        die_area_mm2=die_area_mm2,
+        gross_dies=gross,
+        yield_fraction=y,
+        wafer_cost_usd=wcost,
+        die_cost_usd=per_die,
+        amortized_mask_usd=masks / volume,
+    )
+
+
+def layer_cost_model(node: TechNode, die_area_mm2: float,
+                     layer_options: list, *,
+                     volume: int = 1_000_000) -> dict:
+    """Die cost across candidate metal stack depths.
+
+    Returns layers -> DieCostBreakdown; the E4 harness uses it to
+    quantify the 6-to-4-layer saving.
+    """
+    return {
+        layers: die_cost(node, die_area_mm2, metal_layers=layers,
+                         volume=volume)
+        for layers in layer_options
+    }

@@ -1,0 +1,72 @@
+"""Non-recurring engineering cost and the "innovation death spiral".
+
+Rossi: "the R&D costs and the complexity of the products to be
+developed are both [rising] dramatically. One way not to be trapped in
+the so called 'innovation death spiral' ... relies on the timely
+availability of 'robust since the early adoption' EDA ecosystems ...
+'design efficiency' is indeed the only possible, technological and
+financial solution applicable in most of other cases."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.node import TechNode
+
+
+@dataclass
+class NreModel:
+    """Design NRE at a node.
+
+    ``design_efficiency`` scales engineering effort: 1.0 is the
+    brute-force baseline; advanced EDA flows push it below 1.
+    """
+
+    engineer_cost_per_year: float = 250_000.0
+    design_efficiency: float = 1.0
+
+    def engineering_years(self, node: TechNode,
+                          gates_millions: float) -> float:
+        """Engineer-years to complete a design.
+
+        Effort grows with design size (sub-linearly: reuse) and with
+        node complexity (rule count, signoff corners).
+        """
+        if gates_millions <= 0:
+            raise ValueError("design size must be positive")
+        node_factor = (90.0 / node.drawn_nm) ** 0.9 + 0.5
+        base = 4.0 * gates_millions ** 0.6 * node_factor
+        return base * self.design_efficiency
+
+    def total_nre(self, node: TechNode, gates_millions: float, *,
+                  mask_sets: int = 2) -> float:
+        """NRE: engineering plus mask/respin budget."""
+        eng = self.engineering_years(node, gates_millions)
+        return (eng * self.engineer_cost_per_year +
+                mask_sets * node.mask_set_cost_usd)
+
+
+def design_cost(node: TechNode, gates_millions: float, *,
+                design_efficiency: float = 1.0,
+                mask_sets: int = 2) -> float:
+    """One-call NRE estimate in USD."""
+    model = NreModel(design_efficiency=design_efficiency)
+    return model.total_nre(node, gates_millions, mask_sets=mask_sets)
+
+
+def death_spiral_index(node: TechNode, gates_millions: float, *,
+                       unit_volume: int, unit_margin_usd: float,
+                       design_efficiency: float = 1.0) -> float:
+    """NRE as a multiple of the product's lifetime gross margin.
+
+    Above 1.0 the project destroys value — the death spiral: each node
+    multiplies NRE, and only "very high volume applications (Wireless
+    and high end CPUs)" can pay it back with brute force.  Better
+    design efficiency pushes the index back under 1 for everyone else.
+    """
+    if unit_volume < 1 or unit_margin_usd <= 0:
+        raise ValueError("volume and margin must be positive")
+    nre = design_cost(node, gates_millions,
+                      design_efficiency=design_efficiency)
+    return nre / (unit_volume * unit_margin_usd)

@@ -1,0 +1,122 @@
+"""Reliability: FIT rates, temperature acceleration, and zero-PPM.
+
+Rossi: ADAS is "asking for the adoption of advanced CMOS technology at
+a pace the Automotive market never witnessed, but compliant with zero
+PPM quality standards even when the ICs is asked to work in tough
+temperature conditions."  This module quantifies that tension: the
+Arrhenius-accelerated failure rate of a die across temperature, the
+shipped-defect PPM after test/burn-in screening, and what screening
+effort a zero-PPM (sub-1-PPM) target costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+BOLTZMANN_EV = 8.617e-5
+
+
+def arrhenius_acceleration(temp_c: float, ref_c: float = 55.0, *,
+                           activation_ev: float = 0.7) -> float:
+    """Failure-rate acceleration factor at ``temp_c`` vs ``ref_c``."""
+    t1 = ref_c + 273.15
+    t2 = temp_c + 273.15
+    if t2 <= 0 or t1 <= 0:
+        raise ValueError("temperatures below absolute zero")
+    return math.exp(activation_ev / BOLTZMANN_EV * (1 / t1 - 1 / t2))
+
+
+def fit_rate(node, die_area_mm2: float, *, temp_c: float = 55.0,
+             base_fit_per_mm2: float = 0.05) -> float:
+    """Failures per billion device-hours for a die.
+
+    Intrinsic FIT scales with area and with node immaturity (newer
+    nodes carry more marginalities), accelerated by temperature.
+    """
+    if die_area_mm2 <= 0:
+        raise ValueError("area must be positive")
+    maturity = max(node.defect_density_per_cm2 / 0.25, 0.5)
+    base = base_fit_per_mm2 * die_area_mm2 * maturity
+    return base * arrhenius_acceleration(temp_c)
+
+
+@dataclass
+class ScreeningPlan:
+    """A production test + burn-in screen."""
+
+    test_coverage: float          # fraction of defects caught at test
+    burn_in_hours: float = 0.0
+    burn_in_temp_c: float = 125.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.test_coverage <= 1:
+            raise ValueError("coverage in [0, 1]")
+        if self.burn_in_hours < 0:
+            raise ValueError("burn-in hours must be non-negative")
+
+    def latent_escape_fraction(self, *,
+                               latent_weibull_beta: float = 0.5,
+                               latent_life_hours: float = 500.0) -> float:
+        """Fraction of latent (infant-mortality) defects that survive
+        the burn-in and escape to the field.
+
+        Early-life failures follow a decreasing-hazard Weibull; burn-in
+        at elevated temperature consumes equivalent field hours given
+        by the Arrhenius acceleration.
+        """
+        if self.burn_in_hours == 0:
+            return 1.0
+        accel = arrhenius_acceleration(self.burn_in_temp_c)
+        equivalent = self.burn_in_hours * accel
+        return math.exp(
+            -(equivalent / latent_life_hours) ** latent_weibull_beta)
+
+
+def shipped_ppm(node, die_area_mm2: float, plan: ScreeningPlan, *,
+                latent_defect_ppm: float = 200.0) -> float:
+    """Defective parts per million reaching customers.
+
+    Two populations: test escapes (1 - coverage of the latent defect
+    PPM present after yield screening) and burn-in survivors among the
+    infant-mortality population.
+    """
+    maturity = max(node.defect_density_per_cm2 / 0.25, 0.5)
+    latent = latent_defect_ppm * maturity * (die_area_mm2 / 50.0)
+    test_escapes = latent * (1.0 - plan.test_coverage)
+    infant = latent * 0.5 * plan.latent_escape_fraction()
+    return test_escapes + infant
+
+
+def screen_for_target_ppm(node, die_area_mm2: float, *,
+                          target_ppm: float = 1.0,
+                          coverage: float = 0.99,
+                          max_burn_in_hours: float = 96.0):
+    """Smallest burn-in meeting a PPM target at a given test coverage.
+
+    Returns the :class:`ScreeningPlan`, or ``None`` when even the
+    maximum burn-in cannot reach the target (the coverage itself is
+    the binding constraint — buy a better DFT methodology instead).
+    """
+    if target_ppm <= 0:
+        raise ValueError("target must be positive")
+    for hours in (0, 4, 8, 16, 24, 48, 96):
+        if hours > max_burn_in_hours:
+            break
+        plan = ScreeningPlan(coverage, burn_in_hours=hours)
+        if shipped_ppm(node, die_area_mm2, plan) <= target_ppm:
+            return plan
+    return None
+
+
+def automotive_mission_failures(node, die_area_mm2: float, *,
+                                years: float = 15.0,
+                                temp_c: float = 105.0,
+                                fleet: int = 1_000_000) -> float:
+    """Expected in-field failures across a vehicle fleet's lifetime."""
+    if years <= 0 or fleet <= 0:
+        raise ValueError("mission parameters must be positive")
+    hours = years * 8766.0
+    fits = fit_rate(node, die_area_mm2, temp_c=temp_c)
+    per_device = fits * hours * 1e-9
+    return per_device * fleet

@@ -1,0 +1,48 @@
+"""Random-defect yield models."""
+
+from __future__ import annotations
+
+import math
+
+
+def _check(area_mm2: float, d0_per_cm2: float) -> float:
+    if area_mm2 < 0 or d0_per_cm2 < 0:
+        raise ValueError("area and defect density must be non-negative")
+    return area_mm2 / 100.0 * d0_per_cm2  # defects per die
+
+
+def poisson_yield(area_mm2: float, d0_per_cm2: float) -> float:
+    """Poisson model: Y = exp(-A*D0).  Pessimistic for large dies."""
+    return math.exp(-_check(area_mm2, d0_per_cm2))
+
+
+def murphy_yield(area_mm2: float, d0_per_cm2: float) -> float:
+    """Murphy's model: Y = ((1 - e^-AD) / AD)^2.  The industry default."""
+    ad = _check(area_mm2, d0_per_cm2)
+    if ad == 0:
+        return 1.0
+    return ((1.0 - math.exp(-ad)) / ad) ** 2
+
+
+def negative_binomial_yield(area_mm2: float, d0_per_cm2: float,
+                            alpha: float = 2.0) -> float:
+    """Negative-binomial model with clustering parameter ``alpha``."""
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    ad = _check(area_mm2, d0_per_cm2)
+    return (1.0 + ad / alpha) ** (-alpha)
+
+
+def systematic_limited_yield(base: float, layers_at_risk: int,
+                             per_layer_loss: float = 0.005) -> float:
+    """Multiply in per-layer systematic/litho yield loss.
+
+    Each critical (multi-patterned) mask step carries an overlay and
+    stitch-failure risk; deeper decompositions lose more — the yield
+    half of the E4/E3 cost trade.
+    """
+    if not 0 <= base <= 1:
+        raise ValueError("base yield must be in [0, 1]")
+    if layers_at_risk < 0 or per_layer_loss < 0:
+        raise ValueError("bad loss parameters")
+    return base * (1.0 - per_layer_loss) ** layers_at_risk

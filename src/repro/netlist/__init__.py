@@ -1,0 +1,68 @@
+"""Logic-network data structures and design generators.
+
+This package provides the representations every flow stage consumes:
+
+* :class:`TruthTable` — small Boolean functions as bit-packed tables.
+* :class:`Cube` / :class:`Cover` — two-level (SOP) form for Espresso-style
+  minimization.
+* :class:`Aig` — And-Inverter Graphs with structural hashing, the
+  multi-level synthesis subject.
+* :class:`Cell` / :class:`CellLibrary` — standard-cell libraries derived
+  from a :class:`~repro.tech.TechNode`.
+* :class:`Netlist` — mapped gate-level networks (combinational +
+  sequential) used by timing, power, placement, routing, and DFT.
+* generators — adders, multipliers, ALUs, random logic clouds, crossbars,
+  and hierarchical SoCs used as benchmark workloads.
+"""
+
+from repro.netlist.boolfunc import TruthTable
+from repro.netlist.cubes import Cover, Cube
+from repro.netlist.aig import Aig, AIG_FALSE, AIG_TRUE
+from repro.netlist.cells import Cell, CellLibrary, build_library
+from repro.netlist.circuit import Gate, Netlist
+from repro.netlist.generators import (
+    carry_lookahead_adder,
+    crossbar_switch,
+    hierarchical_soc,
+    lfsr,
+    logic_cloud,
+    multiplier,
+    random_aig,
+    registered_cloud,
+    ripple_carry_adder,
+)
+from repro.netlist.hierarchy import (
+    Design,
+    Instance,
+    Module,
+    flatten,
+    implement_by_block,
+)
+
+__all__ = [
+    "TruthTable",
+    "Cube",
+    "Cover",
+    "Aig",
+    "AIG_FALSE",
+    "AIG_TRUE",
+    "Cell",
+    "CellLibrary",
+    "build_library",
+    "Gate",
+    "Netlist",
+    "ripple_carry_adder",
+    "carry_lookahead_adder",
+    "multiplier",
+    "logic_cloud",
+    "registered_cloud",
+    "crossbar_switch",
+    "lfsr",
+    "random_aig",
+    "hierarchical_soc",
+    "Design",
+    "Module",
+    "Instance",
+    "flatten",
+    "implement_by_block",
+]

@@ -1,0 +1,306 @@
+"""And-Inverter Graphs with structural hashing.
+
+The AIG is the workhorse of modern logic synthesis (the "deep rethinking
+of computational models" De Micheli's introduction calls for): every
+combinational function is a DAG of two-input ANDs plus edge inverters.
+
+Literals follow the AIGER convention: node ``i`` has literals ``2*i``
+(positive) and ``2*i + 1`` (negated); node 0 is constant false, so
+literal 0 is FALSE and literal 1 is TRUE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+AIG_FALSE = 0
+AIG_TRUE = 1
+
+
+def lit_not(lit: int) -> int:
+    """Negate a literal."""
+    return lit ^ 1
+
+
+def lit_var(lit: int) -> int:
+    """Node index of a literal."""
+    return lit >> 1
+
+
+def lit_is_neg(lit: int) -> bool:
+    """True if the literal is complemented."""
+    return bool(lit & 1)
+
+
+class Aig:
+    """A mutable And-Inverter Graph.
+
+    Nodes: index 0 is the constant; indices ``1..num_inputs`` are primary
+    inputs; the rest are AND nodes created through :meth:`and_`.
+    Structural hashing merges re-created identical ANDs.
+    """
+
+    def __init__(self, num_inputs: int = 0, input_names=None):
+        self.num_inputs = 0
+        self.input_names: list[str] = []
+        # Parallel arrays of AND fanins, indexed by node id (entries for
+        # the constant and the inputs are (0, 0) placeholders).
+        self._fanin0: list[int] = [0]
+        self._fanin1: list[int] = [0]
+        self._strash: dict[tuple, int] = {}
+        self.outputs: list[int] = []
+        self.output_names: list[str] = []
+        names = input_names or [f"i{k}" for k in range(num_inputs)]
+        if len(names) != num_inputs:
+            raise ValueError("input_names length mismatch")
+        for nm in names:
+            self.add_input(nm)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: str | None = None) -> int:
+        """Add a primary input; returns its positive literal."""
+        if len(self._fanin0) != self.num_nodes:
+            raise AssertionError("internal arrays out of sync")
+        if self.num_ands:
+            raise ValueError("inputs must be added before AND nodes")
+        self.num_inputs += 1
+        self.input_names.append(name or f"i{self.num_inputs - 1}")
+        self._fanin0.append(0)
+        self._fanin1.append(0)
+        return 2 * (self.num_inputs)
+
+    def input_lit(self, index: int) -> int:
+        """Positive literal of input ``index``."""
+        if not 0 <= index < self.num_inputs:
+            raise IndexError("input index out of range")
+        return 2 * (index + 1)
+
+    def and_(self, a: int, b: int) -> int:
+        """AND of two literals, with constant folding and strashing."""
+        self._check_lit(a)
+        self._check_lit(b)
+        if a > b:
+            a, b = b, a
+        if a == AIG_FALSE:
+            return AIG_FALSE
+        if a == AIG_TRUE:
+            return b
+        if a == b:
+            return a
+        if a == lit_not(b):
+            return AIG_FALSE
+        key = (a, b)
+        node = self._strash.get(key)
+        if node is None:
+            node = self.num_nodes
+            self._fanin0.append(a)
+            self._fanin1.append(b)
+            self._strash[key] = node
+        return 2 * node
+
+    def or_(self, a: int, b: int) -> int:
+        """OR via De Morgan."""
+        return lit_not(self.and_(lit_not(a), lit_not(b)))
+
+    def xor_(self, a: int, b: int) -> int:
+        """XOR as (a & ~b) | (~a & b); costs 3 AND nodes."""
+        return self.or_(self.and_(a, lit_not(b)), self.and_(lit_not(a), b))
+
+    def mux_(self, sel: int, t: int, e: int) -> int:
+        """If-then-else: sel ? t : e."""
+        return self.or_(self.and_(sel, t), self.and_(lit_not(sel), e))
+
+    def add_output(self, lit: int, name: str | None = None) -> None:
+        """Register a primary output literal."""
+        self._check_lit(lit)
+        self.outputs.append(lit)
+        self.output_names.append(name or f"o{len(self.outputs) - 1}")
+
+    def _check_lit(self, lit: int) -> None:
+        if not 0 <= lit_var(lit) < self.num_nodes:
+            raise ValueError(f"literal {lit} references unknown node")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        """Total nodes including constant and inputs."""
+        return len(self._fanin0)
+
+    @property
+    def num_ands(self) -> int:
+        """Number of AND nodes — the standard AIG size metric."""
+        return self.num_nodes - 1 - self.num_inputs
+
+    def fanins(self, node: int) -> tuple:
+        """The two fanin literals of AND node ``node``."""
+        if not self.is_and(node):
+            raise ValueError(f"node {node} is not an AND")
+        return self._fanin0[node], self._fanin1[node]
+
+    def is_input(self, node: int) -> bool:
+        """True if ``node`` is a primary input."""
+        return 1 <= node <= self.num_inputs
+
+    def is_and(self, node: int) -> bool:
+        """True if ``node`` is an AND node."""
+        return node > self.num_inputs
+
+    def levels(self) -> list[int]:
+        """Logic depth of each node (inputs at level 0)."""
+        lev = [0] * self.num_nodes
+        for n in range(self.num_inputs + 1, self.num_nodes):
+            a, b = self._fanin0[n], self._fanin1[n]
+            lev[n] = 1 + max(lev[lit_var(a)], lev[lit_var(b)])
+        return lev
+
+    def depth(self) -> int:
+        """Maximum logic depth over the outputs."""
+        if not self.outputs:
+            return 0
+        lev = self.levels()
+        return max(lev[lit_var(o)] for o in self.outputs)
+
+    def fanout_counts(self) -> list[int]:
+        """Fanout count per node (outputs count as one fanout each)."""
+        cnt = [0] * self.num_nodes
+        for n in range(self.num_inputs + 1, self.num_nodes):
+            cnt[lit_var(self._fanin0[n])] += 1
+            cnt[lit_var(self._fanin1[n])] += 1
+        for o in self.outputs:
+            cnt[lit_var(o)] += 1
+        return cnt
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def simulate(self, input_vectors: np.ndarray) -> np.ndarray:
+        """Bit-parallel simulation.
+
+        ``input_vectors`` is a bool array of shape (num_patterns,
+        num_inputs); the result has shape (num_patterns, num_outputs).
+        """
+        vec = np.asarray(input_vectors, dtype=bool)
+        if vec.ndim != 2 or vec.shape[1] != self.num_inputs:
+            raise ValueError("input_vectors must be (patterns, num_inputs)")
+        npat = vec.shape[0]
+        vals = np.zeros((self.num_nodes, npat), dtype=bool)
+        for i in range(self.num_inputs):
+            vals[i + 1] = vec[:, i]
+        for n in range(self.num_inputs + 1, self.num_nodes):
+            a, b = self._fanin0[n], self._fanin1[n]
+            va = vals[lit_var(a)] ^ lit_is_neg(a)
+            vb = vals[lit_var(b)] ^ lit_is_neg(b)
+            vals[n] = va & vb
+        out = np.empty((npat, len(self.outputs)), dtype=bool)
+        for k, o in enumerate(self.outputs):
+            out[:, k] = vals[lit_var(o)] ^ lit_is_neg(o)
+        return out
+
+    def simulate_all(self) -> np.ndarray:
+        """Exhaustive simulation (requires num_inputs <= 20)."""
+        if self.num_inputs > 20:
+            raise ValueError("too many inputs for exhaustive simulation")
+        n = self.num_inputs
+        patterns = np.array(
+            [[(m >> i) & 1 for i in range(n)] for m in range(1 << n)],
+            dtype=bool,
+        ).reshape(1 << n, n)
+        return self.simulate(patterns)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+
+    def cone_nodes(self, roots=None) -> set:
+        """AND nodes in the transitive fanin of the given output literals."""
+        if roots is None:
+            roots = self.outputs
+        seen: set[int] = set()
+        stack = [lit_var(r) for r in roots]
+        while stack:
+            n = stack.pop()
+            if n in seen or not self.is_and(n):
+                continue
+            seen.add(n)
+            stack.append(lit_var(self._fanin0[n]))
+            stack.append(lit_var(self._fanin1[n]))
+        return seen
+
+    def cleanup(self) -> "Aig":
+        """Copy keeping only nodes reachable from the outputs."""
+        out = Aig(self.num_inputs, list(self.input_names))
+        mapping = {0: AIG_FALSE}
+        for i in range(self.num_inputs):
+            mapping[i + 1] = out.input_lit(i)
+        live = self.cone_nodes()
+        for n in range(self.num_inputs + 1, self.num_nodes):
+            if n not in live:
+                continue
+            a, b = self._fanin0[n], self._fanin1[n]
+            na = mapping[lit_var(a)] ^ (a & 1)
+            nb = mapping[lit_var(b)] ^ (b & 1)
+            mapping[n] = out.and_(na, nb)
+        for o, nm in zip(self.outputs, self.output_names):
+            out.add_output(mapping[lit_var(o)] ^ (o & 1), nm)
+        return out
+
+    def copy(self) -> "Aig":
+        """Deep copy."""
+        out = Aig(self.num_inputs, list(self.input_names))
+        out._fanin0 = list(self._fanin0)
+        out._fanin1 = list(self._fanin1)
+        out._strash = dict(self._strash)
+        out.outputs = list(self.outputs)
+        out.output_names = list(self.output_names)
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Aig(inputs={self.num_inputs}, ands={self.num_ands}, "
+            f"outputs={len(self.outputs)}, depth={self.depth()})"
+        )
+
+
+def aig_from_truth_table(tt, aig: Aig | None = None, input_lits=None) -> tuple:
+    """Build AIG logic computing ``tt``; returns (aig, output_literal).
+
+    Uses Shannon decomposition on the function's actual support, which
+    keeps small standard-cell functions compact.
+    """
+    from repro.netlist.boolfunc import TruthTable
+
+    if not isinstance(tt, TruthTable):
+        raise TypeError("tt must be a TruthTable")
+    if aig is None:
+        aig = Aig(tt.nvars)
+    if input_lits is None:
+        input_lits = [aig.input_lit(i) for i in range(tt.nvars)]
+    if len(input_lits) != tt.nvars:
+        raise ValueError("input_lits length mismatch")
+
+    cache: dict[int, int] = {}
+
+    def build(f: TruthTable) -> int:
+        if f.is_contradiction():
+            return AIG_FALSE
+        if f.is_tautology():
+            return AIG_TRUE
+        key = f.bits
+        if key in cache:
+            return cache[key]
+        sup = f.support()
+        v = sup[-1]
+        hi = build(f.cofactor(v, True))
+        lo = build(f.cofactor(v, False))
+        lit = aig.mux_(input_lits[v], hi, lo)
+        cache[key] = lit
+        return lit
+
+    return aig, build(tt)

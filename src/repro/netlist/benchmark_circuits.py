@@ -1,0 +1,201 @@
+"""Classic benchmark circuits, for workload diversity.
+
+Small, structurally distinct circuits with known-good reference
+functions: the ISCAS-85 c17, decoders, comparators, priority encoders,
+population count, parity trees, and Gray-code converters.  Every
+generator returns a mapped :class:`~repro.netlist.Netlist` plus (via
+``reference_*`` helpers) a Python golden model for verification.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.cells import CellLibrary
+from repro.netlist.circuit import Netlist
+
+
+def c17(library: CellLibrary) -> Netlist:
+    """The ISCAS-85 c17: six NAND2 gates, the canonical tiny benchmark."""
+    nl = Netlist("c17", library)
+    g1, g2, g3, g6, g7 = (nl.add_input(n)
+                          for n in ("G1", "G2", "G3", "G6", "G7"))
+    n10 = nl.add_gate("NAND2_X1_rvt", [g1, g3], "G10").output
+    n11 = nl.add_gate("NAND2_X1_rvt", [g3, g6], "G11").output
+    n16 = nl.add_gate("NAND2_X1_rvt", [g2, n11], "G16").output
+    n19 = nl.add_gate("NAND2_X1_rvt", [n11, g7], "G19").output
+    nl.add_gate("NAND2_X1_rvt", [n10, n16], "G22")
+    nl.add_gate("NAND2_X1_rvt", [n16, n19], "G23")
+    nl.add_output("G22")
+    nl.add_output("G23")
+    return nl
+
+
+def reference_c17(g1, g2, g3, g6, g7):
+    """Golden model of c17; returns (G22, G23)."""
+    n10 = not (g1 and g3)
+    n11 = not (g3 and g6)
+    n16 = not (g2 and n11)
+    n19 = not (n11 and g7)
+    return (not (n10 and n16), not (n16 and n19))
+
+
+def decoder(bits: int, library: CellLibrary) -> Netlist:
+    """A ``bits``-to-``2**bits`` one-hot decoder."""
+    if not 1 <= bits <= 5:
+        raise ValueError("bits must be in [1, 5]")
+    nl = Netlist(f"dec{bits}", library)
+    ins = [nl.add_input(f"a{i}") for i in range(bits)]
+    nbar = [nl.add_gate("INV_X1_rvt", [a], f"nb{i}").output
+            for i, a in enumerate(ins)]
+    for m in range(1 << bits):
+        acc = None
+        for i in range(bits):
+            lit = ins[i] if (m >> i) & 1 else nbar[i]
+            if acc is None:
+                acc = lit
+            else:
+                acc = nl.add_gate("AND2_X1_rvt", [acc, lit]).output
+        if acc in nl.primary_inputs or acc in (n for n in nbar):
+            acc = nl.add_gate("BUF_X1_rvt", [acc]).output
+        nl.add_output(acc)
+    return nl
+
+
+def comparator(bits: int, library: CellLibrary) -> Netlist:
+    """Equality comparator: out = (A == B)."""
+    if bits < 1:
+        raise ValueError("bits must be >= 1")
+    nl = Netlist(f"cmp{bits}", library)
+    a = [nl.add_input(f"a{i}") for i in range(bits)]
+    b = [nl.add_input(f"b{i}") for i in range(bits)]
+    eqs = [nl.add_gate("XNOR2_X1_rvt", [a[i], b[i]]).output
+           for i in range(bits)]
+    acc = eqs[0]
+    for e in eqs[1:]:
+        acc = nl.add_gate("AND2_X1_rvt", [acc, e]).output
+    if bits == 1:
+        acc = nl.add_gate("BUF_X1_rvt", [acc]).output
+    nl.add_output(acc)
+    return nl
+
+
+def priority_encoder(bits: int, library: CellLibrary) -> Netlist:
+    """Outputs one-hot grant for the highest-index asserted request."""
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    nl = Netlist(f"prio{bits}", library)
+    req = [nl.add_input(f"r{i}") for i in range(bits)]
+    # grant[i] = req[i] & !(any higher request).
+    higher = None
+    grants = []
+    for i in reversed(range(bits)):
+        if higher is None:
+            g = nl.add_gate("BUF_X1_rvt", [req[i]]).output
+            higher = req[i]
+        else:
+            nh = nl.add_gate("INV_X1_rvt", [higher]).output
+            g = nl.add_gate("AND2_X1_rvt", [req[i], nh]).output
+            higher = nl.add_gate("OR2_X1_rvt", [higher, req[i]]).output
+        grants.append(g)
+    for g in reversed(grants):
+        nl.add_output(g)
+    return nl
+
+
+def popcount(bits: int, library: CellLibrary) -> Netlist:
+    """Population count via a full-adder reduction tree."""
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    nl = Netlist(f"pop{bits}", library)
+    ins = [nl.add_input(f"a{i}") for i in range(bits)]
+    # Column-wise carry-save accumulation.
+    columns: list = [list(ins)]
+    width = 1
+    while (1 << width) <= bits:
+        width += 1
+    for _ in range(width):
+        columns.append([])
+    col = 0
+    while col < len(columns):
+        while len(columns[col]) > 1:
+            if len(columns[col]) >= 3:
+                x, y, z = (columns[col].pop() for _ in range(3))
+                s1 = nl.add_gate("XOR2_X1_rvt", [x, y]).output
+                s = nl.add_gate("XOR2_X1_rvt", [s1, z]).output
+                c1 = nl.add_gate("AND2_X1_rvt", [x, y]).output
+                c2 = nl.add_gate("AND2_X1_rvt", [s1, z]).output
+                c = nl.add_gate("OR2_X1_rvt", [c1, c2]).output
+            else:
+                x, y = (columns[col].pop() for _ in range(2))
+                s = nl.add_gate("XOR2_X1_rvt", [x, y]).output
+                c = nl.add_gate("AND2_X1_rvt", [x, y]).output
+            columns[col].append(s)
+            if col + 1 < len(columns):
+                columns[col + 1].append(c)
+        col += 1
+    for col_nets in columns:
+        if col_nets:
+            net = col_nets[0]
+            if net in nl.primary_inputs:
+                net = nl.add_gate("BUF_X1_rvt", [net]).output
+            nl.add_output(net)
+    return nl
+
+
+def parity_tree(bits: int, library: CellLibrary) -> Netlist:
+    """XOR-reduction parity of ``bits`` inputs (balanced tree)."""
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    nl = Netlist(f"par{bits}", library)
+    level = [nl.add_input(f"a{i}") for i in range(bits)]
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(nl.add_gate(
+                "XOR2_X1_rvt", [level[i], level[i + 1]]).output)
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    out = level[0]
+    if out in nl.primary_inputs:
+        out = nl.add_gate("BUF_X1_rvt", [out]).output
+    nl.add_output(out)
+    return nl
+
+
+def gray_to_binary(bits: int, library: CellLibrary) -> Netlist:
+    """Gray-code to binary converter (the classic XOR prefix chain)."""
+    if bits < 2:
+        raise ValueError("bits must be >= 2")
+    nl = Netlist(f"gray{bits}", library)
+    g = [nl.add_input(f"g{i}") for i in range(bits)]
+    # b[msb] = g[msb]; b[i] = b[i+1] ^ g[i].
+    b = [None] * bits
+    top = nl.add_gate("BUF_X1_rvt", [g[bits - 1]]).output
+    b[bits - 1] = top
+    for i in reversed(range(bits - 1)):
+        b[i] = nl.add_gate("XOR2_X1_rvt", [b[i + 1], g[i]]).output
+    for i in range(bits):
+        nl.add_output(b[i])
+    return nl
+
+
+#: All parameterized generators, for sweeps: name -> (factory, arity).
+CIRCUIT_FACTORIES = {
+    "c17": (lambda bits, lib: c17(lib), None),
+    "decoder": (decoder, 3),
+    "comparator": (comparator, 4),
+    "priority_encoder": (priority_encoder, 4),
+    "popcount": (popcount, 6),
+    "parity_tree": (parity_tree, 8),
+    "gray_to_binary": (gray_to_binary, 4),
+}
+
+
+def all_benchmark_circuits(library: CellLibrary) -> dict:
+    """Instantiate every benchmark at its default size."""
+    out = {}
+    for name, (factory, default) in CIRCUIT_FACTORIES.items():
+        out[name] = factory(default, library)
+    return out

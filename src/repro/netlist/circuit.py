@@ -1,0 +1,303 @@
+"""Mapped gate-level netlists.
+
+A :class:`Netlist` is a named set of :class:`Gate` instances connected by
+string-named nets, plus primary inputs and outputs.  Sequential cells
+(flops) are gates whose cell has ``is_sequential``; their outputs act as
+pseudo-primary-inputs and their D pins as pseudo-primary-outputs for
+topological traversal, timing, and simulation.
+
+This is the common currency between synthesis (which produces one),
+timing/power (which analyze one), placement/routing (which lay one out),
+and DFT (which edits one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netlist.cells import Cell, CellLibrary
+
+
+@dataclass
+class Gate:
+    """One cell instance.
+
+    ``pins`` maps input pin name -> driving net; ``output`` is the net
+    driven by the cell output.
+    """
+
+    name: str
+    cell: Cell
+    pins: dict
+    output: str
+
+    def fanin_nets(self) -> list[str]:
+        """Driving nets in the cell's declared pin order."""
+        return [self.pins[p] for p in self.cell.inputs]
+
+
+class Netlist:
+    """A flat mapped network.
+
+    Invariants (checked by :meth:`validate`):
+
+    * every net has exactly one driver (a gate output or a primary input);
+    * every gate input pin is connected;
+    * primary outputs name existing nets.
+    """
+
+    def __init__(self, name: str, library: CellLibrary):
+        self.name = name
+        self.library = library
+        self.gates: dict[str, Gate] = {}
+        self.primary_inputs: list[str] = []
+        self.primary_outputs: list[str] = []
+        self._driver: dict[str, str] = {}  # net -> gate name ("" for PI)
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_input(self, net: str) -> str:
+        """Declare a primary input net."""
+        if net in self._driver:
+            raise ValueError(f"net {net!r} already driven")
+        self.primary_inputs.append(net)
+        self._driver[net] = ""
+        return net
+
+    def add_output(self, net: str) -> str:
+        """Declare an existing net as a primary output."""
+        self.primary_outputs.append(net)
+        return net
+
+    def add_gate(self, cell: Cell | str, inputs, output: str | None = None,
+                 name: str | None = None) -> Gate:
+        """Instantiate a cell.
+
+        ``inputs`` is a list of driving nets in pin order, or a dict of
+        pin name -> net.  Returns the created :class:`Gate`.
+        """
+        if isinstance(cell, str):
+            cell = self.library[cell]
+        if isinstance(inputs, dict):
+            pins = dict(inputs)
+        else:
+            if len(inputs) != len(cell.inputs):
+                raise ValueError(
+                    f"{cell.name} needs {len(cell.inputs)} inputs, "
+                    f"got {len(inputs)}")
+            pins = dict(zip(cell.inputs, inputs))
+        missing = set(cell.inputs) - set(pins)
+        if missing:
+            raise ValueError(f"unconnected pins {sorted(missing)}")
+        if name is None:
+            name = self._fresh(f"u_{cell.name.lower()}")
+        if name in self.gates:
+            raise ValueError(f"duplicate gate name {name!r}")
+        if output is None:
+            output = self._fresh("n")
+        if output in self._driver:
+            raise ValueError(f"net {output!r} already driven")
+        gate = Gate(name, cell, pins, output)
+        self.gates[name] = gate
+        self._driver[output] = name
+        return gate
+
+    def _fresh(self, prefix: str) -> str:
+        while True:
+            self._counter += 1
+            cand = f"{prefix}{self._counter}"
+            if cand not in self._driver and cand not in self.gates:
+                return cand
+
+    def remove_gate(self, name: str) -> None:
+        """Delete a gate (its output net becomes undriven)."""
+        gate = self.gates.pop(name)
+        del self._driver[gate.output]
+
+    def rewire_pin(self, gate_name: str, pin: str, net: str) -> None:
+        """Reconnect one input pin of a gate to a different net."""
+        gate = self.gates[gate_name]
+        if pin not in gate.pins:
+            raise KeyError(f"gate {gate_name} has no pin {pin}")
+        gate.pins[pin] = net
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def driver_of(self, net: str):
+        """The Gate driving ``net``, or None if it is a primary input."""
+        owner = self._driver.get(net)
+        if owner is None:
+            raise KeyError(f"net {net!r} has no driver")
+        return self.gates[owner] if owner else None
+
+    def nets(self) -> list[str]:
+        """All driven nets."""
+        return list(self._driver)
+
+    def loads_of(self, net: str) -> list[tuple]:
+        """All (gate, pin) pairs reading ``net``."""
+        out = []
+        for g in self.gates.values():
+            for pin, n in g.pins.items():
+                if n == net:
+                    out.append((g, pin))
+        return out
+
+    def fanout_map(self) -> dict:
+        """net -> list of (gate, pin) loads, one pass over the design."""
+        fan: dict[str, list] = {n: [] for n in self._driver}
+        for g in self.gates.values():
+            for pin, n in g.pins.items():
+                fan.setdefault(n, []).append((g, pin))
+        return fan
+
+    def sequential_gates(self) -> list[Gate]:
+        """All flop instances."""
+        return [g for g in self.gates.values() if g.cell.is_sequential]
+
+    def combinational_gates(self) -> list[Gate]:
+        """All non-flop instances."""
+        return [g for g in self.gates.values() if not g.cell.is_sequential]
+
+    def num_instances(self) -> int:
+        """Total cell instances."""
+        return len(self.gates)
+
+    def area_um2(self) -> float:
+        """Total standard-cell area."""
+        return sum(g.cell.area_um2 for g in self.gates.values())
+
+    def leakage_nw(self) -> float:
+        """Total static leakage."""
+        return sum(g.cell.leak_nw for g in self.gates.values())
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def topological_gates(self) -> list[Gate]:
+        """Combinational gates in topological order.
+
+        Flop outputs are treated as sources; an exception is raised on
+        combinational cycles.
+        """
+        order: list[Gate] = []
+        indeg: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {}
+        for g in self.combinational_gates():
+            deg = 0
+            for net in g.pins.values():
+                drv = self.driver_of(net)
+                if drv is not None and not drv.cell.is_sequential:
+                    deg += 1
+                    dependents.setdefault(drv.name, []).append(g.name)
+            indeg[g.name] = deg
+        ready = [n for n, d in indeg.items() if d == 0]
+        while ready:
+            gname = ready.pop()
+            gate = self.gates[gname]
+            order.append(gate)
+            for dep in dependents.get(gname, ()):
+                indeg[dep] -= 1
+                if indeg[dep] == 0:
+                    ready.append(dep)
+        if len(order) != len(indeg):
+            raise ValueError("combinational cycle detected")
+        return order
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ValueError on violation."""
+        for g in self.gates.values():
+            for pin, net in g.pins.items():
+                if net not in self._driver:
+                    raise ValueError(
+                        f"gate {g.name} pin {pin} reads undriven net {net!r}")
+        for po in self.primary_outputs:
+            if po not in self._driver:
+                raise ValueError(f"primary output {po!r} undriven")
+        self.topological_gates()  # raises on cycles
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def simulate(self, input_vectors: np.ndarray,
+                 state: np.ndarray | None = None) -> np.ndarray:
+        """One combinational evaluation, bit-parallel over patterns.
+
+        ``input_vectors``: bool array (patterns, num PIs).  ``state``:
+        optional bool array (patterns, num flops) giving flop Q values;
+        zeros if omitted.  Returns PO values (patterns, num POs).
+        """
+        vec = np.asarray(input_vectors, dtype=bool)
+        if vec.ndim != 2 or vec.shape[1] != len(self.primary_inputs):
+            raise ValueError("bad input vector shape")
+        npat = vec.shape[0]
+        values: dict[str, np.ndarray] = {}
+        for i, net in enumerate(self.primary_inputs):
+            values[net] = vec[:, i]
+        flops = self.sequential_gates()
+        if state is None:
+            state = np.zeros((npat, len(flops)), dtype=bool)
+        for q, g in zip(np.asarray(state, dtype=bool).T, flops):
+            values[g.output] = q
+        for g in self.topological_gates():
+            ins = [values[g.pins[p]] for p in g.cell.inputs]
+            values[g.output] = _eval_cell(g.cell, ins, npat)
+        out = np.empty((npat, len(self.primary_outputs)), dtype=bool)
+        for k, po in enumerate(self.primary_outputs):
+            out[:, k] = values[po]
+        return out
+
+    def next_state(self, input_vectors: np.ndarray,
+                   state: np.ndarray) -> np.ndarray:
+        """Flop D values after one combinational evaluation."""
+        vec = np.asarray(input_vectors, dtype=bool)
+        npat = vec.shape[0]
+        values: dict[str, np.ndarray] = {}
+        for i, net in enumerate(self.primary_inputs):
+            values[net] = vec[:, i]
+        flops = self.sequential_gates()
+        for q, g in zip(np.asarray(state, dtype=bool).T, flops):
+            values[g.output] = q
+        for g in self.topological_gates():
+            ins = [values[g.pins[p]] for p in g.cell.inputs]
+            values[g.output] = _eval_cell(g.cell, ins, npat)
+        nxt = np.empty((npat, len(flops)), dtype=bool)
+        for k, g in enumerate(flops):
+            d = values[g.pins["D"]]
+            if g.cell.is_scan:
+                se = values[g.pins["SE"]]
+                si = values[g.pins["SI"]]
+                d = np.where(se, si, d)
+            nxt[:, k] = d
+        return nxt
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Netlist({self.name!r}, {len(self.gates)} gates, "
+            f"{len(self.primary_inputs)} PI, {len(self.primary_outputs)} PO, "
+            f"{len(self.sequential_gates())} flops)"
+        )
+
+
+def _eval_cell(cell: Cell, inputs: list, npat: int) -> np.ndarray:
+    """Evaluate a combinational cell on bit-parallel input columns."""
+    if cell.function is None:
+        raise ValueError(f"cannot evaluate sequential cell {cell.name}")
+    tt = cell.function
+    # Build the minterm index per pattern, then look it up in the table.
+    idx = np.zeros(npat, dtype=np.int64)
+    for bit, col in enumerate(inputs):
+        idx |= col.astype(np.int64) << bit
+    table = np.array(
+        [bool(tt.bits >> m & 1) for m in range(1 << tt.nvars)], dtype=bool)
+    result = table[idx]
+    return result

@@ -1,0 +1,328 @@
+"""Benchmark design generators.
+
+Synthetic but structurally realistic workloads: arithmetic datapaths,
+random logic clouds with tunable Rent-like connectivity, crossbars (the
+networking-ASIC fabric of Rossi's position), LFSRs, and registered
+pipelines.  All generators are deterministic given an ``rng``/``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netlist.aig import Aig
+from repro.netlist.cells import CellLibrary
+from repro.netlist.circuit import Netlist
+
+
+def ripple_carry_adder(width: int, library: CellLibrary,
+                       name: str = "rca") -> Netlist:
+    """N-bit ripple-carry adder from XOR/AND/OR cells.
+
+    The classic slow-but-small adder; its long carry chain makes it the
+    standard victim for delay-oriented synthesis experiments.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    nl = Netlist(name, library)
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    cin = nl.add_input("cin")
+    carry = cin
+    for i in range(width):
+        p = nl.add_gate("XOR2_X1_rvt", [a[i], b[i]], f"p{i}").output
+        s = nl.add_gate("XOR2_X1_rvt", [p, carry], f"sum{i}").output
+        g1 = nl.add_gate("AND2_X1_rvt", [a[i], b[i]], f"g{i}").output
+        g2 = nl.add_gate("AND2_X1_rvt", [p, carry], f"t{i}").output
+        carry = nl.add_gate("OR2_X1_rvt", [g1, g2], f"c{i + 1}").output
+        nl.add_output(s)
+    nl.add_output(carry)
+    return nl
+
+
+def carry_lookahead_adder(width: int, library: CellLibrary,
+                          group: int = 4, name: str = "cla") -> Netlist:
+    """N-bit adder with group carry-lookahead.
+
+    Carries inside each ``group``-bit block are computed from the block
+    carry-in through two-level P/G logic, cutting depth roughly by the
+    group size — the faster-but-larger point of the area/delay trade.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    nl = Netlist(name, library)
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    carry = nl.add_input("cin")
+    p = []
+    g = []
+    for i in range(width):
+        p.append(nl.add_gate("XOR2_X1_rvt", [a[i], b[i]], f"p{i}").output)
+        g.append(nl.add_gate("AND2_X1_rvt", [a[i], b[i]], f"g{i}").output)
+    for lo in range(0, width, group):
+        hi = min(lo + group, width)
+        block_cin = carry
+        # Sum bits use the lookahead carries.
+        carries = [block_cin]
+        for i in range(lo, hi):
+            # c[i+1] = g[i] + p[i] * c[i], flattened: OR over AND chains.
+            terms = [g[i]]
+            chain = carries[i - lo]
+            and_prev = nl.add_gate(
+                "AND2_X1_rvt", [p[i], chain], f"pc{i}").output
+            terms.append(and_prev)
+            acc = terms[0]
+            for t in terms[1:]:
+                acc = nl.add_gate("OR2_X1_rvt", [acc, t]).output
+            carries.append(acc)
+        for i in range(lo, hi):
+            s = nl.add_gate(
+                "XOR2_X1_rvt", [p[i], carries[i - lo]], f"sum{i}").output
+            nl.add_output(s)
+        carry = carries[-1]
+    nl.add_output(carry)
+    return nl
+
+
+def multiplier(width: int, library: CellLibrary,
+               name: str = "mult") -> Netlist:
+    """N x N array multiplier (carry-save reduction, ripple final add)."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    nl = Netlist(name, library)
+    a = [nl.add_input(f"a{i}") for i in range(width)]
+    b = [nl.add_input(f"b{i}") for i in range(width)]
+    # Partial products.
+    columns: list[list[str]] = [[] for _ in range(2 * width)]
+    for i in range(width):
+        for j in range(width):
+            pp = nl.add_gate("AND2_X1_rvt", [a[i], b[j]]).output
+            columns[i + j].append(pp)
+    # Carry-save reduction with full/half adders built from cells.
+    for col in range(2 * width):
+        while len(columns[col]) > 1:
+            if len(columns[col]) >= 3:
+                x, y, z = (columns[col].pop() for _ in range(3))
+                s1 = nl.add_gate("XOR2_X1_rvt", [x, y]).output
+                s = nl.add_gate("XOR2_X1_rvt", [s1, z]).output
+                c1 = nl.add_gate("AND2_X1_rvt", [x, y]).output
+                c2 = nl.add_gate("AND2_X1_rvt", [s1, z]).output
+                c = nl.add_gate("OR2_X1_rvt", [c1, c2]).output
+            else:
+                x, y = (columns[col].pop() for _ in range(2))
+                s = nl.add_gate("XOR2_X1_rvt", [x, y]).output
+                c = nl.add_gate("AND2_X1_rvt", [x, y]).output
+            columns[col].append(s)
+            if col + 1 < 2 * width:
+                columns[col + 1].append(c)
+        if columns[col]:
+            nl.add_output(columns[col][0])
+    return nl
+
+
+def logic_cloud(num_inputs: int, num_outputs: int, num_gates: int,
+                library: CellLibrary, seed: int = 0,
+                locality: float = 0.7, name: str = "cloud") -> Netlist:
+    """Random combinational DAG with tunable locality.
+
+    ``locality`` in [0, 1] biases gate fanins toward recently created
+    nets, which mimics the short-wire-rich connectivity of real logic
+    (a Rent-exponent-like control).  The gate mix matches typical mapped
+    designs (NAND/NOR-heavy with some XOR and AOI).
+    """
+    if num_inputs < 2 or num_gates < 1 or num_outputs < 1:
+        raise ValueError("degenerate cloud parameters")
+    rng = np.random.default_rng(seed)
+    nl = Netlist(name, library)
+    nets = [nl.add_input(f"i{k}") for k in range(num_inputs)]
+    mix = [
+        ("NAND2_X1_rvt", 0.28), ("NOR2_X1_rvt", 0.16),
+        ("INV_X1_rvt", 0.14), ("AND2_X1_rvt", 0.10),
+        ("OR2_X1_rvt", 0.08), ("XOR2_X1_rvt", 0.08),
+        ("AOI21_X1_rvt", 0.06), ("OAI21_X1_rvt", 0.05),
+        ("NAND3_X1_rvt", 0.03), ("MUX2_X1_rvt", 0.02),
+    ]
+    names = [m[0] for m in mix]
+    probs = np.array([m[1] for m in mix])
+    probs = probs / probs.sum()
+    for _ in range(num_gates):
+        cell = library[names[rng.choice(len(names), p=probs)]]
+        k = cell.num_inputs
+        pool = len(nets)
+        picks = []
+        for _ in range(k):
+            if rng.random() < locality:
+                # Recent nets: geometric-ish window over the last 10%.
+                window = max(2, pool // 10)
+                idx = pool - 1 - int(rng.integers(0, window))
+            else:
+                idx = int(rng.integers(0, pool))
+            picks.append(nets[idx])
+        out = nl.add_gate(cell, picks).output
+        nets.append(out)
+    # Outputs: the most recent nets (the cloud's "frontier").
+    for net in nets[-num_outputs:]:
+        nl.add_output(net)
+    return nl
+
+
+def registered_cloud(num_inputs: int, num_flops: int, num_gates: int,
+                     library: CellLibrary, seed: int = 0,
+                     name: str = "regcloud") -> Netlist:
+    """A logic cloud wrapped in flops: the DFT/scan workload.
+
+    Flop outputs feed the cloud; a slice of cloud nets feeds the flop D
+    pins.  This provides realistic scan-stitching and congestion
+    experiments (E10).
+    """
+    if num_flops < 1:
+        raise ValueError("need at least one flop")
+    rng = np.random.default_rng(seed)
+    nl = Netlist(name, library)
+    pis = [nl.add_input(f"i{k}") for k in range(num_inputs)]
+    dff = library.flop(scan=False)
+    flop_qs = []
+    flop_names = []
+    for k in range(num_flops):
+        # Temporarily drive D from a PI; rewired to cloud nets below.
+        g = nl.add_gate(dff, {"D": pis[k % num_inputs]}, f"q{k}", f"ff{k}")
+        flop_qs.append(g.output)
+        flop_names.append(g.name)
+    nets = list(pis) + flop_qs
+    mix = ["NAND2_X1_rvt", "NOR2_X1_rvt", "INV_X1_rvt", "XOR2_X1_rvt",
+           "AND2_X1_rvt", "OR2_X1_rvt"]
+    for _ in range(num_gates):
+        cell = library[mix[int(rng.integers(0, len(mix)))]]
+        picks = [nets[int(rng.integers(0, len(nets)))]
+                 for _ in range(cell.num_inputs)]
+        nets.append(nl.add_gate(cell, picks).output)
+    cloud_nets = nets[len(pis) + len(flop_qs):]
+    if cloud_nets:
+        for k, fname in enumerate(flop_names):
+            src = cloud_nets[int(rng.integers(0, len(cloud_nets)))]
+            nl.rewire_pin(fname, "D", src)
+    for net in cloud_nets[-max(1, num_flops // 4):]:
+        nl.add_output(net)
+    return nl
+
+
+def crossbar_switch(num_ports: int, width: int, library: CellLibrary,
+                    name: str = "xbar") -> Netlist:
+    """An output-muxed crossbar: the heart of a networking ASIC.
+
+    Every output port selects among all input ports through a mux tree
+    controlled by one-hot-encoded select lines.  High fanout of input
+    buses and dense mux columns give the >5x switching-activity profile
+    Rossi describes (E9).
+    """
+    if num_ports < 2 or width < 1:
+        raise ValueError("crossbar needs >= 2 ports and width >= 1")
+    nl = Netlist(name, library)
+    data = [[nl.add_input(f"in{p}_{b}") for b in range(width)]
+            for p in range(num_ports)]
+    nsel = max(1, (num_ports - 1).bit_length())
+    sels = [[nl.add_input(f"sel{o}_{s}") for s in range(nsel)]
+            for o in range(num_ports)]
+    for o in range(num_ports):
+        for b in range(width):
+            lanes = [data[p][b] for p in range(num_ports)]
+            level = 0
+            while len(lanes) > 1:
+                nxt = []
+                sel = sels[o][min(level, nsel - 1)]
+                for i in range(0, len(lanes) - 1, 2):
+                    m = nl.add_gate(
+                        "MUX2_X1_rvt",
+                        {"A": lanes[i], "B": lanes[i + 1], "S": sel},
+                    ).output
+                    nxt.append(m)
+                if len(lanes) % 2:
+                    nxt.append(lanes[-1])
+                lanes = nxt
+                level += 1
+            nl.add_output(lanes[0])
+    return nl
+
+
+def lfsr(width: int, library: CellLibrary, taps=None,
+         name: str = "lfsr") -> Netlist:
+    """Fibonacci LFSR of ``width`` flops (test-pattern generator core)."""
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    if taps is None:
+        taps = [width - 1, 0]
+    nl = Netlist(name, library)
+    en = nl.add_input("en")
+    dff = library.flop(scan=False)
+    qs = []
+    names = []
+    for k in range(width):
+        g = nl.add_gate(dff, {"D": en}, f"q{k}", f"ff{k}")
+        qs.append(g.output)
+        names.append(g.name)
+    fb = qs[taps[0]]
+    for t in taps[1:]:
+        fb = nl.add_gate("XOR2_X1_rvt", [fb, qs[t]]).output
+    nl.rewire_pin(names[0], "D", fb)
+    for k in range(1, width):
+        nl.rewire_pin(names[k], "D", qs[k - 1])
+    nl.add_output(qs[-1])
+    return nl
+
+
+def random_aig(num_inputs: int, num_ands: int, num_outputs: int,
+               seed: int = 0) -> Aig:
+    """Random AIG for synthesis stress tests."""
+    if num_inputs < 2:
+        raise ValueError("need >= 2 inputs")
+    rng = np.random.default_rng(seed)
+    aig = Aig(num_inputs)
+    lits = [aig.input_lit(i) for i in range(num_inputs)]
+    attempts = 0
+    while aig.num_ands < num_ands and attempts < 50 * num_ands:
+        attempts += 1
+        a = lits[int(rng.integers(0, len(lits)))] ^ int(rng.integers(0, 2))
+        b = lits[int(rng.integers(0, len(lits)))] ^ int(rng.integers(0, 2))
+        lit = aig.and_(a, b)
+        if lit not in (0, 1):
+            lits.append(lit)
+    for k in range(num_outputs):
+        aig.add_output(lits[-1 - (k % min(len(lits), num_outputs))],
+                       f"o{k}")
+    return aig
+
+
+def hierarchical_soc(num_blocks: int, gates_per_block: int,
+                     library: CellLibrary, seed: int = 0,
+                     bus_width: int = 16):
+    """A hierarchical SoC :class:`~repro.netlist.hierarchy.Design`.
+
+    ``num_blocks`` logic-cloud blocks chained by ``bus_width``-bit buses,
+    the workload for the flat-vs-hierarchical experiment (E2).
+    """
+    from repro.netlist.hierarchy import Design, Instance, Module
+
+    if num_blocks < 1:
+        raise ValueError("need at least one block")
+    modules = []
+    for b in range(num_blocks):
+        sub = logic_cloud(bus_width, bus_width, gates_per_block,
+                          library, seed=seed + b, name=f"block{b}")
+        modules.append(Module(f"block{b}", sub))
+    design = Design("soc", library)
+    for m in modules:
+        design.add_module(m)
+    # Chain blocks: block b's outputs feed block b+1's inputs.
+    top_in = [f"soc_in{k}" for k in range(bus_width)]
+    prev = top_in
+    for b in range(num_blocks):
+        outs = [f"bus{b}_{k}" for k in range(bus_width)]
+        design.add_instance(Instance(
+            name=f"u_block{b}",
+            module=f"block{b}",
+            input_map=dict(zip(modules[b].netlist.primary_inputs, prev)),
+            output_map=dict(zip(modules[b].netlist.primary_outputs, outs)),
+        ))
+        prev = outs
+    design.set_top_ports(top_in, prev)
+    return design

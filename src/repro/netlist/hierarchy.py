@@ -1,0 +1,171 @@
+"""Hierarchical designs: modules, instances, and flattening.
+
+The panel's E2 claim (Domic): "the flat implementation of a hierarchical
+design can save silicon real estate, and power consumption — due to the
+lesser amount of buffering."  The hierarchy model here makes that
+testable: block-by-block implementation must isolate each block behind
+boundary buffers, while :func:`flatten` produces a single netlist with no
+boundary cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netlist.cells import CellLibrary
+from repro.netlist.circuit import Netlist
+
+
+@dataclass
+class Module:
+    """A reusable block: a name plus its implementation netlist."""
+
+    name: str
+    netlist: Netlist
+
+    @property
+    def ports_in(self) -> list[str]:
+        return list(self.netlist.primary_inputs)
+
+    @property
+    def ports_out(self) -> list[str]:
+        return list(self.netlist.primary_outputs)
+
+
+@dataclass
+class Instance:
+    """One placement of a module in the top level.
+
+    ``input_map``/``output_map`` map module port names to top-level nets.
+    """
+
+    name: str
+    module: str
+    input_map: dict
+    output_map: dict
+
+
+class Design:
+    """A two-level hierarchy: a top cell instantiating modules."""
+
+    def __init__(self, name: str, library: CellLibrary):
+        self.name = name
+        self.library = library
+        self.modules: dict[str, Module] = {}
+        self.instances: list[Instance] = []
+        self.top_inputs: list[str] = []
+        self.top_outputs: list[str] = []
+
+    def add_module(self, module: Module) -> None:
+        """Register a module definition."""
+        if module.name in self.modules:
+            raise ValueError(f"duplicate module {module.name!r}")
+        self.modules[module.name] = module
+
+    def add_instance(self, inst: Instance) -> None:
+        """Place an instance of a registered module."""
+        if inst.module not in self.modules:
+            raise KeyError(f"unknown module {inst.module!r}")
+        mod = self.modules[inst.module]
+        missing = set(mod.ports_in) - set(inst.input_map)
+        if missing:
+            raise ValueError(f"{inst.name}: unmapped inputs {sorted(missing)}")
+        self.instances.append(inst)
+
+    def set_top_ports(self, inputs, outputs) -> None:
+        """Declare the top-level primary inputs/outputs."""
+        self.top_inputs = list(inputs)
+        self.top_outputs = list(outputs)
+
+    def total_gates(self) -> int:
+        """Gate count summed over instances (pre-flattening)."""
+        return sum(
+            self.modules[i.module].netlist.num_instances()
+            for i in self.instances
+        )
+
+    def boundary_port_count(self) -> int:
+        """Number of module boundary crossings (each needs a buffer in
+        block-by-block implementation)."""
+        return sum(
+            len(i.input_map) + len(i.output_map) for i in self.instances
+        )
+
+
+def flatten(design: Design, name: str | None = None) -> Netlist:
+    """Flatten a two-level design into a single netlist.
+
+    Gate and internal-net names are prefixed with the instance name;
+    ports are stitched to the top-level nets with no boundary cells.
+    """
+    nl = Netlist(name or f"{design.name}_flat", design.library)
+    for pi in design.top_inputs:
+        nl.add_input(pi)
+
+    # First pass: create every gate with prefixed names; record the net
+    # renaming per instance.
+    for inst in design.instances:
+        mod = design.modules[inst.module]
+        sub = mod.netlist
+        rename: dict[str, str] = {}
+        for port, top_net in inst.input_map.items():
+            rename[port] = top_net
+        for port, top_net in inst.output_map.items():
+            rename[port] = top_net
+        # Internal nets (gate outputs not mapped as ports).
+        for g in sub.gates.values():
+            if g.output not in rename:
+                rename[g.output] = f"{inst.name}.{g.output}"
+        for g in _topo_with_flops(sub):
+            pins = {p: rename[n] for p, n in g.pins.items()}
+            nl.add_gate(g.cell, pins, rename[g.output],
+                        f"{inst.name}.{g.name}")
+    for po in design.top_outputs:
+        nl.add_output(po)
+    return nl
+
+
+def _topo_with_flops(sub: Netlist):
+    """Module gates, flops first then combinational topological order."""
+    return sub.sequential_gates() + sub.topological_gates()
+
+
+def implement_by_block(design: Design, *, buffer_drive: str = "X2"):
+    """Block-by-block (hierarchical) implementation of a design.
+
+    Each module is implemented in isolation, so every boundary port gets
+    an isolation buffer (input and output side), exactly the overhead the
+    flat flow avoids.  Returns the flattened netlist *with* the boundary
+    buffers inserted, so it can be compared head-to-head with
+    :func:`flatten`.
+    """
+    nl = Netlist(f"{design.name}_hier", design.library)
+    buf = design.library.buffer(buffer_drive)
+    for pi in design.top_inputs:
+        nl.add_input(pi)
+    for inst in design.instances:
+        mod = design.modules[inst.module]
+        sub = mod.netlist
+        rename: dict[str, str] = {}
+        # Boundary input buffers: top net -> buffered internal net.
+        for port, top_net in inst.input_map.items():
+            g = nl.add_gate(buf, {"A": top_net},
+                            f"{inst.name}.bufin_{port}")
+            rename[port] = g.output
+        for port, top_net in inst.output_map.items():
+            # The module's internal driver lands on a pre-buffer net;
+            # an output buffer drives the top net.
+            rename[port] = f"{inst.name}.pre_{port}"
+        for g in sub.gates.values():
+            if g.output not in rename:
+                rename[g.output] = f"{inst.name}.{g.output}"
+        for g in _topo_with_flops(sub):
+            pins = {p: rename[n] for p, n in g.pins.items()}
+            nl.add_gate(g.cell, pins, rename[g.output],
+                        f"{inst.name}.{g.name}")
+        for port, top_net in inst.output_map.items():
+            nl.add_gate(buf, {"A": rename[port]}, top_net,
+                        f"{inst.name}.bufout_{port}")
+    for po in design.top_outputs:
+        nl.add_output(po)
+    return nl

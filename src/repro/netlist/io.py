@@ -1,0 +1,267 @@
+"""Netlist interchange: structural Verilog and BLIF.
+
+A downstream user needs to get designs in and out:
+
+* :func:`write_verilog` / :func:`read_verilog` — flat structural
+  Verilog restricted to library-cell instantiations (the gate-level
+  subset every P&R tool consumes).
+* :func:`write_blif` / :func:`read_blif` — the SIS/ABC interchange for
+  :class:`~repro.synthesis.LogicNetwork` (``.names`` cover format).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.netlist.cells import CellLibrary
+from repro.netlist.circuit import Netlist
+
+
+def _escape(name: str) -> str:
+    """Escape a net/instance name for Verilog if needed."""
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", name):
+        return name
+    return f"\\{name} "
+
+
+def write_verilog(netlist: Netlist) -> str:
+    """Serialize a mapped netlist as flat structural Verilog."""
+    lines = []
+    ports = [_escape(p) for p in
+             netlist.primary_inputs + netlist.primary_outputs]
+    lines.append(f"module {_escape(netlist.name)} (")
+    lines.append("  " + ", ".join(ports))
+    lines.append(");")
+    for pi in netlist.primary_inputs:
+        lines.append(f"  input {_escape(pi)};")
+    for po in netlist.primary_outputs:
+        lines.append(f"  output {_escape(po)};")
+    internal = [
+        n for n in netlist.nets()
+        if n not in netlist.primary_inputs
+        and n not in netlist.primary_outputs
+    ]
+    for net in sorted(internal):
+        lines.append(f"  wire {_escape(net)};")
+    for gate in netlist.gates.values():
+        conns = [f".{pin}({_escape(net)})"
+                 for pin, net in sorted(gate.pins.items())]
+        conns.append(f".Y({_escape(gate.output)})")
+        lines.append(
+            f"  {gate.cell.name} {_escape(gate.name)} "
+            f"({', '.join(conns)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+_VLOG_TOKEN = re.compile(
+    r"\\(?P<esc>\S+)\s|(?P<id>[A-Za-z_][A-Za-z0-9_$]*)"
+    r"|(?P<punct>[(),.;])")
+
+
+def _tokenize_verilog(text: str):
+    text = re.sub(r"//[^\n]*", " ", text)
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    for m in _VLOG_TOKEN.finditer(text):
+        if m.group("esc") is not None:
+            yield ("id", m.group("esc"))
+        elif m.group("id") is not None:
+            yield ("id", m.group("id"))
+        else:
+            yield ("punct", m.group("punct"))
+
+
+def read_verilog(text: str, library: CellLibrary) -> Netlist:
+    """Parse flat structural Verilog produced by :func:`write_verilog`.
+
+    Supports named port connections only; every instantiated module
+    must exist in ``library``; the output pin must be named ``Y``.
+    """
+    tokens = list(_tokenize_verilog(text))
+    pos = 0
+
+    def peek():
+        return tokens[pos] if pos < len(tokens) else ("eof", "")
+
+    def take(expect=None):
+        nonlocal pos
+        kind, val = peek()
+        if expect is not None and val != expect and kind != expect:
+            raise ValueError(
+                f"parse error: expected {expect!r}, got {val!r}")
+        pos += 1
+        return val
+
+    take("module")
+    name = take("id")
+    nl = Netlist(name, library)
+    # Port list (names only; direction comes from declarations).
+    take("(")
+    while peek()[1] != ")":
+        take()
+    take(")")
+    take(";")
+
+    inputs: list[str] = []
+    outputs: list[str] = []
+    pending_gates: list[tuple] = []
+    while peek()[1] != "endmodule":
+        kind, val = peek()
+        if val in ("input", "output", "wire"):
+            take()
+            names = []
+            while peek()[1] != ";":
+                tok = take()
+                if tok != ",":
+                    names.append(tok)
+            take(";")
+            if val == "input":
+                inputs.extend(names)
+            elif val == "output":
+                outputs.extend(names)
+        elif kind == "id":
+            cell_name = take("id")
+            inst_name = take("id")
+            take("(")
+            pins = {}
+            while peek()[1] != ")":
+                take(".")
+                pin = take("id")
+                take("(")
+                net = take("id")
+                take(")")
+                if peek()[1] == ",":
+                    take(",")
+                pins[pin] = net
+            take(")")
+            take(";")
+            pending_gates.append((cell_name, inst_name, pins))
+        else:
+            raise ValueError(f"unexpected token {val!r}")
+    for net in inputs:
+        nl.add_input(net)
+    for cell_name, inst_name, pins in pending_gates:
+        cell = library[cell_name]
+        output = pins.pop("Y", None)
+        if output is None:
+            raise ValueError(f"instance {inst_name} has no .Y() pin")
+        nl.add_gate(cell, pins, output, inst_name)
+    for net in outputs:
+        nl.add_output(net)
+    return nl
+
+
+# ----------------------------------------------------------------------
+# BLIF for logic networks
+# ----------------------------------------------------------------------
+
+def write_blif(network) -> str:
+    """Serialize a :class:`~repro.synthesis.LogicNetwork` as BLIF."""
+    from repro.synthesis.network import LogicNetwork
+
+    if not isinstance(network, LogicNetwork):
+        raise TypeError("write_blif expects a LogicNetwork")
+    lines = [f".model {network.name}"]
+    lines.append(".inputs " + " ".join(network.inputs))
+    lines.append(".outputs " + " ".join(network.outputs))
+    for name in network.topological_order():
+        node = network.nodes[name]
+        fanins = sorted(node.support())
+        lines.append(".names " + " ".join(fanins + [name]))
+        for cube in node.sop:
+            row = []
+            for f in fanins:
+                if (f, True) in cube:
+                    row.append("1")
+                elif (f, False) in cube:
+                    row.append("0")
+                else:
+                    row.append("-")
+            lines.append(("".join(row) + " 1").strip())
+        # Constant-0 nodes have no rows, matching SIS semantics.
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def read_blif(text: str):
+    """Parse BLIF into a :class:`~repro.synthesis.LogicNetwork`.
+
+    Supports ``.model/.inputs/.outputs/.names/.end`` with single-output
+    covers whose output value is 1 (the SIS default).
+    """
+    from repro.synthesis.network import LogicNetwork
+
+    network = LogicNetwork()
+    lines = _continued_lines(text)
+    current_names = None
+    current_cubes: list = []
+
+    def flush():
+        nonlocal current_names, current_cubes
+        if current_names is None:
+            return
+        *fanins, out = current_names
+        sop = []
+        for row in current_cubes:
+            pattern, value = row
+            if value != "1":
+                raise ValueError("only on-set covers supported")
+            cube = set()
+            for f, ch in zip(fanins, pattern):
+                if ch == "1":
+                    cube.add((f, True))
+                elif ch == "0":
+                    cube.add((f, False))
+                elif ch != "-":
+                    raise ValueError(f"bad cover character {ch!r}")
+            sop.append(frozenset(cube))
+        network.add_node(out, sop)
+        current_names, current_cubes = None, []
+
+    for line in lines:
+        tokens = line.split()
+        if not tokens:
+            continue
+        key = tokens[0]
+        if key == ".model":
+            network.name = tokens[1] if len(tokens) > 1 else "net"
+        elif key == ".inputs":
+            flush()
+            for t in tokens[1:]:
+                network.add_input(t)
+        elif key == ".outputs":
+            flush()
+            outputs = tokens[1:]
+        elif key == ".names":
+            flush()
+            current_names = tokens[1:]
+        elif key == ".end":
+            flush()
+        elif key.startswith("."):
+            raise ValueError(f"unsupported BLIF construct {key!r}")
+        else:
+            if current_names is None:
+                raise ValueError("cover row outside .names")
+            if len(tokens) == 1 and len(current_names) == 1:
+                current_cubes.append(("", tokens[0]))
+            else:
+                current_cubes.append((tokens[0], tokens[1]))
+    flush()
+    for out in outputs:
+        network.set_output(out)
+    return network
+
+
+def _continued_lines(text: str):
+    out = []
+    buf = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if line.endswith("\\"):
+            buf += line[:-1] + " "
+            continue
+        out.append(buf + line)
+        buf = ""
+    if buf:
+        out.append(buf)
+    return out

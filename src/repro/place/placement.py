@@ -1,0 +1,171 @@
+"""The placement data model and its metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netlist.circuit import Netlist
+
+
+@dataclass
+class Placement:
+    """Cell locations on a die for one netlist.
+
+    ``positions`` maps gate name -> (x, y) in microns (cell centers).
+    Primary I/O pins sit on the die boundary in ``pad_positions``.
+    """
+
+    netlist: Netlist
+    die_w_um: float
+    die_h_um: float
+    positions: dict = field(default_factory=dict)
+    pad_positions: dict = field(default_factory=dict)
+    row_height_um: float = 1.0
+
+    # ------------------------------------------------------------------
+
+    def net_pins(self) -> dict:
+        """net -> [(x, y)] of all pins on the net (driver + loads)."""
+        pins: dict[str, list] = {}
+        for g in self.netlist.gates.values():
+            if g.name in self.positions:
+                pins.setdefault(g.output, []).append(self.positions[g.name])
+                for net in g.pins.values():
+                    pins.setdefault(net, []).append(
+                        self.positions[g.name])
+        for net, xy in self.pad_positions.items():
+            pins.setdefault(net, []).append(xy)
+        return pins
+
+    def net_hpwl(self, net: str, pins: dict | None = None) -> float:
+        """Half-perimeter wirelength of one net."""
+        pts = (pins or self.net_pins()).get(net, [])
+        if len(pts) < 2:
+            return 0.0
+        xs = [p[0] for p in pts]
+        ys = [p[1] for p in pts]
+        return (max(xs) - min(xs)) + (max(ys) - min(ys))
+
+    def total_hpwl(self) -> float:
+        """Total half-perimeter wirelength over all nets."""
+        pins = self.net_pins()
+        return sum(self.net_hpwl(net, pins) for net in pins)
+
+    def net_lengths(self) -> dict:
+        """net -> HPWL, the input to placement-aware timing/power."""
+        pins = self.net_pins()
+        return {net: self.net_hpwl(net, pins) for net in pins}
+
+    def density_map(self, bins: int = 16) -> np.ndarray:
+        """(bins, bins) utilization map of placed cell area."""
+        grid = np.zeros((bins, bins))
+        bx = self.die_w_um / bins
+        by = self.die_h_um / bins
+        for name, (x, y) in self.positions.items():
+            gate = self.netlist.gates[name]
+            ix = int(np.clip(x / bx, 0, bins - 1))
+            iy = int(np.clip(y / by, 0, bins - 1))
+            grid[iy, ix] += gate.cell.area_um2
+        return grid / (bx * by)
+
+    def congestion_map(self, bins: int = 16) -> np.ndarray:
+        """(bins, bins) routing-demand estimate.
+
+        Each net spreads one unit of demand uniformly over its bounding
+        box (the RUDY estimator), scaled by the net's HPWL density.
+        """
+        grid = np.zeros((bins, bins))
+        bx = self.die_w_um / bins
+        by = self.die_h_um / bins
+        for net, pts in self.net_pins().items():
+            if len(pts) < 2:
+                continue
+            xs = [p[0] for p in pts]
+            ys = [p[1] for p in pts]
+            w = max(max(xs) - min(xs), bx * 0.5)
+            h = max(max(ys) - min(ys), by * 0.5)
+            demand = (w + h) / (w * h)
+            x0 = int(np.clip(min(xs) / bx, 0, bins - 1))
+            x1 = int(np.clip(max(xs) / bx, x0, bins - 1))
+            y0 = int(np.clip(min(ys) / by, 0, bins - 1))
+            y1 = int(np.clip(max(ys) / by, y0, bins - 1))
+            grid[y0:y1 + 1, x0:x1 + 1] += demand
+        return grid
+
+    def peak_congestion(self, bins: int = 16) -> float:
+        """Max of the congestion map — the overflow risk proxy."""
+        return float(self.congestion_map(bins).max())
+
+    def legalize_to_rows(self) -> None:
+        """Snap cells into non-overlapping rows, preserving positions.
+
+        Cells are assigned to the nearest row with free width; within a
+        row, a forward pass resolves overlaps left-to-right around the
+        desired x coordinates and a backward pass pulls any overflow
+        back inside the die (an abacus-style legalizer).
+        """
+        rows = max(1, int(self.die_h_um / self.row_height_um))
+        fill = [0.0] * rows
+        assigned: list[list] = [[] for _ in range(rows)]
+        order = sorted(self.positions.items(), key=lambda kv: kv[1][0])
+        for name, (x, y) in order:
+            gate = self.netlist.gates[name]
+            width = max(gate.cell.area_um2 / self.row_height_um, 0.05)
+            target = int(np.clip(y / self.row_height_um, 0, rows - 1))
+            best_row, best_cost = None, float("inf")
+            for r in range(rows):
+                if fill[r] + width > self.die_w_um:
+                    continue
+                cost = abs(r - target) * self.row_height_um
+                if cost < best_cost:
+                    best_row, best_cost = r, cost
+            if best_row is None:  # every row full: least-filled row
+                best_row = int(np.argmin(fill))
+            fill[best_row] += width
+            assigned[best_row].append((name, x, width))
+        for r, cells in enumerate(assigned):
+            if not cells:
+                continue
+            cells.sort(key=lambda c: c[1])
+            # Forward pass: push right to resolve overlaps.
+            placed = []
+            cursor = 0.0
+            for name, x, width in cells:
+                left = max(cursor, x - width / 2)
+                placed.append([name, left, width])
+                cursor = left + width
+            # Backward pass: pull back inside the die.
+            limit = self.die_w_um
+            for entry in reversed(placed):
+                entry[1] = min(entry[1], limit - entry[2])
+                limit = entry[1]
+            y_row = (r + 0.5) * self.row_height_um
+            for name, left, width in placed:
+                self.positions[name] = (max(left, 0.0) + width / 2, y_row)
+
+    def validate(self) -> None:
+        """Every gate placed, inside the die."""
+        for name in self.netlist.gates:
+            if name not in self.positions:
+                raise ValueError(f"gate {name!r} not placed")
+            x, y = self.positions[name]
+            if not (-1e-6 <= x <= self.die_w_um + 1e-6 and
+                    -1e-6 <= y <= self.die_h_um + 1e-6):
+                raise ValueError(f"gate {name!r} outside the die")
+
+
+def half_perimeter_wirelength(placement: Placement) -> float:
+    """Module-level alias of :meth:`Placement.total_hpwl`."""
+    return placement.total_hpwl()
+
+
+def die_for_netlist(netlist: Netlist, *, utilization: float = 0.7,
+                    aspect: float = 1.0) -> tuple:
+    """Die (w, h) in um for a netlist at a target utilization."""
+    if not 0 < utilization <= 1:
+        raise ValueError("utilization in (0, 1]")
+    area = netlist.area_um2() / utilization
+    h = (area / aspect) ** 0.5
+    return (aspect * h, h)

@@ -1,0 +1,72 @@
+"""Power analysis and the low-power technique catalogue.
+
+Domic's position dates the power crisis precisely: "Voltage scaling use
+increased at 130 nanometers, when the dynamic power reduction started to
+be offset by the static power increase.  At 90/65 nanometers, it became
+virtually impossible to design an IC without using sophisticated power
+reduction techniques."  This package provides:
+
+* :mod:`repro.power.analysis` — switching-activity propagation and
+  dynamic/leakage power estimation on mapped netlists.
+* :mod:`repro.power.techniques` — clock gating, multi-Vt, power gating,
+  DVFS, and voltage-domain partitioning as composable transforms.
+* :mod:`repro.power.intent` — a UPF-like power-intent model with
+  consistency checks (isolation/level shifters), echoing the UPF/CPF
+  dualism Rossi laments.
+* :mod:`repro.power.grid` — power-grid IR-drop analysis, hot-spot
+  detection, and automatic decap insertion (E9).
+* :mod:`repro.power.dark` — the dark-silicon budget model (E5).
+"""
+
+from repro.power.analysis import (
+    ActivityEstimator,
+    PowerReport,
+    power_report,
+)
+from repro.power.techniques import (
+    TechniqueLadder,
+    apply_clock_gating,
+    apply_dvfs,
+    apply_power_gating,
+    technique_ladder,
+)
+from repro.power.intent import (
+    IntentViolation,
+    PowerDomain,
+    PowerIntent,
+)
+from repro.power.grid import (
+    DecapPlan,
+    GridReport,
+    PowerGrid,
+    insert_decaps,
+)
+from repro.power.dark import dark_silicon_fraction, DarkSiliconModel
+from repro.power.thermal import (
+    ThermalReport,
+    derate_for_temperature,
+    solve_thermal,
+)
+
+__all__ = [
+    "ActivityEstimator",
+    "PowerReport",
+    "power_report",
+    "TechniqueLadder",
+    "technique_ladder",
+    "apply_clock_gating",
+    "apply_power_gating",
+    "apply_dvfs",
+    "PowerDomain",
+    "PowerIntent",
+    "IntentViolation",
+    "PowerGrid",
+    "GridReport",
+    "DecapPlan",
+    "insert_decaps",
+    "DarkSiliconModel",
+    "dark_silicon_fraction",
+    "ThermalReport",
+    "solve_thermal",
+    "derate_for_temperature",
+]

@@ -1,0 +1,60 @@
+"""The dark-silicon budget model.
+
+Domic: "'Design for power' was an enabler that prevented massive amounts
+of 'dark silicon'."  Post-Dennard, a die's achievable power density
+outgrows what the package can cool, so a growing fraction of the chip
+must stay dark — unless design-for-power techniques bend the curve.
+This model quantifies both sides for experiment E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tech.library import get_node
+from repro.tech.node import TechNode
+
+
+@dataclass
+class DarkSiliconModel:
+    """Power-limited utilization of a die at a node.
+
+    ``tdp_w_per_mm2`` is the cooling limit (package + heatsink);
+    ``activity`` the average switching activity of the lit logic.
+    """
+
+    tdp_w_per_mm2: float = 0.5
+    activity: float = 0.1
+
+    def lit_fraction(self, node: str | TechNode, *,
+                     freq_ghz: float | None = None,
+                     power_technique_factor: float = 1.0) -> float:
+        """Fraction of the die that can be powered simultaneously.
+
+        ``power_technique_factor`` < 1 models the catalogue of design-
+        for-power techniques (clock gating, DVFS, multi-Vt, power
+        gating) scaling the raw density down.
+        """
+        n = node if isinstance(node, TechNode) else get_node(node)
+        if power_technique_factor <= 0:
+            raise ValueError("power_technique_factor must be positive")
+        density = n.power_density_w_per_mm2(
+            activity=self.activity, freq_ghz=freq_ghz)
+        density *= power_technique_factor
+        if density <= 0:
+            return 1.0
+        return min(1.0, self.tdp_w_per_mm2 / density)
+
+    def dark_fraction(self, node: str | TechNode, **kwargs) -> float:
+        """1 - lit fraction."""
+        return 1.0 - self.lit_fraction(node, **kwargs)
+
+
+def dark_silicon_fraction(node: str | TechNode, *,
+                          tdp_w_per_mm2: float = 0.5,
+                          activity: float = 0.1,
+                          power_technique_factor: float = 1.0) -> float:
+    """One-call dark-silicon fraction at a node."""
+    model = DarkSiliconModel(tdp_w_per_mm2, activity)
+    return model.dark_fraction(
+        node, power_technique_factor=power_technique_factor)

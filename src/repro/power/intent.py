@@ -1,0 +1,169 @@
+"""UPF-like power intent: domains, rails, isolation, level shifters.
+
+Rossi: "The same happened with UPF and CPF for the description of the
+power intent, with the associated ambiguity in the case of a
+multi-vendor flow."  The intent model here is vendor-neutral: domains
+with supplies and states, crossings that require isolation cells and
+level shifters, and a checker that verifies the intent is "correctly
+implemented and consistently verified" (Domic).
+
+Domic also notes "scores of voltage/supply/shutdown domains even at 180
+nanometers are common" — the domain-count economics are exercised by
+experiment E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PowerDomain:
+    """One voltage/supply/shutdown domain.
+
+    ``vdd`` is the domain's nominal supply; ``switchable`` marks
+    shutdown-capable domains; ``always_on`` domains may never be
+    switched off (e.g. wake-up logic).
+    """
+
+    name: str
+    vdd: float
+    switchable: bool = False
+    always_on: bool = False
+    blocks: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if self.switchable and self.always_on:
+            raise ValueError("a domain cannot be both switchable and "
+                             "always-on")
+
+
+@dataclass
+class IntentViolation:
+    """A missing protection cell on a domain crossing."""
+
+    kind: str       # "isolation" or "level_shifter"
+    source: str
+    sink: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}: {self.source} -> {self.sink}: {self.detail}"
+
+
+class PowerIntent:
+    """A set of domains plus the protection cells on their crossings."""
+
+    #: Level shifters are required when supplies differ by more than
+    #: this fraction (small differences are absorbed by margins).
+    LEVEL_SHIFT_THRESHOLD = 0.08
+
+    def __init__(self):
+        self.domains: dict[str, PowerDomain] = {}
+        self.crossings: list[tuple] = []          # (src, dst)
+        self.isolation: set = set()               # (src, dst) protected
+        self.level_shifters: set = set()          # (src, dst) protected
+
+    # ------------------------------------------------------------------
+
+    def add_domain(self, domain: PowerDomain) -> PowerDomain:
+        """Register a domain; names must be unique."""
+        if domain.name in self.domains:
+            raise ValueError(f"duplicate domain {domain.name!r}")
+        self.domains[domain.name] = domain
+        return domain
+
+    def connect(self, source: str, sink: str) -> None:
+        """Declare that signals cross from ``source`` to ``sink``."""
+        for name in (source, sink):
+            if name not in self.domains:
+                raise KeyError(f"unknown domain {name!r}")
+        self.crossings.append((source, sink))
+
+    def add_isolation(self, source: str, sink: str) -> None:
+        """Place isolation cells on a crossing."""
+        self.isolation.add((source, sink))
+
+    def add_level_shifter(self, source: str, sink: str) -> None:
+        """Place level shifters on a crossing."""
+        self.level_shifters.add((source, sink))
+
+    # ------------------------------------------------------------------
+
+    def required_isolation(self) -> list:
+        """Crossings that need isolation (switchable source)."""
+        return [
+            (s, d) for s, d in self.crossings
+            if self.domains[s].switchable and not self.domains[d].switchable
+        ]
+
+    def required_level_shifters(self) -> list:
+        """Crossings that need level shifting (supply mismatch)."""
+        out = []
+        for s, d in self.crossings:
+            vs, vd = self.domains[s].vdd, self.domains[d].vdd
+            if abs(vs - vd) / max(vs, vd) > self.LEVEL_SHIFT_THRESHOLD:
+                out.append((s, d))
+        return out
+
+    def check(self) -> list:
+        """Verify the intent; returns all violations (empty = clean)."""
+        violations = []
+        for s, d in self.required_isolation():
+            if (s, d) not in self.isolation:
+                violations.append(IntentViolation(
+                    "isolation", s, d,
+                    f"switchable {s!r} drives always-powered {d!r} "
+                    f"without isolation"))
+        for s, d in self.required_level_shifters():
+            if (s, d) not in self.level_shifters:
+                vs, vd = self.domains[s].vdd, self.domains[d].vdd
+                violations.append(IntentViolation(
+                    "level_shifter", s, d,
+                    f"{vs:.2f}V -> {vd:.2f}V crossing unshifted"))
+        return violations
+
+    def auto_protect(self) -> int:
+        """Insert every required protection cell; returns count added."""
+        added = 0
+        for s, d in self.required_isolation():
+            if (s, d) not in self.isolation:
+                self.add_isolation(s, d)
+                added += 1
+        for s, d in self.required_level_shifters():
+            if (s, d) not in self.level_shifters:
+                self.add_level_shifter(s, d)
+                added += 1
+        return added
+
+    def domain_count(self) -> int:
+        return len(self.domains)
+
+    def protection_cell_overhead(self, cells_per_crossing: int = 8) -> int:
+        """Estimated protection cell count for the current intent."""
+        return cells_per_crossing * (
+            len(self.isolation) + len(self.level_shifters))
+
+
+def scores_of_domains_intent(num_domains: int = 20,
+                             base_vdd: float = 1.8) -> PowerIntent:
+    """Build a many-domain intent typical of a modern 180 nm design.
+
+    "Literally, scores of voltage/supply/shutdown domains even at 180
+    nanometers are common" (Domic).  A hub-and-spoke topology: an
+    always-on control domain plus ``num_domains - 1`` switchable
+    function domains at staggered supplies.
+    """
+    if num_domains < 2:
+        raise ValueError("need at least two domains")
+    intent = PowerIntent()
+    intent.add_domain(PowerDomain("aon_ctrl", base_vdd, always_on=True))
+    for k in range(num_domains - 1):
+        vdd = base_vdd * (1.0 - 0.05 * (k % 4))
+        intent.add_domain(PowerDomain(
+            f"func{k}", round(vdd, 3), switchable=True))
+        intent.connect(f"func{k}", "aon_ctrl")
+        intent.connect("aon_ctrl", f"func{k}")
+    return intent

@@ -1,0 +1,146 @@
+"""The low-power technique catalogue as composable transforms.
+
+Domic: "advanced EDA has made much of 'design for power' techniques
+automatic and part of 'standard' design ... a seamless use of a wide
+catalogue of techniques."  Each function here models one catalogue
+entry; :func:`technique_ladder` stacks them the way a flow would,
+producing the E5 technique-by-technique power waterfall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Netlist
+from repro.power.analysis import ActivityEstimator, PowerReport, power_report
+
+
+def apply_clock_gating(netlist: Netlist, *, enable_probability: float = 0.3,
+                       min_bank: int = 4) -> dict:
+    """Model inserting clock gates on flop banks.
+
+    Returns the achievable ``clock_gated_fraction`` and gating overhead.
+    Flops whose data activity is far below the clock rate gain from
+    gating; ``enable_probability`` is the average fraction of cycles a
+    gated bank must still be clocked.
+    """
+    if not 0 < enable_probability <= 1:
+        raise ValueError("enable_probability must be in (0, 1]")
+    flops = netlist.sequential_gates()
+    if len(flops) < min_bank:
+        return {"gated_fraction": 0.0, "effective_clock_scale": 1.0,
+                "gates_added": 0}
+    activities = ActivityEstimator(netlist, patterns=128).estimate()
+    gated = [f for f in flops
+             if activities.get(f.pins["D"], 1.0) < 0.25]
+    fraction = len(gated) / len(flops)
+    banks = max(1, len(gated) // min_bank)
+    # Gated flops see the clock only when enabled.
+    effective = 1.0 - fraction * (1.0 - enable_probability)
+    return {
+        "gated_fraction": fraction,
+        "effective_clock_scale": effective,
+        "gates_added": banks,
+    }
+
+
+def apply_power_gating(idle_fraction: float, *,
+                       leakage_retained: float = 0.03,
+                       wakeup_overhead: float = 0.01) -> float:
+    """Leakage scale factor from shutting idle domains down.
+
+    ``idle_fraction`` of the time the domain is off, retaining
+    ``leakage_retained`` of its leakage (retention flops, always-on
+    rails); waking costs ``wakeup_overhead`` extra.
+    """
+    if not 0 <= idle_fraction <= 1:
+        raise ValueError("idle_fraction must be in [0, 1]")
+    on = 1.0 - idle_fraction
+    return on + idle_fraction * leakage_retained + wakeup_overhead * idle_fraction
+
+
+def apply_dvfs(required_ghz: float, fmax_ghz: float, *,
+               vdd_nominal: float, vdd_min: float = 0.6) -> tuple:
+    """Voltage/frequency pair meeting a performance requirement.
+
+    Classic alpha-power scaling: frequency tracks roughly linearly with
+    Vdd near nominal, so running at ``required_ghz < fmax`` lets the
+    supply drop proportionally (floored at ``vdd_min``) and dynamic
+    power falls with V^2 f.
+    """
+    if required_ghz <= 0 or fmax_ghz <= 0:
+        raise ValueError("frequencies must be positive")
+    if required_ghz >= fmax_ghz:
+        return fmax_ghz, vdd_nominal
+    scale = required_ghz / fmax_ghz
+    vdd = max(vdd_min, vdd_nominal * (0.4 + 0.6 * scale))
+    return required_ghz, vdd
+
+
+@dataclass
+class TechniqueLadder:
+    """Cumulative power waterfall over the technique catalogue."""
+
+    steps: list = field(default_factory=list)
+
+    def add(self, name: str, report: PowerReport) -> None:
+        self.steps.append((name, report))
+
+    def totals(self) -> list:
+        """(name, total uW) per rung."""
+        return [(name, r.total_uw) for name, r in self.steps]
+
+    def reduction_factor(self) -> float:
+        """Total power ratio first rung / last rung."""
+        t = self.totals()
+        if len(t) < 2 or t[-1][1] == 0:
+            return 1.0
+        return t[0][1] / t[-1][1]
+
+
+def technique_ladder(netlist: Netlist, *, freq_ghz: float | None = None,
+                     required_ghz: float | None = None,
+                     idle_fraction: float = 0.5,
+                     seed: int = 0) -> TechniqueLadder:
+    """Stack the catalogue on a design and report each rung.
+
+    Rungs: baseline -> clock gating -> multi-Vt (requires a library
+    with HVT; applied by the caller via
+    :func:`repro.synthesis.sizing.assign_vt` before calling, counted
+    here through the netlist's leakage) -> DVFS -> power gating.
+    """
+    node = netlist.library.node
+    if freq_ghz is None:
+        freq_ghz = min(1.0, node.fmax_ghz / 4)
+    if required_ghz is None:
+        required_ghz = freq_ghz * 0.7
+
+    ladder = TechniqueLadder()
+    activities = ActivityEstimator(netlist, patterns=256,
+                                   seed=seed).estimate()
+    base = power_report(netlist, freq_ghz=freq_ghz, activities=activities)
+    ladder.add("baseline", base)
+
+    cg = apply_clock_gating(netlist)
+    gated = power_report(
+        netlist, freq_ghz=freq_ghz, activities=activities,
+        clock_gated_fraction=1.0 - cg["effective_clock_scale"])
+    ladder.add("clock_gating", gated)
+
+    new_ghz, new_vdd = apply_dvfs(
+        required_ghz, freq_ghz, vdd_nominal=node.vdd)
+    dvfs = power_report(
+        netlist, freq_ghz=new_ghz, activities=activities, vdd=new_vdd,
+        clock_gated_fraction=1.0 - cg["effective_clock_scale"])
+    ladder.add("dvfs", dvfs)
+
+    leak_scale = apply_power_gating(idle_fraction)
+    final = PowerReport(
+        dynamic_uw=dvfs.dynamic_uw,
+        leakage_uw=dvfs.leakage_uw * leak_scale,
+        clock_uw=dvfs.clock_uw,
+        freq_ghz=dvfs.freq_ghz,
+        vdd=dvfs.vdd,
+    )
+    ladder.add("power_gating", final)
+    return ladder

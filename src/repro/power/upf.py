@@ -1,0 +1,93 @@
+"""UPF-flavored text format for power intent.
+
+Rossi laments the UPF/CPF dualism and "the associated ambiguity in the
+case of a multi-vendor flow."  The suite's intent model therefore gets
+one unambiguous textual form, close enough to IEEE 1801 to be
+recognizable:
+
+```
+create_power_domain PD_CPU -vdd 0.9 -switchable
+create_power_domain PD_AON -vdd 0.9 -always_on
+connect_domains -from PD_CPU -to PD_AON
+set_isolation -from PD_CPU -to PD_AON
+set_level_shifter -from PD_A -to PD_B
+```
+"""
+
+from __future__ import annotations
+
+from repro.power.intent import PowerDomain, PowerIntent
+
+
+def write_upf(intent: PowerIntent) -> str:
+    """Serialize a :class:`PowerIntent` to the textual form."""
+    lines = []
+    for domain in intent.domains.values():
+        flags = ""
+        if domain.switchable:
+            flags += " -switchable"
+        if domain.always_on:
+            flags += " -always_on"
+        lines.append(
+            f"create_power_domain {domain.name} "
+            f"-vdd {domain.vdd:g}{flags}")
+    for src, dst in intent.crossings:
+        lines.append(f"connect_domains -from {src} -to {dst}")
+    for src, dst in sorted(intent.isolation):
+        lines.append(f"set_isolation -from {src} -to {dst}")
+    for src, dst in sorted(intent.level_shifters):
+        lines.append(f"set_level_shifter -from {src} -to {dst}")
+    return "\n".join(lines) + "\n"
+
+
+def read_upf(text: str) -> PowerIntent:
+    """Parse the textual form back into a :class:`PowerIntent`."""
+    intent = PowerIntent()
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        cmd = tokens[0]
+        if cmd == "create_power_domain":
+            name = tokens[1]
+            opts = _parse_options(tokens[2:], lineno)
+            if "vdd" not in opts:
+                raise ValueError(f"line {lineno}: domain needs -vdd")
+            intent.add_domain(PowerDomain(
+                name=name,
+                vdd=float(opts["vdd"]),
+                switchable="switchable" in opts,
+                always_on="always_on" in opts,
+            ))
+        elif cmd == "connect_domains":
+            opts = _parse_options(tokens[1:], lineno)
+            intent.connect(opts["from"], opts["to"])
+        elif cmd == "set_isolation":
+            opts = _parse_options(tokens[1:], lineno)
+            intent.add_isolation(opts["from"], opts["to"])
+        elif cmd == "set_level_shifter":
+            opts = _parse_options(tokens[1:], lineno)
+            intent.add_level_shifter(opts["from"], opts["to"])
+        else:
+            raise ValueError(f"line {lineno}: unknown command {cmd!r}")
+    return intent
+
+
+def _parse_options(tokens: list, lineno: int) -> dict:
+    """-flag or -key value pairs."""
+    opts: dict = {}
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if not tok.startswith("-"):
+            raise ValueError(f"line {lineno}: expected option, got "
+                             f"{tok!r}")
+        key = tok[1:]
+        if i + 1 < len(tokens) and not tokens[i + 1].startswith("-"):
+            opts[key] = tokens[i + 1]
+            i += 2
+        else:
+            opts[key] = True
+            i += 1
+    return opts

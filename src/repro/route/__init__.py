@@ -1,0 +1,37 @@
+"""Routing: maze and line-search engines, global routing, layers.
+
+Domic's routing claims anchor two experiments: multi-patterning made
+sub-80nm-pitch interconnect drawable (E3), and "more efficient
+'line-search' routing algorithms have resulted in much better routers
+under 'simpler' design rules, making it possible to reduce layers at 28
+nanometers and above" — the 6-to-4-layer cost experiment (E4).
+"""
+
+from repro.route.grid import RoutingGrid
+from repro.route.maze import maze_route
+from repro.route.linesearch import line_search_route
+from repro.route.global_route import (
+    GlobalRouter,
+    RoutingResult,
+    route_placement,
+)
+from repro.route.layers import LayerAssignment, assign_layers
+from repro.route.track_assign import (
+    TrackAssignment,
+    assign_tracks,
+    decompose_routed_layer,
+)
+
+__all__ = [
+    "TrackAssignment",
+    "assign_tracks",
+    "decompose_routed_layer",
+    "RoutingGrid",
+    "maze_route",
+    "line_search_route",
+    "GlobalRouter",
+    "RoutingResult",
+    "route_placement",
+    "LayerAssignment",
+    "assign_layers",
+]

@@ -1,0 +1,153 @@
+"""The global-routing grid: gcells, edge capacities, occupancy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RoutingGrid:
+    """A 2-D gcell grid with horizontal/vertical edge capacities.
+
+    The 2-D abstraction sums the track capacity of all horizontal
+    layers onto horizontal edges and likewise for vertical — the
+    standard global-routing projection; layer assignment re-expands the
+    result (:mod:`repro.route.layers`).
+
+    ``h_usage[y, x]`` counts wires crossing the boundary between gcell
+    (x, y) and (x+1, y); ``v_usage[y, x]`` between (x, y) and (x, y+1).
+    """
+
+    def __init__(self, nx: int, ny: int, *, h_capacity: int,
+                 v_capacity: int):
+        if nx < 2 or ny < 2:
+            raise ValueError("grid must be at least 2x2")
+        if h_capacity < 1 or v_capacity < 1:
+            raise ValueError("capacities must be positive")
+        self.nx = nx
+        self.ny = ny
+        self.h_capacity = h_capacity
+        self.v_capacity = v_capacity
+        self.h_usage = np.zeros((ny, nx - 1), dtype=np.int32)
+        self.v_usage = np.zeros((ny - 1, nx), dtype=np.int32)
+        # Negotiated-congestion history (PathFinder-style).
+        self.h_history = np.zeros((ny, nx - 1))
+        self.v_history = np.zeros((ny - 1, nx))
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def for_die(die_w_um: float, die_h_um: float, node, *,
+                gcell_um: float = 5.0, layers: int = 6,
+                utilization: float = 0.85) -> "RoutingGrid":
+        """Size a grid for a die at a node with a given metal stack.
+
+        Layers alternate H/V starting with M2-horizontal (M1 is kept
+        for cell internals/pins).  Track capacity per gcell boundary is
+        ``gcell / pitch`` per layer, derated by ``utilization``; the
+        routing pitch is 1.5x the minimum metal-1 pitch (intermediate
+        metal).
+        """
+        if layers < 2:
+            raise ValueError("need at least 2 routing layers")
+        nx = max(2, int(die_w_um / gcell_um))
+        ny = max(2, int(die_h_um / gcell_um))
+        pitch_um = 1.5 * node.metal1_pitch_nm * 1e-3
+        tracks = max(1, int(gcell_um / pitch_um * utilization))
+        h_layers = (layers + 1) // 2
+        v_layers = layers // 2
+        return RoutingGrid(nx, ny,
+                           h_capacity=tracks * h_layers,
+                           v_capacity=tracks * v_layers)
+
+    # ------------------------------------------------------------------
+
+    def edge_between(self, a: tuple, b: tuple):
+        """(kind, y, x) of the edge between adjacent gcells, or raises."""
+        (xa, ya), (xb, yb) = a, b
+        if ya == yb and abs(xa - xb) == 1:
+            return ("h", ya, min(xa, xb))
+        if xa == xb and abs(ya - yb) == 1:
+            return ("v", min(ya, yb), xa)
+        raise ValueError(f"gcells {a} and {b} are not adjacent")
+
+    def usage_of(self, edge) -> int:
+        kind, y, x = edge
+        return int(self.h_usage[y, x] if kind == "h" else self.v_usage[y, x])
+
+    def capacity_of(self, edge) -> int:
+        return self.h_capacity if edge[0] == "h" else self.v_capacity
+
+    def add_path(self, path: list, delta: int = 1) -> None:
+        """Commit (or with ``delta=-1`` rip up) a gcell path."""
+        for a, b in zip(path, path[1:]):
+            kind, y, x = self.edge_between(a, b)
+            if kind == "h":
+                self.h_usage[y, x] += delta
+            else:
+                self.v_usage[y, x] += delta
+
+    def edge_cost(self, edge, *, base: float = 1.0,
+                  congestion_weight: float = 2.0) -> float:
+        """Negotiated cost: base + overflow penalty + history."""
+        kind, y, x = edge
+        if kind == "h":
+            use, cap, hist = (self.h_usage[y, x], self.h_capacity,
+                              self.h_history[y, x])
+        else:
+            use, cap, hist = (self.v_usage[y, x], self.v_capacity,
+                              self.v_history[y, x])
+        over = max(0.0, (use + 1 - cap) / cap)
+        return base + congestion_weight * over * (1.0 + hist) + 0.1 * hist
+
+    def bump_history(self) -> None:
+        """Accumulate history on currently overflowed edges."""
+        self.h_history += np.maximum(
+            0, self.h_usage - self.h_capacity) / self.h_capacity
+        self.v_history += np.maximum(
+            0, self.v_usage - self.v_capacity) / self.v_capacity
+
+    # ------------------------------------------------------------------
+
+    def total_overflow(self) -> int:
+        """Sum of usage above capacity over all edges."""
+        return int(
+            np.maximum(0, self.h_usage - self.h_capacity).sum()
+            + np.maximum(0, self.v_usage - self.v_capacity).sum())
+
+    def max_utilization(self) -> float:
+        """Peak edge utilization (1.0 = full)."""
+        h = self.h_usage.max() / self.h_capacity if self.h_usage.size else 0
+        v = self.v_usage.max() / self.v_capacity if self.v_usage.size else 0
+        return float(max(h, v))
+
+    def wirelength(self) -> int:
+        """Total used edges (gcell units of wire)."""
+        return int(self.h_usage.sum() + self.v_usage.sum())
+
+    def congestion_map(self) -> np.ndarray:
+        """(ny, nx) max utilization of the edges at each gcell."""
+        out = np.zeros((self.ny, self.nx))
+        out[:, :-1] = np.maximum(
+            out[:, :-1], self.h_usage / self.h_capacity)
+        out[:, 1:] = np.maximum(out[:, 1:], self.h_usage / self.h_capacity)
+        out[:-1, :] = np.maximum(
+            out[:-1, :], self.v_usage / self.v_capacity)
+        out[1:, :] = np.maximum(out[1:, :], self.v_usage / self.v_capacity)
+        return out
+
+    def neighbors(self, cell: tuple) -> list:
+        x, y = cell
+        out = []
+        if x + 1 < self.nx:
+            out.append((x + 1, y))
+        if x > 0:
+            out.append((x - 1, y))
+        if y + 1 < self.ny:
+            out.append((x, y + 1))
+        if y > 0:
+            out.append((x, y - 1))
+        return out
+
+    def contains(self, cell: tuple) -> bool:
+        x, y = cell
+        return 0 <= x < self.nx and 0 <= y < self.ny

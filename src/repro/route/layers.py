@@ -1,0 +1,106 @@
+"""Layer assignment: expand 2-D global routes onto a metal stack.
+
+Horizontal wire goes to H layers (M2, M4, ...), vertical to V layers
+(M3, M5, ...).  Segments are assigned greedily to the least-used legal
+layer; per-layer utilization then answers the E4 question: how few
+layers can carry the design, and what does each removed layer save?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.route.grid import RoutingGrid
+
+
+@dataclass
+class LayerAssignment:
+    """Per-layer usage after assignment."""
+
+    layers: int
+    h_layer_usage: np.ndarray    # (n_h_layers, ny, nx-1)
+    v_layer_usage: np.ndarray    # (n_v_layers, ny-1, nx)
+    per_layer_capacity: int
+    overflow: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.overflow == 0
+
+    def utilization_per_layer(self) -> list:
+        """Mean utilization per metal layer (H layers then V layers)."""
+        out = []
+        for k in range(self.h_layer_usage.shape[0]):
+            out.append(float(self.h_layer_usage[k].mean()
+                             / self.per_layer_capacity))
+        for k in range(self.v_layer_usage.shape[0]):
+            out.append(float(self.v_layer_usage[k].mean()
+                             / self.per_layer_capacity))
+        return out
+
+    def peak_utilization(self) -> float:
+        peaks = []
+        if self.h_layer_usage.size:
+            peaks.append(self.h_layer_usage.max() / self.per_layer_capacity)
+        if self.v_layer_usage.size:
+            peaks.append(self.v_layer_usage.max() / self.per_layer_capacity)
+        return float(max(peaks)) if peaks else 0.0
+
+
+def assign_layers(grid: RoutingGrid, layers: int, *,
+                  per_layer_capacity: int | None = None) -> LayerAssignment:
+    """Distribute the grid's 2-D usage across a ``layers``-deep stack.
+
+    Each edge's wires are spread over the legal layers water-filling
+    style (least-loaded first); whatever exceeds the stack's total
+    capacity is overflow.
+    """
+    if layers < 2:
+        raise ValueError("need at least 2 layers")
+    n_h = (layers + 1) // 2
+    n_v = layers // 2
+    if per_layer_capacity is None:
+        per_layer_capacity = max(1, grid.h_capacity // max(n_h, 1))
+    h_usage = np.zeros((n_h,) + grid.h_usage.shape, dtype=np.int32)
+    v_usage = np.zeros((n_v,) + grid.v_usage.shape, dtype=np.int32)
+    overflow = 0
+    overflow += _waterfill(grid.h_usage, h_usage, per_layer_capacity)
+    overflow += _waterfill(grid.v_usage, v_usage, per_layer_capacity)
+    return LayerAssignment(layers, h_usage, v_usage,
+                           per_layer_capacity, int(overflow))
+
+
+def _waterfill(demand: np.ndarray, layer_usage: np.ndarray,
+               cap: int) -> int:
+    """Spread demand across layers up to cap each; returns overflow."""
+    nlayers = layer_usage.shape[0]
+    if nlayers == 0:
+        return int(demand.sum())
+    remaining = demand.astype(np.int64).copy()
+    for k in range(nlayers):
+        take = np.minimum(remaining, cap)
+        layer_usage[k] = take
+        remaining -= take
+    return int(remaining.sum())
+
+
+def minimum_layers(placement, *, max_layers: int = 12,
+                   engine: str = "maze", gcell_um: float = 2.0,
+                   max_iterations: int = 4) -> int:
+    """Smallest stack depth at which the design routes cleanly.
+
+    Each candidate depth gets its own routing run (capacity scales with
+    the stack), matching how a real flow explores layer reduction.
+    Returns ``max_layers + 1`` when even the deepest stack overflows.
+    """
+    from repro.route.global_route import route_placement
+
+    for layers in range(2, max_layers + 1):
+        result = route_placement(
+            placement, engine=engine, layers=layers, gcell_um=gcell_um,
+            max_iterations=max_iterations)
+        if result.success:
+            return layers
+    return max_layers + 1

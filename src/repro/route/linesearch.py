@@ -1,0 +1,138 @@
+"""Line-search (Hightower-style line-probe) routing.
+
+Domic: "more efficient 'line-search' routing algorithms have resulted
+in much better routers under 'simpler' design rules."  The line-probe
+router shoots horizontal/vertical probe lines from both terminals,
+recursing through escape points; it touches far fewer cells than a
+maze wave, trading guaranteed shortest paths for speed — measured
+head-to-head in experiment E4.
+"""
+
+from __future__ import annotations
+
+from repro.route.grid import RoutingGrid
+
+
+def line_search_route(grid: RoutingGrid, src: tuple, dst: tuple, *,
+                      blocked_utilization: float = 1.0,
+                      max_depth: int = 12):
+    """Route by alternating H/V probe lines with escape points.
+
+    An edge is traversable while its utilization is below
+    ``blocked_utilization``.  Returns a gcell path or ``None``.
+    """
+    for cell in (src, dst):
+        if not grid.contains(cell):
+            raise ValueError(f"gcell {cell} outside the grid")
+    if src == dst:
+        return [src]
+
+    def passable(a, b) -> bool:
+        edge = grid.edge_between(a, b)
+        return grid.usage_of(edge) < grid.capacity_of(edge) * \
+            blocked_utilization
+
+    def probe_line(cell, horizontal: bool) -> list:
+        """All cells reachable along one free line through ``cell``."""
+        out = [cell]
+        for step in (1, -1):
+            cur = cell
+            while True:
+                x, y = cur
+                nxt = (x + step, y) if horizontal else (x, y + step)
+                if not grid.contains(nxt) or not passable(cur, nxt):
+                    break
+                out.append(nxt)
+                cur = nxt
+        return out
+
+    # Bidirectional line expansion: keep the probe "trees" of both
+    # terminals; when lines intersect, walk the parents back.
+    src_lines = {src: (None, None)}   # cell -> (parent cell, via cell)
+    dst_lines = {dst: (None, None)}
+    src_frontier = [(src, True), (src, False)]
+    dst_frontier = [(dst, True), (dst, False)]
+
+    def expand(frontier, tree, other_tree):
+        new_frontier = []
+        meet = None
+        for origin, horizontal in frontier:
+            for cell in probe_line(origin, horizontal):
+                if cell not in tree:
+                    tree[cell] = (origin, None)
+                    new_frontier.append((cell, not horizontal))
+                if cell in other_tree:
+                    meet = cell
+                    return new_frontier, meet
+        return new_frontier, meet
+
+    meet = None
+    for _ in range(max_depth):
+        src_frontier, meet = expand(src_frontier, src_lines, dst_lines)
+        if meet is not None:
+            break
+        dst_frontier, meet = expand(dst_frontier, dst_lines, src_lines)
+        if meet is not None:
+            break
+        if not src_frontier and not dst_frontier:
+            break
+    if meet is None:
+        return None
+
+    left = _walk_back(src_lines, meet)
+    right = _walk_back(dst_lines, meet)
+    path = left[::-1] + right[1:]
+    return _expand_to_unit_steps(path)
+
+
+def _walk_back(tree: dict, cell) -> list:
+    out = [cell]
+    while True:
+        parent, _ = tree[cell]
+        if parent is None:
+            break
+        out.append(parent)
+        cell = parent
+    return out
+
+
+def _expand_to_unit_steps(waypoints: list) -> list:
+    """Turn probe waypoints (colinear jumps) into unit gcell steps."""
+    path = [waypoints[0]]
+    for target in waypoints[1:]:
+        x, y = path[-1]
+        tx, ty = target
+        if x != tx and y != ty:
+            raise ValueError("waypoints must be axis-aligned")
+        while (x, y) != (tx, ty):
+            x += (1 if tx > x else -1) if x != tx else 0
+            y += (1 if ty > y else -1) if y != ty else 0
+            path.append((x, y))
+    return path
+
+
+def count_probe_cells(grid: RoutingGrid, src: tuple, dst: tuple) -> int:
+    """Cells a line probe would touch — the efficiency metric vs maze.
+
+    A single bidirectional probe pass; used by the E4 runtime
+    comparison without timing noise.
+    """
+    touched = set()
+
+    def probe(cell, horizontal):
+        touched.add(cell)
+        for step in (1, -1):
+            cur = cell
+            while True:
+                x, y = cur
+                nxt = (x + step, y) if horizontal else (x, y + step)
+                if not grid.contains(nxt):
+                    break
+                touched.add(nxt)
+                cur = nxt
+
+    probe(src, True)
+    probe(src, False)
+    probe(dst, True)
+    probe(dst, False)
+    return len(touched)

@@ -1,0 +1,58 @@
+"""Maze routing: A* (Lee with a priority frontier) on the gcell grid."""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.route.grid import RoutingGrid
+
+
+def maze_route(grid: RoutingGrid, src: tuple, dst: tuple, *,
+               congestion_weight: float = 2.0,
+               max_expansions: int | None = None):
+    """Shortest congestion-aware path from ``src`` to ``dst``.
+
+    A* with Manhattan-distance admissible heuristic over
+    :meth:`RoutingGrid.edge_cost`.  Returns the gcell path (inclusive)
+    or ``None`` when the search budget is exhausted.
+
+    The Lee router's breadth-first wave is the ``congestion_weight=0``
+    special case; the default behaves like a negotiated-congestion
+    router step.
+    """
+    for cell in (src, dst):
+        if not grid.contains(cell):
+            raise ValueError(f"gcell {cell} outside the grid")
+    if src == dst:
+        return [src]
+    if max_expansions is None:
+        max_expansions = 40 * grid.nx * grid.ny
+
+    def h(cell):
+        return abs(cell[0] - dst[0]) + abs(cell[1] - dst[1])
+
+    frontier = [(h(src), 0.0, src)]
+    g_cost = {src: 0.0}
+    parent = {src: None}
+    expansions = 0
+    while frontier and expansions < max_expansions:
+        _, g, cell = heapq.heappop(frontier)
+        if g > g_cost.get(cell, float("inf")):
+            continue
+        expansions += 1
+        if cell == dst:
+            path = []
+            while cell is not None:
+                path.append(cell)
+                cell = parent[cell]
+            path.reverse()
+            return path
+        for nxt in grid.neighbors(cell):
+            edge = grid.edge_between(cell, nxt)
+            ng = g + grid.edge_cost(
+                edge, congestion_weight=congestion_weight)
+            if ng < g_cost.get(nxt, float("inf")):
+                g_cost[nxt] = ng
+                parent[nxt] = cell
+                heapq.heappush(frontier, (ng + h(nxt), ng, nxt))
+    return None

@@ -1,0 +1,187 @@
+"""The event-driven simulation engine."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Netlist
+from repro.timing.sta import WireModel
+
+
+@dataclass
+class SimTrace:
+    """Result of simulating one input transition.
+
+    ``waveforms[net]`` is the list of ``(time_ps, value)`` changes
+    after t=0 (the initial value is ``initial[net]``).
+    """
+
+    initial: dict
+    waveforms: dict
+    settle_time_ps: float
+
+    def final_value(self, net: str) -> bool:
+        events = self.waveforms.get(net)
+        if events:
+            return events[-1][1]
+        return self.initial[net]
+
+    def transitions(self, net: str) -> int:
+        """Number of output changes on a net."""
+        return len(self.waveforms.get(net, ()))
+
+    def total_transitions(self) -> int:
+        return sum(len(v) for v in self.waveforms.values())
+
+    def glitches(self, net: str) -> int:
+        """Transitions beyond the minimum needed to reach the final
+        value (0 or 1 functional transitions; the rest are glitches)."""
+        n = self.transitions(net)
+        needed = 1 if self.final_value(net) != self.initial[net] else 0
+        return max(0, n - needed)
+
+    def total_glitches(self) -> int:
+        return sum(self.glitches(net) for net in self.waveforms)
+
+
+class EventSimulator:
+    """Transport-delay event simulation of a mapped netlist.
+
+    Gate delay is the same linear model STA uses (cell intrinsic plus
+    drive resistance times load); an optional :class:`WireModel` adds
+    placed-net delays.  Inertial filtering with each gate's delay as
+    the pulse-rejection window is applied, matching real gates that
+    swallow pulses shorter than their response time when
+    ``inertial=True`` (the default is transport, which upper-bounds
+    glitching).
+    """
+
+    def __init__(self, netlist: Netlist,
+                 wire_model: WireModel | None = None, *,
+                 inertial: bool = False):
+        self.netlist = netlist
+        self.wire = wire_model or WireModel()
+        self.inertial = inertial
+        self._fanout = netlist.fanout_map()
+        self._delay = {}
+        for gate in netlist.combinational_gates():
+            loads = self._fanout.get(gate.output, [])
+            load_ff = sum(g.cell.input_cap_ff for g, _ in loads) + \
+                self.wire.net_cap_ff(gate.output, len(loads))
+            self._delay[gate.name] = gate.cell.delay_ps(load_ff)
+
+    # ------------------------------------------------------------------
+
+    def _evaluate(self, gate, values: dict) -> bool:
+        tt = gate.cell.function
+        idx = 0
+        for bit, pin in enumerate(gate.cell.inputs):
+            if values[gate.pins[pin]]:
+                idx |= 1 << bit
+        return bool(tt.bits >> idx & 1)
+
+    def simulate_transition(self, before: dict, after: dict,
+                            *, max_events: int = 100_000) -> SimTrace:
+        """Propagate the change from input vector ``before`` to
+        ``after``; both map primary input net -> bool.
+
+        Flop outputs are held at their ``before`` values (one
+        combinational cycle).  Returns the full event trace.
+        """
+        nl = self.netlist
+        for vec in (before, after):
+            missing = set(nl.primary_inputs) - set(vec)
+            if missing:
+                raise ValueError(f"inputs missing values: {missing}")
+        # Steady state under `before`.
+        values: dict = dict(before)
+        for flop in nl.sequential_gates():
+            values[flop.output] = before.get(flop.output, False)
+        order = nl.topological_gates()
+        for gate in order:
+            values[gate.output] = self._evaluate(gate, values)
+        initial = dict(values)
+
+        waveforms: dict = {}
+        queue: list = []
+        counter = itertools.count()
+        # Seed events: primary input changes at t=0.
+        current = dict(values)
+        for net in nl.primary_inputs:
+            if after[net] != before[net]:
+                heapq.heappush(queue, (0.0, next(counter), net,
+                                       after[net]))
+        events_processed = 0
+        settle = 0.0
+        while queue:
+            events_processed += 1
+            if events_processed > max_events:
+                raise RuntimeError("event budget exhausted "
+                                   "(oscillating design?)")
+            t, _, net, value = heapq.heappop(queue)
+            if current[net] == value:
+                continue
+            current[net] = value
+            waveforms.setdefault(net, []).append((t, value))
+            settle = max(settle, t)
+            for gate, _pin in self._fanout.get(net, ()):
+                if gate.cell.is_sequential:
+                    continue
+                new_out = self._evaluate(gate, current)
+                delay = self._delay[gate.name] + \
+                    self.wire.net_delay_ps(net)
+                heapq.heappush(queue, (t + delay, next(counter),
+                                       gate.output, new_out))
+        if self.inertial:
+            waveforms = {net: self._inertial_filter(net, events, initial)
+                         for net, events in waveforms.items()}
+            waveforms = {n: e for n, e in waveforms.items() if e}
+        return SimTrace(initial=initial, waveforms=waveforms,
+                        settle_time_ps=settle)
+
+    def _inertial_filter(self, net: str, events: list,
+                         initial: dict) -> list:
+        """Drop pulses shorter than the driving gate's delay."""
+        driver = self.netlist.driver_of(net)
+        window = self._delay.get(driver.name, 0.0) if driver else 0.0
+        out = []
+        value = initial[net]
+        for t, v in events:
+            if out and t - out[-1][0] < window and out[-1][1] != v:
+                out.pop()  # the previous pulse was too short
+                if out:
+                    value = out[-1][1]
+                else:
+                    value = initial[net]
+                if v == value:
+                    continue
+            if v != value:
+                out.append((t, v))
+                value = v
+        return out
+
+
+def glitch_power_uw(netlist: Netlist, trace: SimTrace, *,
+                    freq_ghz: float = 1.0) -> float:
+    """Energy of the glitch transitions, expressed as power at a clock.
+
+    Each glitch charges the driving gate's load exactly like a real
+    transition; this is the component zero-delay power analysis misses.
+    """
+    node = netlist.library.node
+    fanout = netlist.fanout_map()
+    energy_fj = 0.0
+    for net in trace.waveforms:
+        glitches = trace.glitches(net)
+        if glitches == 0:
+            continue
+        driver = netlist.driver_of(net)
+        if driver is None:
+            continue
+        loads = fanout.get(net, [])
+        load_ff = sum(g.cell.input_cap_ff for g, _ in loads)
+        energy_fj += glitches * driver.cell.switch_energy_fj(
+            node.vdd, load_ff)
+    return energy_fj * freq_ghz

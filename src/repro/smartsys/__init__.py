@@ -1,0 +1,47 @@
+"""Smart-system (heterogeneous SiP) modeling and co-design.
+
+Macii's position: smart systems — "intelligent, miniaturized devices
+incorporating functionalities like sensing, actuation, and control ...
+energy-autonomous and ubiquitously connected" — integrate components
+from incompatible technologies.  Packaging (SiP/3D) solved the
+technological dimension; design methodology did not: "current smart
+system design approaches use separate design tools and ad-hoc methods
+... clearly sub-optimal."
+
+* :mod:`repro.smartsys.components` — the heterogeneous catalogue
+  (sensors, ADCs, MCUs, radios, PMUs, batteries, harvesters).
+* :mod:`repro.smartsys.package` — SiP / 3-D stacking with TSVs.
+* :mod:`repro.smartsys.energy` — duty-cycled energy-autonomy simulation.
+* :mod:`repro.smartsys.codesign` — the E6 experiment: separate-tools
+  baseline vs holistic co-design on cost, quality, time-to-market.
+"""
+
+from repro.smartsys.components import (
+    COMPONENT_CATALOG,
+    Component,
+    ComponentKind,
+    catalog_variants,
+)
+from repro.smartsys.package import PackagePlan, plan_package
+from repro.smartsys.energy import EnergyReport, simulate_energy
+from repro.smartsys.codesign import (
+    DesignOutcome,
+    SystemSpec,
+    codesign_flow,
+    separate_tools_flow,
+)
+
+__all__ = [
+    "Component",
+    "ComponentKind",
+    "COMPONENT_CATALOG",
+    "catalog_variants",
+    "PackagePlan",
+    "plan_package",
+    "EnergyReport",
+    "simulate_energy",
+    "SystemSpec",
+    "DesignOutcome",
+    "separate_tools_flow",
+    "codesign_flow",
+]

@@ -1,0 +1,100 @@
+"""The heterogeneous component catalogue.
+
+Each component carries the attributes the co-design loop trades:
+active/sleep power, area, cost, performance, and — crucially — the
+*technology domain* it is manufactured in (CMOS node, MEMS, III-V,
+passive), which is what forces SiP integration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ComponentKind(enum.Enum):
+    """Functional classes of a smart system (per Macii's enumeration)."""
+
+    SENSOR = "sensor"
+    ACTUATOR = "actuator"
+    ADC = "adc"
+    MCU = "mcu"
+    DSP = "dsp"
+    RADIO = "radio"
+    PMU = "pmu"
+    BATTERY = "battery"
+    HARVESTER = "harvester"
+
+
+@dataclass(frozen=True)
+class Component:
+    """One catalogue entry.
+
+    ``tech`` names the manufacturing domain; components from different
+    domains cannot share a die — the integration constraint at the
+    heart of E6.
+    """
+
+    name: str
+    kind: ComponentKind
+    tech: str                  # "cmos180", "cmos55", "mems", "passive"...
+    active_mw: float
+    sleep_uw: float
+    area_mm2: float
+    cost_usd: float
+    perf: float = 1.0          # normalized capability (rate, gain, ...)
+
+    def __post_init__(self) -> None:
+        if self.active_mw < 0 or self.sleep_uw < 0:
+            raise ValueError("power must be non-negative")
+        if self.area_mm2 <= 0 or self.cost_usd < 0:
+            raise ValueError("area must be positive, cost non-negative")
+
+
+def _c(name, kind, tech, active_mw, sleep_uw, area, cost, perf=1.0):
+    return Component(name, kind, tech, active_mw, sleep_uw, area, cost,
+                     perf)
+
+
+#: The catalogue: several variants per kind, spanning technology
+#: domains and power/cost/performance points.
+COMPONENT_CATALOG: list = [
+    # Sensors (MEMS / specialty).
+    _c("accel_lp", ComponentKind.SENSOR, "mems", 0.02, 0.3, 4.0, 0.45, 0.7),
+    _c("accel_hi", ComponentKind.SENSOR, "mems", 0.12, 1.2, 6.0, 0.95, 1.3),
+    _c("env_combo", ComponentKind.SENSOR, "mems", 0.35, 2.0, 9.0, 1.80, 1.6),
+    # ADCs.
+    _c("adc_sar10", ComponentKind.ADC, "cmos180", 0.10, 0.2, 0.8, 0.20, 0.7),
+    _c("adc_sar12", ComponentKind.ADC, "cmos55", 0.18, 0.4, 0.5, 0.38, 1.0),
+    _c("adc_sd16", ComponentKind.ADC, "cmos55", 0.90, 1.5, 1.2, 0.85, 1.8),
+    # MCUs.
+    _c("mcu_m0_180", ComponentKind.MCU, "cmos180", 1.8, 1.0, 4.0, 0.55, 0.6),
+    _c("mcu_m3_55", ComponentKind.MCU, "cmos55", 3.2, 2.5, 2.5, 0.90, 1.0),
+    _c("mcu_m4_28", ComponentKind.MCU, "cmos28", 5.5, 6.0, 1.8, 1.60, 1.8),
+    # DSPs.
+    _c("dsp_lite", ComponentKind.DSP, "cmos55", 2.4, 1.0, 1.5, 0.70, 0.8),
+    _c("dsp_vec", ComponentKind.DSP, "cmos28", 6.0, 4.0, 2.2, 1.50, 1.8),
+    # Radios.
+    _c("ble_radio", ComponentKind.RADIO, "cmos55rf", 6.5, 1.5, 3.5, 0.95, 0.8),
+    _c("multi_radio", ComponentKind.RADIO, "cmos28rf", 14.0, 4.0, 5.0, 2.20, 1.6),
+    _c("nbiot_radio", ComponentKind.RADIO, "cmos28rf", 60.0, 3.0, 6.5, 3.40, 2.2),
+    # PMUs.
+    _c("pmu_ldo", ComponentKind.PMU, "cmos180", 0.15, 0.8, 1.2, 0.25, 0.6),
+    _c("pmu_buck", ComponentKind.PMU, "cmos180", 0.30, 0.4, 2.2, 0.60, 1.2),
+    # Batteries / storage.
+    _c("coin_cell", ComponentKind.BATTERY, "passive", 0.0, 0.0, 100.0, 0.30, 0.23),
+    _c("lipo_small", ComponentKind.BATTERY, "passive", 0.0, 0.0, 300.0, 1.50, 1.0),
+    # Harvesters (perf = harvested mW average).
+    _c("solar_cm2", ComponentKind.HARVESTER, "passive", 0.0, 0.0, 100.0, 0.80, 0.10),
+    _c("none_harv", ComponentKind.HARVESTER, "passive", 0.0, 0.0, 0.1, 0.00, 0.0),
+]
+
+
+def catalog_variants(kind: ComponentKind) -> list:
+    """All catalogue entries of a kind."""
+    return [c for c in COMPONENT_CATALOG if c.kind == kind]
+
+
+#: Battery capacity in mWh per unit of ``perf`` (perf 1.0 = 1000 mWh
+#: would be huge for a wearable; the scale is mWh = perf * 1000).
+BATTERY_MWH_PER_PERF = 1000.0

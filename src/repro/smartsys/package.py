@@ -1,0 +1,106 @@
+"""SiP / 3-D packaging: the technological integration dimension.
+
+Macii: "Advanced packaging technologies, such as system-in-package
+(SiP) and chip stacking (3D IC) with through-silicon vias, allow today
+manufacturers to package all these functionalities more densely."
+The planner picks a package style from the dies' technology mix and
+produces footprint, interconnect, and cost figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.smartsys.components import Component, ComponentKind
+
+
+@dataclass
+class PackagePlan:
+    """A packaging solution for a set of component dies."""
+
+    style: str                   # "soc", "sip_2d", "stack_3d"
+    footprint_mm2: float
+    height_mm: float
+    tsv_count: int
+    bond_wires: int
+    package_cost_usd: float
+    dies: list = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line description."""
+        return (
+            f"{self.style}: {self.footprint_mm2:.1f} mm2 x "
+            f"{self.height_mm:.2f} mm, {self.tsv_count} TSVs, "
+            f"{self.bond_wires} wires, ${self.package_cost_usd:.2f}"
+        )
+
+
+def plan_package(components: list, *, style: str = "auto",
+                 interconnects_per_die: int = 12) -> PackagePlan:
+    """Choose and cost a package for the component set.
+
+    ``style``:
+    * ``"soc"`` — single die; only legal when every active component
+      shares one technology domain (batteries/harvesters ride outside).
+    * ``"sip_2d"`` — side-by-side dies on a substrate (bond wires).
+    * ``"stack_3d"`` — stacked dies with TSVs: smallest footprint,
+      highest cost.
+    * ``"auto"`` — cheapest legal style meeting a wearable footprint.
+    """
+    if not components:
+        raise ValueError("no components to package")
+    dies = [c for c in components
+            if c.kind not in (ComponentKind.BATTERY,
+                              ComponentKind.HARVESTER)]
+    if not dies:
+        raise ValueError("no active dies to package")
+    techs = {c.tech for c in dies}
+    total_area = sum(c.area_mm2 for c in dies)
+
+    if style == "auto":
+        if len(techs) == 1:
+            style = "soc"
+        elif total_area > 30.0:
+            style = "stack_3d"
+        else:
+            style = "sip_2d"
+
+    if style == "soc":
+        if len(techs) > 1:
+            raise ValueError(
+                f"SoC integration impossible across domains {sorted(techs)}")
+        return PackagePlan(
+            style="soc",
+            footprint_mm2=total_area * 1.15,
+            height_mm=0.8,
+            tsv_count=0,
+            bond_wires=interconnects_per_die,
+            package_cost_usd=0.10 + 0.004 * total_area,
+            dies=[c.name for c in dies],
+        )
+    if style == "sip_2d":
+        footprint = total_area * 1.45  # substrate routing margin
+        wires = interconnects_per_die * len(dies)
+        return PackagePlan(
+            style="sip_2d",
+            footprint_mm2=footprint,
+            height_mm=1.1,
+            tsv_count=0,
+            bond_wires=wires,
+            package_cost_usd=0.25 + 0.006 * footprint + 0.002 * wires,
+            dies=[c.name for c in dies],
+        )
+    if style == "stack_3d":
+        biggest = max(c.area_mm2 for c in dies)
+        footprint = biggest * 1.25
+        tsvs = interconnects_per_die * max(len(dies) - 1, 1) * 4
+        return PackagePlan(
+            style="stack_3d",
+            footprint_mm2=footprint,
+            height_mm=0.3 * len(dies) + 0.5,
+            tsv_count=tsvs,
+            bond_wires=0,
+            package_cost_usd=0.60 + 0.010 * footprint + 0.004 * tsvs,
+            dies=[c.name for c in dies],
+        )
+    raise ValueError(f"unknown package style {style!r}")

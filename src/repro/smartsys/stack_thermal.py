@@ -1,0 +1,96 @@
+"""Thermal limits of 3-D die stacks.
+
+The catch in Macii's "chip stacking (3D IC) with through-silicon vias":
+heat from buried dies must cross every die above (or below) them.  The
+stack model assigns each die a junction temperature from its position
+and power, so the co-design loop can reject stacking orders that cook
+the sensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.smartsys.components import Component, ComponentKind
+
+
+@dataclass
+class StackThermalReport:
+    """Per-die temperatures for one stacking order."""
+
+    order: list                  # die names, heatsink side first
+    temperatures_c: dict         # name -> junction temperature
+    ambient_c: float
+
+    @property
+    def peak_c(self) -> float:
+        return max(self.temperatures_c.values())
+
+    def hottest_die(self) -> str:
+        return max(self.temperatures_c, key=self.temperatures_c.get)
+
+
+def stack_temperatures(components: list, order: list | None = None, *,
+                       ambient_c: float = 40.0,
+                       rth_per_interface_c_per_w: float = 2.5,
+                       rth_sink_c_per_w: float = 4.0,
+                       duty_cycle: float = 1.0) -> StackThermalReport:
+    """Junction temperature of each die in a 3-D stack.
+
+    Heat flows toward the heatsink at the top of ``order``; die k's
+    power crosses k interfaces plus the sink resistance, and carries
+    every deeper die's power with it (series thermal path).
+    """
+    dies = [c for c in components
+            if c.kind not in (ComponentKind.BATTERY,
+                              ComponentKind.HARVESTER)]
+    if not dies:
+        raise ValueError("no active dies in the stack")
+    by_name = {c.name: c for c in dies}
+    if order is None:
+        order = [c.name for c in dies]
+    if set(order) != set(by_name):
+        raise ValueError("order must cover exactly the active dies")
+    powers = {name: by_name[name].active_mw * 1e-3 * duty_cycle
+              for name in order}
+    temps: dict = {}
+    # Walk from the sink downward, accumulating the heat that must
+    # cross each interface (everything at or below it).
+    running = ambient_c + rth_sink_c_per_w * sum(powers.values())
+    remaining = sum(powers.values())
+    for k, name in enumerate(order):
+        if k > 0:
+            running += rth_per_interface_c_per_w * remaining
+        temps[name] = running
+        remaining -= powers[name]
+    return StackThermalReport(order=list(order), temperatures_c=temps,
+                              ambient_c=ambient_c)
+
+
+def best_stacking_order(components: list, *,
+                        limit_c: float = 85.0,
+                        **kwargs):
+    """Exhaustive search for the coolest-peak stacking order.
+
+    Returns ``(order, report)``; raises if no order keeps every die
+    under ``limit_c`` (the stack must be re-partitioned or the package
+    changed — exactly the cross-domain constraint co-design handles).
+    """
+    import itertools
+
+    dies = [c for c in components
+            if c.kind not in (ComponentKind.BATTERY,
+                              ComponentKind.HARVESTER)]
+    names = [c.name for c in dies]
+    if len(names) > 7:
+        raise ValueError("stack too deep for exhaustive ordering")
+    best = None
+    for order in itertools.permutations(names):
+        report = stack_temperatures(components, list(order), **kwargs)
+        if best is None or report.peak_c < best[1].peak_c:
+            best = (list(order), report)
+    if best is None or best[1].peak_c > limit_c:
+        raise ValueError(
+            f"no stacking order keeps the stack under {limit_c} C "
+            f"(best {best[1].peak_c:.1f} C)" if best else "empty stack")
+    return best

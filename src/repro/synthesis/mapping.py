@@ -1,0 +1,294 @@
+"""Cut-based technology mapping onto a standard-cell library.
+
+Classic DP formulation: enumerate k-feasible cuts, match each cut's
+function against library cells (inputs permuted, both output phases),
+and choose per node the minimum-cost cover in ``area`` or ``delay``
+mode.  Negations ride on inverters; structural sharing is preserved by
+memoized instantiation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.netlist.aig import Aig, lit_is_neg, lit_var
+from repro.netlist.cells import Cell, CellLibrary
+from repro.netlist.circuit import Netlist
+from repro.synthesis.cuts import cut_function, enumerate_cuts
+
+_MAX_MATCH_INPUTS = 4
+
+
+@dataclass
+class _Match:
+    cut: tuple
+    cell: Cell
+    perm: tuple          # perm[pin_index] = cut leaf position
+    inverted: bool       # True if the cell computes the complement
+
+
+@dataclass
+class _BaseGate:
+    """Fallback choice: a 2-input gate straight over the AIG fanins."""
+
+    cell: Cell
+    flip: bool           # True for OR/NOR (fanins read complemented)
+
+
+class _Matcher:
+    """Precomputed (arity, truth-bits) -> matches index for a library."""
+
+    def __init__(self, library: CellLibrary, cell_filter=None):
+        self.table: dict[tuple, list] = {}
+        for cell in library.combinational():
+            if cell_filter is not None and not cell_filter(cell):
+                continue
+            k = cell.num_inputs
+            if k > _MAX_MATCH_INPUTS or cell.function is None:
+                continue
+            for perm in itertools.permutations(range(k)):
+                permuted = cell.function.expand_vars(k, list(perm))
+                self.table.setdefault((k, permuted.bits), []).append(
+                    (cell, perm))
+
+    def matches(self, bits: int, nvars: int) -> list:
+        return self.table.get((nvars, bits), [])
+
+
+def map_aig(aig: Aig, library: CellLibrary, mode: str = "area",
+            cut_size: int = 4, per_node: int = 8,
+            cell_filter=None) -> Netlist:
+    """Map an AIG to a gate-level netlist.
+
+    Parameters
+    ----------
+    aig:
+        Subject graph.
+    library:
+        Target :class:`~repro.netlist.CellLibrary`.
+    mode:
+        ``"area"`` minimizes total cell area; ``"delay"`` minimizes the
+        worst arrival time (with an estimated per-stage load), breaking
+        ties on area.
+    cell_filter:
+        Optional predicate restricting usable cells (e.g. only X1 RVT
+        for a "2006 era" flow).
+
+    Returns
+    -------
+    A :class:`~repro.netlist.Netlist` computing the same functions.
+    """
+    if mode not in ("area", "delay"):
+        raise ValueError("mode must be 'area' or 'delay'")
+    matcher = _Matcher(library, cell_filter)
+    inv_cell = _pick_inverter(library, cell_filter)
+    est_load_ff = 2.0 * inv_cell.input_cap_ff
+    cuts = enumerate_cuts(aig, cut_size, per_node)
+
+    # DP over both polarities.  cost[phase][node] = (metric, area).
+    INF = (float("inf"), float("inf"))
+    pos_cost: dict[int, tuple] = {0: INF}
+    neg_cost: dict[int, tuple] = {0: INF}
+    pos_choice: dict[int, object] = {}
+    neg_choice: dict[int, object] = {}
+    for i in range(1, aig.num_inputs + 1):
+        pos_cost[i] = (0.0, 0.0)
+        neg_cost[i] = _add_inverter((0.0, 0.0), inv_cell, est_load_ff, mode)
+        neg_choice[i] = "inv"
+
+    # Fallback two-input gates guarantee every AND node is coverable
+    # even when no larger cut matches (e.g. mixed-phase fanins).
+    base_gates = {
+        name: _cheapest_function(library, bits, cell_filter)
+        for name, bits in (("and", 0b1000), ("nand", 0b0111),
+                           ("or", 0b1110), ("nor", 0b0001))
+    }
+
+    for n in range(aig.num_inputs + 1, aig.num_nodes):
+        best_pos, best_pos_choice = INF, None
+        best_neg, best_neg_choice = INF, None
+        f0, f1 = aig.fanins(n)
+        for kind, cell in base_gates.items():
+            if cell is None:
+                continue
+            # AND/NAND read the fanins in their natural phase; OR/NOR
+            # read them complemented (De Morgan).
+            flip = kind in ("or", "nor")
+            costs = []
+            for f in (f0, f1):
+                v, neg = lit_var(f), lit_is_neg(f) ^ flip
+                costs.append(neg_cost[v] if neg else pos_cost[v])
+            total = _add_cell(_combine(costs, mode), cell, est_load_ff,
+                              mode)
+            choice = _BaseGate(cell, flip)
+            if kind in ("and", "nor"):
+                if total < best_pos:
+                    best_pos, best_pos_choice = total, choice
+            else:
+                if total < best_neg:
+                    best_neg, best_neg_choice = total, choice
+        for cut in cuts[n]:
+            if cut == (n,):
+                continue
+            if any(leaf != 0 and leaf not in pos_cost for leaf in cut):
+                continue
+            tt = cut_function(aig, n, cut)
+            leaves_cost = _combine(
+                [pos_cost[leaf] for leaf in cut if leaf != 0], mode)
+            for bits, inverted in ((tt.bits, False), ((~tt).bits, True)):
+                for cell, perm in matcher.matches(bits, len(cut)):
+                    cost = _add_cell(leaves_cost, cell, est_load_ff, mode)
+                    match = _Match(cut, cell, perm, inverted)
+                    if inverted:
+                        if cost < best_neg:
+                            best_neg, best_neg_choice = cost, match
+                    else:
+                        if cost < best_pos:
+                            best_pos, best_pos_choice = cost, match
+        # Close the polarity pair with inverters.
+        via_inv_pos = _add_inverter(best_neg, inv_cell, est_load_ff, mode)
+        via_inv_neg = _add_inverter(best_pos, inv_cell, est_load_ff, mode)
+        if via_inv_pos < best_pos:
+            best_pos, best_pos_choice = via_inv_pos, "inv"
+        if via_inv_neg < best_neg:
+            best_neg, best_neg_choice = via_inv_neg, "inv"
+        if best_pos_choice is None and best_neg_choice is None:
+            raise RuntimeError(
+                f"no match for node {n}; library too sparse")
+        pos_cost[n], pos_choice[n] = best_pos, best_pos_choice
+        neg_cost[n], neg_choice[n] = best_neg, best_neg_choice
+
+    # ------------------------------------------------------------------
+    # Instantiate the chosen cover.
+    # ------------------------------------------------------------------
+    nl = Netlist(f"mapped_{mode}", library)
+    net_of: dict[tuple, str] = {}
+    for i, name in enumerate(aig.input_names):
+        net_of[(i + 1, False)] = nl.add_input(name)
+
+    def instantiate(node: int, negated: bool) -> str:
+        key = (node, negated)
+        if key in net_of:
+            return net_of[key]
+        choice = (neg_choice if negated else pos_choice)[node]
+        if choice == "inv":
+            src = instantiate(node, not negated)
+            gate = nl.add_gate(inv_cell, [src])
+            net_of[key] = gate.output
+            return gate.output
+        if isinstance(choice, _BaseGate):
+            nets = []
+            for f in aig.fanins(node):
+                v, neg = lit_var(f), lit_is_neg(f) ^ choice.flip
+                nets.append(instantiate(v, neg))
+            gate = nl.add_gate(choice.cell, nets)
+            net_of[key] = gate.output
+            return gate.output
+        match: _Match = choice
+        leaf_nets = {leaf: instantiate(leaf, False) for leaf in match.cut}
+        # perm[pin] = leaf position: connect each cell pin accordingly.
+        conns = {}
+        for pin_idx, pin in enumerate(match.cell.inputs):
+            conns[pin] = leaf_nets[match.cut[match.perm[pin_idx]]]
+        gate = nl.add_gate(match.cell, conns)
+        net_of[key] = gate.output
+        return gate.output
+
+    def const_net(value: bool) -> str:
+        key = (0, value)
+        if key not in net_of:
+            tie = library.cells.get("TIEHI" if value else "TIELO")
+            if tie is None:
+                raise ValueError("constant output needs TIEHI/TIELO cells")
+            net_of[key] = nl.add_gate(tie, {}).output
+        return net_of[key]
+
+    for lit, name in zip(aig.outputs, aig.output_names):
+        node = lit_var(lit)
+        if node == 0:
+            nl.add_output(const_net(lit_is_neg(lit)))
+            continue
+        net = instantiate(node, lit_is_neg(lit))
+        nl.add_output(net)
+    return nl
+
+
+def _cheapest_function(library: CellLibrary, bits: int, cell_filter):
+    """Smallest usable 2-input cell computing the given truth bits."""
+    candidates = [
+        c for c in library.combinational()
+        if c.num_inputs == 2 and c.function is not None
+        and c.function.bits == bits
+        and (cell_filter is None or cell_filter(c))
+    ]
+    return min(candidates, key=lambda c: c.area_um2) if candidates else None
+
+
+def _pick_inverter(library: CellLibrary, cell_filter) -> Cell:
+    candidates = [
+        c for c in library.combinational()
+        if c.num_inputs == 1 and c.function is not None
+        and c.function.bits == 0b01
+        and (cell_filter is None or cell_filter(c))
+    ]
+    if not candidates:
+        raise ValueError("library has no usable inverter")
+    return min(candidates, key=lambda c: c.area_um2)
+
+
+def _combine(costs: list, mode: str) -> tuple:
+    if not costs:
+        return (0.0, 0.0)
+    if mode == "area":
+        return (sum(c[0] for c in costs), sum(c[1] for c in costs))
+    return (max(c[0] for c in costs), sum(c[1] for c in costs))
+
+
+def _add_cell(base: tuple, cell: Cell, load_ff: float, mode: str) -> tuple:
+    if mode == "area":
+        return (base[0] + cell.area_um2, base[1] + cell.area_um2)
+    return (base[0] + cell.delay_ps(load_ff), base[1] + cell.area_um2)
+
+
+def _add_inverter(base: tuple, inv: Cell, load_ff: float,
+                  mode: str) -> tuple:
+    if base[0] == float("inf"):
+        return base
+    return _add_cell(base, inv, load_ff, mode)
+
+
+def trivial_map(aig: Aig, library: CellLibrary) -> Netlist:
+    """Naive 1-to-1 mapping: one AND2 per node, INVs on negated edges.
+
+    The "no optimization" strawman baseline of the era comparisons.
+    """
+    nl = Netlist("trivial", library)
+    and2 = library.cheapest("AND2")
+    inv = library.cheapest("INV")
+    net_of: dict[tuple, str] = {}
+    for i, name in enumerate(aig.input_names):
+        net_of[(i + 1, False)] = nl.add_input(name)
+
+    def net_for(lit: int) -> str:
+        node = lit_var(lit)
+        neg = lit_is_neg(lit)
+        key = (node, neg)
+        if key in net_of:
+            return net_of[key]
+        if neg:
+            src = net_for(2 * node)
+            gate = nl.add_gate(inv, [src])
+            net_of[key] = gate.output
+            return gate.output
+        f0, f1 = aig.fanins(node)
+        gate = nl.add_gate(and2, [net_for(f0), net_for(f1)])
+        net_of[key] = gate.output
+        return gate.output
+
+    for lit, name in zip(aig.outputs, aig.output_names):
+        if lit_var(lit) == 0:
+            raise ValueError("trivial_map cannot express constant outputs")
+        if aig.is_input(lit_var(lit)) or aig.is_and(lit_var(lit)):
+            nl.add_output(net_for(lit))
+    return nl

@@ -1,0 +1,303 @@
+"""Majority-Inverter Graphs: the new logic abstraction the panel asks for.
+
+De Micheli's introduction: emerging devices (SiNW and CNT
+controlled-polarity transistors) "are no longer simple switches, but
+switches controlled by the combination of electrical signals ... The
+arrival of such technologies has brought the need of new logic
+abstractions and in turn the requirement of new logic synthesis models
+and algorithms.  It is obvious that achieving competitive design in the
+10nm range and beyond can no longer be thought in terms [of] NANDs,
+NORs and AOIs."
+
+The MIG is exactly that abstraction: every node is a three-input
+majority with optional edge inverters.  MAJ subsumes AND/OR (fix one
+input to 0/1), so MIGs are never worse than AIGs — and on carry-
+dominated arithmetic they are strictly better, because a full-adder
+carry IS a majority (experiment E16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+MIG_FALSE = 0
+MIG_TRUE = 1
+
+
+def lit_not(lit: int) -> int:
+    """Negate a literal."""
+    return lit ^ 1
+
+
+def lit_var(lit: int) -> int:
+    """Node index of a literal."""
+    return lit >> 1
+
+
+def lit_is_neg(lit: int) -> bool:
+    """True if the literal is complemented."""
+    return bool(lit & 1)
+
+
+class Mig:
+    """A mutable Majority-Inverter Graph.
+
+    Node 0 is constant false; nodes ``1..num_inputs`` are primary
+    inputs; the rest are MAJ nodes.  Construction applies the
+    Ω-algebra simplification rules (majority, complement-pair, and
+    constant absorption) plus structural hashing with sorted fanins.
+    """
+
+    def __init__(self, num_inputs: int = 0, input_names=None):
+        self.num_inputs = 0
+        self.input_names: list[str] = []
+        self._fanins: list[tuple] = [(0, 0, 0)]
+        self._strash: dict[tuple, int] = {}
+        self.outputs: list[int] = []
+        self.output_names: list[str] = []
+        names = input_names or [f"i{k}" for k in range(num_inputs)]
+        if len(names) != num_inputs:
+            raise ValueError("input_names length mismatch")
+        for nm in names:
+            self.add_input(nm)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: str | None = None) -> int:
+        """Add a primary input; returns its positive literal."""
+        if self.num_majs:
+            raise ValueError("inputs must be added before MAJ nodes")
+        self.num_inputs += 1
+        self.input_names.append(name or f"i{self.num_inputs - 1}")
+        self._fanins.append((0, 0, 0))
+        return 2 * self.num_inputs
+
+    def input_lit(self, index: int) -> int:
+        """Positive literal of input ``index``."""
+        if not 0 <= index < self.num_inputs:
+            raise IndexError("input index out of range")
+        return 2 * (index + 1)
+
+    def maj_(self, a: int, b: int, c: int) -> int:
+        """MAJ of three literals with Ω-rule simplification."""
+        for lit in (a, b, c):
+            self._check_lit(lit)
+        # Ω.M majority rules: MAJ(x, x, y) = x; MAJ(x, !x, y) = y.
+        if a == b or a == c:
+            return a
+        if b == c:
+            return b
+        if a == lit_not(b):
+            return c
+        if a == lit_not(c):
+            return b
+        if b == lit_not(c):
+            return a
+        # Canonical order; propagate an inverted majority so the first
+        # literal is positive (MAJ(!x,!y,!z) = !MAJ(x,y,z) keeps the
+        # strash canonical under complementation of all three).
+        key = tuple(sorted((a, b, c)))
+        node = self._strash.get(key)
+        if node is None:
+            node = len(self._fanins)
+            self._fanins.append(key)
+            self._strash[key] = node
+        return 2 * node
+
+    def and_(self, a: int, b: int) -> int:
+        """AND via MAJ(a, b, 0)."""
+        return self.maj_(a, b, MIG_FALSE)
+
+    def or_(self, a: int, b: int) -> int:
+        """OR via MAJ(a, b, 1)."""
+        return self.maj_(a, b, MIG_TRUE)
+
+    def xor_(self, a: int, b: int) -> int:
+        """XOR as MAJ(!MAJ(a,b,0), MAJ(a,b,1)... the standard 3-MAJ
+        form: (a | b) & !(a & b)."""
+        return self.and_(self.or_(a, b), lit_not(self.and_(a, b)))
+
+    def add_output(self, lit: int, name: str | None = None) -> None:
+        """Register a primary output literal."""
+        self._check_lit(lit)
+        self.outputs.append(lit)
+        self.output_names.append(name or f"o{len(self.outputs) - 1}")
+
+    def _check_lit(self, lit: int) -> None:
+        if not 0 <= lit_var(lit) < self.num_nodes:
+            raise ValueError(f"literal {lit} references unknown node")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._fanins)
+
+    @property
+    def num_majs(self) -> int:
+        """MAJ node count — the MIG size metric."""
+        return self.num_nodes - 1 - self.num_inputs
+
+    def fanins(self, node: int) -> tuple:
+        if not self.is_maj(node):
+            raise ValueError(f"node {node} is not a MAJ")
+        return self._fanins[node]
+
+    def is_input(self, node: int) -> bool:
+        return 1 <= node <= self.num_inputs
+
+    def is_maj(self, node: int) -> bool:
+        return node > self.num_inputs
+
+    def levels(self) -> list:
+        lev = [0] * self.num_nodes
+        for n in range(self.num_inputs + 1, self.num_nodes):
+            lev[n] = 1 + max(lev[lit_var(f)] for f in self._fanins[n])
+        return lev
+
+    def depth(self) -> int:
+        """Logic depth over the outputs."""
+        if not self.outputs:
+            return 0
+        lev = self.levels()
+        return max(lev[lit_var(o)] for o in self.outputs)
+
+    # ------------------------------------------------------------------
+    # Simulation
+    # ------------------------------------------------------------------
+
+    def simulate(self, input_vectors: np.ndarray) -> np.ndarray:
+        """Bit-parallel simulation; same contract as :class:`Aig`."""
+        vec = np.asarray(input_vectors, dtype=bool)
+        if vec.ndim != 2 or vec.shape[1] != self.num_inputs:
+            raise ValueError("input_vectors must be (patterns, inputs)")
+        npat = vec.shape[0]
+        vals = np.zeros((self.num_nodes, npat), dtype=bool)
+        for i in range(self.num_inputs):
+            vals[i + 1] = vec[:, i]
+        for n in range(self.num_inputs + 1, self.num_nodes):
+            a, b, c = self._fanins[n]
+            va = vals[lit_var(a)] ^ lit_is_neg(a)
+            vb = vals[lit_var(b)] ^ lit_is_neg(b)
+            vc = vals[lit_var(c)] ^ lit_is_neg(c)
+            vals[n] = (va & vb) | (va & vc) | (vb & vc)
+        out = np.empty((npat, len(self.outputs)), dtype=bool)
+        for k, o in enumerate(self.outputs):
+            out[:, k] = vals[lit_var(o)] ^ lit_is_neg(o)
+        return out
+
+    def simulate_all(self) -> np.ndarray:
+        """Exhaustive simulation (inputs <= 20)."""
+        if self.num_inputs > 20:
+            raise ValueError("too many inputs")
+        n = self.num_inputs
+        patterns = np.array(
+            [[(m >> i) & 1 for i in range(n)] for m in range(1 << n)],
+            dtype=bool).reshape(1 << n, n)
+        return self.simulate(patterns)
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+
+    def cleanup(self) -> "Mig":
+        """Copy keeping only nodes reachable from the outputs."""
+        live = set()
+        stack = [lit_var(o) for o in self.outputs]
+        while stack:
+            n = stack.pop()
+            if n in live or not self.is_maj(n):
+                continue
+            live.add(n)
+            stack.extend(lit_var(f) for f in self._fanins[n])
+        out = Mig(self.num_inputs, list(self.input_names))
+        mapping = {0: MIG_FALSE}
+        for i in range(self.num_inputs):
+            mapping[i + 1] = out.input_lit(i)
+        for n in range(self.num_inputs + 1, self.num_nodes):
+            if n not in live:
+                continue
+            a, b, c = self._fanins[n]
+            mapping[n] = out.maj_(
+                mapping[lit_var(a)] ^ (a & 1),
+                mapping[lit_var(b)] ^ (b & 1),
+                mapping[lit_var(c)] ^ (c & 1),
+            )
+        for o, nm in zip(self.outputs, self.output_names):
+            out.add_output(mapping[lit_var(o)] ^ (o & 1), nm)
+        return out
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Mig(inputs={self.num_inputs}, majs={self.num_majs}, "
+                f"outputs={len(self.outputs)}, depth={self.depth()})")
+
+
+def mig_from_aig(aig) -> Mig:
+    """Convert an AIG: every AND becomes MAJ(a, b, 0)."""
+    from repro.netlist.aig import Aig, lit_var as alit_var
+
+    if not isinstance(aig, Aig):
+        raise TypeError("expected an Aig")
+    mig = Mig(aig.num_inputs, list(aig.input_names))
+    mapping = {0: MIG_FALSE}
+    for i in range(aig.num_inputs):
+        mapping[i + 1] = mig.input_lit(i)
+    for n in range(aig.num_inputs + 1, aig.num_nodes):
+        a, b = aig.fanins(n)
+        mapping[n] = mig.and_(
+            mapping[alit_var(a)] ^ (a & 1),
+            mapping[alit_var(b)] ^ (b & 1),
+        )
+    for o, nm in zip(aig.outputs, aig.output_names):
+        mig.add_output(mapping[alit_var(o)] ^ (o & 1), nm)
+    return mig
+
+
+def mig_adder(width: int) -> Mig:
+    """An n-bit ripple-carry adder in native majority logic.
+
+    The carry is ONE majority node per bit (vs three ANDs in an AIG):
+    the structure "functionality-enhanced devices" implement natively.
+    """
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    mig = Mig(2 * width + 1,
+              [f"a{i}" for i in range(width)]
+              + [f"b{i}" for i in range(width)] + ["cin"])
+    a = [mig.input_lit(i) for i in range(width)]
+    b = [mig.input_lit(width + i) for i in range(width)]
+    carry = mig.input_lit(2 * width)
+    for i in range(width):
+        s = mig.xor_(mig.xor_(a[i], b[i]), carry)
+        carry = mig.maj_(a[i], b[i], carry)
+        mig.add_output(s, f"sum{i}")
+    mig.add_output(carry, "cout")
+    return mig
+
+
+def aig_adder(width: int):
+    """The same adder as an AIG, for the E16 comparison."""
+    from repro.netlist.aig import Aig
+
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    aig = Aig(2 * width + 1,
+              [f"a{i}" for i in range(width)]
+              + [f"b{i}" for i in range(width)] + ["cin"])
+    a = [aig.input_lit(i) for i in range(width)]
+    b = [aig.input_lit(width + i) for i in range(width)]
+    carry = aig.input_lit(2 * width)
+    for i in range(width):
+        s = aig.xor_(aig.xor_(a[i], b[i]), carry)
+        # Carry = MAJ(a, b, cin) expressed with ANDs.
+        ab = aig.and_(a[i], b[i])
+        ac = aig.and_(a[i], carry)
+        bc = aig.and_(b[i], carry)
+        carry = aig.or_(aig.or_(ab, ac), bc)
+        aig.add_output(s, f"sum{i}")
+    aig.add_output(carry, "cout")
+    return aig

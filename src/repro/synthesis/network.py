@@ -1,0 +1,390 @@
+"""Multi-level Boolean networks and the SIS-style optimization script.
+
+A :class:`LogicNetwork` is a DAG of named nodes, each computing a
+sum-of-products over other nodes / primary inputs.  The optimization
+script mirrors SIS's ``script.rugged`` structure:
+
+* ``sweep``      — remove constant and single-literal (buffer) nodes;
+* ``eliminate``  — collapse nodes whose extraction value is negative;
+* ``extract``    — pull out common kernels as new nodes;
+* ``simplify``   — Espresso each node's SOP.
+
+The network converts to an :class:`~repro.netlist.Aig` for mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.aig import AIG_FALSE, AIG_TRUE, Aig, lit_not
+from repro.netlist.cubes import Cover
+from repro.synthesis.division import (
+    Sop,
+    algebraic_divide,
+    best_common_kernel,
+    sop_from_cover,
+    sop_literal_count,
+    sop_support,
+    sop_to_cover,
+)
+from repro.synthesis.espresso import espresso
+
+
+@dataclass
+class LogicNode:
+    """One internal node: ``name = SOP over fanin names``."""
+
+    name: str
+    sop: Sop
+
+    def support(self) -> set:
+        return sop_support(self.sop)
+
+    def literal_count(self) -> int:
+        return sop_literal_count(self.sop)
+
+
+class LogicNetwork:
+    """A combinational multi-level network of SOP nodes."""
+
+    def __init__(self, name: str = "net"):
+        self.name = name
+        self.inputs: list[str] = []
+        self.outputs: list[str] = []
+        self.nodes: dict[str, LogicNode] = {}
+        self._counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        if name in self.nodes or name in self.inputs:
+            raise ValueError(f"name {name!r} already used")
+        self.inputs.append(name)
+        return name
+
+    def add_node(self, name: str, sop: Sop) -> LogicNode:
+        if name in self.nodes or name in self.inputs:
+            raise ValueError(f"name {name!r} already used")
+        node = LogicNode(name, [frozenset(c) for c in sop])
+        self.nodes[name] = node
+        return node
+
+    def set_output(self, name: str) -> None:
+        if name not in self.nodes and name not in self.inputs:
+            raise KeyError(f"unknown signal {name!r}")
+        self.outputs.append(name)
+
+    def fresh_name(self, prefix: str = "k") -> str:
+        while True:
+            self._counter += 1
+            cand = f"{prefix}{self._counter}"
+            if cand not in self.nodes and cand not in self.inputs:
+                return cand
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+
+    def literal_count(self) -> int:
+        """Total literals over all nodes — the network cost function."""
+        return sum(n.literal_count() for n in self.nodes.values())
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def fanout_counts(self) -> dict:
+        """name -> number of nodes (plus outputs) reading it."""
+        counts = {n: 0 for n in list(self.nodes) + self.inputs}
+        for node in self.nodes.values():
+            for dep in node.support():
+                counts[dep] = counts.get(dep, 0) + 1
+        for o in self.outputs:
+            counts[o] = counts.get(o, 0) + 1
+        return counts
+
+    def topological_order(self) -> list:
+        """Node names, fanins before fanouts; raises on cycles."""
+        state: dict[str, int] = {}
+        order: list[str] = []
+
+        def visit(name: str) -> None:
+            if name in self.inputs or name not in self.nodes:
+                return
+            mark = state.get(name, 0)
+            if mark == 1:
+                raise ValueError("cycle in logic network")
+            if mark == 2:
+                return
+            state[name] = 1
+            for dep in sorted(self.nodes[name].support()):
+                visit(dep)
+            state[name] = 2
+            order.append(name)
+
+        for name in sorted(self.nodes):
+            visit(name)
+        return order
+
+    def depth(self) -> int:
+        """Maximum node depth from the inputs."""
+        level = {i: 0 for i in self.inputs}
+        for name in self.topological_order():
+            sup = self.nodes[name].support()
+            level[name] = 1 + max((level.get(s, 0) for s in sup), default=0)
+        return max((level.get(o, 0) for o in self.outputs), default=0)
+
+    # ------------------------------------------------------------------
+    # Optimization passes
+    # ------------------------------------------------------------------
+
+    def sweep(self) -> int:
+        """Remove buffer/constant nodes by substitution; returns count."""
+        removed = 0
+        changed = True
+        while changed:
+            changed = False
+            for name in list(self.nodes):
+                node = self.nodes[name]
+                if name in self.outputs:
+                    continue
+                if len(node.sop) == 1 and len(node.sop[0]) == 1:
+                    ((dep, phase),) = node.sop[0]
+                    if phase:  # pure buffer: name == dep
+                        self._substitute(name, dep)
+                        del self.nodes[name]
+                        removed += 1
+                        changed = True
+                elif not node.sop:
+                    # Constant 0 node: propagate by deleting cubes that
+                    # use it positively, dropping negative literals.
+                    self._substitute_const(name, False)
+                    del self.nodes[name]
+                    removed += 1
+                    changed = True
+        return removed
+
+    def _substitute(self, old: str, new: str) -> None:
+        for node in self.nodes.values():
+            new_sop = []
+            for cube in node.sop:
+                if (old, True) in cube:
+                    cube = (cube - {(old, True)}) | {(new, True)}
+                if (old, False) in cube:
+                    cube = (cube - {(old, False)}) | {(new, False)}
+                new_sop.append(cube)
+            node.sop = new_sop
+
+    def _substitute_const(self, name: str, value: bool) -> None:
+        for node in self.nodes.values():
+            new_sop = []
+            for cube in node.sop:
+                if (name, not value) in cube:
+                    continue  # cube is false
+                cube = cube - {(name, value)}
+                new_sop.append(cube)
+            node.sop = new_sop
+
+    def eliminate(self, threshold: int = 0) -> int:
+        """Collapse nodes whose extraction value <= threshold.
+
+        The value of keeping node n with f fanouts and l literals is
+        ``(f - 1) * (l - 1) - 1`` (literals saved by sharing); nodes at
+        or below the threshold are inlined into their fanouts, as in
+        SIS ``eliminate``.
+        """
+        eliminated = 0
+        changed = True
+        while changed:
+            changed = False
+            fan = self.fanout_counts()
+            for name in list(self.nodes):
+                if name in self.outputs:
+                    continue
+                node = self.nodes[name]
+                f = fan.get(name, 0)
+                lits = node.literal_count()
+                value = (f - 1) * (lits - 1) - 1
+                if value <= threshold and self._inline(name):
+                    del self.nodes[name]
+                    eliminated += 1
+                    changed = True
+                    fan = self.fanout_counts()
+        return eliminated
+
+    def _inline(self, name: str) -> bool:
+        """Substitute node ``name`` into all its readers.
+
+        Only positive uses can be inlined algebraically; if the node is
+        read complemented anywhere, inlining is skipped (returns False).
+        """
+        node = self.nodes[name]
+        for reader in self.nodes.values():
+            for cube in reader.sop:
+                if (name, False) in cube:
+                    return False
+        for reader in self.nodes.values():
+            if reader.name == name:
+                continue
+            new_sop = []
+            for cube in reader.sop:
+                if (name, True) in cube:
+                    rest = cube - {(name, True)}
+                    for sub in node.sop:
+                        merged = rest | sub
+                        if not _cube_contradicts(merged):
+                            new_sop.append(merged)
+                else:
+                    new_sop.append(cube)
+            reader.sop = _dedupe_sop(new_sop)
+        return True
+
+    def extract(self, max_kernels: int = 50) -> int:
+        """Greedy common-kernel extraction; returns kernels created."""
+        created = 0
+        for _ in range(max_kernels):
+            sops = {n.name: n.sop for n in self.nodes.values()
+                    if len(n.sop) >= 2}
+            best = best_common_kernel(sops)
+            if best is None:
+                break
+            kernel, value, users = best
+            kname = self.fresh_name("k")
+            self.add_node(kname, kernel)
+            for user, _ in users.items():
+                node = self.nodes[user]
+                quotient, remainder = algebraic_divide(node.sop, kernel)
+                if not quotient:
+                    continue
+                new_sop = list(remainder)
+                for qc in quotient:
+                    new_sop.append(qc | {(kname, True)})
+                node.sop = _dedupe_sop(new_sop)
+            created += 1
+        return created
+
+    def simplify(self) -> int:
+        """Espresso every node's SOP; returns literals saved."""
+        saved = 0
+        for node in self.nodes.values():
+            names = sorted(node.support())
+            if not names or len(names) > 12:
+                continue
+            cover = sop_to_cover(node.sop, names)
+            before = cover.literal_count()
+            minimized = espresso(cover)
+            after = minimized.literal_count()
+            if after < before or minimized.cube_count() < cover.cube_count():
+                node.sop = sop_from_cover(minimized, names)
+                saved += before - after
+        return saved
+
+    def optimize(self, effort: str = "high") -> dict:
+        """Run the full script; returns a pass-by-pass literal report."""
+        report = {"initial": self.literal_count()}
+        self.sweep()
+        report["sweep"] = self.literal_count()
+        self.simplify()
+        report["simplify"] = self.literal_count()
+        if effort in ("medium", "high"):
+            self.extract()
+            report["extract"] = self.literal_count()
+            self.eliminate(threshold=0 if effort == "high" else -1)
+            report["eliminate"] = self.literal_count()
+            self.simplify()
+            report["resimplify"] = self.literal_count()
+        if effort == "high":
+            self.extract()
+            self.sweep()
+            report["final"] = self.literal_count()
+        return report
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+
+    def to_aig(self) -> Aig:
+        """Lower the network to an AIG (AND/OR trees per SOP)."""
+        aig = Aig(len(self.inputs), list(self.inputs))
+        lit_of: dict[str, int] = {
+            name: aig.input_lit(i) for i, name in enumerate(self.inputs)
+        }
+        for name in self.topological_order():
+            node = self.nodes[name]
+            cube_lits = []
+            for cube in node.sop:
+                acc = AIG_TRUE
+                for dep, phase in sorted(cube):
+                    lit = lit_of[dep]
+                    acc = aig.and_(acc, lit if phase else lit_not(lit))
+                cube_lits.append(acc)
+            acc = AIG_FALSE
+            for cl in cube_lits:
+                acc = aig.or_(acc, cl)
+            lit_of[name] = acc
+        for out in self.outputs:
+            aig.add_output(lit_of[out], out)
+        return aig
+
+    @staticmethod
+    def from_aig(aig: Aig) -> "LogicNetwork":
+        """Import an AIG as a network of two-literal AND nodes."""
+        net = LogicNetwork()
+        for name in aig.input_names:
+            net.add_input(name)
+        name_of = {i + 1: aig.input_names[i] for i in range(aig.num_inputs)}
+        for n in range(aig.num_inputs + 1, aig.num_nodes):
+            a, b = aig.fanins(n)
+            cube = frozenset({
+                (name_of[a >> 1], not (a & 1)),
+                (name_of[b >> 1], not (b & 1)),
+            })
+            nm = f"n{n}"
+            net.add_node(nm, [cube])
+            name_of[n] = nm
+        for lit, oname in zip(aig.outputs, aig.output_names):
+            src = name_of.get(lit >> 1)
+            if src is None:  # constant output
+                node = net.add_node(net.fresh_name("const"),
+                                    [] if lit == AIG_FALSE else [frozenset()])
+                src = node.name
+                net.set_output(src)
+                continue
+            if lit & 1:
+                inv = net.fresh_name("inv")
+                net.add_node(inv, [frozenset({(src, False)})])
+                src = inv
+            net.set_output(src)
+        return net
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LogicNetwork({self.name!r}, {len(self.inputs)} in, "
+            f"{len(self.nodes)} nodes, {self.literal_count()} lits)"
+        )
+
+
+def _cube_contradicts(cube: frozenset) -> bool:
+    names = {}
+    for name, phase in cube:
+        if names.get(name, phase) != phase:
+            return True
+        names[name] = phase
+    return False
+
+
+def _dedupe_sop(sop: Sop) -> Sop:
+    uniq = []
+    seen = set()
+    for cube in sop:
+        if cube in seen:
+            continue
+        seen.add(cube)
+        uniq.append(cube)
+    # Single-cube containment: drop cubes that contain another cube.
+    kept = []
+    for cube in sorted(uniq, key=len):
+        if not any(k <= cube for k in kept):
+            kept.append(cube)
+    return kept

@@ -1,0 +1,226 @@
+"""Min-period retiming (Leiserson-Saxe).
+
+Sequential optimization the "advanced RTL synthesis" of E1 includes:
+moving registers across combinational logic to balance pipeline stages.
+Implemented on the classic retiming graph — nodes carry combinational
+delay, edges carry register counts — with the binary-search-over-
+feasibility algorithm (Bellman-Ford on the constraint graph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RetimingGraph:
+    """A synchronous circuit abstracted for retiming.
+
+    ``delays[v]`` is node v's combinational delay; ``edges`` is a list
+    of ``(u, v, weight)`` with ``weight`` = number of registers on the
+    path u -> v.  A distinguished ``host`` node (conventionally 0 with
+    zero delay) closes I/O paths so retiming cannot borrow registers
+    from the environment.
+    """
+
+    delays: dict = field(default_factory=dict)
+    edges: list = field(default_factory=list)
+
+    def add_node(self, node, delay: float) -> None:
+        """Declare a node with its combinational delay."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delays[node] = delay
+
+    def add_edge(self, u, v, weight: int) -> None:
+        """Connect u -> v with ``weight`` registers."""
+        if weight < 0:
+            raise ValueError("register count must be non-negative")
+        for n in (u, v):
+            if n not in self.delays:
+                raise KeyError(f"unknown node {n!r}")
+        self.edges.append((u, v, weight))
+
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Every directed cycle must carry at least one register."""
+        # DFS over zero-register edges looking for a cycle.
+        zero_adj: dict = {}
+        for u, v, w in self.edges:
+            if w == 0:
+                zero_adj.setdefault(u, []).append(v)
+        state: dict = {}
+
+        def visit(node):
+            mark = state.get(node, 0)
+            if mark == 1:
+                raise ValueError("combinational cycle (no registers)")
+            if mark == 2:
+                return
+            state[node] = 1
+            for nxt in zero_adj.get(node, ()):
+                visit(nxt)
+            state[node] = 2
+
+        for node in self.delays:
+            visit(node)
+
+    def clock_period(self) -> float:
+        """Critical combinational delay of the current registering.
+
+        Longest delay path through zero-register edges.
+        """
+        self.validate()
+        zero_adj: dict = {}
+        indeg = {n: 0 for n in self.delays}
+        for u, v, w in self.edges:
+            if w == 0:
+                zero_adj.setdefault(u, []).append(v)
+                indeg[v] += 1
+        order = [n for n, d in indeg.items() if d == 0]
+        arrival = {n: self.delays[n] for n in self.delays}
+        queue = list(order)
+        while queue:
+            u = queue.pop()
+            for v in zero_adj.get(u, ()):
+                arrival[v] = max(arrival[v],
+                                 arrival[u] + self.delays[v])
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    queue.append(v)
+        return max(arrival.values(), default=0.0)
+
+    # ------------------------------------------------------------------
+
+    def retime(self, target_period: float):
+        """Find a legal retiming achieving ``target_period``.
+
+        Returns node -> retiming label r (registers moved from the
+        node's outputs to its inputs), or ``None`` if infeasible.
+        Constraint system (Leiserson-Saxe):
+
+        * ``r(u) - r(v) <= w(e)`` for every edge e: u -> v  (legality);
+        * ``r(u) - r(v) <= W(u,v) - 1`` for every pair with
+          ``D(u,v) > target`` (period).
+
+        Solved by Bellman-Ford on the constraint graph.
+        """
+        nodes = list(self.delays)
+        w_mat, d_mat = self._wd_matrices()
+        constraints: list = []
+        for u, v, w in self.edges:
+            constraints.append((v, u, w))           # r(u) <= r(v) + w
+        for (u, v), wd in w_mat.items():
+            if d_mat[(u, v)] > target_period + 1e-12:
+                constraints.append((v, u, wd - 1))
+        # Bellman-Ford from a virtual source connected to all nodes.
+        dist = {n: 0.0 for n in nodes}
+        for _ in range(len(nodes)):
+            changed = False
+            for v, u, bound in constraints:
+                if dist[v] + bound < dist[u] - 1e-12:
+                    dist[u] = dist[v] + bound
+                    changed = True
+            if not changed:
+                break
+        else:
+            return None  # negative cycle: infeasible
+        labels = {n: int(round(dist[n])) for n in nodes}
+        # Verify legality.
+        for u, v, w in self.edges:
+            if w + labels[v] - labels[u] < 0:
+                return None
+        return labels
+
+    def apply(self, labels: dict) -> "RetimingGraph":
+        """The retimed graph: w'(e) = w(e) + r(v) - r(u)."""
+        out = RetimingGraph(dict(self.delays), [])
+        for u, v, w in self.edges:
+            out.edges.append((u, v, w + labels[v] - labels[u]))
+        return out
+
+    def min_period(self, *, resolution: float = 0.01):
+        """Binary-search the smallest achievable period.
+
+        Returns ``(period, labels)``.
+        """
+        _, d_mat = self._wd_matrices()
+        candidates = sorted(set(d_mat.values()))
+        lo, hi = 0, len(candidates) - 1
+        best = (self.clock_period(), {n: 0 for n in self.delays})
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            labels = self.retime(candidates[mid])
+            if labels is not None:
+                best = (candidates[mid], labels)
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        return best
+
+    def _wd_matrices(self):
+        """The classic W (min registers) and D (max delay) matrices."""
+        nodes = list(self.delays)
+        inf = float("inf")
+        w_mat: dict = {}
+        d_mat: dict = {}
+        # All-pairs shortest path on (w, -d) lexicographic weights
+        # (Floyd-Warshall; graphs here are small).
+        w = {(u, v): inf for u in nodes for v in nodes}
+        d = {(u, v): -inf for u in nodes for v in nodes}
+        for u in nodes:
+            w[(u, u)] = 0
+            d[(u, u)] = self.delays[u]
+        for u, v, wt in self.edges:
+            cand_w = wt
+            cand_d = self.delays[u] + self.delays[v]
+            if cand_w < w[(u, v)] or (cand_w == w[(u, v)] and
+                                      cand_d > d[(u, v)]):
+                w[(u, v)] = cand_w
+                d[(u, v)] = cand_d
+        for k in nodes:
+            for i in nodes:
+                if w[(i, k)] == inf:
+                    continue
+                for j in nodes:
+                    if w[(k, j)] == inf:
+                        continue
+                    cand_w = w[(i, k)] + w[(k, j)]
+                    cand_d = d[(i, k)] + d[(k, j)] - self.delays[k]
+                    if cand_w < w[(i, j)] or (
+                            cand_w == w[(i, j)] and cand_d > d[(i, j)]):
+                        w[(i, j)] = cand_w
+                        d[(i, j)] = cand_d
+        for u in nodes:
+            for v in nodes:
+                if w[(u, v)] < inf:
+                    w_mat[(u, v)] = int(w[(u, v)])
+                    d_mat[(u, v)] = d[(u, v)]
+        return w_mat, d_mat
+
+
+def unbalanced_ring_example(stages: int = 3, *,
+                            slow_delay: float = 10.0,
+                            fast_delay: float = 1.0) -> RetimingGraph:
+    """A feedback ring with all its registers bunched on one edge.
+
+    The canonical retiming win: the initial period is the sum of all
+    stage delays (one long zero-register path); after retiming each
+    stage gets its own register and the period drops to the slowest
+    single stage.
+    """
+    if stages < 2:
+        raise ValueError("need at least 2 stages")
+    g = RetimingGraph()
+    names = []
+    for k in range(stages):
+        delay = slow_delay if k == stages // 2 else fast_delay
+        name = f"v{k}"
+        g.add_node(name, delay)
+        names.append(name)
+    for k in range(stages - 1):
+        g.add_edge(names[k], names[k + 1], 0)
+    # All registers on the feedback edge.
+    g.add_edge(names[-1], names[0], stages)
+    return g

@@ -1,0 +1,232 @@
+"""AIG optimization: balance, refactor, and cut-based rewriting.
+
+These are the 2010s-generation optimizations that, stacked on top of
+the classic two-level/multi-level passes, produce the decade-of-
+improvement ladder of experiment E1.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.aig import (
+    AIG_FALSE,
+    AIG_TRUE,
+    Aig,
+    lit_is_neg,
+    lit_not,
+    lit_var,
+)
+from repro.netlist.boolfunc import TruthTable
+from repro.synthesis.cuts import cut_function, enumerate_cuts
+from repro.synthesis.division import factor, sop_from_cover
+from repro.synthesis.espresso import espresso_tt
+
+
+def balance(aig: Aig) -> Aig:
+    """Depth-optimal restructuring of AND trees.
+
+    Maximal conjunction trees (chains of ANDs linked by positive,
+    single-fanout edges) are collected and rebuilt as balanced trees,
+    pairing the shallowest operands first — the standard ``balance``
+    pass.  Node count never increases; depth typically drops.
+    """
+    new = Aig(aig.num_inputs, list(aig.input_names))
+    mapping: dict[int, int] = {0: AIG_FALSE}
+    for i in range(aig.num_inputs):
+        mapping[i + 1] = new.input_lit(i)
+    fanout = aig.fanout_counts()
+
+    def collect(lit: int, acc: list, root: bool) -> None:
+        node = lit_var(lit)
+        if (not lit_is_neg(lit) and aig.is_and(node)
+                and (root or fanout[node] == 1)):
+            f0, f1 = aig.fanins(node)
+            collect(f0, acc, False)
+            collect(f1, acc, False)
+        else:
+            acc.append(lit)
+
+    def translate(lit: int) -> int:
+        node = lit_var(lit)
+        base = mapping[node]
+        return lit_not(base) if lit_is_neg(lit) else base
+
+    levels_new: dict[int, int] = {}
+
+    def level_of(lit: int) -> int:
+        return levels_new.get(lit_var(lit), 0)
+
+    for n in range(aig.num_inputs + 1, aig.num_nodes):
+        operands: list[int] = []
+        collect(2 * n, operands, True)
+        # Translate to new-graph literals and pair shallowest-first.
+        ops = sorted((translate(o) for o in operands), key=level_of)
+        while len(ops) > 1:
+            a = ops.pop(0)
+            b = ops.pop(0)
+            lit = new.and_(a, b)
+            levels_new[lit_var(lit)] = 1 + max(level_of(a), level_of(b))
+            # Insert keeping the shallowest-first order.
+            pos = 0
+            while pos < len(ops) and level_of(ops[pos]) <= level_of(lit):
+                pos += 1
+            ops.insert(pos, lit)
+        mapping[n] = ops[0]
+    for lit, name in zip(aig.outputs, aig.output_names):
+        new.add_output(translate(lit), name)
+    return new.cleanup()
+
+
+def _build_factored(aig: Aig, tree, leaf_lits: list) -> int:
+    """Instantiate a factored expression tree into ``aig``."""
+    kind = tree[0]
+    if kind == "const":
+        return AIG_TRUE if tree[1] else AIG_FALSE
+    if kind == "lit":
+        _, name, phase = tree
+        lit = leaf_lits[name]
+        return lit if phase else lit_not(lit)
+    if kind == "and":
+        acc = AIG_TRUE
+        for child in tree[1]:
+            acc = aig.and_(acc, _build_factored(aig, child, leaf_lits))
+        return acc
+    if kind == "or":
+        acc = AIG_FALSE
+        for child in tree[1]:
+            acc = aig.or_(acc, _build_factored(aig, child, leaf_lits))
+        return acc
+    raise ValueError(f"bad factor tree node {kind!r}")
+
+
+def _resynthesize(tt: TruthTable, dest: Aig, leaf_lits: list) -> int:
+    """Minimal-effort resynthesis of a small function into ``dest``."""
+    if tt.is_contradiction():
+        return AIG_FALSE
+    if tt.is_tautology():
+        return AIG_TRUE
+    cover = espresso_tt(tt)
+    sop = sop_from_cover(cover, list(range(tt.nvars)))
+    tree = factor(sop)
+    return _build_factored(dest, tree, leaf_lits)
+
+
+def rewrite(aig: Aig, cut_size: int = 4, per_node: int = 5) -> Aig:
+    """Cut-based rewriting.
+
+    Rebuilds the graph bottom-up.  For every AND node the rewriter
+    considers (a) the direct reconstruction and (b) a resynthesis of
+    each enumerated cut's function (espresso + quick-factor), and keeps
+    whichever adds the fewest nodes to the new graph — structural
+    hashing makes reuse of existing logic free.  Dead alternatives are
+    swept by the final cleanup.
+    """
+    cuts = enumerate_cuts(aig, cut_size, per_node)
+    new = Aig(aig.num_inputs, list(aig.input_names))
+    mapping: dict[int, int] = {0: AIG_FALSE}
+    for i in range(aig.num_inputs):
+        mapping[i + 1] = new.input_lit(i)
+
+    for n in range(aig.num_inputs + 1, aig.num_nodes):
+        f0, f1 = aig.fanins(n)
+        a = mapping[lit_var(f0)] ^ (f0 & 1)
+        b = mapping[lit_var(f1)] ^ (f1 & 1)
+        before = new.num_nodes
+        best_lit = new.and_(a, b)
+        best_added = new.num_nodes - before
+        for cut in cuts[n]:
+            if len(cut) < 2 or cut == (n,):
+                continue
+            tt = cut_function(aig, n, cut)
+            leaf_lits = [mapping[leaf] for leaf in cut]
+            start = new.num_nodes
+            cand = _resynthesize(tt, new, leaf_lits)
+            added = new.num_nodes - start
+            if added < best_added:
+                best_lit, best_added = cand, added
+        mapping[n] = best_lit
+    for lit, name in zip(aig.outputs, aig.output_names):
+        new.add_output(mapping[lit_var(lit)] ^ (lit & 1), name)
+    return new.cleanup()
+
+
+def refactor(aig: Aig, max_support: int = 10) -> Aig:
+    """Collapse-and-resynthesize outputs with small structural support.
+
+    Each output cone whose support fits in ``max_support`` inputs is
+    collapsed to a truth table, minimized, factored, and rebuilt; the
+    new cone is kept only if the overall graph shrinks.
+    """
+    result = aig
+    for out_idx in range(len(aig.outputs)):
+        support = _output_support(result, out_idx)
+        if not 1 <= len(support) <= max_support:
+            continue
+        candidate = _refactor_one(result, out_idx, support)
+        if candidate.num_ands < result.num_ands:
+            result = candidate
+    return result
+
+
+def _output_support(aig: Aig, out_idx: int) -> list:
+    lit = aig.outputs[out_idx]
+    seen = set()
+    support = []
+    stack = [lit_var(lit)]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if aig.is_input(node):
+            support.append(node)
+        elif aig.is_and(node):
+            f0, f1 = aig.fanins(node)
+            stack.append(lit_var(f0))
+            stack.append(lit_var(f1))
+    return sorted(support)
+
+
+def _refactor_one(aig: Aig, out_idx: int, support: list) -> Aig:
+    lit = aig.outputs[out_idx]
+    tt = cut_function(aig, lit_var(lit), support)
+    if lit_is_neg(lit):
+        tt = ~tt
+    new = Aig(aig.num_inputs, list(aig.input_names))
+    mapping: dict[int, int] = {0: AIG_FALSE}
+    for i in range(aig.num_inputs):
+        mapping[i + 1] = new.input_lit(i)
+    # Copy all other outputs' cones verbatim.
+    for n in range(aig.num_inputs + 1, aig.num_nodes):
+        f0, f1 = aig.fanins(n)
+        a = mapping[lit_var(f0)] ^ (f0 & 1)
+        b = mapping[lit_var(f1)] ^ (f1 & 1)
+        mapping[n] = new.and_(a, b)
+    leaf_lits = [mapping[leaf] for leaf in support]
+    new_lit = _resynthesize(tt, new, leaf_lits)
+    for k, (olit, name) in enumerate(zip(aig.outputs, aig.output_names)):
+        if k == out_idx:
+            new.add_output(new_lit, name)
+        else:
+            new.add_output(mapping[lit_var(olit)] ^ (olit & 1), name)
+    return new.cleanup()
+
+
+def optimize_aig(aig: Aig, effort: str = "high") -> Aig:
+    """A standard optimization script over the AIG passes.
+
+    effort "low": balance only.  "medium": balance, rewrite.  "high":
+    two rounds of rewrite/refactor bracketed by balances (compare the
+    ABC ``resyn2`` recipe).
+    """
+    if effort not in ("low", "medium", "high"):
+        raise ValueError("effort must be low/medium/high")
+    g = balance(aig)
+    if effort == "low":
+        return g
+    g = rewrite(g)
+    if effort == "medium":
+        return balance(g)
+    g = refactor(g)
+    g = balance(g)
+    g = rewrite(g)
+    return balance(g)

@@ -1,0 +1,218 @@
+"""A small CNF SAT solver and SAT-based equivalence checking.
+
+The second pillar of verification (BDDs being the first): Tseitin-
+encode a miter between two netlists and ask the solver for a
+distinguishing input.  DPLL with unit propagation, two-phase literal
+watching would be overkill at this scale; conflict-driven clause
+learning is included in a simple form because it is what makes even
+medium miters tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netlist.circuit import Netlist
+
+
+@dataclass
+class Cnf:
+    """A CNF formula: clauses of nonzero integer literals (DIMACS)."""
+
+    num_vars: int = 0
+    clauses: list = field(default_factory=list)
+
+    def new_var(self) -> int:
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, *lits) -> None:
+        clause = [int(l) for l in lits]
+        if not clause:
+            raise ValueError("empty clause (formula trivially unsat)")
+        if any(l == 0 or abs(l) > self.num_vars for l in clause):
+            raise ValueError("literal out of range")
+        self.clauses.append(clause)
+
+
+class SatSolver:
+    """DPLL + unit propagation + 1-UIP-style conflict clauses."""
+
+    def __init__(self, cnf: Cnf, *, max_conflicts: int = 200_000):
+        self.cnf = cnf
+        self.max_conflicts = max_conflicts
+
+    def solve(self):
+        """Returns var -> bool model, or None if UNSAT."""
+        assign: dict = {}
+        trail: list = []          # (var, decision_level, reason_clause)
+        level = 0
+        conflicts = 0
+
+        clauses = [list(c) for c in self.cnf.clauses]
+
+        def value(lit):
+            v = assign.get(abs(lit))
+            if v is None:
+                return None
+            return v if lit > 0 else not v
+
+        def propagate():
+            """Unit propagation; returns a conflicting clause or None."""
+            changed = True
+            while changed:
+                changed = False
+                for clause in clauses:
+                    unassigned = None
+                    satisfied = False
+                    count = 0
+                    for lit in clause:
+                        val = value(lit)
+                        if val is True:
+                            satisfied = True
+                            break
+                        if val is None:
+                            unassigned = lit
+                            count += 1
+                    if satisfied:
+                        continue
+                    if count == 0:
+                        return clause
+                    if count == 1:
+                        var = abs(unassigned)
+                        assign[var] = unassigned > 0
+                        trail.append((var, level, clause))
+                        changed = True
+            return None
+
+        def backtrack(target_level):
+            while trail and trail[-1][1] > target_level:
+                var, _, _ = trail.pop()
+                del assign[var]
+
+        def analyze(conflict_clause):
+            """Simple conflict analysis: collect decision literals."""
+            seen = set()
+            learned = []
+            stack = list(conflict_clause)
+            visited = set()
+            while stack:
+                lit = stack.pop()
+                var = abs(lit)
+                if var in visited:
+                    continue
+                visited.add(var)
+                entry = next((t for t in trail if t[0] == var), None)
+                if entry is None:
+                    continue
+                _, lvl, reason = entry
+                if reason is None:
+                    # Decision variable: negate it in the learned clause.
+                    learned.append(-lit if value(lit) is True else
+                                   (lit if value(lit) is False else -lit))
+                    seen.add(lvl)
+                else:
+                    stack.extend(l for l in reason if abs(l) != var)
+            if not learned:
+                return None, -1
+            back = max((l for l in seen if l < max(seen)), default=0) \
+                if len(seen) > 1 else 0
+            return learned, back
+
+        while True:
+            conflict = propagate()
+            if conflict is not None:
+                conflicts += 1
+                if conflicts > self.max_conflicts:
+                    raise RuntimeError("conflict budget exhausted")
+                if level == 0:
+                    return None
+                learned, back = analyze(conflict)
+                if learned is None or back < 0:
+                    # Fall back to chronological backtracking.
+                    back = level - 1
+                else:
+                    clauses.append(learned)
+                backtrack(back)
+                level = back
+                continue
+            # Pick a branching variable.
+            free = None
+            for v in range(1, self.cnf.num_vars + 1):
+                if v not in assign:
+                    free = v
+                    break
+            if free is None:
+                return dict(assign)
+            level += 1
+            assign[free] = False
+            trail.append((free, level, None))
+
+
+def tseitin_netlist(netlist: Netlist, cnf: Cnf,
+                    input_vars: dict | None = None) -> dict:
+    """Tseitin-encode a combinational netlist into ``cnf``.
+
+    Returns net -> CNF variable.  ``input_vars`` may share input
+    variables between two encodings (the miter construction).
+    """
+    if netlist.sequential_gates():
+        raise ValueError("combinational netlists only")
+    var_of: dict = {}
+    for pi in netlist.primary_inputs:
+        if input_vars and pi in input_vars:
+            var_of[pi] = input_vars[pi]
+        else:
+            var_of[pi] = cnf.new_var()
+    for gate in netlist.topological_gates():
+        out = cnf.new_var()
+        var_of[gate.output] = out
+        ins = [var_of[gate.pins[p]] for p in gate.cell.inputs]
+        tt = gate.cell.function
+        # Clause per minterm row: encode out <-> f(ins).
+        for m in range(1 << tt.nvars):
+            row = []
+            for bit, v in enumerate(ins):
+                row.append(-v if (m >> bit) & 1 else v)
+            if tt.bits >> m & 1:
+                cnf.add_clause(*row, out)
+            else:
+                cnf.add_clause(*row, -out)
+        if tt.nvars == 0:
+            # Tie cell: fixed output value.
+            cnf.add_clause(out if tt.bits & 1 else -out)
+    return var_of
+
+
+def sat_check_equivalence(a: Netlist, b: Netlist) -> dict:
+    """Miter-based equivalence check.
+
+    Shares input variables, XORs each output pair, and asks SAT for an
+    input making any XOR true.  Returns the same report shape as the
+    BDD checker.
+    """
+    if a.primary_inputs != b.primary_inputs:
+        raise ValueError("primary input interfaces differ")
+    if len(a.primary_outputs) != len(b.primary_outputs):
+        raise ValueError("primary output counts differ")
+    cnf = Cnf()
+    vars_a = tseitin_netlist(a, cnf)
+    shared = {pi: vars_a[pi] for pi in a.primary_inputs}
+    vars_b = tseitin_netlist(b, cnf, input_vars=shared)
+    xor_vars = []
+    for pa, pb in zip(a.primary_outputs, b.primary_outputs):
+        x = cnf.new_var()
+        va, vb = vars_a[pa], vars_b[pb]
+        # x <-> va xor vb.
+        cnf.add_clause(-x, va, vb)
+        cnf.add_clause(-x, -va, -vb)
+        cnf.add_clause(x, -va, vb)
+        cnf.add_clause(x, va, -vb)
+        xor_vars.append(x)
+    cnf.add_clause(*xor_vars)  # some output differs
+    model = SatSolver(cnf).solve()
+    if model is None:
+        return {"equivalent": True, "counterexample": None}
+    cex = {pi: model.get(shared[pi], False)
+           for pi in a.primary_inputs}
+    return {"equivalent": False, "counterexample": cex}

@@ -1,0 +1,128 @@
+"""Post-mapping gate sizing and multi-Vt assignment.
+
+Two of the "wide catalogue of techniques" (Domic) that advanced flows
+apply automatically: upsizing drive strength along critical paths and
+swapping slack-rich gates to high-Vt variants to cut leakage.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.netlist.cells import CellLibrary
+from repro.netlist.circuit import Netlist
+from repro.timing import TimingAnalyzer, WireModel
+
+_DRIVE_LADDER = ["X1", "X2", "X4"]
+_NAME_RE = re.compile(r"^(?P<base>[A-Z0-9]+)_(?P<drive>X\d)_(?P<vt>[a-z]+)$")
+
+
+def _variant(library: CellLibrary, cell_name: str, *, drive=None, vt=None):
+    """Look up a sibling cell with a different drive or Vt, or None."""
+    m = _NAME_RE.match(cell_name)
+    if not m:
+        return None
+    name = (f"{m.group('base')}_{drive or m.group('drive')}"
+            f"_{vt or m.group('vt')}")
+    return library.cells.get(name)
+
+
+def size_gates(netlist: Netlist, *, wire_model: WireModel | None = None,
+               clock_period_ps: float = 1000.0,
+               max_passes: int = 4) -> dict:
+    """Upsize cells along critical paths until timing stops improving.
+
+    Mutates the netlist in place.  Returns a report with before/after
+    critical delay and the number of cells resized.
+    """
+    library = netlist.library
+    analyzer = TimingAnalyzer(netlist, wire_model, clock_period_ps)
+    initial = analyzer.analyze()
+    before_ps = initial.critical_delay_ps
+    resized = 0
+    best_ps = before_ps
+    for _ in range(max_passes):
+        report = analyzer.analyze()
+        if report.wns_ps >= 0:
+            break  # timing met: do not spend area on speed nobody asked for
+        improved = False
+        for gname in report.critical_path:
+            gate = netlist.gates.get(gname)
+            if gate is None or gate.cell.is_sequential:
+                continue
+            m = _NAME_RE.match(gate.cell.name)
+            if not m:
+                continue
+            drive = m.group("drive")
+            idx = _DRIVE_LADDER.index(drive) if drive in _DRIVE_LADDER else -1
+            if idx < 0 or idx + 1 >= len(_DRIVE_LADDER):
+                continue
+            bigger = _variant(library, gate.cell.name,
+                              drive=_DRIVE_LADDER[idx + 1])
+            if bigger is None:
+                continue
+            old_cell = gate.cell
+            gate.cell = bigger
+            new_ps = analyzer.analyze().critical_delay_ps
+            if new_ps < best_ps - 1e-9:
+                best_ps = new_ps
+                resized += 1
+                improved = True
+            else:
+                gate.cell = old_cell
+        if not improved:
+            break
+    return {
+        "before_ps": before_ps,
+        "after_ps": best_ps,
+        "resized": resized,
+    }
+
+
+def assign_vt(netlist: Netlist, *, wire_model: WireModel | None = None,
+              clock_period_ps: float = 1000.0,
+              slack_margin_ps: float = 0.0) -> dict:
+    """Swap slack-rich gates to HVT (leakage recovery).
+
+    A gate is swapped when its output slack stays positive by
+    ``slack_margin_ps`` after accounting for the HVT slowdown estimate.
+    Gates that end up on negative slack after a swap are reverted in a
+    final repair pass.  Returns leakage before/after and swap count.
+    """
+    library = netlist.library
+    if not any(c.vt_flavor == "hvt" for c in library):
+        raise ValueError("library has no HVT flavor; build with "
+                         "vt_flavors=('rvt', 'hvt')")
+    analyzer = TimingAnalyzer(netlist, wire_model, clock_period_ps)
+    report = analyzer.analyze()
+    leak_before = netlist.leakage_nw()
+    swapped = []
+    for gate in sorted(netlist.combinational_gates(),
+                       key=lambda g: -g.cell.leak_nw):
+        slack = report.slack_ps(gate.output)
+        hvt = _variant(library, gate.cell.name, vt="hvt")
+        if hvt is None or hvt is gate.cell:
+            continue
+        slowdown = hvt.intrinsic_ps - gate.cell.intrinsic_ps
+        if slack - slowdown * 2.0 <= slack_margin_ps:
+            continue
+        gate.cell = hvt
+        swapped.append(gate)
+    # Repair: revert swaps if the design went negative.
+    repair_passes = 0
+    while swapped and repair_passes < 10:
+        report = analyzer.analyze()
+        if report.wns_ps >= 0:
+            break
+        worst = min(swapped,
+                    key=lambda g: report.slack_ps(g.output))
+        rvt = _variant(library, worst.cell.name, vt="rvt")
+        if rvt is not None:
+            worst.cell = rvt
+        swapped.remove(worst)
+        repair_passes += 1
+    return {
+        "leak_before_nw": leak_before,
+        "leak_after_nw": netlist.leakage_nw(),
+        "swapped": len(swapped),
+    }

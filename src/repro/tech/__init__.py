@@ -1,0 +1,57 @@
+"""Technology-node models: the spine of the suite.
+
+Every other package consumes :class:`TechNode` objects instead of
+hard-coding per-node constants, so every experiment can sweep nodes.
+
+The canonical node table (:data:`NODES`) covers 250 nm down to 5 nm and is
+calibrated to public ITRS-era scaling data.  The panel's claims are about
+trends *across* nodes (power crossover at 130 nm, multi-patterning onset at
+20 nm, 100x integration from 90 nm to 10 nm), all of which the table
+reproduces.
+"""
+
+from repro.tech.node import (
+    DeviceKind,
+    LithoRegime,
+    TechNode,
+)
+from repro.tech.library import (
+    NODES,
+    NODE_NAMES,
+    established_nodes,
+    emerging_nodes,
+    get_node,
+    nodes_between,
+)
+from repro.tech.patterning import (
+    SINGLE_PATTERN_PITCH_NM,
+    colors_required,
+    masks_for_pitch,
+    patterning_for_pitch,
+)
+from repro.tech.scaling import (
+    dennard_power_density,
+    density_gain,
+    integration_capacity_ratio,
+    scale_node,
+)
+
+__all__ = [
+    "DeviceKind",
+    "LithoRegime",
+    "TechNode",
+    "NODES",
+    "NODE_NAMES",
+    "get_node",
+    "nodes_between",
+    "established_nodes",
+    "emerging_nodes",
+    "SINGLE_PATTERN_PITCH_NM",
+    "patterning_for_pitch",
+    "colors_required",
+    "masks_for_pitch",
+    "dennard_power_density",
+    "density_gain",
+    "integration_capacity_ratio",
+    "scale_node",
+]

@@ -1,0 +1,115 @@
+"""The canonical technology-node table, 250 nm down to 5 nm.
+
+Values are calibrated to public ITRS-era scaling data and to the specific
+anchors quoted in the panel:
+
+* single-patterning 193i pitch limit ~80 nm (Domic) — the 20 nm node's
+  64 nm metal-1 pitch is the first below it;
+* integration capacity up "two orders of magnitude" from 90 nm to 10 nm —
+  the density column gives 45/0.5 = 90x;
+* voltage scaling flattening at 130 nm where static power began offsetting
+  dynamic gains;
+* 5 nm "could require octuple patterning" without EUV.
+"""
+
+from __future__ import annotations
+
+from repro.tech.node import DeviceKind, LithoRegime, TechNode
+
+_P = DeviceKind.PLANAR
+_F = DeviceKind.FINFET
+_G = DeviceKind.GAA_NANOWIRE
+_L = LithoRegime
+
+#: Canonical nodes, newest last.  Fields (see :class:`TechNode`):
+#: name, drawn, year, device, Lgate, CPP, M1 pitch, tracks, Vdd, Vth,
+#: Cgate fF/um, Cwire fF/um, Rwire ohm/um, Ileak nA/um, MTr/mm2,
+#: metal layers, wafer $, mask-set $, D0 /cm2, litho, fmax GHz
+NODES: dict[str, TechNode] = {
+    n.name: n
+    for n in [
+        TechNode("250nm", 250, 1997, _P, 180, 640, 640, 12, 2.50, 0.50,
+                 1.30, 0.18, 0.06, 0.02, 0.05, 5, 900, 60_000, 0.30,
+                 _L.SINGLE, 0.45),
+        TechNode("180nm", 180, 1999, _P, 130, 460, 460, 12, 1.80, 0.45,
+                 1.20, 0.19, 0.08, 0.08, 0.10, 6, 1100, 100_000, 0.28,
+                 _L.SINGLE, 0.80),
+        TechNode("130nm", 130, 2001, _P, 70, 340, 340, 11, 1.20, 0.38,
+                 1.10, 0.20, 0.12, 1.00, 0.25, 7, 1400, 300_000, 0.26,
+                 _L.SINGLE, 1.40),
+        TechNode("90nm", 90, 2004, _P, 50, 240, 240, 11, 1.10, 0.33,
+                 1.05, 0.21, 0.18, 6.00, 0.50, 8, 1800, 600_000, 0.25,
+                 _L.SINGLE, 2.20),
+        TechNode("65nm", 65, 2006, _P, 35, 180, 180, 10, 1.00, 0.30,
+                 1.00, 0.22, 0.28, 15.0, 1.00, 9, 2200, 1_000_000, 0.25,
+                 _L.SINGLE, 3.00),
+        TechNode("45nm", 45, 2008, _P, 30, 140, 140, 10, 0.95, 0.30,
+                 0.95, 0.23, 0.45, 25.0, 2.20, 10, 2600, 1_500_000, 0.25,
+                 _L.SINGLE, 3.40),
+        TechNode("32nm", 32, 2010, _P, 28, 112, 100, 9, 0.92, 0.29,
+                 0.92, 0.24, 0.70, 35.0, 3.80, 10, 2900, 2_000_000, 0.25,
+                 _L.SINGLE, 3.60),
+        TechNode("28nm", 28, 2011, _P, 26, 113, 90, 9, 0.90, 0.29,
+                 0.90, 0.24, 0.85, 40.0, 5.50, 10, 3000, 2_500_000, 0.22,
+                 _L.SINGLE, 3.80),
+        TechNode("20nm", 20, 2014, _P, 24, 90, 64, 9, 0.85, 0.28,
+                 0.88, 0.25, 1.40, 45.0, 12.0, 11, 3700, 5_000_000, 0.25,
+                 _L.LELE, 3.60),
+        TechNode("16nm", 16, 2015, _F, 22, 88, 64, 8, 0.80, 0.30,
+                 0.95, 0.25, 1.40, 12.0, 17.0, 11, 4200, 7_000_000, 0.25,
+                 _L.LELE, 4.00),
+        TechNode("14nm", 14, 2015, _F, 20, 84, 64, 8, 0.80, 0.30,
+                 0.95, 0.25, 1.45, 12.0, 22.0, 11, 4500, 8_000_000, 0.25,
+                 _L.LELE, 4.20),
+        TechNode("10nm", 10, 2017, _F, 18, 64, 45, 7, 0.75, 0.29,
+                 1.00, 0.26, 2.20, 10.0, 45.0, 12, 5500, 12_000_000, 0.28,
+                 _L.LELELE, 4.40),
+        TechNode("7nm", 7, 2019, _F, 16, 56, 40, 6, 0.70, 0.28,
+                 1.05, 0.26, 3.00, 9.0, 90.0, 13, 7000, 20_000_000, 0.30,
+                 _L.SAQP, 4.60),
+        TechNode("5nm", 5, 2021, _G, 14, 48, 32, 6, 0.65, 0.27,
+                 1.10, 0.27, 4.20, 8.0, 170.0, 14, 9000, 30_000_000, 0.33,
+                 _L.OCTUPLE, 4.80),
+    ]
+}
+
+#: Node names ordered from oldest/largest to newest/smallest.
+NODE_NAMES: list[str] = list(NODES)
+
+
+def get_node(name: str) -> TechNode:
+    """Look up a canonical node by name (``"28nm"``) or size (``28``).
+
+    Raises ``KeyError`` with the list of valid names if not found.
+    """
+    key = name if isinstance(name, str) else f"{name:g}nm"
+    if not key.endswith("nm"):
+        key = f"{key}nm"
+    try:
+        return NODES[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown node {name!r}; valid: {', '.join(NODE_NAMES)}"
+        ) from None
+
+
+def nodes_between(newest: str, oldest: str) -> list[TechNode]:
+    """All canonical nodes from ``oldest`` down to ``newest``, inclusive.
+
+    Returned largest-first (the order designs migrate through them).
+    """
+    lo = get_node(newest).drawn_nm
+    hi = get_node(oldest).drawn_nm
+    if lo > hi:
+        raise ValueError("newest node must be smaller than oldest")
+    return [n for n in NODES.values() if lo <= n.drawn_nm <= hi]
+
+
+def established_nodes() -> list[TechNode]:
+    """Nodes at 28 nm and above — >90% of design starts per the panel."""
+    return [n for n in NODES.values() if n.is_established]
+
+
+def emerging_nodes() -> list[TechNode]:
+    """Nodes below 28 nm — the leading edge the panel calls "emerging"."""
+    return [n for n in NODES.values() if n.is_emerging]

@@ -1,0 +1,261 @@
+"""The :class:`TechNode` dataclass and its enumerated attributes."""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+
+class DeviceKind(enum.Enum):
+    """Transistor architecture used at a node."""
+
+    PLANAR = "planar"
+    FINFET = "finfet"
+    GAA_NANOWIRE = "gaa_nanowire"
+
+
+class LithoRegime(enum.Enum):
+    """Patterning scheme required for the critical metal layers.
+
+    The panel (Domic) puts the single-patterning 193i limit at a pitch of
+    "approximately 80 nanometers"; below that the layer must be decomposed
+    onto multiple masks.
+    """
+
+    SINGLE = "single"          # one exposure per layer
+    LELE = "lele"              # litho-etch-litho-etch double patterning
+    LELELE = "lelele"          # triple patterning
+    SADP = "sadp"              # self-aligned double patterning
+    SAQP = "saqp"              # self-aligned quadruple patterning
+    OCTUPLE = "octuple"        # hypothetical 8-mask scheme (5 nm w/o EUV)
+    EUV = "euv"                # extreme ultraviolet, single exposure again
+
+    @property
+    def mask_multiplier(self) -> int:
+        """Number of masks needed per critical layer under this regime."""
+        return {
+            LithoRegime.SINGLE: 1,
+            LithoRegime.LELE: 2,
+            LithoRegime.SADP: 2,
+            LithoRegime.LELELE: 3,
+            LithoRegime.SAQP: 4,
+            LithoRegime.OCTUPLE: 8,
+            LithoRegime.EUV: 1,
+        }[self]
+
+    @property
+    def coloring_degree(self) -> int:
+        """Maximum number of colors available when decomposing a layer."""
+        return max(1, self.mask_multiplier)
+
+
+@dataclass(frozen=True)
+class TechNode:
+    """A process technology node.
+
+    All geometric values are in nanometers, voltages in volts,
+    capacitances in femtofarads, currents in nanoamps, costs in USD.
+
+    Attributes
+    ----------
+    name:
+        Conventional node name, e.g. ``"28nm"``.
+    drawn_nm:
+        The marketing feature size in nanometers (e.g. 28).
+    year:
+        Approximate year of volume introduction.
+    device:
+        Transistor architecture (:class:`DeviceKind`).
+    gate_length_nm:
+        Physical gate length.
+    contacted_poly_pitch_nm:
+        Contacted gate (poly) pitch.
+    metal1_pitch_nm:
+        Minimum metal-1 pitch; drives the patterning regime.
+    track_height:
+        Standard-cell height in metal tracks.
+    vdd:
+        Nominal supply voltage.
+    vth:
+        Nominal threshold voltage (regular-Vt flavor).
+    cgate_ff_per_um:
+        Gate capacitance per micron of gate width.
+    cwire_ff_per_um:
+        Wire capacitance per micron of minimum-width wire.
+    rwire_ohm_per_um:
+        Wire resistance per micron of minimum-width wire.
+    ileak_na_per_um:
+        Subthreshold leakage per micron of gate width at nominal Vt, 25C.
+    density_mtr_per_mm2:
+        Logic transistor density in millions of transistors per mm^2.
+    metal_layers_typical:
+        Typical metal stack depth for a logic product.
+    wafer_cost_usd:
+        Processed 300 mm wafer cost (200 mm equivalents normalized).
+    mask_set_cost_usd:
+        Full mask-set cost for a standard logic product.
+    defect_density_per_cm2:
+        Mature-process random defect density (for yield models).
+    litho:
+        Patterning regime of the critical layers (:class:`LithoRegime`).
+    fmax_ghz:
+        Representative peak clock of a tuned CPU core at this node.
+    """
+
+    name: str
+    drawn_nm: float
+    year: int
+    device: DeviceKind
+    gate_length_nm: float
+    contacted_poly_pitch_nm: float
+    metal1_pitch_nm: float
+    track_height: int
+    vdd: float
+    vth: float
+    cgate_ff_per_um: float
+    cwire_ff_per_um: float
+    rwire_ohm_per_um: float
+    ileak_na_per_um: float
+    density_mtr_per_mm2: float
+    metal_layers_typical: int
+    wafer_cost_usd: float
+    mask_set_cost_usd: float
+    defect_density_per_cm2: float
+    litho: LithoRegime
+    fmax_ghz: float
+    extra: dict = field(default_factory=dict, compare=False)
+
+    # ------------------------------------------------------------------
+    # Derived electrical quantities
+    # ------------------------------------------------------------------
+
+    @property
+    def is_established(self) -> bool:
+        """Nodes at 28 nm and above count as "established" in the panel."""
+        return self.drawn_nm >= 28
+
+    @property
+    def is_emerging(self) -> bool:
+        """Nodes below 28 nm count as "emerging" in the panel."""
+        return not self.is_established
+
+    @property
+    def cell_height_nm(self) -> float:
+        """Standard-cell row height in nanometers."""
+        return self.track_height * self.metal1_pitch_nm
+
+    def gate_cap_ff(self, width_um: float = 1.0) -> float:
+        """Gate capacitance of a transistor of ``width_um`` microns."""
+        return self.cgate_ff_per_um * width_um
+
+    def dynamic_energy_fj(self, cap_ff: float) -> float:
+        """Switching energy C*Vdd^2 for a capacitance in fF, result in fJ."""
+        return cap_ff * self.vdd ** 2
+
+    def leakage_nw(self, width_um: float = 1.0, vth_shift: float = 0.0) -> float:
+        """Leakage power in nW for ``width_um`` of gate width.
+
+        ``vth_shift`` raises (positive) or lowers (negative) the threshold;
+        leakage responds exponentially with an ~85 mV/decade subthreshold
+        slope, which is how multi-Vt libraries trade speed for leakage.
+        """
+        slope_mv_per_decade = 85.0
+        factor = 10.0 ** (-(vth_shift * 1000.0) / slope_mv_per_decade)
+        return self.ileak_na_per_um * width_um * self.vdd * factor
+
+    def wire_delay_ps(self, length_um: float) -> float:
+        """Elmore delay of an unbuffered minimum-width wire, in ps.
+
+        0.5 * R * C * L^2 with per-micron parasitics; quadratic in length,
+        which is what makes buffering and flat implementation matter.
+        """
+        r = self.rwire_ohm_per_um
+        c = self.cwire_ff_per_um * 1e-15
+        return 0.5 * r * c * length_um ** 2 * 1e12
+
+    def fo4_delay_ps(self) -> float:
+        """Fanout-of-4 inverter delay estimate in ps.
+
+        A classic technology-speed proxy: roughly 0.5 ps per nm of gate
+        length for planar CMOS, with FinFET/GAA nodes getting a drive
+        boost from the 3-D channel.
+        """
+        base = 0.5 * self.gate_length_nm
+        boost = {
+            DeviceKind.PLANAR: 1.0,
+            DeviceKind.FINFET: 0.72,
+            DeviceKind.GAA_NANOWIRE: 0.62,
+        }[self.device]
+        return base * boost
+
+    def transistors_for_area(self, area_mm2: float) -> float:
+        """How many logic transistors fit in ``area_mm2``."""
+        return self.density_mtr_per_mm2 * 1e6 * area_mm2
+
+    def area_for_transistors(self, count: float) -> float:
+        """Die area in mm^2 needed for ``count`` logic transistors."""
+        return count / (self.density_mtr_per_mm2 * 1e6)
+
+    def power_density_w_per_mm2(self, activity: float = 0.1,
+                                freq_ghz: float | None = None) -> float:
+        """Nominal logic power density in W/mm^2.
+
+        Combines dynamic power of the node's transistor population
+        switching at ``activity`` with nominal leakage.  Used by the
+        dark-silicon experiment (E5): post-Dennard nodes show rising
+        density if no power technique is applied.
+        """
+        if freq_ghz is None:
+            freq_ghz = self.fmax_ghz
+        tr_per_mm2 = self.density_mtr_per_mm2 * 1e6
+        # Effective switched cap per transistor: gate cap of a ~2x minimum
+        # device plus local wire load.
+        width_um = 4.0 * self.gate_length_nm * 1e-3
+        cap_f = (self.gate_cap_ff(width_um) + 0.5 * self.cwire_ff_per_um) * 1e-15
+        dyn = tr_per_mm2 * activity * cap_f * self.vdd ** 2 * freq_ghz * 1e9
+        leak = tr_per_mm2 * self.ileak_na_per_um * width_um * 1e-9 * self.vdd
+        return dyn + leak
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the node."""
+        return (
+            f"{self.name} ({self.year}, {self.device.value}, "
+            f"Vdd={self.vdd:.2f}V, M1 pitch={self.metal1_pitch_nm:.0f}nm, "
+            f"{self.density_mtr_per_mm2:.1f} MTr/mm2, litho={self.litho.value})"
+        )
+
+
+def speed_power_product(node: TechNode) -> float:
+    """Figure of merit: FO4 delay times per-transistor switching energy.
+
+    Smaller is better; used by scaling sanity tests.
+    """
+    width_um = 4.0 * node.gate_length_nm * 1e-3
+    energy = node.dynamic_energy_fj(node.gate_cap_ff(width_um))
+    return node.fo4_delay_ps() * energy
+
+
+def interpolate_vdd(drawn_nm: float) -> float:
+    """Smooth Vdd-vs-node trend used when synthesizing hypothetical nodes.
+
+    Matches the historical flattening of voltage scaling: fast scaling
+    until ~130 nm, then a slow crawl toward ~0.65 V.
+    """
+    if drawn_nm >= 250:
+        return 2.5
+    if drawn_nm <= 5:
+        return 0.65
+    # Log-linear between anchor points.
+    anchors = [(250, 2.5), (180, 1.8), (130, 1.2), (90, 1.1), (65, 1.0),
+               (45, 0.95), (28, 0.9), (20, 0.85), (14, 0.8), (10, 0.75),
+               (7, 0.7), (5, 0.65)]
+    for (hi_nm, hi_v), (lo_nm, lo_v) in zip(anchors, anchors[1:]):
+        if lo_nm <= drawn_nm <= hi_nm:
+            t = (math.log(drawn_nm) - math.log(lo_nm)) / (
+                math.log(hi_nm) - math.log(lo_nm))
+            return lo_v + t * (hi_v - lo_v)
+    raise ValueError(f"node size out of range: {drawn_nm}")

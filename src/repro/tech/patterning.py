@@ -1,0 +1,77 @@
+"""Patterning-regime selection: which litho scheme a given pitch needs.
+
+Encodes Domic's anchor: 193 nm immersion single patterning bottoms out at a
+pitch of approximately 80 nm.  Below that, a layer must be decomposed onto
+2, 3, 4 ... masks (double/triple/quadruple patterning); the panel projects
+that 5 nm "could require octuple-patterning" without EUV.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tech.node import LithoRegime
+
+#: Minimum pitch (nm) printable with one 193i exposure, per the panel.
+SINGLE_PATTERN_PITCH_NM: float = 80.0
+
+#: Minimum pitch printable with one EUV (13.5 nm) exposure.
+EUV_SINGLE_PITCH_NM: float = 28.0
+
+
+def colors_required(pitch_nm: float,
+                    single_limit_nm: float = SINGLE_PATTERN_PITCH_NM) -> int:
+    """Number of masks/colors a layer of the given pitch needs at 193i.
+
+    Splitting a layer onto k masks relaxes the same-mask pitch to
+    k * pitch, so the requirement is ceil(limit / pitch).
+    """
+    if pitch_nm <= 0:
+        raise ValueError("pitch must be positive")
+    return max(1, math.ceil(single_limit_nm / pitch_nm))
+
+
+def patterning_for_pitch(pitch_nm: float, *,
+                         allow_euv: bool = False) -> LithoRegime:
+    """Pick the cheapest litho regime able to print ``pitch_nm``.
+
+    With ``allow_euv`` the tool may select EUV once multi-patterning would
+    need more than two masks, mirroring the industry's eventual insertion
+    point; without it we climb the multi-patterning ladder the panel
+    describes (LELE -> LELELE -> SAQP -> octuple).
+    """
+    k = colors_required(pitch_nm)
+    if k == 1:
+        return LithoRegime.SINGLE
+    if allow_euv and pitch_nm >= EUV_SINGLE_PITCH_NM and k > 2:
+        return LithoRegime.EUV
+    if k == 2:
+        return LithoRegime.LELE
+    if k == 3:
+        return LithoRegime.LELELE
+    if k == 4:
+        return LithoRegime.SAQP
+    return LithoRegime.OCTUPLE
+
+
+def masks_for_pitch(pitch_nm: float, *, allow_euv: bool = False) -> int:
+    """Mask count per layer for the chosen regime at this pitch."""
+    return patterning_for_pitch(pitch_nm, allow_euv=allow_euv).mask_multiplier
+
+
+def mask_layer_cost_multiplier(regime: LithoRegime) -> float:
+    """Relative cost of patterning one layer under a regime.
+
+    Multi-patterning multiplies mask, exposure, and etch steps; EUV
+    exposures are single-pass but the tool time is far more expensive.
+    Normalized to SINGLE = 1.0.
+    """
+    return {
+        LithoRegime.SINGLE: 1.0,
+        LithoRegime.LELE: 2.2,
+        LithoRegime.SADP: 2.0,
+        LithoRegime.LELELE: 3.5,
+        LithoRegime.SAQP: 4.2,
+        LithoRegime.OCTUPLE: 9.5,
+        LithoRegime.EUV: 3.0,
+    }[regime]

@@ -1,0 +1,106 @@
+"""Scaling laws: Dennard-era and post-Dennard trends across nodes.
+
+These functions quantify the backdrop of the whole panel: why power became
+the binding constraint ("dark silicon"), and why integration capacity rose
+two orders of magnitude between 90 nm and 10 nm.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.tech.library import get_node
+from repro.tech.node import TechNode, interpolate_vdd
+
+
+def density_gain(older: str | TechNode, newer: str | TechNode) -> float:
+    """Transistor-density ratio newer/older (dimensionless, > 1)."""
+    a = older if isinstance(older, TechNode) else get_node(older)
+    b = newer if isinstance(newer, TechNode) else get_node(newer)
+    return b.density_mtr_per_mm2 / a.density_mtr_per_mm2
+
+
+def integration_capacity_ratio(older: str | TechNode,
+                               newer: str | TechNode,
+                               die_growth: float = 1.0) -> float:
+    """How many more transistors fit on a die after migrating nodes.
+
+    The panel's abstract: "at 10 nanometers, integration capacity has
+    increased by two orders of magnitude" relative to 90 nm — i.e. this
+    function returns ~100 for ('90nm', '10nm') with modest die growth.
+    """
+    return density_gain(older, newer) * die_growth
+
+
+def dennard_power_density(node: str | TechNode, *,
+                          activity: float = 0.1,
+                          apply_leakage: bool = True) -> float:
+    """Power density (W/mm^2) at a node under naive frequency scaling.
+
+    Under ideal Dennard scaling power density is constant; once voltage
+    scaling flattened (~130 nm) and leakage grew, density climbs — the
+    physics behind Domic's "design for power ... prevented massive
+    amounts of dark silicon".
+
+    With ``apply_leakage=False`` the leakage term is dropped, isolating
+    the dynamic component (useful for the E5 crossover plot).
+    """
+    n = node if isinstance(node, TechNode) else get_node(node)
+    dyn = n.power_density_w_per_mm2(activity=activity, freq_ghz=n.fmax_ghz)
+    if apply_leakage:
+        return dyn
+    width_um = 4.0 * n.gate_length_nm * 1e-3
+    tr_per_mm2 = n.density_mtr_per_mm2 * 1e6
+    leak = tr_per_mm2 * n.ileak_na_per_um * width_um * 1e-9 * n.vdd
+    return dyn - leak
+
+
+def scale_node(base: TechNode, shrink: float, *, name: str | None = None,
+               year_delta: int = 2) -> TechNode:
+    """Synthesize a hypothetical node by geometric shrink of ``base``.
+
+    ``shrink`` is the linear scale factor (e.g. 0.7 for a classic full
+    node step).  Geometry scales linearly, density inversely with area,
+    Vdd follows the historical trend curve, wire parasitics worsen as
+    cross-sections shrink.  Used by forecast experiments to extend the
+    roadmap beyond the canonical table.
+    """
+    if not 0.1 < shrink < 1.0:
+        raise ValueError("shrink must be in (0.1, 1.0)")
+    drawn = base.drawn_nm * shrink
+    new_name = name or f"{drawn:.0f}nm-proj"
+    vdd = interpolate_vdd(max(drawn, 5.0))
+    return dataclasses.replace(
+        base,
+        name=new_name,
+        drawn_nm=drawn,
+        year=base.year + year_delta,
+        gate_length_nm=base.gate_length_nm * max(shrink, 0.85),
+        contacted_poly_pitch_nm=base.contacted_poly_pitch_nm * shrink,
+        metal1_pitch_nm=base.metal1_pitch_nm * shrink,
+        vdd=vdd,
+        cwire_ff_per_um=base.cwire_ff_per_um * 1.02,
+        rwire_ohm_per_um=base.rwire_ohm_per_um / shrink ** 1.5,
+        density_mtr_per_mm2=base.density_mtr_per_mm2 / shrink ** 2,
+        # Post-EUV-era wafer cost escalation: empirically ~(1/shrink)^1.9
+        # per step (patterning steps and tool depreciation outgrow the
+        # shrink), which is what flattens cost-per-transistor at the end
+        # of the projected roadmap.
+        wafer_cost_usd=base.wafer_cost_usd * (1 / shrink) ** 1.9,
+        mask_set_cost_usd=base.mask_set_cost_usd * 1.5,
+        defect_density_per_cm2=base.defect_density_per_cm2 * 1.1,
+        fmax_ghz=base.fmax_ghz * (1 + 0.1 * (1 - shrink)),
+    )
+
+
+def node_cadence_months(year_a: int, year_b: int, steps: int = 1) -> float:
+    """Average months between node introductions (panel: "every 18 months")."""
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    return 12.0 * (year_b - year_a) / steps
+
+
+def moore_doublings(older: str | TechNode, newer: str | TechNode) -> float:
+    """Number of density doublings between two nodes."""
+    return math.log2(density_gain(older, newer))

@@ -1,0 +1,32 @@
+"""Static timing analysis.
+
+Graph-based STA over mapped netlists: arrival times forward, required
+times backward, slacks, and critical-path extraction.  Loads combine
+pin capacitances with an optional wire model (lumped per-fanout or
+Elmore from placement lengths).
+
+The analyzer is consumed by gate sizing (:mod:`repro.synthesis.sizing`),
+the era flows (E1), and the P&R throughput experiments.
+"""
+
+from repro.timing.sta import (
+    TimingAnalyzer,
+    TimingReport,
+    WireModel,
+    critical_path,
+)
+from repro.timing.cts import (
+    ClockTree,
+    naive_clock_spine,
+    synthesize_clock_tree,
+)
+
+__all__ = [
+    "TimingAnalyzer",
+    "TimingReport",
+    "WireModel",
+    "critical_path",
+    "ClockTree",
+    "synthesize_clock_tree",
+    "naive_clock_spine",
+]

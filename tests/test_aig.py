@@ -1,0 +1,143 @@
+"""Tests for the And-Inverter Graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import AIG_FALSE, AIG_TRUE, Aig
+from repro.netlist.aig import aig_from_truth_table, lit_not, lit_var
+from repro.netlist.boolfunc import TruthTable
+from repro.netlist.generators import random_aig
+
+
+class TestConstruction:
+    def test_constant_folding(self):
+        g = Aig(2)
+        a = g.input_lit(0)
+        assert g.and_(a, AIG_FALSE) == AIG_FALSE
+        assert g.and_(a, AIG_TRUE) == a
+        assert g.and_(a, a) == a
+        assert g.and_(a, lit_not(a)) == AIG_FALSE
+        assert g.num_ands == 0
+
+    def test_structural_hashing(self):
+        g = Aig(2)
+        a, b = g.input_lit(0), g.input_lit(1)
+        x = g.and_(a, b)
+        y = g.and_(b, a)  # commuted
+        assert x == y
+        assert g.num_ands == 1
+
+    def test_inputs_before_ands(self):
+        g = Aig(1)
+        g.and_(g.input_lit(0), g.input_lit(0))
+        # no AND created (folding), so adding input still fine
+        g2 = Aig(2)
+        a, b = g2.input_lit(0), g2.input_lit(1)
+        g2.and_(a, b)
+        with pytest.raises(ValueError):
+            g2.add_input("late")
+
+    def test_bad_literal_rejected(self):
+        g = Aig(1)
+        with pytest.raises(ValueError):
+            g.and_(g.input_lit(0), 999)
+
+    def test_input_names(self):
+        g = Aig(2, ["x", "y"])
+        assert g.input_names == ["x", "y"]
+        with pytest.raises(ValueError):
+            Aig(2, ["onlyone"])
+
+
+class TestSemantics:
+    def test_or_xor_mux(self):
+        g = Aig(3)
+        a, b, s = (g.input_lit(i) for i in range(3))
+        g.add_output(g.or_(a, b), "or")
+        g.add_output(g.xor_(a, b), "xor")
+        g.add_output(g.mux_(s, a, b), "mux")
+        out = g.simulate_all()
+        for m in range(8):
+            av, bv, sv = m & 1, (m >> 1) & 1, (m >> 2) & 1
+            assert out[m, 0] == bool(av | bv)
+            assert out[m, 1] == bool(av ^ bv)
+            assert out[m, 2] == bool(av if sv else bv)
+
+    def test_simulate_shape_check(self):
+        g = Aig(2)
+        g.add_output(g.input_lit(0))
+        with pytest.raises(ValueError):
+            g.simulate(np.zeros((4, 3), dtype=bool))
+
+    def test_depth_and_levels(self):
+        g = Aig(4)
+        lits = [g.input_lit(i) for i in range(4)]
+        x = g.and_(lits[0], lits[1])
+        y = g.and_(lits[2], lits[3])
+        z = g.and_(x, y)
+        g.add_output(z)
+        assert g.depth() == 2
+        levels = g.levels()
+        assert levels[lit_var(z)] == 2
+
+    def test_fanout_counts(self):
+        g = Aig(2)
+        a, b = g.input_lit(0), g.input_lit(1)
+        x = g.and_(a, b)
+        g.add_output(x)
+        g.add_output(x)
+        counts = g.fanout_counts()
+        assert counts[lit_var(x)] == 2
+        assert counts[lit_var(a)] == 1
+
+
+class TestCleanup:
+    def test_cleanup_drops_dead_nodes(self):
+        g = Aig(3)
+        a, b, c = (g.input_lit(i) for i in range(3))
+        live = g.and_(a, b)
+        g.and_(a, c)  # dead
+        g.add_output(live)
+        assert g.num_ands == 2
+        h = g.cleanup()
+        assert h.num_ands == 1
+        assert np.array_equal(h.simulate_all(), g.simulate_all())
+
+    def test_cleanup_preserves_semantics_random(self):
+        g = random_aig(6, 80, 4, seed=7)
+        h = g.cleanup()
+        assert h.num_ands <= g.num_ands
+        assert np.array_equal(h.simulate_all(), g.simulate_all())
+
+    def test_copy_independent(self):
+        g = Aig(2)
+        a, b = g.input_lit(0), g.input_lit(1)
+        g.add_output(g.and_(a, b))
+        h = g.copy()
+        h.add_output(h.or_(a, b))
+        assert len(g.outputs) == 1
+        assert len(h.outputs) == 2
+
+
+class TestFromTruthTable:
+    @given(st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60)
+    def test_tt_roundtrip_3vars(self, bits):
+        tt = TruthTable(3, bits)
+        aig, lit = aig_from_truth_table(tt)
+        aig.add_output(lit)
+        out = aig.simulate_all()[:, 0]
+        for m in range(8):
+            assert out[m] == tt.evaluate(m)
+
+    def test_const_functions(self):
+        aig, lit = aig_from_truth_table(TruthTable.const(True, 2))
+        assert lit == AIG_TRUE
+        aig, lit = aig_from_truth_table(TruthTable.const(False, 2))
+        assert lit == AIG_FALSE
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            aig_from_truth_table("0110")

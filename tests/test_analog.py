@@ -1,0 +1,145 @@
+"""Tests for the analog IP models and porting timeline."""
+
+import pytest
+
+from repro.analog import (
+    IpPortingModel,
+    SerdesSpec,
+    TcamSpec,
+    adc_area_mm2,
+    adc_power_mw,
+    node_readiness_years,
+    readiness_timeline,
+    serdes_feasible,
+    serdes_power_mw,
+    tcam_metrics,
+)
+from repro.analog.serdes import max_line_rate_gbps
+from repro.tech import get_node
+
+
+class TestSerdes:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SerdesSpec(0.0)
+        with pytest.raises(ValueError):
+            SerdesSpec(10.0, modulation="qam")
+
+    def test_pam4_halves_baud(self):
+        assert SerdesSpec(56.0, modulation="pam4").baud_gbd == 28.0
+        assert SerdesSpec(56.0).baud_gbd == 56.0
+
+    def test_feasibility_improves_with_node(self):
+        spec = SerdesSpec(25.0)
+        assert not serdes_feasible("65nm", spec)
+        assert serdes_feasible("16nm", spec)
+        assert serdes_feasible("7nm", spec)
+
+    def test_pam4_extends_older_nodes(self):
+        # 25G PAM4 (12.5 GBd) closes where 25G NRZ cannot.
+        assert not serdes_feasible("28nm", SerdesSpec(25.0))
+        assert serdes_feasible("28nm", SerdesSpec(25.0,
+                                                  modulation="pam4"))
+
+    def test_infeasible_power_raises(self):
+        with pytest.raises(ValueError, match="cannot close"):
+            serdes_power_mw("65nm", SerdesSpec(25.0))
+
+    def test_power_scales_with_loss_and_rate(self):
+        lossy = serdes_power_mw("7nm", SerdesSpec(25.0,
+                                                  channel_loss_db=30))
+        clean = serdes_power_mw("7nm", SerdesSpec(25.0,
+                                                  channel_loss_db=10))
+        assert lossy > clean
+        assert serdes_power_mw("7nm", SerdesSpec(40.0)) > \
+            serdes_power_mw("7nm", SerdesSpec(10.0))
+
+    def test_max_rate_monotone_down_roadmap(self):
+        rates = [max_line_rate_gbps(n)
+                 for n in ("65nm", "28nm", "16nm", "7nm")]
+        assert rates == sorted(rates)
+
+
+class TestAdc:
+    def test_power_scales_with_bits_and_rate(self):
+        base = adc_power_mw("28nm", bits=10, msps=100)
+        assert adc_power_mw("28nm", bits=12, msps=100) > base
+        assert adc_power_mw("28nm", bits=10, msps=500) > base
+
+    def test_newer_nodes_more_efficient(self):
+        assert adc_power_mw("16nm", bits=12, msps=100) < \
+            adc_power_mw("90nm", bits=12, msps=100)
+
+    def test_analog_area_scales_slower_than_digital(self):
+        a65 = adc_area_mm2("65nm", bits=12)
+        a16 = adc_area_mm2("16nm", bits=12)
+        analog_shrink = a65 / a16
+        digital_shrink = (get_node("16nm").density_mtr_per_mm2
+                          / get_node("65nm").density_mtr_per_mm2)
+        assert analog_shrink < digital_shrink / 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adc_power_mw("28nm", bits=0, msps=100)
+        with pytest.raises(ValueError):
+            adc_area_mm2("28nm", bits=0)
+
+
+class TestTcam:
+    def test_metrics_positive(self):
+        m = tcam_metrics("28nm", TcamSpec(1024, 64))
+        assert m["area_mm2"] > 0
+        assert m["power_w"] > 0
+
+    def test_search_energy_scales_with_bits(self):
+        small = tcam_metrics("28nm", TcamSpec(1024, 64))
+        big = tcam_metrics("28nm", TcamSpec(4096, 64))
+        assert big["search_energy_pj"] > small["search_energy_pj"]
+
+    def test_newer_node_denser(self):
+        a28 = tcam_metrics("28nm", TcamSpec(4096, 128))["area_mm2"]
+        a14 = tcam_metrics("14nm", TcamSpec(4096, 128))["area_mm2"]
+        assert a14 < a28
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcamSpec(0, 64)
+
+
+class TestPorting:
+    def test_effort_grows_with_node_gap(self):
+        model = IpPortingModel()
+        short = model.port_effort_years("serdes", "28nm", "20nm")
+        long = model.port_effort_years("serdes", "28nm", "10nm")
+        assert long > short
+
+    def test_effort_grows_with_litho_complexity(self):
+        model = IpPortingModel()
+        easy = model.port_effort_years("adc", "28nm", "28nm")
+        hard = model.port_effort_years("adc", "28nm", "7nm")
+        assert hard > easy
+
+    def test_wrong_direction_rejected(self):
+        with pytest.raises(ValueError):
+            IpPortingModel().port_effort_years("serdes", "14nm", "28nm")
+
+    def test_unknown_ip_rejected(self):
+        with pytest.raises(KeyError, match="catalogue"):
+            IpPortingModel().port_effort_years("flux_cap", "28nm",
+                                               "14nm")
+
+    def test_parallel_teams_shorten_catalogue(self):
+        slow = IpPortingModel(team_parallelism=1)
+        fast = IpPortingModel(team_parallelism=3)
+        assert fast.catalogue_years("28nm", "14nm") < \
+            slow.catalogue_years("28nm", "14nm")
+
+    def test_productivity_tooling_shortens_readiness(self):
+        brute = node_readiness_years("10nm")
+        tooled = node_readiness_years("10nm", productivity=0.5)
+        assert tooled < brute
+
+    def test_timeline_orders_ready_after_process(self):
+        timeline = readiness_timeline()
+        for name, (process_year, ready_year) in timeline.items():
+            assert ready_year > process_year

@@ -1,0 +1,192 @@
+"""Tests for clock-tree synthesis, thermal analysis, and reliability."""
+
+import numpy as np
+import pytest
+
+from repro.mfg.reliability import (
+    ScreeningPlan,
+    arrhenius_acceleration,
+    automotive_mission_failures,
+    fit_rate,
+    screen_for_target_ppm,
+    shipped_ppm,
+)
+from repro.netlist import Netlist, build_library, registered_cloud
+from repro.place import global_place
+from repro.power.thermal import (
+    derate_for_temperature,
+    solve_thermal,
+)
+from repro.tech import get_node
+from repro.timing import naive_clock_spine, synthesize_clock_tree
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(get_node("28nm"))
+
+
+@pytest.fixture(scope="module")
+def placed(lib):
+    nl = registered_cloud(8, 64, 400, lib, seed=5)
+    return global_place(nl, seed=0)
+
+
+class TestClockTree:
+    def test_all_sinks_reached(self, placed):
+        tree = synthesize_clock_tree(placed)
+        flops = {g.name for g in placed.netlist.sequential_gates()}
+        assert set(tree.sink_delays) == flops
+
+    def test_balanced_tree_beats_spine_on_skew(self, placed):
+        tree = synthesize_clock_tree(placed)
+        spine = naive_clock_spine(placed)
+        assert tree.skew_ps < spine.skew_ps
+
+    def test_tree_wirelength_below_spine(self, placed):
+        tree = synthesize_clock_tree(placed)
+        spine = naive_clock_spine(placed)
+        assert tree.wirelength_um < spine.wirelength_um * 1.5
+
+    def test_insertion_delay_nonnegative(self, placed):
+        tree = synthesize_clock_tree(placed)
+        assert all(d >= 0 for d in tree.sink_delays.values())
+        assert tree.insertion_delay_ps >= tree.skew_ps
+
+    def test_clock_power_positive(self, placed, lib):
+        tree = synthesize_clock_tree(placed)
+        assert tree.clock_power_uw(lib.node, 1.0) > 0
+        # Power scales with frequency.
+        assert tree.clock_power_uw(lib.node, 2.0) == pytest.approx(
+            2 * tree.clock_power_uw(lib.node, 1.0))
+
+    def test_leaf_size_controls_tree_depth(self, placed):
+        fine = synthesize_clock_tree(placed, max_leaf=2)
+        coarse = synthesize_clock_tree(placed, max_leaf=16)
+        assert len(fine.segments) > len(coarse.segments)
+
+    def test_no_flops_rejected(self, lib):
+        nl = Netlist("comb", lib)
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1_rvt", [a], "y")
+        nl.add_output("y")
+        placement = global_place(nl, seed=0)
+        with pytest.raises(ValueError):
+            synthesize_clock_tree(placement)
+
+
+class TestThermal:
+    def _map(self, hot=0.5, base=0.05):
+        pm = np.full((10, 10), base)
+        pm[4:6, 4:6] = hot
+        return pm
+
+    def test_peak_above_ambient(self):
+        report = solve_thermal(self._map())
+        assert report.peak_c > report.ambient_c
+
+    def test_hotspot_at_the_hot_tiles(self):
+        report = solve_thermal(self._map(hot=1.0))
+        y, x = np.unravel_index(np.argmax(report.temperature_c),
+                                report.temperature_c.shape)
+        assert 3 <= y <= 6 and 3 <= x <= 6
+
+    def test_more_power_hotter(self):
+        cool = solve_thermal(self._map(hot=0.2))
+        warm = solve_thermal(self._map(hot=1.0))
+        assert warm.peak_c > cool.peak_c
+
+    def test_better_package_cooler(self):
+        bad = solve_thermal(self._map(), rth_package_c_per_w=16.0)
+        good = solve_thermal(self._map(), rth_package_c_per_w=4.0)
+        assert good.peak_c < bad.peak_c
+
+    def test_leakage_feedback_raises_temperature(self):
+        base = solve_thermal(self._map())
+        fed = solve_thermal(self._map(), leakage_feedback=0.05)
+        assert fed.peak_c > base.peak_c
+        assert fed.iterations > 1
+
+    def test_runaway_detected(self):
+        with pytest.raises(RuntimeError, match="runaway"):
+            solve_thermal(self._map(hot=5.0), leakage_feedback=0.8,
+                          rth_package_c_per_w=60.0)
+
+    def test_hotspot_listing(self):
+        report = solve_thermal(self._map(hot=1.5))
+        hs = report.hotspots(report.ambient_c + 1.0)
+        assert hs
+        assert hs[0][2] == pytest.approx(report.peak_c)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            solve_thermal(np.full((4, 4), -1.0))
+        with pytest.raises(ValueError):
+            solve_thermal(np.zeros(5))
+
+    def test_derating_factors(self):
+        d = derate_for_temperature(get_node("28nm"), 125.0)
+        assert d["delay_factor"] > 1.0
+        assert d["leakage_factor"] == pytest.approx(16.0)
+        cold = derate_for_temperature(get_node("28nm"), 25.0)
+        assert cold["delay_factor"] == 1.0
+        assert cold["leakage_factor"] == 1.0
+
+
+class TestReliability:
+    def test_arrhenius_monotone(self):
+        assert arrhenius_acceleration(125.0) > \
+            arrhenius_acceleration(85.0) > 1.0
+        assert arrhenius_acceleration(55.0) == pytest.approx(1.0)
+
+    def test_fit_scales_with_area_and_temp(self):
+        n = get_node("28nm")
+        assert fit_rate(n, 100) > fit_rate(n, 50)
+        assert fit_rate(n, 50, temp_c=125) > fit_rate(n, 50, temp_c=55)
+        with pytest.raises(ValueError):
+            fit_rate(n, 0)
+
+    def test_newer_nodes_higher_fit(self):
+        assert fit_rate(get_node("7nm"), 50) > \
+            fit_rate(get_node("28nm"), 50)
+
+    def test_screening_plan_validation(self):
+        with pytest.raises(ValueError):
+            ScreeningPlan(1.5)
+        with pytest.raises(ValueError):
+            ScreeningPlan(0.9, burn_in_hours=-1)
+
+    def test_burn_in_reduces_ppm(self):
+        n = get_node("28nm")
+        none = shipped_ppm(n, 50, ScreeningPlan(0.99))
+        burned = shipped_ppm(n, 50, ScreeningPlan(0.99,
+                                                  burn_in_hours=48))
+        assert burned < none
+
+    def test_coverage_reduces_ppm(self):
+        n = get_node("28nm")
+        low = shipped_ppm(n, 50, ScreeningPlan(0.95))
+        high = shipped_ppm(n, 50, ScreeningPlan(0.999))
+        assert high < low
+
+    def test_zero_ppm_needs_both_levers(self):
+        """The ADAS tension: a near-zero-PPM target is reachable only
+        with high DFT coverage plus burn-in."""
+        n = get_node("28nm")
+        weak = screen_for_target_ppm(n, 50, target_ppm=3.0,
+                                     coverage=0.95)
+        strong = screen_for_target_ppm(n, 50, target_ppm=3.0,
+                                       coverage=0.999)
+        assert weak is None
+        assert strong is not None
+        assert strong.burn_in_hours > 0
+
+    def test_mission_failures_scale_with_temperature(self):
+        n = get_node("28nm")
+        cool = automotive_mission_failures(n, 50, temp_c=55)
+        hot = automotive_mission_failures(n, 50, temp_c=125)
+        assert hot > cool
+
+    def test_mission_validation(self):
+        with pytest.raises(ValueError):
+            automotive_mission_failures(get_node("28nm"), 50, years=0)

@@ -1,0 +1,280 @@
+"""Tests for scan, fault simulation, ATPG, and compression."""
+
+import numpy as np
+import pytest
+
+from repro.dft import (
+    CompressionConfig,
+    Fault,
+    Lfsr,
+    Misr,
+    chain_wirelength,
+    enumerate_faults,
+    fault_simulate,
+    insert_scan,
+    random_atpg,
+    reorder_chain,
+)
+from repro.dft import test_cost_model as dft_cost_model
+from repro.dft.compression import expand_stimulus, expander_matrix
+from repro.dft.faults import fault_coverage
+from repro.dft.scan import ScanChain, scan_routing_demand
+from repro.netlist import Netlist, build_library, registered_cloud
+from repro.place import global_place
+from repro.tech import get_node
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(get_node("28nm"))
+
+
+@pytest.fixture()
+def design(lib):
+    return registered_cloud(8, 24, 150, lib, seed=3)
+
+
+class TestScanInsertion:
+    def test_flops_become_scan_flops(self, design):
+        insert_scan(design)
+        design.validate()
+        assert all(g.cell.is_scan for g in design.sequential_gates())
+
+    def test_chain_connectivity(self, design):
+        chains = insert_scan(design)
+        chain = chains[0]
+        assert len(chain) == len(design.sequential_gates())
+        # Each flop's SI comes from the previous flop's Q.
+        prev = chain.scan_in
+        for name in chain.flops:
+            gate = design.gates[name]
+            assert gate.pins["SI"] == prev
+            assert gate.pins["SE"] == "scan_en"
+            prev = gate.output
+        assert prev == chain.scan_out
+
+    def test_multiple_chains_partition_flops(self, design):
+        chains = insert_scan(design, num_chains=4)
+        names = [n for c in chains for n in c.flops]
+        assert sorted(names) == sorted(
+            g.name for g in design.sequential_gates())
+        assert len(chains) == 4
+
+    def test_shift_behaviour(self, lib):
+        # A scanned design must shift the chain when scan_en=1.
+        nl = registered_cloud(4, 6, 30, lib, seed=5)
+        insert_scan(nl)
+        nl.validate()
+        n_pi = len(nl.primary_inputs)
+        flops = nl.sequential_gates()
+        state = np.zeros((1, len(flops)), dtype=bool)
+        vec = np.zeros((1, n_pi), dtype=bool)
+        vec[0, nl.primary_inputs.index("scan_en")] = True
+        vec[0, nl.primary_inputs.index("scan_in0")] = True
+        nxt = nl.next_state(vec, state)
+        # Exactly the first chain element loads the scan-in value.
+        assert nxt.sum() == 1
+
+    def test_no_flops_raises(self, lib):
+        nl = Netlist("comb", lib)
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1_rvt", [a], "y")
+        nl.add_output("y")
+        with pytest.raises(ValueError):
+            insert_scan(nl)
+
+    def test_bad_chain_count(self, design):
+        with pytest.raises(ValueError):
+            insert_scan(design, num_chains=0)
+
+    def test_order_must_cover_flops(self, design):
+        with pytest.raises(ValueError):
+            insert_scan(design, order=["ff0"])
+
+
+class TestChainOrdering:
+    def test_layout_aware_shorter_than_frontend(self, lib):
+        nl = registered_cloud(8, 32, 200, lib, seed=7)
+        placement = global_place(nl, seed=0)
+        flops = [g.name for g in nl.sequential_gates()]
+        front = ScanChain("f", flops, "si", "so")
+        wl_front = chain_wirelength(front, placement)
+        better = reorder_chain(flops, placement)
+        wl_better = chain_wirelength(
+            ScanChain("b", better, "si", "so"), placement)
+        assert wl_better < wl_front * 0.7
+
+    def test_reorder_is_permutation(self, lib):
+        nl = registered_cloud(8, 16, 100, lib, seed=9)
+        placement = global_place(nl, seed=0)
+        flops = [g.name for g in nl.sequential_gates()]
+        new = reorder_chain(flops, placement)
+        assert sorted(new) == sorted(flops)
+
+    def test_two_opt_no_worse_than_greedy(self, lib):
+        nl = registered_cloud(8, 24, 120, lib, seed=11)
+        placement = global_place(nl, seed=0)
+        flops = [g.name for g in nl.sequential_gates()]
+        greedy = reorder_chain(flops, placement, two_opt=False)
+        opt = reorder_chain(flops, placement, two_opt=True)
+        wl = lambda order: chain_wirelength(  # noqa: E731
+            ScanChain("c", order, "si", "so"), placement)
+        assert wl(opt) <= wl(greedy) + 1e-9
+
+    def test_empty_order(self, lib):
+        nl = registered_cloud(8, 8, 40, lib, seed=13)
+        placement = global_place(nl, seed=0)
+        assert reorder_chain([], placement) == []
+
+    def test_routing_demand_map(self, lib):
+        nl = registered_cloud(8, 16, 80, lib, seed=15)
+        placement = global_place(nl, seed=0)
+        flops = [g.name for g in nl.sequential_gates()]
+        demand = scan_routing_demand(
+            ScanChain("c", flops, "si", "so"), placement, bins=8)
+        assert demand.shape == (8, 8)
+        assert demand.sum() > 0
+
+
+class TestFaults:
+    def test_fault_validation(self):
+        with pytest.raises(ValueError):
+            Fault("n1", 2)
+
+    def test_enumerate_covers_all_nets(self, lib):
+        nl = Netlist("t", lib)
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1_rvt", [a], "y")
+        nl.add_output("y")
+        faults = enumerate_faults(nl)
+        assert len(faults) == 4  # 2 nets x 2 polarities
+
+    def test_inverter_faults_all_detectable(self, lib):
+        nl = Netlist("t", lib)
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1_rvt", [a], "y")
+        nl.add_output("y")
+        patterns = np.array([[0], [1]], dtype=bool)
+        detected = fault_simulate(nl, patterns)
+        assert fault_coverage(detected) == 1.0
+
+    def test_single_pattern_misses_some(self, lib):
+        nl = Netlist("t", lib)
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1_rvt", [a], "y")
+        nl.add_output("y")
+        patterns = np.array([[0]], dtype=bool)
+        detected = fault_simulate(nl, patterns)
+        assert 0 < fault_coverage(detected) < 1.0
+
+    def test_undetectable_fault_on_unobserved_net(self, lib):
+        nl = Netlist("t", lib)
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1_rvt", [a], "dead")  # drives nothing visible
+        nl.add_gate("BUF_X1_rvt", [a], "y")
+        nl.add_output("y")
+        patterns = np.array([[0], [1]], dtype=bool)
+        detected = fault_simulate(nl, patterns,
+                                  faults=[Fault("dead", 0)])
+        assert not detected[Fault("dead", 0)]
+
+    def test_pattern_shape_check(self, lib):
+        nl = Netlist("t", lib)
+        a = nl.add_input("a")
+        nl.add_gate("INV_X1_rvt", [a], "y")
+        nl.add_output("y")
+        with pytest.raises(ValueError):
+            fault_simulate(nl, np.zeros((2, 3), dtype=bool))
+
+
+class TestAtpg:
+    def test_coverage_curve_monotone(self, design):
+        result = random_atpg(design, target_coverage=0.9,
+                             max_patterns=128, seed=1)
+        curve = result.coverage_curve
+        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))
+        assert result.coverage == pytest.approx(curve[-1])
+
+    def test_more_patterns_no_worse(self, design):
+        small = random_atpg(design, max_patterns=32, seed=2,
+                            target_coverage=0.999)
+        big = random_atpg(design, max_patterns=256, seed=2,
+                          target_coverage=0.999)
+        assert big.coverage >= small.coverage - 1e-12
+
+    def test_target_validation(self, design):
+        with pytest.raises(ValueError):
+            random_atpg(design, target_coverage=0.0)
+
+    def test_detected_counts_consistent(self, design):
+        result = random_atpg(design, max_patterns=64, seed=3)
+        assert 0 <= result.detected <= result.total_faults
+        assert result.coverage == pytest.approx(
+            result.detected / result.total_faults)
+
+
+class TestCompression:
+    def test_lfsr_maximal_periods(self):
+        assert Lfsr(8).period() == 255
+        assert Lfsr(16).period() == 65535
+
+    def test_lfsr_validation(self):
+        with pytest.raises(ValueError):
+            Lfsr(1)
+        with pytest.raises(ValueError):
+            Lfsr(8, seed=0)
+        with pytest.raises(ValueError):
+            Lfsr(8, taps=[9])
+
+    def test_lfsr_bits_deterministic(self):
+        a = Lfsr(16, seed=7).bits(100)
+        b = Lfsr(16, seed=7).bits(100)
+        assert np.array_equal(a, b)
+
+    def test_misr_distinguishes_responses(self):
+        m1 = Misr(16)
+        m2 = Misr(16)
+        rng = np.random.default_rng(0)
+        resp = rng.random((20, 16)) < 0.5
+        for row in resp:
+            m1.absorb(row)
+        flipped = resp.copy()
+        flipped[10, 3] ^= True
+        for row in flipped:
+            m2.absorb(row)
+        assert m1.signature != m2.signature
+
+    def test_misr_aliasing_bound(self):
+        assert Misr(24).aliasing_probability() == pytest.approx(2.0 ** -24)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CompressionConfig(3, 8, 100)      # odd pins
+        with pytest.raises(ValueError):
+            CompressionConfig(8, 2, 100)      # fan-in expander
+
+    def test_compression_shortens_chains(self):
+        flat = CompressionConfig(8, 4, 4000)
+        comp = CompressionConfig(8, 64, 4000)
+        assert comp.chain_length < flat.chain_length
+        assert comp.compression_ratio > flat.compression_ratio
+
+    def test_cost_model_low_pin_count_wins(self):
+        # E13: compression retargeted at low-pin-count test cuts cost.
+        full = dft_cost_model(40000, 2000, scan_pins=64)
+        lpct = dft_cost_model(40000, 2000, scan_pins=4,
+                               internal_chains=256)
+        assert lpct["total_cost_usd"] < full["total_cost_usd"]
+        assert lpct["compression_ratio"] > full["compression_ratio"]
+
+    def test_expander_properties(self):
+        m = expander_matrix(4, 32, seed=1)
+        assert m.shape == (32, 4)
+        assert m.any(axis=1).all()  # every chain driven
+        pins = np.array([1, 0, 1, 0], dtype=bool)
+        chains = expand_stimulus(m, pins)
+        assert chains.shape == (32,)
+
+    def test_expander_must_fan_out(self):
+        with pytest.raises(ValueError):
+            expander_matrix(8, 4)

@@ -1,0 +1,114 @@
+"""Tests for two-level minimization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist.boolfunc import TruthTable
+from repro.netlist.cubes import ABSENT, Cover, Cube
+from repro.synthesis.espresso import (
+    espresso,
+    espresso_tt,
+    exact_cover_size_lower_bound,
+)
+
+tts = st.integers(min_value=2, max_value=5).flatmap(
+    lambda n: st.builds(
+        TruthTable,
+        st.just(n),
+        st.integers(min_value=0, max_value=(1 << (1 << n)) - 1),
+    )
+)
+
+
+class TestEspressoCorrectness:
+    @given(tts)
+    @settings(max_examples=80, deadline=None)
+    def test_preserves_function(self, f):
+        cover = espresso_tt(f)
+        assert cover.to_truth_table().bits == f.bits
+
+    @given(tts, tts)
+    @settings(max_examples=40, deadline=None)
+    def test_respects_dont_cares(self, f, d):
+        if f.nvars != d.nvars:
+            return
+        on = f & ~d  # keep on/dc disjoint for the bound check
+        cover = espresso(Cover.from_truth_table(on),
+                         Cover.from_truth_table(d))
+        got = cover.to_truth_table()
+        # Must cover all of the on-set...
+        assert (got.bits & on.bits) == on.bits
+        # ...and nothing outside on+dc.
+        assert got.bits & ~(on.bits | d.bits) == 0
+
+    @given(tts)
+    @settings(max_examples=60, deadline=None)
+    def test_never_worse_than_minterms(self, f):
+        cover = espresso_tt(f)
+        canonical = Cover.from_truth_table(f)
+        assert cover.cube_count() <= max(canonical.cube_count(), 1)
+        assert cover.literal_count() <= canonical.literal_count()
+
+    @given(tts)
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bound_respected(self, f):
+        cover = espresso_tt(f)
+        if cover.cubes:
+            lb = exact_cover_size_lower_bound(Cover.from_truth_table(f))
+            assert cover.cube_count() >= min(lb, cover.cube_count())
+
+
+class TestEspressoQuality:
+    def test_xor_stays_two_cubes(self):
+        f = TruthTable.from_string("0110")
+        cover = espresso_tt(f)
+        assert cover.cube_count() == 2
+        assert cover.literal_count() == 4
+
+    def test_redundant_cover_collapses(self):
+        # f = a (4 minterms over 3 vars) given as minterms: one cube.
+        f = TruthTable.var(0, 3)
+        cover = espresso_tt(f)
+        assert cover.cube_count() == 1
+        assert cover.literal_count() == 1
+
+    def test_classic_example(self):
+        # f = a'b' + a'b + ab = a' + b  (2 cubes, 2 literals)
+        f = TruthTable.from_minterms([0, 2, 3], 2)
+        cover = espresso_tt(f)
+        assert cover.cube_count() == 2
+        assert cover.literal_count() == 2
+
+    def test_dont_cares_enable_bigger_cubes(self):
+        # on = minterm 3 (ab); dc = minterms 1, 2: espresso can pick a
+        # single-literal cube.
+        on = TruthTable.from_minterms([3], 2)
+        dc = TruthTable.from_minterms([1, 2], 2)
+        cover = espresso_tt(on, dc)
+        assert cover.literal_count() == 1
+
+    def test_constant_one(self):
+        f = TruthTable.const(True, 3)
+        cover = espresso_tt(f)
+        assert cover.cube_count() == 1
+        assert cover.cubes[0].literal_count() == 0
+
+    def test_constant_zero(self):
+        cover = espresso_tt(TruthTable.const(False, 3))
+        assert cover.cube_count() == 0
+
+    def test_majority_function(self):
+        # maj(a,b,c): minimal SOP is ab + ac + bc (6 literals).
+        f = TruthTable.from_minterms([3, 5, 6, 7], 3)
+        cover = espresso_tt(f)
+        assert cover.cube_count() == 3
+        assert cover.literal_count() == 6
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            espresso(Cover.empty(2), Cover.empty(3))
+
+    def test_empty_cover_passthrough(self):
+        out = espresso(Cover.empty(3))
+        assert out.cube_count() == 0

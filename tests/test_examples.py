@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are deliverables; this keeps them from rotting as the library
+evolves.  Each main() runs in-process with stdout captured.
+"""
+
+import importlib.util
+import io
+import pathlib
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name):
+    module = _load(name)
+    assert hasattr(module, "main"), f"{name} must expose main()"
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        module.main()
+    output = buffer.getvalue()
+    assert len(output) > 100, f"{name} produced almost no output"
+
+
+def test_expected_examples_present():
+    assert set(EXAMPLES) >= {
+        "quickstart",
+        "networking_asic",
+        "iot_edge_node",
+        "retrospective_roadmap",
+        "new_logic_abstractions",
+        "verification_flow",
+    }

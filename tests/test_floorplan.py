@@ -1,0 +1,172 @@
+"""Tests for slicing floorplans, power-grid synthesis, and retrofit."""
+
+import random
+
+import pytest
+
+from repro.floorplan import (
+    Block,
+    SlicingTree,
+    anneal_floorplan,
+    retrofit_floorplan,
+    synthesize_power_grid,
+)
+from repro.floorplan.pgrid import grid_from_spec
+import numpy as np
+
+
+def blocks(n=5, base=100.0):
+    return [Block(f"b{i}", base * (1 + 0.3 * i)) for i in range(n)]
+
+
+class TestBlock:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Block("x", -1.0)
+        with pytest.raises(ValueError):
+            Block("x", 1.0, min_aspect=2.0, max_aspect=1.0)
+
+    def test_shapes_cover_aspect_range(self):
+        b = Block("x", 100.0, min_aspect=0.5, max_aspect=2.0)
+        shapes = b.shapes()
+        for w, h in shapes:
+            assert w * h == pytest.approx(100.0)
+            assert 0.49 <= w / h <= 2.01
+
+
+class TestSlicingTree:
+    def test_default_expression_valid(self):
+        tree = SlicingTree(blocks(4))
+        fp = tree.realize()
+        assert len(fp.positions) == 4
+
+    def test_malformed_expression_rejected(self):
+        bs = blocks(2)
+        with pytest.raises(ValueError):
+            SlicingTree(bs, ["b0", "H", "b1"])
+        with pytest.raises(ValueError):
+            SlicingTree(bs, ["b0", "b1"])
+        with pytest.raises(ValueError):
+            SlicingTree(bs, ["b0", "ghost", "V"])
+
+    def test_realization_no_overlaps(self):
+        tree = SlicingTree(blocks(6))
+        fp = tree.realize()
+        assert fp.overlaps() == []
+
+    def test_realization_covers_all_area(self):
+        bs = blocks(5)
+        fp = SlicingTree(bs).realize()
+        assert fp.block_area() == pytest.approx(sum(b.area for b in bs),
+                                                rel=0.01)
+        assert fp.area >= fp.block_area()
+
+    def test_blocks_inside_die(self):
+        fp = SlicingTree(blocks(7)).realize()
+        for x, y, w, h in fp.positions.values():
+            assert x >= -1e-9 and y >= -1e-9
+            assert x + w <= fp.width + 1e-6
+            assert y + h <= fp.height + 1e-6
+
+    def test_perturb_keeps_validity(self):
+        tree = SlicingTree(blocks(5))
+        rng = random.Random(0)
+        for _ in range(50):
+            tree = tree.perturb(rng)
+            fp = tree.realize()
+            assert fp.overlaps() == []
+            assert len(fp.positions) == 5
+
+    def test_needs_two_blocks(self):
+        with pytest.raises(ValueError):
+            SlicingTree(blocks(1))
+
+
+class TestAnnealing:
+    def test_anneal_improves_over_initial(self):
+        bs = blocks(8)
+        initial = SlicingTree(bs).realize()
+        _, best = anneal_floorplan(bs, seed=0, iterations=800)
+        assert best.area <= initial.area * 1.05
+
+    def test_anneal_reasonable_whitespace(self):
+        _, fp = anneal_floorplan(blocks(8), seed=1, iterations=1500)
+        assert fp.whitespace_fraction < 0.25
+
+    def test_anneal_controls_aspect(self):
+        _, fp = anneal_floorplan(blocks(8), seed=2, iterations=1500)
+        aspect = max(fp.width, fp.height) / min(fp.width, fp.height)
+        assert aspect < 3.0
+
+    def test_wirelength_cost_pulls_connected_blocks_together(self):
+        bs = blocks(8, base=50)
+        nets = [["b0", "b7"], ["b0", "b7"], ["b0", "b7"]]
+        _, with_nets = anneal_floorplan(
+            bs, nets, seed=3, iterations=1500, wirelength_weight=1.0)
+        _, without = anneal_floorplan(bs, seed=3, iterations=1500)
+        def dist(fp):
+            (x0, y0), (x1, y1) = fp.center_of("b0"), fp.center_of("b7")
+            return abs(x0 - x1) + abs(y0 - y1)
+        assert dist(with_nets) <= dist(without) * 1.5
+
+    def test_deterministic_given_seed(self):
+        _, a = anneal_floorplan(blocks(6), seed=7, iterations=300)
+        _, b = anneal_floorplan(blocks(6), seed=7, iterations=300)
+        assert a.positions == b.positions
+
+
+class TestPowerGridSynthesis:
+    def test_spec_meets_utilization_cap(self):
+        spec = synthesize_power_grid(
+            1000, 1000, total_power_w=5, vdd=0.9)
+        assert spec.metal_utilization <= 0.25
+        assert spec.strap_width_um > 0
+
+    def test_more_power_needs_more_metal(self):
+        lo = synthesize_power_grid(1000, 1000, total_power_w=1, vdd=0.9)
+        hi = synthesize_power_grid(1000, 1000, total_power_w=10, vdd=0.9)
+        assert hi.metal_utilization >= lo.metal_utilization
+
+    def test_impossible_budget_raises(self):
+        with pytest.raises(ValueError):
+            synthesize_power_grid(1000, 1000, total_power_w=2000,
+                                  vdd=0.9, drop_budget_fraction=0.001)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ValueError):
+            synthesize_power_grid(100, 100, total_power_w=0, vdd=1.0)
+
+    def test_grid_from_spec_solves(self):
+        spec = synthesize_power_grid(500, 500, total_power_w=2, vdd=0.9)
+        pm = np.full((8, 8), 2e6 / 64)
+        grid = grid_from_spec(spec, 500, 500, vdd=0.9, power_map_uw=pm)
+        report = grid.solve()
+        assert report.worst_drop_mv >= 0
+
+    def test_summary(self):
+        spec = synthesize_power_grid(500, 500, total_power_w=2, vdd=0.9)
+        assert "straps" in spec.summary()
+
+
+class TestRetrofit:
+    def test_retrofit_reaches_clean_or_improves(self):
+        bs = blocks(5, base=10000)  # ~100x100 um blocks
+        power = {b.name: 0.4 + 0.2 * i for i, b in enumerate(bs)}
+        result = retrofit_floorplan(bs, power, vdd=0.9, seed=0,
+                                    max_passes=4)
+        assert result.iterations >= 1
+        assert result.history
+        if not result.clean:
+            assert result.history[-1] <= result.history[0]
+
+    def test_retrofit_requires_power_for_all_blocks(self):
+        bs = blocks(3)
+        with pytest.raises(ValueError, match="without power"):
+            retrofit_floorplan(bs, {"b0": 1.0}, seed=0)
+
+    def test_retrofit_history_recorded(self):
+        bs = blocks(4, base=5000)
+        power = {b.name: 0.1 for b in bs}
+        result = retrofit_floorplan(bs, power, seed=1, max_passes=3)
+        assert len(result.history) >= 1
+        assert result.improvement() >= 0.5

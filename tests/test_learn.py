@@ -1,0 +1,186 @@
+"""Tests for the self-learning engine: run DB, predictor, tuner."""
+
+import numpy as np
+import pytest
+
+from repro.learn import (
+    KnobSpace,
+    QorPredictor,
+    RunDatabase,
+    RunRecord,
+    design_features,
+    tune_knobs,
+)
+from repro.netlist import build_library, logic_cloud
+from repro.tech import get_node
+
+
+def record(instances, knob_a, score):
+    return RunRecord(
+        design=f"d{instances}",
+        features={"instances": instances, "avg_fanout": 2.0,
+                  "seq_ratio": 0.1, "area_um2": instances * 0.1},
+        knobs={"a": knob_a},
+        qor={"score": score},
+    )
+
+
+class TestRunDatabase:
+    def test_log_and_len(self):
+        db = RunDatabase()
+        db.log(record(100, 1, 5.0))
+        assert len(db) == 1
+
+    def test_similar_runs_orders_by_distance(self):
+        db = RunDatabase()
+        db.log(record(100, 1, 5.0))
+        db.log(record(10000, 2, 4.0))
+        near = db.similar_runs({"instances": 120, "avg_fanout": 2.0,
+                                "seq_ratio": 0.1, "area_um2": 12.0})
+        assert near[0].features["instances"] == 100
+
+    def test_best_knobs_picks_lowest_metric(self):
+        db = RunDatabase()
+        db.log(record(100, 1, 5.0))
+        db.log(record(110, 2, 2.0))
+        best = db.best_knobs({"instances": 105}, "score")
+        assert best == {"a": 2}
+
+    def test_best_knobs_none_when_empty(self):
+        db = RunDatabase()
+        assert db.best_knobs({"instances": 100}, "score") is None
+
+    def test_save_load_roundtrip(self, tmp_path):
+        db = RunDatabase()
+        db.log(record(100, 1, 5.0))
+        db.log(record(200, 2, 3.0))
+        path = tmp_path / "runs.json"
+        db.save(path)
+        loaded = RunDatabase.load(path)
+        assert len(loaded) == 2
+        assert loaded.records[0].knobs == {"a": 1}
+
+    def test_design_features_from_netlist(self):
+        lib = build_library(get_node("28nm"))
+        nl = logic_cloud(8, 8, 120, lib, seed=0)
+        feats = design_features(nl)
+        assert feats["instances"] == 120
+        assert feats["avg_fanout"] > 0
+        assert feats["area_um2"] > 0
+
+
+class TestPredictor:
+    def _db(self, n=40, seed=0):
+        rng = np.random.default_rng(seed)
+        db = RunDatabase()
+        for _ in range(n):
+            size = float(rng.integers(100, 2000))
+            knob = float(rng.integers(1, 5))
+            # Ground truth: score = size/100 - 2*knob + noise.
+            score = size / 100.0 - 2.0 * knob + rng.normal(0, 0.1)
+            rec = record(size, knob, score)
+            db.log(rec)
+        return db
+
+    def test_fit_and_predict_recovers_trend(self):
+        db = self._db()
+        pred = QorPredictor(
+            ["instances", "avg_fanout", "seq_ratio", "area_um2"],
+            ["a"], "score")
+        n = pred.fit(db)
+        assert n == 40
+        lo = pred.predict({"instances": 1000, "avg_fanout": 2.0,
+                           "seq_ratio": 0.1, "area_um2": 100.0},
+                          {"a": 4})
+        hi = pred.predict({"instances": 1000, "avg_fanout": 2.0,
+                           "seq_ratio": 0.1, "area_um2": 100.0},
+                          {"a": 1})
+        assert lo < hi  # bigger knob -> lower score in ground truth
+
+    def test_rank_knob_options(self):
+        db = self._db()
+        pred = QorPredictor(
+            ["instances", "avg_fanout", "seq_ratio", "area_um2"],
+            ["a"], "score")
+        pred.fit(db)
+        feats = {"instances": 500, "avg_fanout": 2.0, "seq_ratio": 0.1,
+                 "area_um2": 50.0}
+        ranked = pred.rank_knob_options(
+            feats, [{"a": 1}, {"a": 4}, {"a": 2}])
+        assert ranked[0] == {"a": 4}
+
+    def test_unfitted_predict_raises(self):
+        pred = QorPredictor(["instances"], ["a"], "score")
+        with pytest.raises(RuntimeError):
+            pred.predict({"instances": 1}, {"a": 1})
+
+    def test_needs_two_runs(self):
+        db = RunDatabase()
+        db.log(record(100, 1, 5.0))
+        pred = QorPredictor(["instances"], ["a"], "score")
+        with pytest.raises(ValueError):
+            pred.fit(db)
+
+    def test_bad_ridge(self):
+        with pytest.raises(ValueError):
+            QorPredictor(["x"], ["a"], "score", ridge=0.0)
+
+
+class TestKnobSpace:
+    def test_grid_is_cross_product(self):
+        space = KnobSpace({"a": [1, 2], "b": [10, 20, 30]})
+        assert len(space.grid()) == 6
+
+    def test_sample_bounded(self):
+        space = KnobSpace({"a": [1, 2, 3], "b": [1, 2, 3]})
+        assert len(space.sample(4, seed=0)) == 4
+        assert len(space.sample(100, seed=0)) == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KnobSpace({})
+        with pytest.raises(ValueError):
+            KnobSpace({"a": []})
+
+
+class TestTuner:
+    def _objective(self, knobs):
+        # Quadratic bowl: best at a=3, b=2.
+        return (knobs["a"] - 3) ** 2 + (knobs["b"] - 2) ** 2
+
+    def test_finds_optimum_on_grid(self):
+        space = KnobSpace({"a": [1, 2, 3, 4], "b": [1, 2, 3]})
+        result = tune_knobs(self._objective, space, budget=12,
+                            seed=0)
+        assert result.best_knobs == {"a": 3, "b": 2}
+        assert result.best_score == 0.0
+
+    def test_warm_start_from_db(self):
+        db = RunDatabase()
+        db.log(RunRecord("prev", {"instances": 100},
+                         {"a": 3, "b": 2}, {"score": 0.0}))
+        space = KnobSpace({"a": [1, 2, 3, 4], "b": [1, 2, 3]})
+        result = tune_knobs(self._objective, space, budget=3,
+                            db=db, design_features={"instances": 100},
+                            metric="score", seed=1)
+        assert result.warm_started
+        assert result.best_knobs == {"a": 3, "b": 2}
+
+    def test_logs_back_to_db(self):
+        db = RunDatabase()
+        space = KnobSpace({"a": [1, 3], "b": [2]})
+        tune_knobs(self._objective, space, budget=2, db=db,
+                   design_features={"instances": 10}, seed=0)
+        assert len(db) == 1
+        assert "tuner" in db.records[0].tags
+
+    def test_budget_validation(self):
+        space = KnobSpace({"a": [1]})
+        with pytest.raises(ValueError):
+            tune_knobs(self._objective, space, budget=1)
+
+    def test_history_recorded(self):
+        space = KnobSpace({"a": [1, 2, 3], "b": [1, 2, 3]})
+        result = tune_knobs(self._objective, space, budget=6, seed=2)
+        assert result.evaluations == len(result.history)
+        assert result.evaluations >= 6

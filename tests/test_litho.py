@@ -1,0 +1,270 @@
+"""Tests for aerial imaging, OPC, wires, and multi-patterning."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.litho import (
+    LithoSystem,
+    WireSegment,
+    aerial_image,
+    apply_opc,
+    build_conflict_graph,
+    decompose,
+    dense_line_mask,
+    edge_placement_errors,
+    print_image,
+    random_track_wires,
+)
+from repro.litho.aerial import (
+    EUV_135,
+    IMMERSION_193,
+    pattern_fidelity,
+    printability,
+)
+from repro.litho.mpd import decomposition_rate, min_masks_needed
+from repro.litho.wires import wires_to_mask
+
+
+class TestAerialImage:
+    def test_blur_preserves_mean(self):
+        mask = dense_line_mask(120)
+        img = aerial_image(mask, 2.0)
+        assert img.mean() == pytest.approx(mask.mean(), abs=0.02)
+
+    def test_intensity_in_unit_range(self):
+        img = aerial_image(dense_line_mask(100), 2.0)
+        assert img.min() >= -1e-9 and img.max() <= 1 + 1e-9
+
+    def test_finer_pitch_lower_contrast(self):
+        hi = aerial_image(dense_line_mask(160), 2.0)
+        lo = aerial_image(dense_line_mask(60), 2.0)
+        assert hi.max() - hi.min() > lo.max() - lo.min()
+
+    def test_bad_pixel_rejected(self):
+        with pytest.raises(ValueError):
+            aerial_image(np.zeros((4, 4)), 0.0)
+
+    def test_print_threshold_validation(self):
+        with pytest.raises(ValueError):
+            print_image(np.zeros((4, 4)), 0.0)
+
+    def test_psf_scales_with_wavelength(self):
+        assert EUV_135.psf_sigma_nm < IMMERSION_193.psf_sigma_nm
+
+    def test_rayleigh_pitch_matches_panel(self):
+        # Single-patterning 193i limit ~80 nm pitch (Domic).
+        assert 70 <= IMMERSION_193.rayleigh_pitch_nm <= 90
+
+
+class TestEpe:
+    def test_perfect_print_zero_epe(self):
+        t = dense_line_mask(200)
+        epe = edge_placement_errors(t, t, 2.0)
+        assert np.all(epe == 0)
+
+    def test_shifted_print_measures_shift(self):
+        t = dense_line_mask(200)
+        shifted = np.roll(t, 2, axis=1)
+        epe = edge_placement_errors(t, shifted, 2.0)
+        assert np.median(np.abs(epe)) == pytest.approx(4.0, abs=1.0)
+
+    def test_missing_feature_catastrophic(self):
+        t = dense_line_mask(200)
+        empty = np.zeros_like(t)
+        epe = edge_placement_errors(t, empty, 2.0)
+        assert np.all(epe >= t.shape[1] * 2.0 - 1)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            edge_placement_errors(np.zeros((4, 4), dtype=bool),
+                                  np.zeros((5, 5), dtype=bool), 1.0)
+
+    def test_fidelity_bounds(self):
+        t = dense_line_mask(100)
+        assert pattern_fidelity(t, t) == 1.0
+        assert pattern_fidelity(t, np.zeros_like(t)) == 0.0
+
+
+class TestPrintabilityCliff:
+    """The panel's anchor: 193i single patterning dies near 80 nm pitch."""
+
+    def test_passes_above_80nm_pitch(self):
+        for pitch in (160, 120, 100, 90):
+            assert printability(dense_line_mask(pitch), 2.0)["passes"], pitch
+
+    def test_fails_below_80nm_pitch(self):
+        for pitch in (78, 70, 64, 50):
+            assert not printability(dense_line_mask(pitch), 2.0)["passes"], \
+                pitch
+
+    def test_double_patterning_rescues_64nm(self):
+        # The per-mask pattern of a LELE split has twice the pitch.
+        assert not printability(dense_line_mask(64), 2.0,
+                                epe_spec_nm=6.4)["passes"]
+        assert printability(dense_line_mask(128), 2.0,
+                            epe_spec_nm=6.4)["passes"]
+
+    def test_euv_prints_sub_40nm_directly(self):
+        r = printability(dense_line_mask(32, pixel_nm=1.0), 1.0, EUV_135,
+                         epe_spec_nm=3.2)
+        assert r["passes"]
+
+    def test_dose_window_tightens_result(self):
+        tight = printability(dense_line_mask(84), 2.0, dose_latitude=0.3)
+        loose = printability(dense_line_mask(84), 2.0, dose_latitude=0.02)
+        assert tight["max_epe_nm"] >= loose["max_epe_nm"]
+
+
+class TestOpc:
+    def _line_end_pattern(self):
+        img = np.zeros((200, 160), dtype=bool)
+        for r0 in range(10, 190, 50):
+            img[r0:r0 + 22, 10:70] = True
+            img[r0:r0 + 22, 85:150] = True
+        return img
+
+    def test_opc_improves_line_ends(self):
+        target = self._line_end_pattern()
+        base = printability(target, 2.0)
+        opc = apply_opc(target, 2.0, iterations=15)
+        corrected = printability(target, 2.0, mask=opc.mask)
+        assert corrected["rms_epe_nm"] < base["rms_epe_nm"] / 3
+        assert opc.improvement > 3
+
+    def test_opc_reports_iterations(self):
+        opc = apply_opc(self._line_end_pattern(), 2.0, iterations=5)
+        assert 1 <= opc.iterations <= 5
+
+    def test_opc_noop_on_easy_pattern(self):
+        easy = dense_line_mask(200)
+        opc = apply_opc(easy, 2.0, converge_nm=5.0)
+        assert opc.converged
+        assert opc.iterations <= 2
+
+
+class TestWires:
+    def test_segment_validation(self):
+        with pytest.raises(ValueError):
+            WireSegment(0, 5.0, 5.0)
+
+    def test_overlap_logic(self):
+        a = WireSegment(0, 0, 10)
+        b = WireSegment(1, 5, 15)
+        c = WireSegment(1, 11, 15)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+        assert a.overlaps(c, margin=2.0)
+
+    def test_random_wires_density(self):
+        wires = random_track_wires(20, 200, density=0.5, seed=0)
+        fill = sum(w.length for w in wires) / (20 * 200)
+        assert 0.25 <= fill <= 0.75
+
+    def test_random_wires_deterministic(self):
+        a = random_track_wires(10, 100, seed=3)
+        b = random_track_wires(10, 100, seed=3)
+        assert a == b
+
+    def test_bad_density(self):
+        with pytest.raises(ValueError):
+            random_track_wires(10, 100, density=0.0)
+
+    def test_wires_to_mask_rasterizes(self):
+        wires = [WireSegment(0, 0, 10), WireSegment(2, 5, 15)]
+        img = wires_to_mask(wires, 80.0, pixel_nm=4.0)
+        assert img.any()
+        assert img.dtype == bool
+
+
+class TestConflictGraph:
+    def test_no_conflicts_above_limit_pitch(self):
+        wires = random_track_wires(20, 100, seed=1)
+        g = build_conflict_graph(wires, pitch_nm=90.0)
+        assert g.number_of_edges() == 0
+
+    def test_adjacent_tracks_conflict_below_limit(self):
+        wires = [WireSegment(0, 0, 10), WireSegment(1, 0, 10)]
+        g = build_conflict_graph(wires, pitch_nm=45.0)
+        assert g.number_of_edges() == 1
+
+    def test_reach_grows_as_pitch_shrinks(self):
+        wires = random_track_wires(20, 100, seed=1)
+        e64 = build_conflict_graph(wires, pitch_nm=64).number_of_edges()
+        e20 = build_conflict_graph(wires, pitch_nm=20).number_of_edges()
+        assert e20 > e64
+
+    def test_non_overlapping_spans_no_conflict(self):
+        wires = [WireSegment(0, 0, 5), WireSegment(1, 6, 10)]
+        g = build_conflict_graph(wires, pitch_nm=40.0)
+        assert g.number_of_edges() == 0
+
+
+class TestDecomposition:
+    def test_bipartite_two_coloring(self):
+        wires = [WireSegment(t, 0, 10) for t in range(6)]
+        g = build_conflict_graph(wires, pitch_nm=45.0)  # chain graph
+        result = decompose(g, 2)
+        assert result.success
+        for i, j in g.edges:
+            assert result.colors[i] != result.colors[j]
+
+    def test_odd_cycle_defeats_two_masks(self):
+        g = nx.cycle_graph(5)
+        for n in g.nodes:
+            g.nodes[n]["wire"] = WireSegment(n, 0, 10)
+        result = decompose(g, 2)
+        assert not result.success
+        assert decompose(g, 3).success
+
+    def test_fully_overlapping_triangle_needs_three_masks_even_stitched(self):
+        # A geometric 3-clique (all spans coincide) is NOT stitch-
+        # resolvable: every fragment still sees both neighbors.
+        wires = [WireSegment(0, 0, 10), WireSegment(1, 0, 10),
+                 WireSegment(2, 0, 10)]
+        g = build_conflict_graph(wires, pitch_nm=30.0)  # reach 2: triangle
+        assert not decompose(g, 2).success
+        assert not decompose(g, 2, allow_stitches=True).success
+        assert decompose(g, 3).success
+
+    def test_stitching_resolves_disjoint_span_odd_cycle(self):
+        # w0 conflicts w1 on its left span and w2 on its right span;
+        # a tip-to-tip rule makes w1-w2 conflict too (odd cycle).  The
+        # stitch splits the long wire and the cycle falls apart.
+        w0 = WireSegment(1, 0, 10)
+        w1 = WireSegment(0, 0, 4)
+        w2 = WireSegment(2, 6, 10)
+        g = nx.Graph()
+        for n, w in enumerate((w0, w1, w2)):
+            g.add_node(n, wire=w)
+        g.add_edges_from([(0, 1), (0, 2), (1, 2)])
+        assert not decompose(g, 2).success
+        stitched = decompose(g, 2, allow_stitches=True)
+        assert stitched.success
+        assert len(stitched.stitches) >= 1
+
+    def test_min_masks_tracks_pitch(self):
+        wires = random_track_wires(24, 120, density=0.6, seed=2)
+        m90 = min_masks_needed(build_conflict_graph(wires, pitch_nm=90))
+        m64 = min_masks_needed(build_conflict_graph(wires, pitch_nm=64))
+        m28 = min_masks_needed(build_conflict_graph(wires, pitch_nm=28))
+        assert m90 == 1
+        assert m64 == 2
+        assert m28 >= 3
+
+    def test_mask_balance_sums_to_wires(self):
+        wires = random_track_wires(20, 100, density=0.6, seed=4)
+        g = build_conflict_graph(wires, pitch_nm=40)
+        result = decompose(g, 2, allow_stitches=True)
+        assert sum(result.mask_balance()) == len(result.colors)
+
+    def test_decomposition_rate_summary(self):
+        wires = random_track_wires(16, 80, density=0.5, seed=5)
+        stats = decomposition_rate(wires, pitch_nm=40, k=2)
+        assert stats["wires"] == len(wires)
+        assert "stitches" in stats
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            decompose(nx.Graph(), 0)

@@ -1,0 +1,114 @@
+"""Tests for design starts, IoT archetypes, and the two-path forecast."""
+
+import pytest
+
+from repro.market import (
+    DESIGN_STARTS_2015,
+    DesignStartModel,
+    IOT_ARCHETYPES,
+    IotArchetype,
+    infrastructure_demand,
+    two_path_forecast,
+)
+
+
+class TestDesignStarts:
+    def test_2015_anchors(self):
+        # Domic: >90% at 32/28nm and above; 180nm >25% and the leader.
+        model = DesignStartModel()
+        assert model.established_share() >= 0.90
+        assert model.share_of("180nm") >= 0.25
+        assert model.most_designed_node() == "180nm"
+
+    def test_shares_sum_to_one(self):
+        assert sum(DESIGN_STARTS_2015.values()) == pytest.approx(1.0)
+
+    def test_step_preserves_total(self):
+        model = DesignStartModel()
+        model.step_year()
+        assert sum(model.shares.values()) == pytest.approx(1.0)
+
+    def test_decade_forecast_stays_dominant(self):
+        # "This won't change significantly over the next decade."
+        model = DesignStartModel()
+        snapshots = model.forecast(10)
+        assert len(snapshots) == 11
+        final_year, established, share180 = snapshots[-1]
+        assert final_year == 10
+        assert established >= 0.80
+        assert share180 >= 0.15
+        assert model.most_designed_node() == "180nm"
+
+    def test_migration_moves_share_downward(self):
+        fast = DesignStartModel(migration_rate=0.2,
+                                established_influx=0.0)
+        before = fast.established_share()
+        for _ in range(5):
+            fast.step_year()
+        assert fast.established_share() < before
+
+    def test_bad_shares_rejected(self):
+        with pytest.raises(ValueError):
+            DesignStartModel(shares={"180nm": 0.5})
+
+    def test_forecast_validation(self):
+        with pytest.raises(ValueError):
+            DesignStartModel().forecast(-1)
+
+
+class TestIotArchetypes:
+    def test_three_panel_examples_present(self):
+        names = {a.name for a in IOT_ARCHETYPES}
+        assert names == {"wearable", "car_gateway", "industrial"}
+
+    def test_archetypes_use_established_nodes(self):
+        # Sawicki: IoT "does not require the next technology node".
+        for arch in IOT_ARCHETYPES:
+            assert float(arch.node.rstrip("nm")) >= 28
+
+    def test_units_grow(self):
+        arch = IOT_ARCHETYPES[0]
+        assert arch.units_in_year(5) > arch.units_in_year(0)
+        with pytest.raises(ValueError):
+            arch.units_in_year(-1)
+
+
+class TestInfrastructure:
+    def test_demand_scales_with_data(self):
+        small = infrastructure_demand(1.0)
+        big = infrastructure_demand(100.0)
+        assert big["servers"] == pytest.approx(100 * small["servers"])
+        assert big["wafers_300mm"] > small["wafers_300mm"]
+
+    def test_advanced_node_used(self):
+        assert infrastructure_demand(1.0)["node"] == "14nm"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            infrastructure_demand(-1.0)
+
+
+class TestTwoPathForecast:
+    def test_both_paths_grow(self):
+        fc = two_path_forecast(8)
+        assert fc.iot_wafers_300mm[-1] > fc.iot_wafers_300mm[0]
+        assert fc.infra_wafers_300mm[-1] > fc.infra_wafers_300mm[0]
+
+    def test_infrastructure_compounds_faster(self):
+        # Sawicki: accumulated IoT data "will drive increased transistor
+        # densities for years to come" — the advanced path compounds
+        # faster than the device path because data installs cumulatively.
+        fc = two_path_forecast(10)
+        iot_growth = fc.iot_wafers_300mm[-1] / fc.iot_wafers_300mm[0]
+        infra_growth = (fc.infra_wafers_300mm[-1] /
+                        fc.infra_wafers_300mm[0])
+        assert infra_growth > iot_growth > 1.0
+
+    def test_years_labeled_from_2015(self):
+        fc = two_path_forecast(3)
+        assert fc.years == [2015, 2016, 2017, 2018]
+
+    def test_custom_archetypes(self):
+        only_wearable = [IotArchetype("w", "65nm", 10.0, 50.0, 0.1, 5.0)]
+        fc = two_path_forecast(2, archetypes=only_wearable)
+        assert len(fc.iot_wafers_300mm) == 3

@@ -1,0 +1,175 @@
+"""Tests for yield, cost, and NRE models."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mfg import (
+    death_spiral_index,
+    design_cost,
+    die_cost,
+    dies_per_wafer,
+    layer_cost_model,
+    mask_set_cost,
+    murphy_yield,
+    negative_binomial_yield,
+    poisson_yield,
+    wafer_cost,
+)
+from repro.mfg.nre import NreModel
+from repro.mfg.yield_model import systematic_limited_yield
+from repro.tech import get_node
+
+
+class TestYieldModels:
+    def test_zero_defects_perfect_yield(self):
+        for model in (poisson_yield, murphy_yield,
+                      negative_binomial_yield):
+            assert model(100.0, 0.0) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=1.0, max_value=800.0),
+           st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=50)
+    def test_yield_in_unit_interval(self, area, d0):
+        for model in (poisson_yield, murphy_yield,
+                      negative_binomial_yield):
+            y = model(area, d0)
+            assert 0.0 < y <= 1.0
+
+    @given(st.floats(min_value=1.0, max_value=400.0),
+           st.floats(min_value=0.05, max_value=0.5))
+    @settings(max_examples=50)
+    def test_model_ordering(self, area, d0):
+        # Poisson is the most pessimistic of the three.
+        assert poisson_yield(area, d0) <= murphy_yield(area, d0) + 1e-12
+        assert murphy_yield(area, d0) <= \
+            negative_binomial_yield(area, d0) + 1e-12
+
+    def test_yield_decreases_with_area(self):
+        assert murphy_yield(200, 0.25) < murphy_yield(50, 0.25)
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_yield(-1, 0.1)
+        with pytest.raises(ValueError):
+            negative_binomial_yield(100, 0.1, alpha=0)
+
+    def test_systematic_layer_loss(self):
+        base = 0.9
+        assert systematic_limited_yield(base, 0) == base
+        assert systematic_limited_yield(base, 10) < base
+        with pytest.raises(ValueError):
+            systematic_limited_yield(1.5, 2)
+
+
+class TestDiesPerWafer:
+    def test_small_die_many_dies(self):
+        assert dies_per_wafer(1.0) > 40000
+        assert dies_per_wafer(600.0) < 100
+
+    def test_monotone_in_area(self):
+        prev = float("inf")
+        for area in (10, 50, 100, 400):
+            n = dies_per_wafer(area)
+            assert n < prev
+            prev = n
+
+    def test_bad_area(self):
+        with pytest.raises(ValueError):
+            dies_per_wafer(0.0)
+
+
+class TestCostModels:
+    def test_wafer_cost_matches_book_at_typical_stack(self):
+        n = get_node("28nm")
+        assert wafer_cost(n) == pytest.approx(n.wafer_cost_usd, rel=0.01)
+
+    def test_fewer_layers_cheaper(self):
+        n = get_node("130nm")
+        assert wafer_cost(n, metal_layers=4) < \
+            wafer_cost(n, metal_layers=6)
+
+    def test_six_to_four_layer_saving_in_panel_band(self):
+        # Domic/E14: "moving from a 6-layer 130nm A&M/S process variant
+        # to a 4-layer slashes 15-20% from the cost."  Use a 6-layer-
+        # typical process variant, as the quote describes.
+        variant = dataclasses.replace(get_node("130nm"),
+                                      metal_layers_typical=6)
+        costs = layer_cost_model(variant, 50.0, [6, 4])
+        saving = 1 - costs[4].total_usd / costs[6].total_usd
+        assert 0.13 <= saving <= 0.22
+
+    def test_multi_patterned_nodes_pay_litho_premium(self):
+        n20 = get_node("20nm")
+        # Removing the same relaxed layer saves less than a critical
+        # multi-patterned layer would cost.
+        full = wafer_cost(n20)
+        assert full == pytest.approx(n20.wafer_cost_usd, rel=0.01)
+
+    def test_mask_set_scales_with_stack(self):
+        n = get_node("28nm")
+        assert mask_set_cost(n, metal_layers=12) > \
+            mask_set_cost(n, metal_layers=8)
+
+    def test_die_cost_breakdown_consistent(self):
+        n = get_node("28nm")
+        b = die_cost(n, 50.0, volume=1_000_000)
+        assert b.total_usd == pytest.approx(
+            b.die_cost_usd + b.amortized_mask_usd)
+        assert 0 < b.yield_fraction <= 1
+        assert "mm2" in b.summary()
+
+    def test_volume_amortizes_masks(self):
+        n = get_node("28nm")
+        low = die_cost(n, 50.0, volume=10_000)
+        high = die_cost(n, 50.0, volume=10_000_000)
+        assert low.amortized_mask_usd > high.amortized_mask_usd
+        assert low.die_cost_usd == pytest.approx(high.die_cost_usd)
+
+    def test_oversized_die_rejected(self):
+        with pytest.raises(ValueError):
+            die_cost(get_node("28nm"), 80000.0)
+
+    def test_bad_volume(self):
+        with pytest.raises(ValueError):
+            die_cost(get_node("28nm"), 50.0, volume=0)
+
+
+class TestNre:
+    def test_nre_grows_with_node_advancement(self):
+        costs = [design_cost(get_node(n), 5.0)
+                 for n in ("180nm", "65nm", "28nm", "7nm")]
+        assert costs == sorted(costs)
+
+    def test_design_efficiency_cuts_nre(self):
+        n = get_node("28nm")
+        brute = design_cost(n, 5.0, design_efficiency=1.0)
+        efficient = design_cost(n, 5.0, design_efficiency=0.5)
+        assert efficient < brute
+
+    def test_death_spiral_structure(self):
+        # High-volume wireless pays back brute force; a mid-volume
+        # product at 7nm does not, unless design efficiency bends it.
+        n7 = get_node("7nm")
+        wireless = death_spiral_index(n7, 50.0, unit_volume=300_000_000,
+                                      unit_margin_usd=4.0)
+        niche = death_spiral_index(n7, 50.0, unit_volume=2_000_000,
+                                   unit_margin_usd=4.0)
+        assert wireless < 1.0 < niche
+        rescued = death_spiral_index(n7, 50.0, unit_volume=2_000_000,
+                                     unit_margin_usd=4.0,
+                                     design_efficiency=0.05)
+        assert rescued < niche
+
+    def test_engineering_years_positive_and_validated(self):
+        model = NreModel()
+        assert model.engineering_years(get_node("28nm"), 10.0) > 0
+        with pytest.raises(ValueError):
+            model.engineering_years(get_node("28nm"), 0.0)
+
+    def test_death_spiral_validation(self):
+        with pytest.raises(ValueError):
+            death_spiral_index(get_node("28nm"), 5.0, unit_volume=0,
+                               unit_margin_usd=1.0)

@@ -1,0 +1,141 @@
+"""Tests for majority-inverter graphs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import random_aig
+from repro.synthesis.mig import (
+    MIG_FALSE,
+    MIG_TRUE,
+    Mig,
+    aig_adder,
+    lit_not,
+    mig_adder,
+    mig_from_aig,
+)
+
+
+class TestConstruction:
+    def test_omega_majority_rules(self):
+        g = Mig(2)
+        a, b = g.input_lit(0), g.input_lit(1)
+        assert g.maj_(a, a, b) == a
+        assert g.maj_(b, a, b) == b
+        assert g.maj_(a, lit_not(a), b) == b
+        assert g.maj_(b, lit_not(b), a) == a
+        assert g.num_majs == 0
+
+    def test_constant_absorption(self):
+        g = Mig(2)
+        a, b = g.input_lit(0), g.input_lit(1)
+        # AND and OR via constants both create one node each.
+        x = g.and_(a, b)
+        y = g.or_(a, b)
+        assert g.num_majs == 2
+        g.add_output(x)
+        g.add_output(y)
+        out = g.simulate_all()
+        for m in range(4):
+            av, bv = bool(m & 1), bool(m >> 1 & 1)
+            assert out[m, 0] == (av and bv)
+            assert out[m, 1] == (av or bv)
+
+    def test_strash_canonical_under_permutation(self):
+        g = Mig(3)
+        a, b, c = (g.input_lit(i) for i in range(3))
+        assert g.maj_(a, b, c) == g.maj_(c, a, b)
+        assert g.num_majs == 1
+
+    def test_inputs_before_majs(self):
+        g = Mig(2)
+        g.maj_(g.input_lit(0), g.input_lit(1), MIG_FALSE)
+        with pytest.raises(ValueError):
+            g.add_input("late")
+
+    def test_bad_literal(self):
+        g = Mig(1)
+        with pytest.raises(ValueError):
+            g.maj_(g.input_lit(0), 999, MIG_FALSE)
+
+
+class TestSemantics:
+    def test_majority_truth_table(self):
+        g = Mig(3)
+        a, b, c = (g.input_lit(i) for i in range(3))
+        g.add_output(g.maj_(a, b, c))
+        out = g.simulate_all()[:, 0]
+        for m in range(8):
+            bits = [(m >> i) & 1 for i in range(3)]
+            assert out[m] == (sum(bits) >= 2)
+
+    def test_xor_semantics(self):
+        g = Mig(2)
+        a, b = g.input_lit(0), g.input_lit(1)
+        g.add_output(g.xor_(a, b))
+        out = g.simulate_all()[:, 0]
+        assert list(out) == [False, True, True, False]
+
+    def test_constants(self):
+        g = Mig(1)
+        a = g.input_lit(0)
+        assert g.maj_(a, MIG_FALSE, MIG_FALSE) == MIG_FALSE
+        assert g.maj_(a, MIG_TRUE, MIG_TRUE) == MIG_TRUE
+
+    @given(st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=255),
+           st.integers(min_value=0, max_value=1))
+    @settings(max_examples=40)
+    def test_adder_correct(self, a, b, cin):
+        w = 8
+        mig = mig_adder(w)
+        vec = np.array([[(a >> i) & 1 for i in range(w)]
+                        + [(b >> i) & 1 for i in range(w)] + [cin]],
+                       dtype=bool)
+        out = mig.simulate(vec)[0]
+        got = sum(int(v) << i for i, v in enumerate(out))
+        assert got == a + b + cin
+
+
+class TestConversion:
+    def test_from_aig_preserves_semantics(self):
+        aig = random_aig(7, 120, 5, seed=11)
+        mig = mig_from_aig(aig)
+        assert np.array_equal(mig.simulate_all(), aig.simulate_all())
+
+    def test_from_aig_never_larger(self):
+        aig = random_aig(8, 200, 6, seed=13)
+        assert mig_from_aig(aig).num_majs <= aig.num_ands
+
+    def test_type_check(self):
+        with pytest.raises(TypeError):
+            mig_from_aig("nope")
+
+
+class TestDepthAndCleanup:
+    def test_adder_depth_advantage(self):
+        for w in (8, 16):
+            assert mig_adder(w).depth() < aig_adder(w).depth() / 2
+
+    def test_cleanup_drops_dead_nodes(self):
+        g = Mig(3)
+        a, b, c = (g.input_lit(i) for i in range(3))
+        live = g.maj_(a, b, c)
+        g.and_(a, c)  # dead
+        g.add_output(live)
+        assert g.num_majs == 2
+        h = g.cleanup()
+        assert h.num_majs == 1
+        assert np.array_equal(h.simulate_all(), g.simulate_all())
+
+    def test_levels_consistent(self):
+        g = mig_adder(4)
+        levels = g.levels()
+        assert max(levels) == g.depth()
+
+    def test_adder_validation(self):
+        with pytest.raises(ValueError):
+            mig_adder(0)
+        with pytest.raises(ValueError):
+            aig_adder(0)

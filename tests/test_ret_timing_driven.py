@@ -1,0 +1,113 @@
+"""Tests for SRAF insertion and timing-driven placement."""
+
+import numpy as np
+import pytest
+
+from repro.litho.ret import (
+    insert_srafs,
+    isolated_line_mask,
+    process_window,
+)
+from repro.netlist import build_library, logic_cloud
+from repro.place import global_place
+from repro.place.timing_driven import (
+    critical_path_length_um,
+    slack_weights,
+    timing_driven_place,
+)
+from repro.tech import get_node
+from repro.timing import TimingAnalyzer, WireModel
+
+
+class TestSraf:
+    def test_isolated_line_mask_geometry(self):
+        img = isolated_line_mask(60, field_nm=600)
+        assert img.any()
+        # One line: exactly two vertical edges.
+        occupied = img.any(axis=0)
+        assert np.abs(np.diff(occupied.astype(int))).sum() == 2
+        with pytest.raises(ValueError):
+            isolated_line_mask(0)
+
+    def test_srafs_added_beside_isolated_line(self):
+        img = isolated_line_mask(40, field_nm=600)
+        result = insert_srafs(img, 2.0)
+        assert result.assists_added == 2  # one per side
+        assert not result.assist_printed
+
+    def test_srafs_widen_process_window(self):
+        img = isolated_line_mask(40, field_nm=600)
+        raw = process_window(img, 2.0, epe_spec_nm=6.0)
+        result = insert_srafs(img, 2.0)
+        assisted = process_window(img, 2.0, mask=result.mask,
+                                  epe_spec_nm=6.0)
+        assert assisted > raw
+
+    def test_dense_pattern_gets_no_assists(self):
+        from repro.litho import dense_line_mask
+        dense = dense_line_mask(120, lines=6)
+        result = insert_srafs(dense, 2.0)
+        # Interior lines have neighbors; at most the two outermost
+        # edges are eligible.
+        assert result.assists_added <= 2
+
+    def test_assists_subresolution(self):
+        img = isolated_line_mask(40, field_nm=600)
+        result = insert_srafs(img, 2.0)
+        # The assist transmission is partial and narrower than the PSF,
+        # so it must not print.
+        assert not result.assist_printed
+
+    def test_process_window_bounds(self):
+        img = isolated_line_mask(80, field_nm=600)
+        pw = process_window(img, 2.0)
+        assert 0.0 <= pw <= 1.0
+
+
+class TestTimingDrivenPlacement:
+    @pytest.fixture(scope="class")
+    def design(self):
+        lib = build_library(get_node("28nm"))
+        return logic_cloud(16, 16, 400, lib, seed=3, locality=0.8)
+
+    def _delay(self, netlist, placement):
+        wm = WireModel.for_node(netlist.library.node,
+                                placement.net_lengths())
+        return TimingAnalyzer(netlist, wm).analyze().critical_delay_ps
+
+    def test_weights_in_range(self, design):
+        placement = global_place(design, seed=0, utilization=0.4)
+        weights = slack_weights(design, placement, max_weight=6.0)
+        assert weights
+        assert all(1.0 <= w <= 6.0 + 1e-9 for w in weights.values())
+
+    def test_critical_nets_get_heavier(self, design):
+        placement = global_place(design, seed=0, utilization=0.4)
+        weights = slack_weights(design, placement)
+        wm = WireModel.for_node(design.library.node,
+                                placement.net_lengths())
+        report = TimingAnalyzer(design, wm).analyze()
+        crit_gate = design.gates[report.critical_path[-1]]
+        crit_w = weights[crit_gate.output]
+        assert crit_w > np.median(list(weights.values()))
+
+    def test_timing_driven_shortens_critical_path(self, design):
+        base = global_place(design, seed=0, utilization=0.4)
+        td = timing_driven_place(design, seed=0, utilization=0.4)
+        assert self._delay(design, td) < self._delay(design, base)
+
+    def test_wirelength_cost_is_bounded(self, design):
+        base = global_place(design, seed=0, utilization=0.4)
+        td = timing_driven_place(design, seed=0, utilization=0.4)
+        assert td.total_hpwl() < base.total_hpwl() * 1.25
+
+    def test_critical_path_wire_contracts(self, design):
+        base = global_place(design, seed=0, utilization=0.4)
+        td = timing_driven_place(design, seed=0, utilization=0.4)
+        assert critical_path_length_um(design, td) < \
+            critical_path_length_um(design, base)
+
+    def test_weight_validation(self, design):
+        placement = global_place(design, seed=0, utilization=0.4)
+        with pytest.raises(ValueError):
+            slack_weights(design, placement, max_weight=0.5)

@@ -1,0 +1,162 @@
+"""Tests for retiming and event-driven simulation."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import Netlist, build_library, logic_cloud
+from repro.sim import EventSimulator, glitch_power_uw
+from repro.synthesis.retiming import RetimingGraph, unbalanced_ring_example
+from repro.tech import get_node
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(get_node("28nm"))
+
+
+class TestRetimingGraph:
+    def test_ring_example_period(self):
+        g = unbalanced_ring_example(4)
+        # One zero-register path through all stages.
+        assert g.clock_period() == pytest.approx(13.0)
+
+    def test_min_period_hits_slowest_stage(self):
+        g = unbalanced_ring_example(4, slow_delay=10.0, fast_delay=1.0)
+        period, labels = g.min_period()
+        assert period == pytest.approx(10.0)
+        retimed = g.apply(labels)
+        assert retimed.clock_period() == pytest.approx(10.0)
+
+    def test_retiming_preserves_cycle_registers(self):
+        g = unbalanced_ring_example(5)
+        _, labels = g.min_period()
+        retimed = g.apply(labels)
+        assert sum(w for _, _, w in retimed.edges) == \
+            sum(w for _, _, w in g.edges)
+
+    def test_retimed_weights_legal(self):
+        g = unbalanced_ring_example(6)
+        _, labels = g.min_period()
+        retimed = g.apply(labels)
+        assert all(w >= 0 for _, _, w in retimed.edges)
+
+    def test_infeasible_target_returns_none(self):
+        g = unbalanced_ring_example(3, slow_delay=10.0)
+        assert g.retime(5.0) is None
+
+    def test_already_feasible_target_trivial(self):
+        g = unbalanced_ring_example(3)
+        labels = g.retime(g.clock_period())
+        assert labels is not None
+        assert g.apply(labels).clock_period() <= g.clock_period()
+
+    def test_combinational_cycle_detected(self):
+        g = RetimingGraph()
+        g.add_node("a", 1.0)
+        g.add_node("b", 1.0)
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "a", 0)
+        with pytest.raises(ValueError, match="cycle"):
+            g.clock_period()
+
+    def test_validation(self):
+        g = RetimingGraph()
+        with pytest.raises(ValueError):
+            g.add_node("a", -1.0)
+        g.add_node("a", 1.0)
+        with pytest.raises(KeyError):
+            g.add_edge("a", "ghost", 1)
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a", -1)
+
+    def test_ring_size_validation(self):
+        with pytest.raises(ValueError):
+            unbalanced_ring_example(1)
+
+
+class TestEventSimulation:
+    def _glitch_circuit(self, lib, chain=4):
+        nl = Netlist("glitchy", lib)
+        a = nl.add_input("a")
+        net = a
+        for i in range(chain):
+            net = nl.add_gate("INV_X1_rvt", [net], f"d{i}").output
+        nl.add_gate("XOR2_X1_rvt", [a, net], "y")
+        nl.add_output("y")
+        return nl
+
+    def test_final_values_match_zero_delay(self, lib):
+        nl = logic_cloud(6, 6, 80, lib, seed=7)
+        sim = EventSimulator(nl)
+        rng = np.random.default_rng(0)
+        before = {p: bool(rng.integers(0, 2))
+                  for p in nl.primary_inputs}
+        after = {p: bool(rng.integers(0, 2)) for p in nl.primary_inputs}
+        trace = sim.simulate_transition(before, after)
+        vec = np.array([[after[p] for p in nl.primary_inputs]],
+                       dtype=bool)
+        golden = nl.simulate(vec)[0]
+        for k, po in enumerate(nl.primary_outputs):
+            assert trace.final_value(po) == golden[k]
+
+    def test_unbalanced_xor_glitches(self, lib):
+        nl = self._glitch_circuit(lib)
+        sim = EventSimulator(nl)
+        trace = sim.simulate_transition({"a": False}, {"a": True})
+        # y must end where it started (a ^ a = 0) but pulse in between.
+        assert trace.final_value("y") is False
+        assert trace.glitches("y") >= 2
+
+    def test_longer_skew_wider_pulse(self, lib):
+        short = self._glitch_circuit(lib, chain=2)
+        long = self._glitch_circuit(lib, chain=8)
+        t_short = EventSimulator(short).simulate_transition(
+            {"a": False}, {"a": True})
+        t_long = EventSimulator(long).simulate_transition(
+            {"a": False}, {"a": True})
+        assert t_long.settle_time_ps > t_short.settle_time_ps
+
+    def test_no_input_change_no_events(self, lib):
+        nl = self._glitch_circuit(lib)
+        trace = EventSimulator(nl).simulate_transition(
+            {"a": True}, {"a": True})
+        assert trace.total_transitions() == 0
+        assert trace.total_glitches() == 0
+
+    def test_glitch_power_positive_only_with_glitches(self, lib):
+        nl = self._glitch_circuit(lib)
+        sim = EventSimulator(nl)
+        glitchy = sim.simulate_transition({"a": False}, {"a": True})
+        quiet = sim.simulate_transition({"a": True}, {"a": True})
+        assert glitch_power_uw(nl, glitchy) > 0
+        assert glitch_power_uw(nl, quiet) == 0
+
+    def test_missing_input_rejected(self, lib):
+        nl = self._glitch_circuit(lib)
+        with pytest.raises(ValueError, match="missing"):
+            EventSimulator(nl).simulate_transition({}, {"a": True})
+
+    def test_inertial_filters_subthreshold_pulses(self, lib):
+        # A pulse narrower than the driven gate's delay must vanish
+        # under inertial filtering.  Build a near-balanced XOR whose
+        # skew is one inverter delay.
+        nl = Netlist("narrow", lib)
+        a = nl.add_input("a")
+        d1 = nl.add_gate("INV_X4_rvt", [a], "d1").output
+        d2 = nl.add_gate("INV_X4_rvt", [d1], "d2").output
+        nl.add_gate("XOR2_X1_rvt", [a, d2], "y")
+        nl.add_output("y")
+        transport = EventSimulator(nl).simulate_transition(
+            {"a": False}, {"a": True})
+        inertial = EventSimulator(nl, inertial=True).simulate_transition(
+            {"a": False}, {"a": True})
+        assert inertial.total_glitches() <= transport.total_glitches()
+
+    def test_glitches_cost_real_power(self, lib):
+        """The power-integrity story: glitch power is material on
+        skewed logic and absent on a balanced buffer chain."""
+        nl = self._glitch_circuit(lib, chain=6)
+        sim = EventSimulator(nl)
+        trace = sim.simulate_transition({"a": False}, {"a": True})
+        uw = glitch_power_uw(nl, trace, freq_ghz=1.0)
+        assert uw > 0.01

@@ -1,0 +1,223 @@
+"""Tests for routing: grid, maze, line-search, global route, layers."""
+
+import numpy as np
+import pytest
+
+from repro.netlist import build_library, logic_cloud
+from repro.place import global_place
+from repro.route import (
+    RoutingGrid,
+    assign_layers,
+    line_search_route,
+    maze_route,
+    route_placement,
+)
+from repro.route.layers import minimum_layers
+from repro.route.linesearch import count_probe_cells
+from repro.tech import get_node
+
+
+def small_grid(cap=4):
+    return RoutingGrid(8, 8, h_capacity=cap, v_capacity=cap)
+
+
+class TestRoutingGrid:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoutingGrid(1, 8, h_capacity=1, v_capacity=1)
+        with pytest.raises(ValueError):
+            RoutingGrid(4, 4, h_capacity=0, v_capacity=1)
+
+    def test_edge_between(self):
+        g = small_grid()
+        assert g.edge_between((0, 0), (1, 0)) == ("h", 0, 0)
+        assert g.edge_between((3, 2), (3, 3)) == ("v", 2, 3)
+        with pytest.raises(ValueError):
+            g.edge_between((0, 0), (2, 0))
+
+    def test_add_and_rip_path(self):
+        g = small_grid()
+        path = [(0, 0), (1, 0), (1, 1)]
+        g.add_path(path)
+        assert g.wirelength() == 2
+        g.add_path(path, delta=-1)
+        assert g.wirelength() == 0
+
+    def test_overflow_accounting(self):
+        g = small_grid(cap=1)
+        path = [(0, 0), (1, 0)]
+        g.add_path(path)
+        assert g.total_overflow() == 0
+        g.add_path(path)
+        assert g.total_overflow() == 1
+        assert g.max_utilization() == 2.0
+
+    def test_edge_cost_rises_with_congestion(self):
+        g = small_grid(cap=1)
+        edge = ("h", 0, 0)
+        base = g.edge_cost(edge)
+        g.add_path([(0, 0), (1, 0)])
+        assert g.edge_cost(edge) > base
+
+    def test_for_die_scales_capacity_with_layers(self):
+        node = get_node("28nm")
+        g4 = RoutingGrid.for_die(100, 100, node, layers=4)
+        g8 = RoutingGrid.for_die(100, 100, node, layers=8)
+        assert g8.h_capacity > g4.h_capacity
+        assert g8.v_capacity > g4.v_capacity
+
+    def test_congestion_map_shape(self):
+        g = small_grid()
+        g.add_path([(0, 0), (1, 0), (1, 1)])
+        assert g.congestion_map().shape == (8, 8)
+
+
+class TestMazeRoute:
+    def test_straight_path(self):
+        g = small_grid()
+        path = maze_route(g, (0, 0), (5, 0))
+        assert path[0] == (0, 0) and path[-1] == (5, 0)
+        assert len(path) == 6
+
+    def test_manhattan_optimal_when_empty(self):
+        g = small_grid()
+        path = maze_route(g, (1, 1), (6, 5))
+        assert len(path) - 1 == 5 + 4
+
+    def test_avoids_congestion(self):
+        g = small_grid(cap=1)
+        # Fill the direct corridor.
+        for y in (0,):
+            for x in range(7):
+                g.add_path([(x, y), (x + 1, y)])
+        path = maze_route(g, (0, 0), (7, 0))
+        # Must detour off row 0 somewhere.
+        assert any(cell[1] != 0 for cell in path)
+
+    def test_same_cell(self):
+        g = small_grid()
+        assert maze_route(g, (2, 2), (2, 2)) == [(2, 2)]
+
+    def test_outside_grid_rejected(self):
+        g = small_grid()
+        with pytest.raises(ValueError):
+            maze_route(g, (0, 0), (99, 0))
+
+    def test_budget_exhaustion_returns_none(self):
+        g = small_grid()
+        assert maze_route(g, (0, 0), (7, 7), max_expansions=2) is None
+
+
+class TestLineSearch:
+    def test_l_shaped_path(self):
+        g = small_grid()
+        path = line_search_route(g, (0, 0), (5, 4))
+        assert path is not None
+        assert path[0] == (0, 0) and path[-1] == (5, 4)
+        # Unit steps only.
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    def test_same_cell(self):
+        g = small_grid()
+        assert line_search_route(g, (3, 3), (3, 3)) == [(3, 3)]
+
+    def test_blocked_returns_none_or_detour(self):
+        g = small_grid(cap=1)
+        # Wall of full vertical edges across the middle column pair.
+        for y in range(7):
+            for x in range(8):
+                g.v_usage[y, x] = 1
+        for y in range(8):
+            g.h_usage[y, 3] = 1
+        path = line_search_route(g, (0, 0), (7, 0))
+        assert path is None  # fully walled
+
+    def test_probe_cell_count_less_than_grid(self):
+        g = RoutingGrid(30, 30, h_capacity=4, v_capacity=4)
+        probes = count_probe_cells(g, (3, 3), (25, 20))
+        assert probes < 30 * 30 / 2  # line probes touch far fewer cells
+
+
+class TestGlobalRouting:
+    @pytest.fixture(scope="class")
+    def placed(self):
+        lib = build_library(get_node("28nm"))
+        nl = logic_cloud(16, 16, 400, lib, seed=1, locality=0.9)
+        return global_place(nl, seed=0, utilization=0.35)
+
+    def test_routes_all_nets(self, placed):
+        result = route_placement(placed, gcell_um=2.0)
+        assert not result.failed
+        assert result.wirelength > 0
+        assert result.paths
+
+    def test_line_search_engine_runs(self, placed):
+        result = route_placement(placed, engine="line_search",
+                                 gcell_um=2.0)
+        assert not result.failed
+
+    def test_rip_up_reduces_overflow(self, placed):
+        one = route_placement(placed, gcell_um=2.0, max_iterations=1)
+        many = route_placement(placed, gcell_um=2.0, max_iterations=5)
+        assert many.overflow <= one.overflow
+
+    def test_more_layers_less_overflow(self, placed):
+        few = route_placement(placed, gcell_um=2.0, layers=2)
+        lots = route_placement(placed, gcell_um=2.0, layers=8)
+        assert lots.overflow <= few.overflow
+
+    def test_bad_engine_rejected(self, placed):
+        from repro.route import GlobalRouter
+        with pytest.raises(ValueError):
+            GlobalRouter(placed, engine="quantum")
+
+    def test_net_lengths_reported(self, placed):
+        result = route_placement(placed, gcell_um=2.0)
+        lengths = result.net_lengths_gcells()
+        assert lengths
+        assert all(v >= 1 for v in lengths.values())
+
+    def test_summary(self, placed):
+        result = route_placement(placed, gcell_um=2.0)
+        assert "wl=" in result.summary()
+
+
+class TestLayerAssignment:
+    def test_waterfill_conserves_demand(self):
+        g = small_grid(cap=8)
+        for _ in range(5):
+            g.add_path([(0, 0), (1, 0), (1, 1), (2, 1)])
+        la = assign_layers(g, 4, per_layer_capacity=2)
+        assert la.h_layer_usage.sum() + la.v_layer_usage.sum() + \
+            la.overflow == g.h_usage.sum() + g.v_usage.sum()
+
+    def test_infeasible_when_too_few_layers(self):
+        g = small_grid(cap=16)
+        for _ in range(10):
+            g.add_path([(0, 0), (1, 0)])
+        la = assign_layers(g, 2, per_layer_capacity=4)
+        assert not la.feasible
+        la8 = assign_layers(g, 8, per_layer_capacity=4)
+        assert la8.feasible
+
+    def test_utilization_per_layer_ordering(self):
+        g = small_grid(cap=8)
+        for _ in range(6):
+            g.add_path([(0, 0), (1, 0)])
+        la = assign_layers(g, 4, per_layer_capacity=4)
+        utils = la.utilization_per_layer()
+        assert len(utils) == 4
+        assert la.peak_utilization() <= 1.0
+
+    def test_minimum_layers_monotone_with_density(self):
+        lib = build_library(get_node("28nm"))
+        sparse_nl = logic_cloud(8, 8, 100, lib, seed=2, locality=0.95)
+        sparse_pl = global_place(sparse_nl, seed=0, utilization=0.25)
+        min_sparse = minimum_layers(sparse_pl, max_layers=10)
+        assert 2 <= min_sparse <= 11
+
+    def test_bad_layer_count(self):
+        g = small_grid()
+        with pytest.raises(ValueError):
+            assign_layers(g, 1)

@@ -1,0 +1,173 @@
+"""Tests for the SAT solver, SAT-based EC, and logic BIST."""
+
+import numpy as np
+import pytest
+
+from repro.dft.bist import BistResult, lfsr_patterns, run_bist, signature_detects
+from repro.dft.compression import Lfsr
+from repro.dft.faults import Fault
+from repro.netlist import build_library, logic_cloud, random_aig, registered_cloud
+from repro.synthesis import map_aig, trivial_map
+from repro.synthesis.bdd import check_equivalence
+from repro.synthesis.sat import Cnf, SatSolver, sat_check_equivalence, tseitin_netlist
+from repro.tech import get_node
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(get_node("28nm"), vt_flavors=("lvt", "rvt",
+                                                       "hvt"))
+
+
+class TestSatSolver:
+    def test_simple_sat(self):
+        cnf = Cnf()
+        a, b = cnf.new_var(), cnf.new_var()
+        cnf.add_clause(a, b)
+        cnf.add_clause(-a, b)
+        model = SatSolver(cnf).solve()
+        assert model is not None
+        assert model[b] is True or model[a] is True
+
+    def test_simple_unsat(self):
+        cnf = Cnf()
+        a = cnf.new_var()
+        cnf.add_clause(a)
+        cnf.add_clause(-a)
+        assert SatSolver(cnf).solve() is None
+
+    def test_model_satisfies_all_clauses(self):
+        rng = np.random.default_rng(3)
+        cnf = Cnf()
+        for _ in range(8):
+            cnf.new_var()
+        for _ in range(25):
+            clause = []
+            for _ in range(3):
+                v = int(rng.integers(1, 9))
+                clause.append(v if rng.random() < 0.5 else -v)
+            cnf.add_clause(*clause)
+        model = SatSolver(cnf).solve()
+        if model is not None:
+            for clause in cnf.clauses:
+                assert any(
+                    (lit > 0) == model.get(abs(lit), False)
+                    for lit in clause)
+
+    def test_pigeonhole_unsat(self):
+        # 3 pigeons, 2 holes: classic small UNSAT instance.
+        cnf = Cnf()
+        p = [[cnf.new_var() for _ in range(2)] for _ in range(3)]
+        for bird in p:
+            cnf.add_clause(*bird)
+        for hole in range(2):
+            for i in range(3):
+                for j in range(i + 1, 3):
+                    cnf.add_clause(-p[i][hole], -p[j][hole])
+        assert SatSolver(cnf).solve() is None
+
+    def test_clause_validation(self):
+        cnf = Cnf()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add_clause()
+        with pytest.raises(ValueError):
+            cnf.add_clause(5)
+
+
+class TestSatEquivalence:
+    def test_agrees_with_bdd_on_equivalent(self, lib):
+        aig = random_aig(8, 100, 4, seed=21)
+        n1 = map_aig(aig, lib)
+        n2 = trivial_map(aig, lib)
+        assert sat_check_equivalence(n1, n2)["equivalent"]
+        assert check_equivalence(n1, n2)["equivalent"]
+
+    def test_agrees_with_bdd_on_buggy(self, lib):
+        aig = random_aig(8, 100, 4, seed=23)
+        n1 = map_aig(aig, lib)
+        n2 = trivial_map(aig, lib)
+        for g in n2.combinational_gates():
+            if g.cell.name.startswith("AND2"):
+                g.cell = lib["NAND2_X1_rvt"]
+                break
+        sat_rep = sat_check_equivalence(n1, n2)
+        bdd_rep = check_equivalence(n1, n2)
+        assert not sat_rep["equivalent"]
+        assert not bdd_rep["equivalent"]
+        # The SAT counterexample must really distinguish them.
+        cex = sat_rep["counterexample"]
+        vec = np.array([[cex[p] for p in n1.primary_inputs]],
+                       dtype=bool)
+        assert not np.array_equal(n1.simulate(vec), n2.simulate(vec))
+
+    def test_tseitin_encoding_consistent(self, lib):
+        nl = logic_cloud(6, 4, 60, lib, seed=5)
+        cnf = Cnf()
+        var_of = tseitin_netlist(nl, cnf)
+        model = SatSolver(cnf).solve()
+        assert model is not None
+        # The model must agree with real simulation of those inputs.
+        vec = np.array([[model.get(var_of[p], False)
+                         for p in nl.primary_inputs]], dtype=bool)
+        out = nl.simulate(vec)[0]
+        for k, po in enumerate(nl.primary_outputs):
+            assert model.get(var_of[po], False) == bool(out[k])
+
+    def test_sequential_rejected(self, lib):
+        nl = registered_cloud(4, 4, 30, lib, seed=1)
+        cnf = Cnf()
+        with pytest.raises(ValueError):
+            tseitin_netlist(nl, cnf)
+
+    def test_interface_mismatch(self, lib):
+        a = logic_cloud(4, 4, 30, lib, seed=1)
+        b = logic_cloud(5, 4, 30, lib, seed=1)
+        with pytest.raises(ValueError):
+            sat_check_equivalence(a, b)
+
+
+class TestBist:
+    def test_lfsr_patterns_shape_and_variety(self):
+        pats = lfsr_patterns(Lfsr(16), 32, 8)
+        assert pats.shape == (32, 8)
+        assert len({tuple(int(b) for b in row) for row in pats}) > 16
+
+    def test_bist_coverage_reasonable(self, lib):
+        nl = registered_cloud(8, 16, 120, lib, seed=9)
+        result = run_bist(nl, patterns=96)
+        assert 0.3 <= result.coverage <= 1.0
+        assert result.detected <= result.total_faults
+        assert result.golden_signature != 0
+
+    def test_more_patterns_more_coverage(self, lib):
+        nl = registered_cloud(8, 16, 120, lib, seed=9)
+        few = run_bist(nl, patterns=16)
+        many = run_bist(nl, patterns=128)
+        assert many.coverage >= few.coverage - 1e-9
+
+    def test_signature_deterministic(self, lib):
+        nl = logic_cloud(8, 6, 80, lib, seed=11)
+        a = run_bist(nl, patterns=64)
+        b = run_bist(nl, patterns=64)
+        assert a.golden_signature == b.golden_signature
+
+    def test_signature_flags_observable_fault(self, lib):
+        nl = logic_cloud(8, 6, 80, lib, seed=13)
+        # A fault right on an output is surely observable.
+        po = nl.primary_outputs[0]
+        assert signature_detects(nl, Fault(po, 0)) or \
+            signature_detects(nl, Fault(po, 1))
+
+    def test_escape_risk_monotone_in_coverage(self):
+        hi = BistResult(64, 0.95, 1, 24, 95, 100)
+        lo = BistResult(64, 0.60, 1, 24, 60, 100)
+        assert hi.escape_risk < lo.escape_risk
+
+    def test_validation(self, lib):
+        from repro.netlist import Netlist
+        empty = Netlist("t", lib)
+        with pytest.raises(ValueError):
+            run_bist(empty)
+        with pytest.raises(ValueError):
+            lfsr_patterns(Lfsr(8), 0, 4)

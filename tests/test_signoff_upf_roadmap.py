@@ -1,0 +1,139 @@
+"""Tests for multi-corner signoff, UPF I/O, and roadmap projection."""
+
+import pytest
+
+from repro.core.signoff import (
+    PROCESS_CORNERS,
+    signoff,
+    signoff_frequency_ghz,
+)
+from repro.market.roadmap import (
+    cost_scaling_stalls,
+    density_doubling_years,
+    project_roadmap,
+)
+from repro.netlist import build_library, logic_cloud
+from repro.power.intent import PowerDomain, PowerIntent, scores_of_domains_intent
+from repro.power.upf import read_upf, write_upf
+from repro.tech import get_node
+
+
+@pytest.fixture(scope="module")
+def design():
+    lib = build_library(get_node("28nm"))
+    return logic_cloud(8, 8, 150, lib, seed=1)
+
+
+class TestSignoff:
+    def test_corner_count(self, design):
+        report = signoff(design, clock_period_ps=5000.0)
+        assert len(report.corners) == 9  # 3 process x 3 temps
+
+    def test_slow_hot_is_worst_for_timing(self, design):
+        report = signoff(design, clock_period_ps=5000.0)
+        worst = report.worst_corner()
+        assert worst.corner == "ss"
+        assert worst.temp_c == max(c.temp_c for c in report.corners)
+
+    def test_leakage_explodes_with_temperature(self, design):
+        report = signoff(design, clock_period_ps=5000.0)
+        lo, hi = report.leakage_range_uw()
+        assert hi > lo * 8  # 0C -> 125C spans ~2^5 in leakage
+
+    def test_clean_iff_every_corner_clean(self, design):
+        loose = signoff(design, clock_period_ps=100_000.0)
+        assert loose.clean
+        tight = signoff(design, clock_period_ps=1.0)
+        assert not tight.clean
+
+    def test_signoff_frequency_consistent(self, design):
+        f = signoff_frequency_ghz(design)
+        period = 1000.0 / f
+        assert signoff(design, clock_period_ps=period * 1.001).clean
+        assert not signoff(design, clock_period_ps=period * 0.9).clean
+
+    def test_unknown_corner_rejected(self, design):
+        with pytest.raises(ValueError):
+            signoff(design, clock_period_ps=1000.0, corners=("xx",))
+
+    def test_rows_render(self, design):
+        rows = signoff(design, clock_period_ps=5000.0).to_rows()
+        assert len(rows) == 9
+        assert all("ps" in r for r in rows)
+
+    def test_corner_table_sane(self):
+        assert PROCESS_CORNERS["ss"] > PROCESS_CORNERS["tt"] > \
+            PROCESS_CORNERS["ff"]
+
+
+class TestUpf:
+    def test_roundtrip(self):
+        intent = scores_of_domains_intent(8)
+        intent.auto_protect()
+        back = read_upf(write_upf(intent))
+        assert set(back.domains) == set(intent.domains)
+        assert back.crossings == intent.crossings
+        assert back.isolation == intent.isolation
+        assert back.level_shifters == intent.level_shifters
+        assert back.check() == []
+
+    def test_roundtrip_preserves_violations(self):
+        intent = PowerIntent()
+        intent.add_domain(PowerDomain("cpu", 0.9, switchable=True))
+        intent.add_domain(PowerDomain("aon", 0.9, always_on=True))
+        intent.connect("cpu", "aon")
+        back = read_upf(write_upf(intent))
+        assert len(back.check()) == 1
+
+    def test_format_keywords(self):
+        intent = PowerIntent()
+        intent.add_domain(PowerDomain("pd", 1.2, switchable=True))
+        text = write_upf(intent)
+        assert "create_power_domain pd -vdd 1.2 -switchable" in text
+
+    def test_parse_errors(self):
+        with pytest.raises(ValueError, match="unknown command"):
+            read_upf("destroy_everything now\n")
+        with pytest.raises(ValueError, match="-vdd"):
+            read_upf("create_power_domain pd -switchable\n")
+        with pytest.raises(ValueError, match="expected option"):
+            read_upf("create_power_domain pd vdd 1.0\n")
+
+    def test_comments_and_blanks_ignored(self):
+        text = ("# power intent\n\n"
+                "create_power_domain pd -vdd 1.0  # inline\n")
+        intent = read_upf(text)
+        assert "pd" in intent.domains
+
+
+class TestRoadmap:
+    def test_projection_extends_table(self):
+        points = project_roadmap(3)
+        projected = [p for p in points if p.projected]
+        assert len(projected) == 3
+        assert projected[0].node.drawn_nm < get_node("5nm").drawn_nm
+
+    def test_density_keeps_rising(self):
+        points = project_roadmap(3)
+        densities = [p.node.density_mtr_per_mm2 for p in points]
+        assert all(a < b for a, b in zip(densities, densities[1:]))
+
+    def test_cost_per_transistor_fell_through_28nm(self):
+        points = project_roadmap(0)
+        by_name = {p.node.name: p for p in points}
+        assert by_name["28nm"].cost_per_mtr < \
+            by_name["90nm"].cost_per_mtr / 5
+
+    def test_cost_scaling_eventually_stalls(self):
+        # Project far enough and wafer-cost growth beats the shrink.
+        points = project_roadmap(6, shrink=0.85)
+        assert cost_scaling_stalls(points) is not None
+
+    def test_density_doubling_cadence(self):
+        points = project_roadmap(0)
+        years = density_doubling_years(points)
+        assert 1.0 <= years <= 3.5   # Moore-ish cadence
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            project_roadmap(-1)

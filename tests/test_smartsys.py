@@ -1,0 +1,169 @@
+"""Tests for smart-system components, packaging, energy, co-design."""
+
+import pytest
+
+from repro.smartsys import (
+    COMPONENT_CATALOG,
+    Component,
+    ComponentKind,
+    SystemSpec,
+    catalog_variants,
+    codesign_flow,
+    plan_package,
+    separate_tools_flow,
+    simulate_energy,
+)
+
+
+def pick(name):
+    return next(c for c in COMPONENT_CATALOG if c.name == name)
+
+
+class TestComponents:
+    def test_catalog_covers_all_kinds(self):
+        kinds = {c.kind for c in COMPONENT_CATALOG}
+        for required in (ComponentKind.SENSOR, ComponentKind.ADC,
+                         ComponentKind.MCU, ComponentKind.RADIO,
+                         ComponentKind.PMU, ComponentKind.BATTERY,
+                         ComponentKind.HARVESTER):
+            assert required in kinds
+
+    def test_catalog_has_variants_per_kind(self):
+        assert len(catalog_variants(ComponentKind.MCU)) >= 3
+        assert len(catalog_variants(ComponentKind.RADIO)) >= 3
+
+    def test_heterogeneous_technologies(self):
+        techs = {c.tech for c in COMPONENT_CATALOG}
+        assert "mems" in techs
+        assert any(t.startswith("cmos") for t in techs)
+        assert len(techs) >= 4  # genuinely multi-domain (Macii)
+
+    def test_component_validation(self):
+        with pytest.raises(ValueError):
+            Component("bad", ComponentKind.MCU, "cmos", -1, 0, 1, 1)
+        with pytest.raises(ValueError):
+            Component("bad", ComponentKind.MCU, "cmos", 1, 0, 0, 1)
+
+
+class TestPackaging:
+    def test_soc_requires_single_domain(self):
+        mixed = [pick("accel_lp"), pick("mcu_m3_55")]
+        with pytest.raises(ValueError, match="impossible"):
+            plan_package(mixed, style="soc")
+
+    def test_soc_legal_for_single_domain(self):
+        same = [pick("mcu_m3_55"), pick("dsp_lite"), pick("adc_sar12")]
+        plan = plan_package(same, style="soc")
+        assert plan.style == "soc"
+        assert plan.tsv_count == 0
+
+    def test_sip_fits_mixed_domains(self):
+        mixed = [pick("accel_lp"), pick("mcu_m3_55"), pick("ble_radio")]
+        plan = plan_package(mixed, style="sip_2d")
+        assert plan.footprint_mm2 > sum(c.area_mm2 for c in mixed)
+        assert plan.bond_wires > 0
+
+    def test_3d_stack_smaller_footprint_higher_cost(self):
+        mixed = [pick("accel_hi"), pick("mcu_m4_28"),
+                 pick("multi_radio"), pick("env_combo")]
+        sip = plan_package(mixed, style="sip_2d")
+        stack = plan_package(mixed, style="stack_3d")
+        assert stack.footprint_mm2 < sip.footprint_mm2
+        assert stack.package_cost_usd > sip.package_cost_usd
+        assert stack.tsv_count > 0
+
+    def test_auto_picks_soc_for_single_domain(self):
+        same = [pick("mcu_m3_55"), pick("dsp_lite")]
+        assert plan_package(same).style == "soc"
+
+    def test_batteries_ride_outside_the_package(self):
+        comps = [pick("mcu_m3_55"), pick("dsp_lite"), pick("lipo_small")]
+        plan = plan_package(comps)
+        assert "lipo_small" not in plan.dies
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            plan_package([])
+        with pytest.raises(ValueError):
+            plan_package([pick("coin_cell")])
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            plan_package([pick("mcu_m3_55")], style="vacuum_tube")
+
+
+class TestEnergy:
+    def _system(self, battery="lipo_small", harvester="none_harv"):
+        return [pick("accel_lp"), pick("adc_sar10"), pick("mcu_m0_180"),
+                pick("ble_radio"), pick("pmu_buck"), pick(battery),
+                pick(harvester)]
+
+    def test_duty_cycle_drives_average(self):
+        lo = simulate_energy(self._system(), duty_cycle=0.005)
+        hi = simulate_energy(self._system(), duty_cycle=0.2)
+        assert hi.average_mw > lo.average_mw
+
+    def test_battery_life_scales_with_capacity(self):
+        small = simulate_energy(self._system(battery="coin_cell"))
+        big = simulate_energy(self._system(battery="lipo_small"))
+        assert big.battery_life_hours > small.battery_life_hours
+
+    def test_harvesting_can_reach_autonomy(self):
+        harvested = simulate_energy(
+            self._system(harvester="solar_cm2"), duty_cycle=0.002)
+        assert harvested.energy_autonomous
+
+    def test_buck_beats_ldo(self):
+        with_buck = simulate_energy(self._system())
+        with_ldo = simulate_energy(
+            [pick("accel_lp"), pick("adc_sar10"), pick("mcu_m0_180"),
+             pick("ble_radio"), pick("pmu_ldo"), pick("lipo_small"),
+             pick("none_harv")])
+        assert with_buck.average_mw < with_ldo.average_mw
+
+    def test_bad_duty_cycle(self):
+        with pytest.raises(ValueError):
+            simulate_energy(self._system(), duty_cycle=0.0)
+
+    def test_summary_mentions_battery(self):
+        assert "battery" in simulate_energy(self._system()).summary()
+
+
+class TestCodesign:
+    def test_codesign_beats_separate_tools(self):
+        # E6: cost down, time-to-market shortened.
+        spec = SystemSpec()
+        separate = separate_tools_flow(spec)
+        joint = codesign_flow(spec)
+        assert joint.met_spec
+        assert joint.time_to_market_weeks < separate.time_to_market_weeks
+        assert joint.engineering_cost_usd < separate.engineering_cost_usd
+        if separate.met_spec:
+            assert joint.unit_cost_usd <= separate.unit_cost_usd + 1e-9
+
+    def test_separate_tools_pays_handoff_iterations(self):
+        outcome = separate_tools_flow(SystemSpec())
+        assert outcome.iterations >= 2  # at least one re-entry
+
+    def test_codesign_explores_more(self):
+        spec = SystemSpec()
+        separate = separate_tools_flow(spec)
+        joint = codesign_flow(spec)
+        assert joint.evaluations > separate.evaluations * 10
+
+    def test_infeasible_spec_reported(self):
+        spec = SystemSpec(min_battery_hours=1e9,
+                          max_unit_cost_usd=0.5)
+        joint = codesign_flow(spec)
+        assert not joint.met_spec
+        assert joint.violations
+
+    def test_tight_cost_spec_still_solvable_jointly(self):
+        spec = SystemSpec(max_unit_cost_usd=4.5)
+        joint = codesign_flow(spec)
+        assert joint.met_spec
+        assert joint.unit_cost_usd <= 4.5
+
+    def test_outcome_summary(self):
+        out = codesign_flow(SystemSpec())
+        assert "codesign" in out.summary()

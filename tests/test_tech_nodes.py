@@ -1,0 +1,241 @@
+"""Tests for the technology-node table and scaling laws."""
+
+import math
+
+import pytest
+
+from repro.tech import (
+    NODES,
+    NODE_NAMES,
+    LithoRegime,
+    SINGLE_PATTERN_PITCH_NM,
+    TechNode,
+    colors_required,
+    dennard_power_density,
+    density_gain,
+    emerging_nodes,
+    established_nodes,
+    get_node,
+    integration_capacity_ratio,
+    masks_for_pitch,
+    nodes_between,
+    patterning_for_pitch,
+    scale_node,
+)
+from repro.tech.node import interpolate_vdd, speed_power_product
+from repro.tech.patterning import mask_layer_cost_multiplier
+from repro.tech.scaling import moore_doublings, node_cadence_months
+
+
+class TestNodeTable:
+    def test_all_canonical_nodes_present(self):
+        for name in ["250nm", "180nm", "130nm", "90nm", "65nm", "45nm",
+                     "32nm", "28nm", "20nm", "16nm", "14nm", "10nm",
+                     "7nm", "5nm"]:
+            assert name in NODES
+
+    def test_get_node_accepts_bare_size(self):
+        assert get_node("28").name == "28nm"
+        assert get_node("28nm").name == "28nm"
+
+    def test_get_node_unknown_raises_with_catalog(self):
+        with pytest.raises(KeyError, match="28nm"):
+            get_node("31nm")
+
+    def test_nodes_ordered_oldest_first(self):
+        sizes = [NODES[n].drawn_nm for n in NODE_NAMES]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_years_monotonic(self):
+        years = [NODES[n].year for n in NODE_NAMES]
+        assert years == sorted(years)
+
+    def test_vdd_monotonically_nonincreasing(self):
+        vdds = [NODES[n].vdd for n in NODE_NAMES]
+        assert all(a >= b for a, b in zip(vdds, vdds[1:]))
+
+    def test_density_monotonically_increasing(self):
+        d = [NODES[n].density_mtr_per_mm2 for n in NODE_NAMES]
+        assert all(a < b for a, b in zip(d, d[1:]))
+
+    def test_wafer_and_mask_costs_increase(self):
+        w = [NODES[n].wafer_cost_usd for n in NODE_NAMES]
+        m = [NODES[n].mask_set_cost_usd for n in NODE_NAMES]
+        assert all(a <= b for a, b in zip(w, w[1:]))
+        assert all(a <= b for a, b in zip(m, m[1:]))
+
+    def test_established_emerging_partition(self):
+        est = established_nodes()
+        eme = emerging_nodes()
+        assert len(est) + len(eme) == len(NODES)
+        assert all(n.drawn_nm >= 28 for n in est)
+        assert all(n.drawn_nm < 28 for n in eme)
+        assert get_node("28nm").is_established
+        assert get_node("20nm").is_emerging
+
+    def test_nodes_between(self):
+        span = nodes_between("20nm", "90nm")
+        names = [n.name for n in span]
+        assert names[0] == "90nm" and names[-1] == "20nm"
+        assert "130nm" not in names and "14nm" not in names
+
+    def test_nodes_between_rejects_swapped_order(self):
+        with pytest.raises(ValueError):
+            nodes_between("90nm", "20nm")
+
+
+class TestPanelAnchors:
+    """The specific numbers the panel quotes must hold in the model."""
+
+    def test_integration_capacity_two_orders_90nm_to_10nm(self):
+        # Abstract: "integration capacity has increased by two orders of
+        # magnitude" between 90 nm (ten years before) and 10 nm.
+        ratio = integration_capacity_ratio("90nm", "10nm")
+        assert 60 <= ratio <= 150
+
+    def test_single_patterning_limit_is_80nm(self):
+        # Domic: "minimum single-patterning pitch of approximately 80nm".
+        assert SINGLE_PATTERN_PITCH_NM == 80.0
+        assert colors_required(81) == 1
+        assert colors_required(80) == 1
+        assert colors_required(79) == 2
+
+    def test_20nm_node_first_to_need_double_patterning(self):
+        # Domic: "starting at 20 nanometers, it has become impossible to
+        # draw the copper interconnects without double patterning".
+        for name in ["28nm", "32nm", "45nm", "65nm"]:
+            assert NODES[name].litho is LithoRegime.SINGLE
+        assert NODES["20nm"].litho.mask_multiplier >= 2
+
+    def test_5nm_without_euv_needs_octuple(self):
+        assert NODES["5nm"].litho is LithoRegime.OCTUPLE
+        assert NODES["5nm"].litho.mask_multiplier == 8
+
+    def test_leakage_explodes_through_130_90_65(self):
+        # The static-power crisis the panel dates to 130 nm: leakage per
+        # um rises orders of magnitude from 180 nm planar to 65 nm.
+        i180 = get_node("180nm").ileak_na_per_um
+        i65 = get_node("65nm").ileak_na_per_um
+        assert i65 / i180 > 50
+
+    def test_finfet_reduces_leakage_vs_20nm_planar(self):
+        assert get_node("16nm").ileak_na_per_um < get_node("20nm").ileak_na_per_um
+
+
+class TestDerivedQuantities:
+    def test_fo4_improves_with_scaling(self):
+        assert get_node("28nm").fo4_delay_ps() < get_node("180nm").fo4_delay_ps()
+
+    def test_wire_delay_quadratic(self):
+        n = get_node("28nm")
+        assert n.wire_delay_ps(200) == pytest.approx(4 * n.wire_delay_ps(100))
+
+    def test_leakage_vth_shift_exponential(self):
+        n = get_node("65nm")
+        hvt = n.leakage_nw(1.0, +0.085)
+        rvt = n.leakage_nw(1.0, 0.0)
+        assert hvt == pytest.approx(rvt / 10.0, rel=0.01)
+
+    def test_area_transistor_roundtrip(self):
+        n = get_node("28nm")
+        assert n.transistors_for_area(n.area_for_transistors(1e6)) == pytest.approx(1e6)
+
+    def test_power_density_positive_and_rises_post_dennard(self):
+        d90 = dennard_power_density("90nm")
+        d180 = dennard_power_density("180nm")
+        assert d90 > 0 and d180 > 0
+        # Post-Dennard: naive power density grows as scaling proceeds.
+        assert d90 > d180
+
+    def test_speed_power_product_improves(self):
+        assert speed_power_product(get_node("28nm")) < speed_power_product(
+            get_node("180nm"))
+
+    def test_describe_mentions_name_and_litho(self):
+        s = get_node("20nm").describe()
+        assert "20nm" in s and "lele" in s
+
+
+class TestPatterning:
+    def test_colors_required_monotone_in_pitch(self):
+        prev = 100
+        for pitch in [120, 80, 60, 40, 30, 20, 10]:
+            k = colors_required(pitch)
+            assert k <= prev or k >= 1
+            prev = k
+        assert colors_required(40) == 2
+        assert colors_required(27) == 3
+        assert colors_required(20) == 4
+        assert colors_required(10) == 8
+
+    def test_colors_required_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            colors_required(0)
+
+    def test_patterning_ladder(self):
+        assert patterning_for_pitch(100) is LithoRegime.SINGLE
+        assert patterning_for_pitch(45) is LithoRegime.LELE
+        assert patterning_for_pitch(27) is LithoRegime.LELELE
+        assert patterning_for_pitch(20) is LithoRegime.SAQP
+        assert patterning_for_pitch(10) is LithoRegime.OCTUPLE
+
+    def test_euv_kicks_in_beyond_double(self):
+        assert patterning_for_pitch(30, allow_euv=True) is LithoRegime.EUV
+        # EUV not used when double patterning suffices.
+        assert patterning_for_pitch(45, allow_euv=True) is LithoRegime.LELE
+        # Below the EUV single-exposure pitch, multi-patterning returns.
+        assert patterning_for_pitch(27, allow_euv=True) is LithoRegime.LELELE
+
+    def test_masks_for_pitch(self):
+        assert masks_for_pitch(100) == 1
+        assert masks_for_pitch(45) == 2
+        assert masks_for_pitch(30, allow_euv=True) == 1
+
+    def test_cost_multiplier_ordering(self):
+        regimes = [LithoRegime.SINGLE, LithoRegime.LELE, LithoRegime.LELELE,
+                   LithoRegime.SAQP, LithoRegime.OCTUPLE]
+        costs = [mask_layer_cost_multiplier(r) for r in regimes]
+        assert costs == sorted(costs)
+
+
+class TestScaling:
+    def test_density_gain_symmetric_inverse(self):
+        g = density_gain("90nm", "28nm")
+        assert g > 1
+        assert density_gain("28nm", "90nm") == pytest.approx(1 / g)
+
+    def test_scale_node_shrinks_geometry(self):
+        base = get_node("7nm")
+        proj = scale_node(base, 0.7, name="5nm-x")
+        assert proj.metal1_pitch_nm == pytest.approx(base.metal1_pitch_nm * 0.7)
+        assert proj.density_mtr_per_mm2 > base.density_mtr_per_mm2
+        assert proj.mask_set_cost_usd > base.mask_set_cost_usd
+        assert proj.name == "5nm-x"
+
+    def test_scale_node_rejects_bad_factor(self):
+        base = get_node("7nm")
+        with pytest.raises(ValueError):
+            scale_node(base, 1.5)
+        with pytest.raises(ValueError):
+            scale_node(base, 0.05)
+
+    def test_interpolate_vdd_hits_anchors(self):
+        assert interpolate_vdd(180) == pytest.approx(1.8)
+        assert interpolate_vdd(130) == pytest.approx(1.2)
+        assert interpolate_vdd(300) == 2.5
+        assert interpolate_vdd(3) == 0.65
+
+    def test_interpolate_vdd_monotone(self):
+        sizes = [250, 200, 150, 100, 70, 50, 30, 20, 10, 7, 5]
+        vs = [interpolate_vdd(s) for s in sizes]
+        assert all(a >= b for a, b in zip(vs, vs[1:]))
+
+    def test_moore_doublings(self):
+        d = moore_doublings("90nm", "10nm")
+        assert 6 < d < 7.2  # ~90x is ~6.5 doublings
+
+    def test_node_cadence(self):
+        # Rossi: "new nodes are introduced every 18 months".
+        assert node_cadence_months(2014, 2017, 2) == pytest.approx(18.0)
+        with pytest.raises(ValueError):
+            node_cadence_months(2014, 2017, 0)

@@ -1,0 +1,133 @@
+"""Tests for static timing analysis."""
+
+import pytest
+
+from repro.netlist import Netlist, build_library
+from repro.netlist.generators import registered_cloud, ripple_carry_adder
+from repro.tech import get_node
+from repro.timing import TimingAnalyzer, TimingReport, WireModel, critical_path
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(get_node("28nm"))
+
+
+def inv_chain(lib, n):
+    nl = Netlist("chain", lib)
+    net = nl.add_input("a")
+    for i in range(n):
+        net = nl.add_gate("INV_X1_rvt", [net], f"n{i}").output
+    nl.add_output(net)
+    return nl
+
+
+class TestArrivalPropagation:
+    def test_chain_delay_additive(self, lib):
+        r1 = critical_path(inv_chain(lib, 1))
+        r5 = critical_path(inv_chain(lib, 5))
+        assert r5.critical_delay_ps == pytest.approx(
+            5 * r1.critical_delay_ps, rel=0.3)
+        assert r5.critical_delay_ps > r1.critical_delay_ps
+
+    def test_critical_path_is_the_chain(self, lib):
+        nl = inv_chain(lib, 4)
+        report = critical_path(nl)
+        assert len(report.critical_path) == 4
+
+    def test_parallel_paths_max(self, lib):
+        nl = Netlist("t", lib)
+        a = nl.add_input("a")
+        b = nl.add_input("b")
+        # Long path from a, short from b, joined at an AND.
+        net = a
+        for i in range(4):
+            net = nl.add_gate("INV_X1_rvt", [net], f"p{i}").output
+        nl.add_gate("AND2_X1_rvt", [net, b], "y")
+        nl.add_output("y")
+        report = critical_path(nl)
+        # Critical path must come through the inverter chain.
+        assert any("inv" in g for g in report.critical_path)
+
+    def test_load_increases_delay(self, lib):
+        nl1 = Netlist("light", lib)
+        a = nl1.add_input("a")
+        nl1.add_gate("INV_X1_rvt", [a], "y")
+        nl1.add_output("y")
+
+        nl2 = Netlist("heavy", lib)
+        a = nl2.add_input("a")
+        nl2.add_gate("INV_X1_rvt", [a], "y")
+        for i in range(8):
+            nl2.add_gate("INV_X1_rvt", ["y"], f"l{i}")
+        nl2.add_output("y")
+        d1 = critical_path(nl1).arrival_ps["y"]
+        d2 = critical_path(nl2).arrival_ps["y"]
+        assert d2 > d1
+
+    def test_bigger_drive_faster_under_load(self, lib):
+        def fanout_tree(drive):
+            nl = Netlist("t", lib)
+            a = nl.add_input("a")
+            nl.add_gate(f"INV_{drive}_rvt", [a], "y")
+            for i in range(12):
+                nl.add_gate("INV_X1_rvt", ["y"], f"l{i}")
+            nl.add_output("y")
+            return critical_path(nl).arrival_ps["y"]
+        assert fanout_tree("X4") < fanout_tree("X1")
+
+
+class TestSequentialTiming:
+    def test_flop_to_flop_paths(self, lib):
+        nl = registered_cloud(8, 16, 150, lib, seed=1)
+        report = critical_path(nl, clock_period_ps=10000)
+        assert report.wns_ps > 0  # easy period
+        assert report.critical_delay_ps > 0
+
+    def test_wns_goes_negative_at_tight_period(self, lib):
+        nl = registered_cloud(8, 16, 150, lib, seed=1)
+        loose = critical_path(nl, clock_period_ps=100000)
+        tight = TimingAnalyzer(nl, clock_period_ps=0.001).analyze()
+        assert loose.wns_ps > tight.wns_ps
+        assert tight.wns_ps < 0
+
+    def test_fmax_consistent_with_delay(self, lib):
+        nl = ripple_carry_adder(8, lib)
+        report = critical_path(nl)
+        assert report.fmax_ghz() == pytest.approx(
+            1000.0 / report.critical_delay_ps)
+
+
+class TestWireModel:
+    def test_default_lumped_cap(self):
+        wm = WireModel(cap_per_fanout_ff=2.0)
+        assert wm.net_cap_ff("n", 3) == 6.0
+        assert wm.net_cap_ff("n", 0) == 2.0
+
+    def test_placed_net_uses_length(self):
+        wm = WireModel(cap_per_fanout_ff=1.0, cwire_ff_per_um=0.2,
+                       rwire_ohm_per_um=1.0,
+                       net_lengths_um={"long": 100.0})
+        assert wm.net_cap_ff("long", 1) == pytest.approx(20.0)
+        assert wm.net_cap_ff("other", 1) == 1.0
+        assert wm.net_delay_ps("long") > 0
+        assert wm.net_delay_ps("other") == 0.0
+
+    def test_for_node_scales(self):
+        wm28 = WireModel.for_node(get_node("28nm"))
+        assert wm28.cwire_ff_per_um == get_node("28nm").cwire_ff_per_um
+
+    def test_wire_delay_affects_critical_path(self, lib):
+        nl = inv_chain(lib, 2)
+        node = get_node("28nm")
+        fast = critical_path(nl, WireModel.for_node(node))
+        slow = critical_path(
+            nl, WireModel.for_node(node, {"n0": 5000.0}))
+        assert slow.critical_delay_ps > fast.critical_delay_ps
+
+    def test_slack_lookup(self, lib):
+        nl = inv_chain(lib, 2)
+        report = critical_path(nl, clock_period_ps=500)
+        for net in ("a", "n0", "n1"):
+            assert report.slack_ps(net) == pytest.approx(
+                report.required_ps[net] - report.arrival_ps[net])

@@ -1,0 +1,97 @@
+"""Tests for detailed track assignment and the routing->litho bridge."""
+
+import pytest
+
+from repro.netlist import build_library, logic_cloud
+from repro.place import global_place
+from repro.route import RoutingGrid, route_placement
+from repro.route.global_route import RoutingResult
+from repro.route.track_assign import (
+    TrackAssignment,
+    assign_tracks,
+    decompose_routed_layer,
+)
+from repro.tech import get_node
+
+
+def _routed(node_name="28nm", seed=1):
+    node = get_node(node_name)
+    lib = build_library(node)
+    nl = logic_cloud(16, 16, 300, lib, seed=seed, locality=0.9)
+    placement = global_place(nl, seed=0, utilization=0.35)
+    return node, route_placement(placement, gcell_um=2.0)
+
+
+def _manual_result(usage_pattern):
+    grid = RoutingGrid(6, 4, h_capacity=8, v_capacity=8)
+    for y, row in enumerate(usage_pattern):
+        for x, u in enumerate(row):
+            grid.h_usage[y, x] = u
+    return RoutingResult(grid=grid, paths={}, failed=[], wirelength=0,
+                         overflow=0, iterations=1, runtime_s=0.0,
+                         engine="maze")
+
+
+class TestAssignTracks:
+    def test_no_same_track_overlap(self):
+        result = _manual_result([[2, 2, 2, 0, 1], [0] * 5, [0] * 5,
+                                 [0] * 5])
+        assignment = assign_tracks(result, layers=2,
+                                   tracks_per_gcell=4)
+        for wires in assignment.layer_wires.values():
+            by_track = {}
+            for w in wires:
+                by_track.setdefault(w.track, []).append(w)
+            for track_wires in by_track.values():
+                track_wires.sort(key=lambda w: w.start)
+                for a, b in zip(track_wires, track_wires[1:]):
+                    assert a.end <= b.start + 1e-9
+
+    def test_stacked_usage_becomes_parallel_wires(self):
+        result = _manual_result([[3, 3, 3, 0, 0], [0] * 5, [0] * 5,
+                                 [0] * 5])
+        assignment = assign_tracks(result, layers=2,
+                                   tracks_per_gcell=4)
+        assert assignment.total_wires() == 3
+        assert assignment.failed == 0
+
+    def test_overflow_counted_when_tracks_exhausted(self):
+        result = _manual_result([[5, 5, 5, 5, 5], [0] * 5, [0] * 5,
+                                 [0] * 5])
+        assignment = assign_tracks(result, layers=2,
+                                   tracks_per_gcell=2)
+        assert assignment.failed > 0
+
+    def test_default_tracks_match_grid_capacity(self):
+        node, result = _routed()
+        assignment = assign_tracks(result)
+        assert assignment.failed == 0
+
+    def test_layers_alternate(self):
+        result = _manual_result([[2, 2, 0, 0, 0], [0] * 5, [0] * 5,
+                                 [0] * 5])
+        assignment = assign_tracks(result, layers=6,
+                                   tracks_per_gcell=4)
+        # H layers are metal 2, 4, 6.
+        assert set(assignment.layer_wires) <= {2, 4, 6}
+
+
+class TestRoutedDecomposition:
+    def test_28nm_single_patterning(self):
+        node, result = _routed("28nm")
+        stats = decompose_routed_layer(result, node=node)
+        assert stats["k"] == 1
+        assert stats["success"]
+        assert stats["conflict_edges"] == 0
+
+    def test_20nm_double_patterning_decomposes(self):
+        node, result = _routed("20nm")
+        stats = decompose_routed_layer(result, node=node)
+        assert stats["k"] == 2
+        assert stats["conflict_edges"] > 0
+        assert stats["success"]
+
+    def test_node_required(self):
+        _, result = _routed()
+        with pytest.raises(ValueError, match="node"):
+            decompose_routed_layer(result)
