@@ -10,9 +10,13 @@ extrapolate the instances/day-vs-cores curve for a 5.5M-instance
 sub-chip.
 """
 
+import multiprocessing
+
 import pytest
 
-from repro.core import ThroughputModel, calibrate_throughput
+from repro.core import FlowOptions, ThroughputModel, calibrate_throughput
+from repro.netlist import logic_cloud
+from repro.orchestrate import ResultCache, TelemetrySink, run_sweep
 
 from conftest import report
 
@@ -75,7 +79,6 @@ def test_bigger_blocks_lower_throughput(measured_model):
 
 def test_bench_place_and_route(benchmark, lib28):
     """Benchmark one 600-cell place+route job (the calibration unit)."""
-    from repro.netlist import logic_cloud
     from repro.place import global_place
     from repro.route import route_placement
 
@@ -86,3 +89,60 @@ def test_bench_place_and_route(benchmark, lib28):
                                max_iterations=2).wirelength
 
     assert benchmark(run) > 0
+
+
+# ----------------------------------------------------------------------
+# The farm itself: run_sweep as the multicore harness Rossi describes.
+
+
+def _farm_jobs(lib, n_jobs=8, cells=250):
+    """One flow job per farm slot: distinct seeded designs."""
+    subjects = [logic_cloud(12, 12, cells, lib, seed=i, locality=0.9)
+                for i in range(n_jobs)]
+    options = [FlowOptions(seed=i, detailed_passes=1,
+                           routing_iterations=2)
+               for i in range(n_jobs)]
+    return subjects, options
+
+
+@pytest.mark.benchmark
+def test_sweep_parallel_vs_serial_throughput(lib28):
+    """The E7 mechanism in miniature: the same 8 P&R jobs through
+    run_sweep with jobs=1 vs jobs=4, instances/day computed from wall
+    time.  The speedup assertion needs real cores under the pool."""
+    subjects, options = _farm_jobs(lib28)
+    serial = run_sweep(subjects, lib28, options, jobs=1)
+    parallel = run_sweep(subjects, lib28, options, jobs=4)
+    instances = sum(r.instances for r in serial.results)
+    rows = [f"8 jobs serial:   {serial.wall_s:.2f} s "
+            f"({instances * 86400 / serial.wall_s / 1e6:.2f} M inst/day)",
+            f"8 jobs jobs=4:   {parallel.wall_s:.2f} s "
+            f"({instances * 86400 / parallel.wall_s / 1e6:.2f} M inst/day)",
+            f"speedup: {serial.wall_s / parallel.wall_s:.2f}x on "
+            f"{multiprocessing.cpu_count()} cores"]
+    report("E7", rows)
+    qor = lambda r: (r.delay_ps, r.routed_wirelength, r.overflow)
+    assert [qor(r) for r in serial.results] == \
+        [qor(r) for r in parallel.results]
+    if multiprocessing.cpu_count() >= 2:
+        assert serial.wall_s >= 1.3 * parallel.wall_s
+
+
+@pytest.mark.benchmark
+def test_sweep_cache_hit_speedup(lib28):
+    """Re-running an identical sweep replays every stage from the
+    content-hash cache — the reuse half of farm throughput."""
+    subjects, options = _farm_jobs(lib28, n_jobs=4)
+    cache = ResultCache(max_memory_entries=64)
+    sink = TelemetrySink()
+    cold = run_sweep(subjects, lib28, options, jobs=1, cache=cache)
+    warm = run_sweep(subjects, lib28, options, jobs=1, cache=cache,
+                     telemetry=sink)
+    report("E7", [
+        f"cold sweep: {cold.wall_s:.2f} s, warm (cached) sweep: "
+        f"{warm.wall_s:.2f} s ({cold.wall_s / warm.wall_s:.0f}x)",
+        f"cache: {cache.stats.hits} hits / "
+        f"{cache.stats.hits + cache.stats.misses} lookups"])
+    hits = [s for s in sink.spans if s.cache == "hit"]
+    assert len(hits) == 6 * len(subjects)   # every stage replayed
+    assert warm.wall_s < cold.wall_s

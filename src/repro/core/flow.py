@@ -8,23 +8,20 @@ timing and power signoff with placement-derived parasitics.
 The ``basic``/``advanced`` recipes realize Domic's "do more with less"
 comparison (E15): the advanced flow wins on every axis using the same
 substrate algorithms with the decade's options enabled.
+
+Since the ``repro.orchestrate`` subsystem landed, this module only
+owns the public datatypes (:class:`FlowOptions`, :class:`FlowResult`)
+and the thin :func:`implement` wrapper; scheduling, stage timing,
+caching, and parallelism live in
+:func:`repro.orchestrate.flows.implement_dag`.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.dft.scan import insert_scan, reorder_chain
-from repro.netlist.aig import Aig
 from repro.netlist.cells import CellLibrary
 from repro.netlist.circuit import Netlist
-from repro.place.detailed import detailed_place
-from repro.place.global_place import global_place
-from repro.power.analysis import power_report
-from repro.route.global_route import route_placement
-from repro.synthesis.flow import SynthesisFlow
-from repro.timing import TimingAnalyzer, WireModel
 
 
 @dataclass
@@ -82,6 +79,7 @@ class FlowResult:
     runtime_s: float
     stage_runtimes: dict = field(default_factory=dict)
     clock_tree: object = None
+    status: str = "ok"       # ok | degraded (optional stage failed)
 
     @property
     def clock_skew_ps(self) -> float:
@@ -104,105 +102,15 @@ def implement(subject, library: CellLibrary,
     """Run the full flow on an AIG, logic network, or mapped netlist.
 
     With ``run_db`` (a :class:`repro.learn.RunDatabase`) the flow
-    self-monitors: design features, knobs, and QoR are logged so later
-    runs can warm-start — Rossi's "self-monitoring of the
-    implementation tools able to generate information useful to the
-    next runs".
+    self-monitors: design features, knobs, QoR, and per-stage
+    telemetry spans are logged so later runs can warm-start — Rossi's
+    "self-monitoring of the implementation tools able to generate
+    information useful to the next runs".
+
+    This is a thin wrapper over the DAG engine; pass a result cache,
+    telemetry sink, or ``jobs > 1`` to
+    :func:`repro.orchestrate.flows.implement_dag` for the full
+    orchestration surface.
     """
-    if options is None:
-        options = FlowOptions()
-    t_start = time.perf_counter()
-    stages: dict[str, float] = {}
-
-    # Synthesis (skipped when handed a mapped netlist).
-    t0 = time.perf_counter()
-    if isinstance(subject, Netlist):
-        netlist = subject
-    else:
-        flow = SynthesisFlow(library, options.era,
-                             options.clock_period_ps)
-        netlist = flow.run(subject).netlist
-    stages["synthesis"] = time.perf_counter() - t0
-
-    # Placement.
-    t0 = time.perf_counter()
-    placement = global_place(
-        netlist, utilization=options.utilization,
-        spreading_passes=options.spreading_passes, seed=options.seed)
-    if options.detailed_passes:
-        detailed_place(placement, passes=options.detailed_passes,
-                       seed=options.seed)
-    stages["placement"] = time.perf_counter() - t0
-
-    # Scan insertion (layout-aware order uses the placement).
-    t0 = time.perf_counter()
-    if options.scan and netlist.sequential_gates():
-        flops = [g.name for g in netlist.sequential_gates()]
-        order = reorder_chain(flops, placement) \
-            if options.layout_aware_scan else None
-        insert_scan(netlist, num_chains=options.scan_chains, order=order)
-    stages["dft"] = time.perf_counter() - t0
-
-    # Clock-tree synthesis.
-    t0 = time.perf_counter()
-    clock_tree = None
-    if options.cts and netlist.sequential_gates():
-        from repro.timing.cts import synthesize_clock_tree
-        clock_tree = synthesize_clock_tree(placement)
-    stages["cts"] = time.perf_counter() - t0
-
-    # Routing.
-    t0 = time.perf_counter()
-    routing = route_placement(
-        placement, engine=options.routing_engine,
-        layers=options.routing_layers, gcell_um=options.gcell_um,
-        max_iterations=options.routing_iterations)
-    stages["routing"] = time.perf_counter() - t0
-
-    # Signoff with placement-derived wire lengths.
-    t0 = time.perf_counter()
-    lengths = placement.net_lengths()
-    wm = WireModel.for_node(library.node, lengths)
-    timing = TimingAnalyzer(netlist, wm, options.clock_period_ps).analyze()
-    power = power_report(netlist, freq_ghz=options.freq_ghz, patterns=64,
-                         seed=options.seed)
-    stages["signoff"] = time.perf_counter() - t0
-
-    result = FlowResult(
-        netlist=netlist,
-        placement=placement,
-        routing=routing,
-        options=options,
-        instances=netlist.num_instances(),
-        area_um2=netlist.area_um2(),
-        hpwl_um=placement.total_hpwl(),
-        routed_wirelength=routing.wirelength,
-        overflow=routing.overflow,
-        delay_ps=timing.critical_delay_ps,
-        power_uw=power.total_uw,
-        runtime_s=time.perf_counter() - t_start,
-        stage_runtimes=stages,
-        clock_tree=clock_tree,
-    )
-    if run_db is not None:
-        from repro.learn.rundb import RunRecord, design_features
-        run_db.log(RunRecord(
-            design=netlist.name,
-            features=design_features(netlist),
-            knobs={
-                "era": options.era,
-                "utilization": options.utilization,
-                "spreading_passes": options.spreading_passes,
-                "detailed_passes": options.detailed_passes,
-                "routing_iterations": options.routing_iterations,
-            },
-            qor={
-                "hpwl_um": result.hpwl_um,
-                "overflow": result.overflow,
-                "delay_ps": result.delay_ps,
-                "power_uw": result.power_uw,
-                "runtime_s": result.runtime_s,
-            },
-            tags=["flow"],
-        ))
-    return result
+    from repro.orchestrate.flows import implement_dag
+    return implement_dag(subject, library, options, run_db=run_db)

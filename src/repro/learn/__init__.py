@@ -14,13 +14,19 @@ results." (E8)
   started from the run DB.
 """
 
-from repro.learn.rundb import RunDatabase, RunRecord, design_features
+from repro.learn.rundb import (
+    RunDatabase,
+    RunRecord,
+    TelemetryRecord,
+    design_features,
+)
 from repro.learn.predictor import QorPredictor
 from repro.learn.tuner import KnobSpace, tune_knobs
 
 __all__ = [
     "RunDatabase",
     "RunRecord",
+    "TelemetryRecord",
     "design_features",
     "QorPredictor",
     "KnobSpace",

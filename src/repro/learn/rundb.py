@@ -20,6 +20,24 @@ class RunRecord:
     tags: list = field(default_factory=list)
 
 
+@dataclass
+class TelemetryRecord:
+    """One per-stage telemetry span of an implementation run.
+
+    Mirrors :class:`repro.orchestrate.telemetry.Span` plus the design
+    it belongs to, so stage-level cost and cache behaviour persist
+    alongside the QoR records they explain.
+    """
+
+    design: str
+    stage: str
+    wall_s: float
+    status: str = "ok"
+    cache: str | None = None
+    retries: int = 0
+    peak_rss_kb: int | None = None
+
+
 def design_features(netlist: Netlist) -> dict:
     """A design fingerprint for similarity lookup.
 
@@ -46,10 +64,36 @@ class RunDatabase:
 
     def __init__(self):
         self.records: list[RunRecord] = []
+        self.telemetry: list[TelemetryRecord] = []
 
     def log(self, record: RunRecord) -> None:
         """Add a run."""
         self.records.append(record)
+
+    def log_telemetry(self, design: str, spans) -> None:
+        """Persist per-stage spans (see ``repro.orchestrate``) for a
+        design's run alongside its QoR record."""
+        for span in spans:
+            payload = span.to_dict() if hasattr(span, "to_dict") \
+                else dict(span)
+            payload.pop("job", None)
+            self.telemetry.append(TelemetryRecord(design=design,
+                                                  **payload))
+
+    def stage_profile(self, design: str | None = None) -> dict:
+        """Aggregate stage cost: ``{stage: {"calls", "wall_s",
+        "cache_hits"}}``, optionally filtered to one design."""
+        profile: dict = {}
+        for rec in self.telemetry:
+            if design is not None and rec.design != design:
+                continue
+            agg = profile.setdefault(
+                rec.stage, {"calls": 0, "wall_s": 0.0,
+                            "cache_hits": 0})
+            agg["calls"] += 1
+            agg["wall_s"] += rec.wall_s
+            agg["cache_hits"] += rec.cache == "hit"
+        return profile
 
     def __len__(self) -> int:
         return len(self.records)
@@ -86,14 +130,20 @@ class RunDatabase:
     # ------------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Persist to JSON."""
-        payload = [asdict(r) for r in self.records]
+        """Persist runs and telemetry to JSON."""
+        payload = {"runs": [asdict(r) for r in self.records],
+                   "telemetry": [asdict(t) for t in self.telemetry]}
         Path(path).write_text(json.dumps(payload, indent=1))
 
     @staticmethod
     def load(path) -> "RunDatabase":
-        """Load from JSON."""
+        """Load from JSON (accepts the legacy runs-only list form)."""
         db = RunDatabase()
-        for item in json.loads(Path(path).read_text()):
+        payload = json.loads(Path(path).read_text())
+        if isinstance(payload, list):     # pre-telemetry format
+            payload = {"runs": payload, "telemetry": []}
+        for item in payload.get("runs", []):
             db.log(RunRecord(**item))
+        for item in payload.get("telemetry", []):
+            db.telemetry.append(TelemetryRecord(**item))
         return db

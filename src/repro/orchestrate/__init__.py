@@ -1,0 +1,66 @@
+"""Flow orchestration: DAG scheduling, content-hash caching, parallel
+execution, and run telemetry.
+
+The scaling substrate behind the E7 throughput claim: declare flows as
+DAGs of stages (:mod:`~repro.orchestrate.dag`), replay unchanged
+stages from a content-addressed cache
+(:mod:`~repro.orchestrate.cache`), run independent branches and
+independent jobs on a process pool
+(:mod:`~repro.orchestrate.executor`,
+:mod:`~repro.orchestrate.sweep`), and meter every stage with
+structured spans (:mod:`~repro.orchestrate.telemetry`).
+:func:`repro.core.flow.implement` is a thin wrapper over
+:func:`~repro.orchestrate.flows.implement_dag`.
+"""
+
+from repro.orchestrate.cache import (
+    CacheStats,
+    ResultCache,
+    stable_hash,
+    stage_key,
+)
+from repro.orchestrate.dag import CycleError, FlowDAG, Stage
+from repro.orchestrate.executor import (
+    PoolExecutor,
+    RunResult,
+    SerialExecutor,
+    StageError,
+    StageTimeout,
+    parallel_map,
+    run_stage,
+)
+from repro.orchestrate.flows import build_implement_dag, implement_dag
+from repro.orchestrate.sweep import SweepResult, run_sweep
+from repro.orchestrate.telemetry import (
+    RunReport,
+    Span,
+    TelemetrySink,
+    peak_rss_kb,
+    stage_timer,
+)
+
+__all__ = [
+    "CacheStats",
+    "CycleError",
+    "FlowDAG",
+    "PoolExecutor",
+    "ResultCache",
+    "RunReport",
+    "RunResult",
+    "SerialExecutor",
+    "Span",
+    "Stage",
+    "StageError",
+    "StageTimeout",
+    "SweepResult",
+    "TelemetrySink",
+    "build_implement_dag",
+    "implement_dag",
+    "parallel_map",
+    "peak_rss_kb",
+    "run_stage",
+    "run_sweep",
+    "stable_hash",
+    "stage_key",
+    "stage_timer",
+]

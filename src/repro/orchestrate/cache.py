@@ -1,0 +1,165 @@
+"""Content-addressed result cache for flow stages.
+
+Keys are a stable SHA-256 over (stage name, code version tag,
+canonicalized inputs); values are pickled stage results held in an
+in-memory LRU with an optional on-disk store.  Re-running a sweep with
+one knob changed only re-executes the stages whose key inputs actually
+changed — everything upstream and sideways replays from cache.
+
+Values are stored and returned as pickled blobs: every ``get`` yields
+a *fresh copy*, so downstream stages that mutate their inputs (scan
+insertion, detailed placement) can never corrupt a cached result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, fields, is_dataclass
+from pathlib import Path
+
+_PICKLE_PROTOCOL = 4
+
+
+def _update(h, obj) -> None:
+    """Feed a canonical byte encoding of ``obj`` into hash ``h``.
+
+    Deterministic for the container/scalar types flows actually pass
+    around; dicts hash as sorted (key, value) digests, sets as sorted
+    element digests, dataclasses as (qualname, field dict).  Anything
+    else falls back to a fixed-protocol pickle, which is stable within
+    a process for identically constructed objects.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        h.update(f"{type(obj).__name__}:{obj!r};".encode())
+    elif isinstance(obj, float):
+        h.update(f"f:{obj.hex() if obj == obj else 'nan'};".encode())
+    elif isinstance(obj, (list, tuple)):
+        h.update(f"seq:{len(obj)};".encode())
+        for item in obj:
+            _update(h, item)
+    elif isinstance(obj, dict):
+        digests = sorted(
+            (stable_hash(k), stable_hash(v)) for k, v in obj.items())
+        h.update(f"map:{len(obj)};".encode())
+        for kd, vd in digests:
+            h.update(kd.encode())
+            h.update(vd.encode())
+    elif isinstance(obj, (set, frozenset)):
+        h.update(f"set:{len(obj)};".encode())
+        for digest in sorted(stable_hash(item) for item in obj):
+            h.update(digest.encode())
+    elif is_dataclass(obj) and not isinstance(obj, type):
+        h.update(f"dc:{type(obj).__qualname__};".encode())
+        _update(h, {f.name: getattr(obj, f.name) for f in fields(obj)})
+    elif hasattr(obj, "tobytes") and hasattr(obj, "dtype"):
+        h.update(f"nd:{obj.dtype}:{getattr(obj, 'shape', '')};".encode())
+        h.update(obj.tobytes())
+    else:
+        h.update(b"pkl:")
+        h.update(pickle.dumps(obj, protocol=_PICKLE_PROTOCOL))
+
+
+def stable_hash(obj) -> str:
+    """Hex SHA-256 of the canonical encoding of ``obj``."""
+    h = hashlib.sha256()
+    _update(h, obj)
+    return h.hexdigest()
+
+
+def stage_key(name: str, version: str, inputs: dict) -> str:
+    """Cache key for one stage execution."""
+    return stable_hash({"stage": name, "version": version,
+                        "inputs": inputs})
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """Two-tier (memory LRU over disk) content-addressed store."""
+
+    def __init__(self, max_memory_entries: int = 128, disk_dir=None):
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be positive")
+        self.max_memory_entries = max_memory_entries
+        self.disk_dir = Path(disk_dir) if disk_dir else None
+        if self.disk_dir:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self._memory: OrderedDict = OrderedDict()
+        self.stats = CacheStats()
+
+    def _disk_path(self, key: str) -> Path:
+        return self.disk_dir / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+
+    def get(self, key: str):
+        """``(True, fresh_copy)`` on hit, ``(False, None)`` on miss."""
+        blob = self._memory.get(key)
+        if blob is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return True, pickle.loads(blob)
+        if self.disk_dir:
+            path = self._disk_path(key)
+            if path.exists():
+                blob = path.read_bytes()
+                self._remember(key, blob)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return True, pickle.loads(blob)
+        self.stats.misses += 1
+        return False, None
+
+    def put(self, key: str, value) -> None:
+        """Store a result under its content key (both tiers)."""
+        blob = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+        self._remember(key, blob)
+        self.stats.puts += 1
+        if self.disk_dir:
+            # Atomic publish so concurrent sweep workers never observe
+            # a torn file.
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(blob)
+                os.replace(tmp, self._disk_path(key))
+            except BaseException:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+                raise
+
+    def _remember(self, key: str, blob: bytes) -> None:
+        self._memory[key] = blob
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear(self) -> None:
+        """Drop the memory tier (disk files are left in place)."""
+        self._memory.clear()

@@ -1,0 +1,349 @@
+"""Stage executors: serial and multiprocessing-pool DAG scheduling.
+
+Both executors share the same per-stage contract: consult the result
+cache, run with bounded retry and exponential backoff, enforce the
+stage timeout, and emit a telemetry span either way.  A failed
+*optional* stage (e.g. CTS) marks the run ``degraded`` and its output
+``None``; a failed required stage kills its transitive dependents and
+— under ``strict`` — raises :class:`StageError` so single-run callers
+see the original traceback.
+
+:class:`PoolExecutor` runs independent DAG branches concurrently in a
+``multiprocessing`` pool; :func:`parallel_map` is the job-level
+analogue used by :mod:`repro.orchestrate.sweep`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.orchestrate.cache import stage_key
+from repro.orchestrate.telemetry import Span, peak_rss_kb
+
+
+class StageError(RuntimeError):
+    """A required stage exhausted its retries."""
+
+    def __init__(self, stage: str, attempts: int, cause=None):
+        super().__init__(
+            f"stage {stage!r} failed after {attempts} attempt(s)"
+            + (f": {cause!r}" if cause is not None else ""))
+        self.stage = stage
+        self.attempts = attempts
+        self.cause = cause
+
+
+class StageTimeout(StageError):
+    """A stage exceeded its ``timeout_s`` budget."""
+
+
+def _call_with_timeout(fn, ctx, timeout_s):
+    """Run ``fn(ctx)``, bounding wall time when ``timeout_s`` is set.
+
+    The bounded path runs in a daemon thread; on timeout the thread is
+    abandoned (Python offers no safe preemption) and the stage is
+    reported as timed out.
+    """
+    if not timeout_s:
+        return fn(ctx)
+    box: dict = {}
+
+    def target():
+        try:
+            box["value"] = fn(ctx)
+        except BaseException as err:   # noqa: BLE001 - reraised below
+            box["error"] = err
+
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    worker.join(timeout_s)
+    if worker.is_alive():
+        raise StageTimeout("<stage>", 1)
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+def cache_inputs(stage, ctx) -> dict:
+    """The content-hash domain of a stage execution.
+
+    Dependencies and declared params, except that when ``knobs`` is set
+    the whole ``options`` object is replaced by just the named
+    attributes — so flipping an unrelated knob leaves this stage's key
+    (and its cached result) intact.
+    """
+    inputs = {dep: ctx[dep] for dep in stage.deps}
+    for param in stage.params:
+        if stage.knobs and param == "options":
+            continue
+        inputs[param] = ctx[param]
+    if stage.knobs:
+        options = ctx["options"]
+        inputs["__knobs__"] = {k: getattr(options, k)
+                               for k in stage.knobs}
+    return inputs
+
+
+@dataclass
+class StageOutcome:
+    """What happened when one stage was executed."""
+
+    name: str
+    value: object
+    span: Span
+    error: BaseException | None = None
+
+
+def run_stage(stage, ctx, cache=None, job=None) -> StageOutcome:
+    """Execute one stage in-process: cache, retries, timeout, span."""
+    child_ctx = {k: ctx[k] for k in (*stage.deps, *stage.params)}
+    t0 = time.perf_counter()
+    key = None
+    if cache is not None and stage.cacheable:
+        key = stage_key(stage.name, stage.version,
+                        cache_inputs(stage, ctx))
+        hit, value = cache.get(key)
+        if hit:
+            span = Span(stage.name, time.perf_counter() - t0,
+                        cache="hit", peak_rss_kb=peak_rss_kb(), job=job)
+            return StageOutcome(stage.name, value, span)
+
+    error: BaseException | None = None
+    status = "failed"
+    value = None
+    attempts = 0
+    for attempt in range(stage.retries + 1):
+        attempts = attempt + 1
+        try:
+            value = _call_with_timeout(stage.fn, child_ctx,
+                                       stage.timeout_s)
+            status = "ok"
+            error = None
+            break
+        except StageTimeout:
+            status = "timeout"
+            error = StageTimeout(stage.name, attempts)
+        except BaseException as err:   # noqa: BLE001 - recorded in span
+            status = "failed"
+            error = err
+        if attempt < stage.retries:
+            time.sleep(stage.backoff_s * (2 ** attempt))
+
+    span = Span(stage.name, time.perf_counter() - t0, status=status,
+                cache=None if key is None else "miss",
+                retries=attempts - 1, peak_rss_kb=peak_rss_kb(),
+                job=job)
+    if status == "ok" and key is not None:
+        cache.put(key, value)
+    return StageOutcome(stage.name, value, span, error)
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a whole DAG once."""
+
+    outputs: dict
+    status: str                      # ok | degraded | failed
+    spans: list
+    wall_s: float
+    failed: list = field(default_factory=list)
+    skipped: list = field(default_factory=list)
+
+
+def _resolve_failure(stage, outcome, state, dag, strict):
+    """Shared failure bookkeeping for both executors."""
+    if stage.optional:
+        state["outputs"][stage.name] = None
+        state["degraded"] = True
+        return
+    state["failed"].append(stage.name)
+    for name in sorted(dag.dependents(stage.name)):
+        if name not in state["outputs"] and name not in state["skipped"]:
+            state["skipped"].append(name)
+            state["spans"].append(Span(name, 0.0, status="skipped"))
+    if strict:
+        if isinstance(outcome.error, StageError):
+            raise outcome.error
+        raise StageError(stage.name, outcome.span.retries + 1,
+                         outcome.error) from outcome.error
+
+
+def _finish(state, t0) -> RunResult:
+    status = "failed" if state["failed"] else (
+        "degraded" if state["degraded"] else "ok")
+    return RunResult(outputs=state["outputs"], status=status,
+                     spans=state["spans"],
+                     wall_s=time.perf_counter() - t0,
+                     failed=state["failed"], skipped=state["skipped"])
+
+
+class SerialExecutor:
+    """Run stages one at a time in topological order."""
+
+    def run(self, dag, params, cache=None, sink=None,
+            strict=True) -> RunResult:
+        t0 = time.perf_counter()
+        state = {"outputs": {}, "spans": [], "failed": [],
+                 "skipped": [], "degraded": False}
+        try:
+            for stage in dag.topological_order():
+                if stage.name in state["skipped"]:
+                    continue
+                ctx = {**params, **state["outputs"]}
+                outcome = run_stage(stage, ctx, cache=cache)
+                state["spans"].append(outcome.span)
+                if outcome.span.status == "ok" or \
+                        outcome.span.cache == "hit":
+                    state["outputs"][stage.name] = outcome.value
+                else:
+                    _resolve_failure(stage, outcome, state, dag, strict)
+        finally:
+            if sink is not None:
+                sink.extend(state["spans"])
+        return _finish(state, t0)
+
+
+def _pool_call(fn, ctx):
+    """Worker-side stage invocation (module-level for pickling)."""
+    t0 = time.perf_counter()
+    value = fn(ctx)
+    return value, time.perf_counter() - t0, peak_rss_kb()
+
+
+class PoolExecutor:
+    """Run independent DAG branches concurrently in worker processes.
+
+    Stage functions and their inputs must be picklable (module-level
+    callables).  Cache lookups happen in the parent at submit time, so
+    a hot cache short-circuits before any process hop.  Timeouts are
+    enforced by deadline in the parent; an overrunning worker is
+    abandoned to the pool (its late result is discarded).
+    """
+
+    def __init__(self, jobs: int = 2, poll_s: float = 0.002):
+        if jobs < 1:
+            raise ValueError("jobs must be positive")
+        self.jobs = jobs
+        self.poll_s = poll_s
+
+    def run(self, dag, params, cache=None, sink=None,
+            strict=True) -> RunResult:
+        t0 = time.perf_counter()
+        order = dag.topological_order()   # validates + cycle check
+        state = {"outputs": {}, "spans": [], "failed": [],
+                 "skipped": [], "degraded": False}
+        pending: dict = {}                # name -> submission record
+        submitted: set = set()
+        try:
+            with multiprocessing.Pool(min(self.jobs, len(order))) as pool:
+                while len(state["outputs"]) + len(state["failed"]) + \
+                        len(state["skipped"]) < len(dag):
+                    self._submit_ready(pool, dag, params, cache,
+                                       state, pending, submitted)
+                    if not pending:
+                        if not dag.ready(state["outputs"],
+                                         submitted.union(
+                                             state["skipped"],
+                                             state["failed"])):
+                            break      # nothing runnable remains
+                        continue
+                    self._collect(pool, dag, params, cache, state,
+                                  pending, strict)
+                    if pending:
+                        time.sleep(self.poll_s)
+        finally:
+            if sink is not None:
+                sink.extend(state["spans"])
+        return _finish(state, t0)
+
+    # ------------------------------------------------------------------
+
+    def _submit_ready(self, pool, dag, params, cache, state, pending,
+                      submitted) -> None:
+        blocked = submitted.union(state["skipped"], state["failed"])
+        for stage in dag.ready(state["outputs"], blocked):
+            ctx = {**params, **state["outputs"]}
+            key = None
+            if cache is not None and stage.cacheable:
+                key = stage_key(stage.name, stage.version,
+                                cache_inputs(stage, ctx))
+                hit, value = cache.get(key)
+                if hit:
+                    submitted.add(stage.name)
+                    state["outputs"][stage.name] = value
+                    state["spans"].append(
+                        Span(stage.name, 0.0, cache="hit"))
+                    continue
+            submitted.add(stage.name)
+            pending[stage.name] = self._submission(
+                pool, stage, ctx, key, attempts=1)
+
+    def _submission(self, pool, stage, ctx, key, attempts) -> dict:
+        child_ctx = {k: ctx[k] for k in (*stage.deps, *stage.params)}
+        deadline = (time.perf_counter() + stage.timeout_s
+                    if stage.timeout_s else None)
+        return {"stage": stage, "key": key, "attempts": attempts,
+                "t0": time.perf_counter(), "deadline": deadline,
+                "ctx": ctx, "pool": pool,
+                "async": pool.apply_async(_pool_call,
+                                          (stage.fn, child_ctx))}
+
+    def _collect(self, pool, dag, params, cache, state, pending,
+                 strict) -> None:
+        now = time.perf_counter()
+        for name in list(pending):
+            sub = pending[name]
+            stage = sub["stage"]
+            error = None
+            if sub["async"].ready():
+                try:
+                    value, child_wall, rss = sub["async"].get()
+                except BaseException as err:   # noqa: BLE001
+                    error = err
+                else:
+                    state["outputs"][name] = value
+                    state["spans"].append(Span(
+                        name, now - sub["t0"],
+                        cache=None if sub["key"] is None else "miss",
+                        retries=sub["attempts"] - 1, peak_rss_kb=rss))
+                    if sub["key"] is not None:
+                        cache.put(sub["key"], value)
+                    del pending[name]
+                    continue
+            elif sub["deadline"] is not None and now > sub["deadline"]:
+                error = StageTimeout(name, sub["attempts"])
+            else:
+                continue
+            del pending[name]
+            if sub["attempts"] <= stage.retries:
+                time.sleep(stage.backoff_s *
+                           (2 ** (sub["attempts"] - 1)))
+                pending[name] = self._submission(
+                    sub["pool"], stage, sub["ctx"], sub["key"],
+                    sub["attempts"] + 1)
+                continue
+            status = ("timeout" if isinstance(error, StageTimeout)
+                      else "failed")
+            span = Span(name, now - sub["t0"], status=status,
+                        cache=None if sub["key"] is None else "miss",
+                        retries=sub["attempts"] - 1)
+            state["spans"].append(span)
+            outcome = StageOutcome(name, None, span, error)
+            _resolve_failure(stage, outcome, state, dag, strict)
+
+
+def parallel_map(fn, items, *, jobs: int = 1, chunksize: int = 1) -> list:
+    """Ordered map over ``items``, optionally in a process pool.
+
+    ``fn`` must be a module-level (picklable) callable when
+    ``jobs > 1``.  With ``jobs <= 1`` this is a plain loop — the
+    baseline every speedup claim is measured against.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with multiprocessing.Pool(min(jobs, len(items))) as pool:
+        return pool.map(fn, items, chunksize)

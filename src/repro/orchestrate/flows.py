@@ -1,0 +1,241 @@
+"""The implementation flow as a DAG, and the engine behind
+:func:`repro.core.flow.implement`.
+
+Each stage of the legacy hand-rolled flow becomes a :class:`Stage`
+node with explicit data dependencies and a narrowed cache-key domain
+(``knobs``): changing ``routing_iterations`` re-executes only the
+routing stage, while synthesis, placement, and signoff replay from the
+content-addressed cache.  The stage functions are module-level so the
+:class:`~repro.orchestrate.executor.PoolExecutor` can ship them to
+worker processes.
+
+Data-dependency notes mirrored from the legacy serial order:
+
+* ``insert_scan`` mutates the netlist, and the legacy flow routed and
+  signed off *after* scan insertion.  The netlist travels inside its
+  :class:`~repro.place.placement.Placement` (``placement.netlist``),
+  and ``dft`` consumes and returns that bundle — so even across
+  process boundaries (where each stage gets a pickled copy) the
+  placement and the post-scan netlist downstream stages see are the
+  same consistent pair.
+* ``cts``, ``routing``, and ``signoff`` all depend only on ``dft`` —
+  they are independent DAG branches (signoff parasitics come from
+  placement-derived lengths, not routing) and run concurrently under
+  the pool executor.
+* ``cts`` is optional: a CTS failure degrades the run (no clock tree)
+  instead of killing a sweep.
+"""
+
+from __future__ import annotations
+
+from repro.core.flow import FlowOptions, FlowResult
+from repro.orchestrate.dag import FlowDAG, Stage
+from repro.orchestrate.executor import PoolExecutor, SerialExecutor
+from repro.orchestrate.telemetry import TelemetrySink
+
+STAGE_NAMES = ("synthesis", "placement", "dft", "cts", "routing",
+               "signoff")
+
+
+def stage_synthesis(ctx) -> object:
+    """RTL-ish subject to mapped netlist (skipped for a netlist)."""
+    from repro.netlist.circuit import Netlist
+    from repro.synthesis.flow import SynthesisFlow
+    subject = ctx["subject"]
+    if isinstance(subject, Netlist):
+        return subject
+    options = ctx["options"]
+    flow = SynthesisFlow(ctx["library"], options.era,
+                         options.clock_period_ps)
+    return flow.run(subject).netlist
+
+
+def stage_placement(ctx) -> object:
+    """Global + optional detailed placement of the mapped netlist."""
+    from repro.place.detailed import detailed_place
+    from repro.place.global_place import global_place
+    options = ctx["options"]
+    placement = global_place(
+        ctx["synthesis"], utilization=options.utilization,
+        spreading_passes=options.spreading_passes, seed=options.seed)
+    if options.detailed_passes:
+        detailed_place(placement, passes=options.detailed_passes,
+                       seed=options.seed)
+    return placement
+
+
+def stage_dft(ctx) -> object:
+    """Scan insertion (layout-aware order uses the placement).
+
+    Operates on ``placement.netlist`` and returns the placement bundle
+    — mutated in place when scan fires, untouched otherwise — so
+    downstream stages consume the post-DFT design explicitly rather
+    than via side effect.
+    """
+    from repro.dft.scan import insert_scan, reorder_chain
+    placement, options = ctx["placement"], ctx["options"]
+    netlist = placement.netlist
+    if options.scan and netlist.sequential_gates():
+        flops = [g.name for g in netlist.sequential_gates()]
+        order = reorder_chain(flops, placement) \
+            if options.layout_aware_scan else None
+        insert_scan(netlist, num_chains=options.scan_chains,
+                    order=order)
+    return placement
+
+
+def stage_cts(ctx) -> object:
+    """Clock-tree synthesis over the placement (optional stage)."""
+    options, placement = ctx["options"], ctx["dft"]
+    if options.cts and placement.netlist.sequential_gates():
+        from repro.timing.cts import synthesize_clock_tree
+        return synthesize_clock_tree(placement)
+    return None
+
+
+def stage_routing(ctx) -> object:
+    """Global routing with layer assignment over the post-DFT
+    placement (scan-chain nets are routed, as in the serial flow)."""
+    from repro.route.global_route import route_placement
+    options = ctx["options"]
+    return route_placement(
+        ctx["dft"], engine=options.routing_engine,
+        layers=options.routing_layers, gcell_um=options.gcell_um,
+        max_iterations=options.routing_iterations)
+
+
+def stage_signoff(ctx) -> dict:
+    """Timing + power signoff with placement-derived parasitics."""
+    from repro.power.analysis import power_report
+    from repro.timing import TimingAnalyzer, WireModel
+    options = ctx["options"]
+    placement = ctx["dft"]
+    netlist = placement.netlist
+    wm = WireModel.for_node(ctx["library"].node,
+                            placement.net_lengths())
+    timing = TimingAnalyzer(netlist, wm,
+                            options.clock_period_ps).analyze()
+    power = power_report(netlist, freq_ghz=options.freq_ghz,
+                         patterns=64, seed=options.seed)
+    return {"delay_ps": timing.critical_delay_ps,
+            "power_uw": power.total_uw}
+
+
+def build_implement_dag(*, timeout_s: float | None = None,
+                        retries: int = 0) -> FlowDAG:
+    """The six-stage implementation DAG.
+
+    ``knobs`` per stage narrow cache keys to the options each stage
+    actually reads; ``version`` tags let a code change invalidate just
+    its own stage's cached results.
+    """
+    dag = FlowDAG()
+    dag.add(Stage("synthesis", stage_synthesis,
+                  params=("subject", "library", "options"),
+                  knobs=("era", "clock_period_ps"),
+                  timeout_s=timeout_s, retries=retries))
+    dag.add(Stage("placement", stage_placement,
+                  deps=("synthesis",), params=("options",),
+                  knobs=("utilization", "spreading_passes",
+                         "detailed_passes", "seed"),
+                  timeout_s=timeout_s, retries=retries))
+    dag.add(Stage("dft", stage_dft,
+                  deps=("placement",), params=("options",),
+                  knobs=("scan", "scan_chains", "layout_aware_scan"),
+                  timeout_s=timeout_s, retries=retries))
+    dag.add(Stage("cts", stage_cts,
+                  deps=("dft",), params=("options",),
+                  knobs=("cts",), optional=True,
+                  timeout_s=timeout_s, retries=retries))
+    dag.add(Stage("routing", stage_routing,
+                  deps=("dft",), params=("options",),
+                  knobs=("routing_engine", "routing_layers",
+                         "routing_iterations", "gcell_um"),
+                  timeout_s=timeout_s, retries=retries))
+    dag.add(Stage("signoff", stage_signoff,
+                  deps=("dft",),
+                  params=("library", "options"),
+                  knobs=("clock_period_ps", "freq_ghz", "seed"),
+                  timeout_s=timeout_s, retries=retries))
+    return dag
+
+
+def implement_dag(subject, library, options: FlowOptions | None = None,
+                  *, run_db=None, cache=None, telemetry=None,
+                  jobs: int = 1, strict: bool = True,
+                  dag: FlowDAG | None = None) -> FlowResult:
+    """Run the implementation DAG and assemble a :class:`FlowResult`.
+
+    Drop-in engine for :func:`repro.core.flow.implement` (which calls
+    this with defaults), plus the orchestration extras: ``cache`` (a
+    :class:`~repro.orchestrate.cache.ResultCache`) replays unchanged
+    stages, ``telemetry`` (a :class:`TelemetrySink`) collects spans,
+    ``jobs > 1`` runs independent branches in a process pool, and a
+    custom ``dag`` swaps in experimental stage graphs.
+    """
+    if options is None:
+        options = FlowOptions()
+    if dag is None:
+        dag = build_implement_dag()
+    sink = telemetry if telemetry is not None else TelemetrySink()
+    executor = SerialExecutor() if jobs <= 1 else PoolExecutor(jobs)
+    n_before = len(sink.spans)
+    run = executor.run(
+        dag, {"subject": subject, "library": library,
+              "options": options},
+        cache=cache, sink=sink, strict=strict)
+
+    outputs = run.outputs
+    placement = outputs["dft"]
+    netlist = placement.netlist
+    routing = outputs["routing"]
+    signoff = outputs["signoff"]
+    result = FlowResult(
+        netlist=netlist,
+        placement=placement,
+        routing=routing,
+        options=options,
+        instances=netlist.num_instances(),
+        area_um2=netlist.area_um2(),
+        hpwl_um=placement.total_hpwl(),
+        routed_wirelength=routing.wirelength,
+        overflow=routing.overflow,
+        delay_ps=signoff["delay_ps"],
+        power_uw=signoff["power_uw"],
+        runtime_s=run.wall_s,
+        stage_runtimes={s.stage: s.wall_s
+                        for s in sink.spans[n_before:]},
+        clock_tree=outputs.get("cts"),
+        status=run.status,
+    )
+    if run_db is not None:
+        _log_run(run_db, result, sink.spans[n_before:])
+    return result
+
+
+def _log_run(run_db, result: FlowResult, spans) -> None:
+    """Self-monitoring: persist QoR and telemetry to the run database
+    (Rossi's "information useful to the next runs")."""
+    from repro.learn.rundb import RunRecord, design_features
+    options = result.options
+    run_db.log(RunRecord(
+        design=result.netlist.name,
+        features=design_features(result.netlist),
+        knobs={
+            "era": options.era,
+            "utilization": options.utilization,
+            "spreading_passes": options.spreading_passes,
+            "detailed_passes": options.detailed_passes,
+            "routing_iterations": options.routing_iterations,
+        },
+        qor={
+            "hpwl_um": result.hpwl_um,
+            "overflow": result.overflow,
+            "delay_ps": result.delay_ps,
+            "power_uw": result.power_uw,
+            "runtime_s": result.runtime_s,
+        },
+        tags=["flow"],
+    ))
+    if hasattr(run_db, "log_telemetry"):
+        run_db.log_telemetry(result.netlist.name, spans)

@@ -1,0 +1,131 @@
+"""Batch front-end: run many flow jobs, serial or in parallel.
+
+``run_sweep`` is the harness the benches use to demonstrate E7-style
+throughput: N flow jobs over a list of :class:`FlowOptions` variants,
+executed by a process pool (``jobs > 1``) or a shared-cache serial
+loop (``jobs = 1``).  Results come back in input order regardless of
+completion order, so a parallel sweep is result-for-result identical
+to a serial one for seeded flows.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from repro.orchestrate.cache import ResultCache
+from repro.orchestrate.telemetry import Span, TelemetrySink
+
+
+@dataclass
+class SweepResult:
+    """Outcome of one ``run_sweep`` call."""
+
+    results: list
+    wall_s: float
+    jobs: int
+    spans: list = field(default_factory=list)
+    cache_stats: object = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    @property
+    def degraded(self) -> list:
+        """Indices of jobs that finished degraded (optional-stage
+        failure) rather than fully ok."""
+        return [i for i, r in enumerate(self.results)
+                if getattr(r, "status", "ok") != "ok"]
+
+    def summary(self) -> str:
+        per_job = self.wall_s / max(len(self.results), 1)
+        return (f"{len(self.results)} jobs with jobs={self.jobs}: "
+                f"{self.wall_s:.3f} s wall ({per_job * 1000:.0f} ms/job"
+                f", {len(self.degraded)} degraded)")
+
+
+def _run_one(payload):
+    """Worker body (module-level for pickling): run one flow job."""
+    subject, library, options, cache_dir, flow_fn, job = payload
+    if flow_fn is not None:
+        return flow_fn(subject, library, options), []
+    from repro.orchestrate.flows import implement_dag
+    cache = ResultCache(disk_dir=cache_dir) if cache_dir else None
+    sink = TelemetrySink()
+    result = implement_dag(subject, library, options,
+                           cache=cache, telemetry=sink)
+    for span in sink.spans:
+        span.job = job
+    return result, sink.spans
+
+
+def run_sweep(subject, library, options_list, *, jobs: int = 1,
+              cache=None, cache_dir=None, telemetry=None,
+              flow_fn=None) -> SweepResult:
+    """Run one flow job per entry of ``options_list``.
+
+    ``subject`` is either a single design (swept over option variants,
+    the ablation shape) or a sequence matching ``options_list`` (one
+    design per job, the throughput shape).  With ``jobs > 1`` the jobs
+    run in a ``multiprocessing`` pool; ``cache_dir`` (or the disk tier
+    of ``cache``, when it has one) then gives the workers a shared
+    on-disk result cache, while serial sweeps can additionally share
+    an in-memory ``cache``
+    (:class:`~repro.orchestrate.cache.ResultCache`).  A memory-only
+    ``cache`` cannot cross process boundaries and is ignored by
+    parallel sweeps.  ``flow_fn``
+    substitutes the flow body (module-level callable
+    ``fn(subject, library, options)``) for harness tests and custom
+    flows.
+
+    Per-job telemetry spans land in ``telemetry`` (and on the returned
+    :class:`SweepResult`) tagged with their job index.
+    """
+    options_list = list(options_list)
+    if isinstance(subject, (list, tuple)):
+        if len(subject) != len(options_list):
+            raise ValueError(
+                f"{len(subject)} subjects for {len(options_list)} "
+                f"option sets")
+        subjects = list(subject)
+    else:
+        subjects = [subject] * len(options_list)
+
+    t0 = time.perf_counter()
+    spans: list[Span] = []
+    if jobs <= 1:
+        results = []
+        for i, (subj, options) in enumerate(zip(subjects,
+                                                options_list)):
+            if flow_fn is not None:
+                results.append(flow_fn(subj, library, options))
+                continue
+            from repro.orchestrate.flows import implement_dag
+            sink = TelemetrySink()
+            results.append(implement_dag(
+                subj, library, options,
+                cache=cache, telemetry=sink))
+            for span in sink.spans:
+                span.job = i
+            spans.extend(sink.spans)
+    else:
+        if cache_dir is None and cache is not None and cache.disk_dir:
+            # Workers cannot share the parent's memory tier, but they
+            # can share its disk store.
+            cache_dir = cache.disk_dir
+        payloads = [(subj, library, options, cache_dir, flow_fn, i)
+                    for i, (subj, options)
+                    in enumerate(zip(subjects, options_list))]
+        with multiprocessing.Pool(min(jobs, len(payloads))) as pool:
+            outcomes = pool.map(_run_one, payloads)
+        results = [res for res, _ in outcomes]
+        for _, job_spans in outcomes:
+            spans.extend(job_spans)
+
+    if telemetry is not None:
+        telemetry.extend(spans)
+    return SweepResult(
+        results=results, wall_s=time.perf_counter() - t0, jobs=jobs,
+        spans=spans,
+        cache_stats=cache.stats if cache is not None else None)

@@ -1,0 +1,153 @@
+"""Run telemetry: structured per-stage spans and aggregate reports.
+
+Every stage execution — cached or not — produces a :class:`Span`
+recording wall time, cache disposition, retry count, and peak RSS when
+the platform exposes it.  Spans stream to JSON-lines for offline
+analysis and aggregate into a :class:`RunReport`, the observability
+substrate behind the E7 throughput claim ("1M instances/day on
+multicore farms" needs metering before it needs more cores).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+try:
+    import resource
+except ImportError:          # pragma: no cover - non-POSIX platforms
+    resource = None
+
+
+@contextmanager
+def stage_timer(stages: dict, name: str):
+    """Record the elapsed wall time of a block into ``stages[name]``.
+
+    The one timing idiom shared by the legacy flow, the calibration
+    loop, and the DAG executor — stage names and timings cannot drift
+    apart when both come from the same ``with`` statement.
+    """
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        stages[name] = time.perf_counter() - t0
+
+
+def peak_rss_kb() -> int | None:
+    """Peak resident set size of this process in KiB, if measurable."""
+    if resource is None:
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+@dataclass
+class Span:
+    """One stage execution (or cache replay, or skip)."""
+
+    stage: str
+    wall_s: float
+    status: str = "ok"          # ok | failed | timeout | skipped
+    cache: str | None = None    # "hit" | "miss" | None (uncacheable)
+    retries: int = 0
+    peak_rss_kb: int | None = None
+    job: int | None = None      # sweep job index, when part of a sweep
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(payload: dict) -> "Span":
+        return Span(**payload)
+
+
+@dataclass
+class RunReport:
+    """Aggregate view over a collection of spans."""
+
+    spans: int = 0
+    wall_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    retries: int = 0
+    failed: int = 0
+    timeouts: int = 0
+    skipped: int = 0
+    peak_rss_kb: int | None = None
+    by_stage: dict = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over cacheable executions."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        """One-line report string."""
+        return (
+            f"{self.spans} spans, {self.wall_s:.3f} s, "
+            f"cache {self.cache_hits}/{self.cache_hits + self.cache_misses} "
+            f"hit ({self.hit_rate:.0%}), {self.retries} retries, "
+            f"{self.failed} failed, {self.timeouts} timeouts"
+        )
+
+
+class TelemetrySink:
+    """Collects spans from one or more runs."""
+
+    def __init__(self):
+        self.spans: list[Span] = []
+
+    def record(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def extend(self, spans) -> None:
+        for span in spans:
+            self.record(span if isinstance(span, Span)
+                        else Span.from_dict(span))
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # ------------------------------------------------------------------
+
+    def emit_jsonl(self, path) -> None:
+        """Append every span as one JSON object per line."""
+        with Path(path).open("a") as fh:
+            for span in self.spans:
+                fh.write(json.dumps(span.to_dict()) + "\n")
+
+    @staticmethod
+    def load_jsonl(path) -> "TelemetrySink":
+        """Rebuild a sink from a JSON-lines file."""
+        sink = TelemetrySink()
+        for line in Path(path).read_text().splitlines():
+            if line.strip():
+                sink.record(Span.from_dict(json.loads(line)))
+        return sink
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> RunReport:
+        """Aggregate the collected spans."""
+        rep = RunReport(spans=len(self.spans))
+        rss = [s.peak_rss_kb for s in self.spans
+               if s.peak_rss_kb is not None]
+        rep.peak_rss_kb = max(rss) if rss else None
+        for span in self.spans:
+            rep.wall_s += span.wall_s
+            rep.retries += span.retries
+            rep.cache_hits += span.cache == "hit"
+            rep.cache_misses += span.cache == "miss"
+            rep.failed += span.status == "failed"
+            rep.timeouts += span.status == "timeout"
+            rep.skipped += span.status == "skipped"
+            agg = rep.by_stage.setdefault(
+                span.stage, {"calls": 0, "wall_s": 0.0, "hits": 0})
+            agg["calls"] += 1
+            agg["wall_s"] += span.wall_s
+            agg["hits"] += span.cache == "hit"
+        return rep

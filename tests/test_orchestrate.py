@@ -1,0 +1,406 @@
+"""Tests for repro.orchestrate: DAG scheduling, content-hash caching,
+executors (retry/timeout/degraded), sweeps, and telemetry."""
+
+import time
+
+import pytest
+
+from repro.core import FlowOptions, implement
+from repro.learn import RunDatabase
+from repro.netlist import build_library, registered_cloud
+from repro.orchestrate import (
+    CycleError,
+    FlowDAG,
+    PoolExecutor,
+    ResultCache,
+    SerialExecutor,
+    Stage,
+    StageError,
+    StageTimeout,
+    TelemetrySink,
+    implement_dag,
+    parallel_map,
+    run_sweep,
+    stable_hash,
+    stage_key,
+    stage_timer,
+)
+from repro.tech import get_node
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(get_node("28nm"),
+                         vt_flavors=("lvt", "rvt", "hvt"))
+
+
+def small_design(lib, seed=3):
+    return registered_cloud(8, 16, 120, lib, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# DAG structure
+
+
+class TestDag:
+    def test_topological_order_respects_deps(self):
+        dag = (FlowDAG()
+               .add(Stage("c", lambda ctx: 3, deps=("a", "b")))
+               .add(Stage("a", lambda ctx: 1))
+               .add(Stage("b", lambda ctx: 2, deps=("a",))))
+        order = [s.name for s in dag.topological_order()]
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_cycle_detection(self):
+        dag = (FlowDAG()
+               .add(Stage("a", lambda ctx: 1, deps=("b",)))
+               .add(Stage("b", lambda ctx: 2, deps=("a",))))
+        with pytest.raises(CycleError, match="a"):
+            dag.topological_order()
+
+    def test_unknown_dep_rejected(self):
+        dag = FlowDAG().add(Stage("a", lambda ctx: 1, deps=("ghost",)))
+        with pytest.raises(ValueError, match="ghost"):
+            dag.validate()
+
+    def test_duplicate_stage_rejected(self):
+        dag = FlowDAG().add(Stage("a", lambda ctx: 1))
+        with pytest.raises(ValueError, match="duplicate"):
+            dag.add(Stage("a", lambda ctx: 2))
+
+    def test_dependents_transitive(self):
+        dag = (FlowDAG()
+               .add(Stage("a", lambda ctx: 1))
+               .add(Stage("b", lambda ctx: 2, deps=("a",)))
+               .add(Stage("c", lambda ctx: 3, deps=("b",)))
+               .add(Stage("d", lambda ctx: 4)))
+        assert dag.dependents("a") == {"b", "c"}
+        assert dag.dependents("d") == set()
+
+
+# ----------------------------------------------------------------------
+# Content-hash cache
+
+
+class TestCache:
+    def test_stable_hash_dict_order_independent(self):
+        assert stable_hash({"a": 1, "b": [2.5, "x"]}) == \
+            stable_hash({"b": [2.5, "x"], "a": 1})
+
+    def test_stable_hash_distinguishes_values(self):
+        assert stable_hash({"a": 1}) != stable_hash({"a": 2})
+        assert stable_hash(FlowOptions()) != \
+            stable_hash(FlowOptions(routing_iterations=2))
+
+    def test_hit_miss_and_invalidation_on_input_change(self):
+        cache = ResultCache()
+        k1 = stage_key("route", "1", {"iters": 4})
+        cache.put(k1, "result-4")
+        hit, value = cache.get(k1)
+        assert hit and value == "result-4"
+        # One knob changed -> different key -> miss.
+        hit, _ = cache.get(stage_key("route", "1", {"iters": 5}))
+        assert not hit
+        # Version bump invalidates too.
+        hit, _ = cache.get(stage_key("route", "2", {"iters": 4}))
+        assert not hit
+        assert cache.stats.hits == 1 and cache.stats.misses == 2
+
+    def test_disk_store_survives_new_instance(self, tmp_path):
+        key = stage_key("s", "1", {"x": 1})
+        ResultCache(disk_dir=tmp_path).put(key, {"qor": 42})
+        fresh = ResultCache(disk_dir=tmp_path)
+        hit, value = fresh.get(key)
+        assert hit and value == {"qor": 42}
+        assert fresh.stats.disk_hits == 1
+
+    def test_hits_return_fresh_copies(self):
+        cache = ResultCache()
+        cache.put("k", {"mutable": [1]})
+        _, first = cache.get("k")
+        first["mutable"].append(2)
+        _, second = cache.get("k")
+        assert second == {"mutable": [1]}
+
+    def test_lru_eviction(self):
+        cache = ResultCache(max_memory_entries=2)
+        for i in range(4):
+            cache.put(f"k{i}", i)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 2
+        assert not cache.get("k0")[0]
+        assert cache.get("k3")[0]
+
+
+# ----------------------------------------------------------------------
+# Executors: retry, timeout, degradation
+
+
+class TestExecutor:
+    def test_retry_then_succeed(self):
+        calls = {"n": 0}
+
+        def flaky(ctx):
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "done"
+
+        dag = FlowDAG().add(Stage("flaky", flaky, retries=3,
+                                  backoff_s=0.001))
+        sink = TelemetrySink()
+        run = SerialExecutor().run(dag, {}, sink=sink)
+        assert run.status == "ok"
+        assert run.outputs["flaky"] == "done"
+        assert sink.spans[0].retries == 2
+
+    def test_retries_exhausted_raises_strict(self):
+        dag = FlowDAG().add(Stage(
+            "dead", lambda ctx: 1 / 0, retries=1, backoff_s=0.001))
+        with pytest.raises(StageError, match="dead"):
+            SerialExecutor().run(dag, {})
+
+    def test_timeout_path(self):
+        def slow(ctx):
+            time.sleep(1.0)
+
+        dag = FlowDAG().add(Stage("slow", slow, timeout_s=0.05))
+        run = SerialExecutor().run(dag, {}, strict=False)
+        assert run.status == "failed"
+        assert run.spans[0].status == "timeout"
+        with pytest.raises(StageTimeout):
+            SerialExecutor().run(dag, {})
+
+    def test_optional_failure_degrades_and_dependents_run(self):
+        dag = (FlowDAG()
+               .add(Stage("base", lambda ctx: 10))
+               .add(Stage("shaky", lambda ctx: 1 / 0,
+                          deps=("base",), optional=True))
+               .add(Stage("after", lambda ctx: (ctx["base"],
+                                                ctx["shaky"]),
+                          deps=("base", "shaky"))))
+        run = SerialExecutor().run(dag, {})
+        assert run.status == "degraded"
+        assert run.outputs["shaky"] is None
+        assert run.outputs["after"] == (10, None)
+
+    def test_required_failure_skips_dependents(self):
+        dag = (FlowDAG()
+               .add(Stage("boom", lambda ctx: 1 / 0))
+               .add(Stage("child", lambda ctx: 1, deps=("boom",)))
+               .add(Stage("island", lambda ctx: 2)))
+        run = SerialExecutor().run(dag, {}, strict=False)
+        assert run.status == "failed"
+        assert run.failed == ["boom"] and run.skipped == ["child"]
+        assert run.outputs["island"] == 2
+
+    def test_caching_skips_execution(self):
+        calls = {"n": 0}
+
+        def expensive(ctx):
+            calls["n"] += 1
+            return ctx["x"] * 2
+
+        dag = FlowDAG().add(Stage("double", expensive, params=("x",)))
+        cache = ResultCache()
+        first = SerialExecutor().run(dag, {"x": 21}, cache=cache)
+        again = SerialExecutor().run(dag, {"x": 21}, cache=cache)
+        other = SerialExecutor().run(dag, {"x": 4}, cache=cache)
+        assert first.outputs["double"] == again.outputs["double"] == 42
+        assert other.outputs["double"] == 8
+        assert calls["n"] == 2   # second run replayed from cache
+        assert again.spans[0].cache == "hit"
+
+
+# ----------------------------------------------------------------------
+# The implement flow on the DAG engine
+
+
+class TestImplementDag:
+    def test_legacy_wrapper_unchanged(self, lib):
+        nl = small_design(lib)
+        result = implement(nl, lib, FlowOptions(scan=True, cts=True))
+        assert result.netlist is nl
+        assert result.status == "ok"
+        assert set(result.stage_runtimes) == {
+            "synthesis", "placement", "dft", "cts", "routing",
+            "signoff"}
+
+    def test_cached_rerun_skips_every_stage(self, lib):
+        cache = ResultCache()
+        sink1, sink2 = TelemetrySink(), TelemetrySink()
+        opts = FlowOptions(scan=True, cts=True)
+        first = implement_dag(small_design(lib), lib, opts,
+                              cache=cache, telemetry=sink1)
+        second = implement_dag(small_design(lib), lib, opts,
+                               cache=cache, telemetry=sink2)
+        assert [s.cache for s in sink1.spans] == ["miss"] * 6
+        assert [s.cache for s in sink2.spans] == ["hit"] * 6
+        assert (first.delay_ps, first.power_uw, first.hpwl_um,
+                first.routed_wirelength) == \
+               (second.delay_ps, second.power_uw, second.hpwl_um,
+                second.routed_wirelength)
+
+    def test_knob_change_reruns_only_downstream(self, lib):
+        cache = ResultCache()
+        implement_dag(small_design(lib), lib, FlowOptions(),
+                      cache=cache)
+        sink = TelemetrySink()
+        implement_dag(small_design(lib), lib,
+                      FlowOptions(routing_iterations=2),
+                      cache=cache, telemetry=sink)
+        dispositions = {s.stage: s.cache for s in sink.spans}
+        assert dispositions["routing"] == "miss"
+        for stage in ("synthesis", "placement", "dft", "cts",
+                      "signoff"):
+            assert dispositions[stage] == "hit", stage
+
+    def test_pool_executor_matches_serial(self, lib):
+        opts = FlowOptions(scan=True, cts=True)
+        serial = implement_dag(small_design(lib), lib, opts)
+        pooled = implement_dag(small_design(lib), lib, opts, jobs=3)
+        assert (serial.delay_ps, serial.power_uw, serial.hpwl_um,
+                serial.routed_wirelength, serial.overflow) == \
+               (pooled.delay_ps, pooled.power_uw, pooled.hpwl_um,
+                pooled.routed_wirelength, pooled.overflow)
+
+    def test_run_db_gets_telemetry(self, lib):
+        db = RunDatabase()
+        implement(small_design(lib), lib, FlowOptions.basic(),
+                  run_db=db)
+        assert len(db) == 1
+        assert len(db.telemetry) == 6
+        profile = db.stage_profile()
+        assert set(profile) == {"synthesis", "placement", "dft",
+                                "cts", "routing", "signoff"}
+        assert all(p["calls"] == 1 for p in profile.values())
+
+
+# ----------------------------------------------------------------------
+# Sweeps
+
+
+def _nap_flow(subject, library, options):
+    """Stand-in flow job: sleeps like a tool run, returns its seed."""
+    time.sleep(0.15)
+    return options.seed
+
+
+def _quick_flow(subject, library, options):
+    return options.seed * 2
+
+
+class TestSweep:
+    def test_parallel_equals_serial_result_for_result(self, lib):
+        options_list = [FlowOptions(seed=i, detailed_passes=1)
+                        for i in range(4)]
+        serial = run_sweep(small_design(lib), lib, options_list,
+                           jobs=1)
+        parallel = run_sweep(small_design(lib), lib, options_list,
+                             jobs=2)
+        as_qor = lambda r: (r.delay_ps, r.power_uw, r.hpwl_um,
+                            r.routed_wirelength, r.overflow)
+        assert [as_qor(r) for r in serial.results] == \
+               [as_qor(r) for r in parallel.results]
+
+    def test_sweep_shares_cache_across_jobs(self, lib):
+        # Two identical jobs: the second replays entirely from cache.
+        cache = ResultCache()
+        sink = TelemetrySink()
+        sweep = run_sweep(small_design(lib), lib,
+                          [FlowOptions(), FlowOptions()],
+                          jobs=1, cache=cache, telemetry=sink)
+        assert len(sweep.results) == 2
+        assert cache.stats.hits == 6 and cache.stats.misses == 6
+        hits = [s for s in sink.spans if s.cache == "hit"]
+        assert {s.job for s in hits} == {1}
+
+    def test_subject_list_must_match(self, lib):
+        with pytest.raises(ValueError, match="subjects"):
+            run_sweep([1, 2], lib, [FlowOptions()], flow_fn=_quick_flow)
+
+    def test_results_in_input_order(self):
+        options_list = [FlowOptions(seed=i) for i in range(8)]
+        sweep = run_sweep(None, None, options_list, jobs=3,
+                          flow_fn=_quick_flow)
+        assert sweep.results == [i * 2 for i in range(8)]
+
+    @pytest.mark.benchmark
+    def test_parallel_sweep_speedup(self):
+        """run_sweep(jobs=4) on 8 jobs beats jobs=1 by >= 1.3x.
+
+        Jobs are sleep-bound so the assertion measures scheduling
+        concurrency, which holds on any core count (non-flaky).
+        """
+        options_list = [FlowOptions(seed=i) for i in range(8)]
+        serial = run_sweep(None, None, options_list, jobs=1,
+                           flow_fn=_nap_flow)
+        parallel = run_sweep(None, None, options_list, jobs=4,
+                             flow_fn=_nap_flow)
+        assert serial.results == parallel.results
+        assert serial.wall_s >= 1.3 * parallel.wall_s, \
+            f"serial {serial.wall_s:.2f}s vs parallel " \
+            f"{parallel.wall_s:.2f}s"
+
+    def test_parallel_map_matches_builtin_map(self):
+        data = list(range(10))
+        assert parallel_map(_double, data, jobs=3) == \
+            [x * 2 for x in data]
+
+
+def _double(x):
+    return x * 2
+
+
+# ----------------------------------------------------------------------
+# Telemetry
+
+
+class TestTelemetry:
+    def test_stage_timer_records_elapsed(self):
+        stages = {}
+        with stage_timer(stages, "work"):
+            time.sleep(0.01)
+        assert stages["work"] >= 0.01
+
+    def test_jsonl_roundtrip(self, tmp_path, lib):
+        sink = TelemetrySink()
+        implement_dag(small_design(lib), lib, FlowOptions(),
+                      telemetry=sink)
+        path = tmp_path / "spans.jsonl"
+        sink.emit_jsonl(path)
+        loaded = TelemetrySink.load_jsonl(path)
+        assert [s.to_dict() for s in loaded.spans] == \
+            [s.to_dict() for s in sink.spans]
+
+    def test_report_aggregates(self, lib):
+        cache = ResultCache()
+        sink = TelemetrySink()
+        implement_dag(small_design(lib), lib, FlowOptions(),
+                      cache=cache, telemetry=sink)
+        implement_dag(small_design(lib), lib, FlowOptions(),
+                      cache=cache, telemetry=sink)
+        report = sink.report()
+        assert report.spans == 12
+        assert report.cache_hits == 6 and report.cache_misses == 6
+        assert report.hit_rate == 0.5
+        assert report.by_stage["routing"]["calls"] == 2
+        assert "12 spans" in report.summary()
+
+    def test_rundb_telemetry_persists(self, tmp_path, lib):
+        db = RunDatabase()
+        implement(small_design(lib), lib, FlowOptions.basic(),
+                  run_db=db)
+        path = tmp_path / "runs.json"
+        db.save(path)
+        loaded = RunDatabase.load(path)
+        assert len(loaded) == 1
+        assert len(loaded.telemetry) == len(db.telemetry) == 6
+        assert loaded.stage_profile() == db.stage_profile()
+
+    def test_rundb_loads_legacy_list_format(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text('[{"design": "d", "features": {}, '
+                        '"knobs": {}, "qor": {}, "tags": []}]')
+        db = RunDatabase.load(path)
+        assert len(db) == 1 and db.telemetry == []
