@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Standing performance-regression harness for the hot kernels.
+
+Times the kernels the optimization inner loops lean on — scalar STA,
+cold vectorized STA, incremental STA updates, global placement, global
+routing — on three synthetic design sizes, plus the end-to-end sizing
+loop with per-trial full STA versus incremental updates.  Results are
+written to ``BENCH_perf.json`` (repo root by default) so regressions
+show up in review diffs.
+
+Every timed kernel runs inside an
+:func:`orchestrate.telemetry.kernel_span`, and the spans are logged to
+a :class:`~repro.learn.rundb.RunDatabase` at the end — the same
+self-monitoring pipeline the flow sweeps use.
+
+Correctness is asserted alongside speed: the incremental engine's
+arrivals, requireds, and WNS must match the scalar analyzer bit for
+bit, and the sizing loop must make the identical resize decisions in
+both modes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # full
+    PYTHONPATH=src python benchmarks/bench_perf.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_perf.py --check    # gate
+
+``--check`` exits nonzero unless incremental STA is at least 2x faster
+than a cold analysis on the medium design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.learn.rundb import RunDatabase
+from repro.netlist import build_library, registered_cloud
+from repro.orchestrate.telemetry import TelemetrySink, kernel_span
+from repro.place.global_place import global_place
+from repro.route.global_route import route_placement
+from repro.synthesis.sizing import size_gates
+from repro.tech import get_node
+from repro.timing import (
+    IncrementalTimingAnalyzer,
+    TimingAnalyzer,
+    WireModel,
+)
+
+# (num_inputs, num_flops, num_gates) per design size.
+FULL_SIZES = {
+    "small": (24, 64, 2000),
+    "medium": (32, 128, 6000),
+    "large": (48, 192, 12000),
+}
+QUICK_SIZES = {
+    "small": (12, 24, 300),
+    "medium": (16, 48, 1500),
+    "large": (24, 64, 4000),
+}
+STA_REPEATS = 3          # best-of-N for the full-analysis kernels
+RESIZE_TRIALS = 40       # resize+update pairs timed per design
+
+
+def _tight_clock(nl, wm) -> float:
+    """A clock period ~25% below the design's critical delay, so the
+    sizing loop has negative slack to chase."""
+    report = TimingAnalyzer(nl, wm).analyze()
+    return 0.75 * report.critical_delay_ps
+
+
+def _resize_candidates(nl, count):
+    """Evenly spread (gate, other_cell) pairs for resize trials."""
+    lib = nl.library
+    gates = [g for g in nl.combinational_gates()
+             if g.cell.name.endswith("_X1_rvt")]
+    step = max(1, len(gates) // count)
+    picked = []
+    for g in gates[::step][:count]:
+        other = lib.cells.get(g.cell.name.replace("_X1_", "_X2_"))
+        if other is not None:
+            picked.append((g.name, g.cell, other))
+    return picked
+
+
+def _assert_identical(inc_report, ref_report, context):
+    if (inc_report.arrival_ps != ref_report.arrival_ps
+            or inc_report.required_ps != ref_report.required_ps
+            or inc_report.wns_ps != ref_report.wns_ps):
+        raise AssertionError(
+            f"incremental STA diverged from scalar STA ({context})")
+
+
+def bench_sta(name, nl, wm, T, sink) -> dict:
+    """Scalar vs cold-vectorized vs incremental STA on one design."""
+    scalar = TimingAnalyzer(nl, wm, T)
+    scalar_s = []
+    for _ in range(STA_REPEATS):
+        with kernel_span(sink, "sta_scalar"):
+            ref = scalar.analyze()
+        scalar_s.append(sink.spans[-1].wall_s)
+
+    with IncrementalTimingAnalyzer(nl, wm, T) as inc:
+        cold_s = []
+        for _ in range(STA_REPEATS):
+            with kernel_span(sink, "sta_cold"):
+                got = inc.analyze()
+            cold_s.append(sink.spans[-1].wall_s)
+        _assert_identical(got, ref, f"{name} cold")
+
+        # The vectorized passes alone, on the cached levelized graph.
+        passes_s = []
+        for _ in range(STA_REPEATS):
+            with kernel_span(sink, "sta_passes"):
+                got = inc.repropagate()
+            passes_s.append(sink.spans[-1].wall_s)
+        _assert_identical(got, ref, f"{name} passes")
+
+        trials = _resize_candidates(nl, RESIZE_TRIALS)
+        with kernel_span(sink, "sta_incremental"):
+            for gname, orig, other in trials:
+                nl.resize_gate(gname, other)
+                inc.update()
+                nl.resize_gate(gname, orig)
+                inc.update()
+        incr_s = sink.spans[-1].wall_s / max(2 * len(trials), 1)
+        # After the revert pairs the netlist is back to its original
+        # cells: the incremental state must still match scalar STA.
+        _assert_identical(inc.update(), ref,
+                          f"{name} after {2 * len(trials)} updates")
+
+    return {
+        "sta_scalar_ms": 1e3 * min(scalar_s),
+        "sta_cold_ms": 1e3 * min(cold_s),
+        "sta_passes_ms": 1e3 * min(passes_s),
+        "sta_incremental_ms": 1e3 * incr_s,
+        "sta_updates_timed": 2 * len(trials),
+        "speedup_passes_vs_scalar": min(scalar_s) / min(passes_s),
+        "speedup_incr_vs_cold": min(cold_s) / incr_s,
+    }
+
+
+def bench_physical(name, nl, sink) -> dict:
+    """Global place + global route wall times."""
+    with kernel_span(sink, "global_place"):
+        placement = global_place(nl, utilization=0.35, seed=0)
+    place_s = sink.spans[-1].wall_s
+    with kernel_span(sink, "global_route"):
+        route_placement(placement, engine="line_search",
+                        gcell_um=8.0, max_iterations=2)
+    route_s = sink.spans[-1].wall_s
+    return {"place_ms": 1e3 * place_s, "route_ms": 1e3 * route_s}
+
+
+def bench_sizing(lib, params, wm, sink) -> dict:
+    """The acceptance experiment: the full sizing loop with per-trial
+    scalar STA versus incremental updates, on two regenerated copies of
+    the same design — decisions and final netlists must be identical."""
+    ni, nf, ng = params
+
+    def fresh():
+        nl = registered_cloud(ni, nf, ng, lib, seed=11, name="sizing")
+        return nl, _tight_clock(nl, wm)
+
+    nl_full, T = fresh()
+    with kernel_span(sink, "sizing_full_sta"):
+        rep_full = size_gates(nl_full, wire_model=wm,
+                              clock_period_ps=T, max_passes=2,
+                              incremental=False)
+    full_s = sink.spans[-1].wall_s
+
+    nl_inc, T2 = fresh()
+    assert T2 == T
+    with kernel_span(sink, "sizing_incremental"):
+        rep_inc = size_gates(nl_inc, wire_model=wm,
+                             clock_period_ps=T, max_passes=2,
+                             incremental=True)
+    inc_s = sink.spans[-1].wall_s
+
+    cells_full = {n: g.cell.name for n, g in nl_full.gates.items()}
+    cells_inc = {n: g.cell.name for n, g in nl_inc.gates.items()}
+    identical = (rep_full == rep_inc and cells_full == cells_inc)
+    if not identical:
+        raise AssertionError(
+            "sizing diverged between full-STA and incremental modes")
+    return {
+        "clock_ps": T,
+        "resized": rep_inc["resized"],
+        "before_ps": rep_inc["before_ps"],
+        "after_ps": rep_inc["after_ps"],
+        "full_sta_s": full_s,
+        "incremental_s": inc_s,
+        "speedup": full_s / inc_s if inc_s > 0 else float("inf"),
+        "identical": identical,
+    }
+
+
+def run(quick: bool) -> tuple[dict, TelemetrySink]:
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    lib = build_library(get_node("28nm"),
+                        vt_flavors=("lvt", "rvt", "hvt"))
+    wm = WireModel.for_node(lib.node)
+    sink = TelemetrySink()
+    results: dict = {"quick": quick, "designs": {}}
+    for name, (ni, nf, ng) in sizes.items():
+        nl = registered_cloud(ni, nf, ng, lib, seed=7, name=name)
+        T = _tight_clock(nl, wm)
+        entry = {
+            "gates": nl.num_instances(),
+            "flops": len(nl.sequential_gates()),
+            "clock_ps": T,
+        }
+        t0 = time.perf_counter()
+        entry.update(bench_sta(name, nl, wm, T, sink))
+        entry.update(bench_physical(name, nl, sink))
+        entry["total_s"] = time.perf_counter() - t0
+        results["designs"][name] = entry
+        print(f"[{name}] gates={entry['gates']} "
+              f"scalar={entry['sta_scalar_ms']:.2f}ms "
+              f"cold={entry['sta_cold_ms']:.2f}ms "
+              f"passes={entry['sta_passes_ms']:.2f}ms "
+              f"incr={entry['sta_incremental_ms']:.4f}ms "
+              f"(incr vs cold {entry['speedup_incr_vs_cold']:.1f}x) "
+              f"place={entry['place_ms']:.0f}ms "
+              f"route={entry['route_ms']:.0f}ms")
+
+    results["sizing"] = bench_sizing(lib, sizes["large"], wm, sink)
+    s = results["sizing"]
+    print(f"[sizing/large] full-STA {s['full_sta_s']:.2f}s vs "
+          f"incremental {s['incremental_s']:.2f}s "
+          f"({s['speedup']:.1f}x, {s['resized']} resized, "
+          f"identical={s['identical']})")
+
+    # Per-kernel spans feed the same self-monitoring store as flow runs.
+    rundb = RunDatabase()
+    rundb.log_telemetry("bench_perf", sink.spans)
+    results["kernel_profile"] = rundb.stage_profile("bench_perf")
+    return results, sink
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small designs (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless incremental STA is >=2x "
+                             "faster than cold on the medium design")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_perf.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    results, _ = run(args.quick)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        speedup = results["designs"]["medium"]["speedup_incr_vs_cold"]
+        if speedup < 2.0:
+            print(f"CHECK FAILED: incremental STA only "
+                  f"{speedup:.2f}x faster than cold (need >=2x)")
+            return 1
+        print(f"CHECK OK: incremental STA {speedup:.1f}x faster "
+              f"than cold on medium")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.netlist.circuit import Netlist
 from repro.power.analysis import power_report
 from repro.power.thermal import derate_for_temperature
-from repro.timing import TimingAnalyzer, WireModel
+from repro.timing import IncrementalTimingAnalyzer, WireModel
 
 #: Process-corner delay multipliers (slow/typical/fast silicon).
 PROCESS_CORNERS = {"ss": 1.15, "tt": 1.00, "ff": 0.88}
@@ -75,7 +75,8 @@ def signoff(netlist: Netlist, *, clock_period_ps: float,
     """
     node = netlist.library.node
     wm = wire_model or WireModel.for_node(node)
-    base = TimingAnalyzer(netlist, wm, clock_period_ps).analyze()
+    with IncrementalTimingAnalyzer(netlist, wm, clock_period_ps) as sta:
+        base = sta.analyze()
     base_delay = base.critical_delay_ps
     base_leak_uw = netlist.leakage_nw() * 1e-3
     report = SignoffReport(clock_period_ps=clock_period_ps)

@@ -64,10 +64,9 @@ def insert_scan(netlist: Netlist, *, num_chains: int = 1,
         prev = si
         for name in names:
             gate = by_name[name]
-            if not gate.cell.is_scan:
-                gate.cell = sdff
-            gate.pins["SI"] = prev
-            gate.pins["SE"] = se
+            cell = sdff if not gate.cell.is_scan else gate.cell
+            netlist.replace_cell(name, cell,
+                                 extra_pins={"SI": prev, "SE": se})
             prev = gate.output
         netlist.add_output(prev)
         chains.append(ScanChain(f"chain{c}", names, si, prev))

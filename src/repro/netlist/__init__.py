@@ -19,7 +19,7 @@ from repro.netlist.boolfunc import TruthTable
 from repro.netlist.cubes import Cover, Cube
 from repro.netlist.aig import Aig, AIG_FALSE, AIG_TRUE
 from repro.netlist.cells import Cell, CellLibrary, build_library
-from repro.netlist.circuit import Gate, Netlist
+from repro.netlist.circuit import Gate, Netlist, NetlistEdit
 from repro.netlist.generators import (
     carry_lookahead_adder,
     crossbar_switch,
@@ -51,6 +51,7 @@ __all__ = [
     "build_library",
     "Gate",
     "Netlist",
+    "NetlistEdit",
     "ripple_carry_adder",
     "carry_lookahead_adder",
     "multiplier",

@@ -20,6 +20,30 @@ import numpy as np
 from repro.netlist.cells import Cell, CellLibrary
 
 
+@dataclass(frozen=True)
+class NetlistEdit:
+    """One journal entry describing a netlist mutation.
+
+    ``kind`` is one of ``add_input``, ``add_output``, ``add_gate``,
+    ``remove_gate``, ``rewire``, ``replace_cell``, ``resize``.  The
+    connectivity at the time of the edit is snapshotted (``fanins``,
+    ``net``) so consumers such as the incremental timing engine can
+    react to a ``remove_gate`` after the gate object is gone.
+    """
+
+    kind: str
+    gate: str | None = None      # gate name involved, if any
+    net: str | None = None       # output / declared net
+    pin: str | None = None       # rewired pin
+    old_net: str | None = None   # previous driver of a rewired pin
+    fanins: tuple = ()           # gate's fanin nets at edit time
+
+    @property
+    def structural(self) -> bool:
+        """True when the edit changes connectivity (not just a cell)."""
+        return self.kind not in ("resize", "add_output")
+
+
 @dataclass
 class Gate:
     """One cell instance.
@@ -56,6 +80,50 @@ class Netlist:
         self.primary_outputs: list[str] = []
         self._driver: dict[str, str] = {}  # net -> gate name ("" for PI)
         self._counter = 0
+        self._struct_version = 0           # bumped on connectivity edits
+        self._view_cache: dict = {}        # memoized fanout/topo views
+        self._subscribers: list = []       # change-journal callbacks
+
+    def __getstate__(self):
+        """Pickle without the memoized views, journal subscribers, or
+        version counter: they are per-process acceleration state, and
+        including them would make structurally identical netlists hash
+        (and cache-key) differently depending on usage history."""
+        state = self.__dict__.copy()
+        state["_view_cache"] = {}
+        state["_subscribers"] = []
+        state["_struct_version"] = 0
+        return state
+
+    # ------------------------------------------------------------------
+    # Change journal
+    # ------------------------------------------------------------------
+
+    def subscribe(self, callback):
+        """Register ``callback(edit: NetlistEdit)`` for every mutation.
+
+        Returns a zero-argument unsubscribe function.  The incremental
+        timing engine uses this to learn which gates changed between
+        two analyses without diffing the whole netlist.
+        """
+        self._subscribers.append(callback)
+
+        def unsubscribe():
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+        return unsubscribe
+
+    @property
+    def struct_version(self) -> int:
+        """Monotonic counter of connectivity-changing edits."""
+        return self._struct_version
+
+    def _note(self, edit: NetlistEdit) -> None:
+        if edit.structural:
+            self._struct_version += 1
+            self._view_cache.clear()
+        for callback in self._subscribers:
+            callback(edit)
 
     # ------------------------------------------------------------------
     # Construction
@@ -67,11 +135,13 @@ class Netlist:
             raise ValueError(f"net {net!r} already driven")
         self.primary_inputs.append(net)
         self._driver[net] = ""
+        self._note(NetlistEdit(kind="add_input", net=net))
         return net
 
     def add_output(self, net: str) -> str:
         """Declare an existing net as a primary output."""
         self.primary_outputs.append(net)
+        self._note(NetlistEdit(kind="add_output", net=net))
         return net
 
     def add_gate(self, cell: Cell | str, inputs, output: str | None = None,
@@ -105,6 +175,8 @@ class Netlist:
         gate = Gate(name, cell, pins, output)
         self.gates[name] = gate
         self._driver[output] = name
+        self._note(NetlistEdit(kind="add_gate", gate=name, net=output,
+                               fanins=tuple(pins.values())))
         return gate
 
     def _fresh(self, prefix: str) -> str:
@@ -118,13 +190,65 @@ class Netlist:
         """Delete a gate (its output net becomes undriven)."""
         gate = self.gates.pop(name)
         del self._driver[gate.output]
+        self._note(NetlistEdit(kind="remove_gate", gate=name,
+                               net=gate.output,
+                               fanins=tuple(gate.pins.values())))
 
     def rewire_pin(self, gate_name: str, pin: str, net: str) -> None:
         """Reconnect one input pin of a gate to a different net."""
         gate = self.gates[gate_name]
         if pin not in gate.pins:
             raise KeyError(f"gate {gate_name} has no pin {pin}")
+        old = gate.pins[pin]
         gate.pins[pin] = net
+        self._note(NetlistEdit(kind="rewire", gate=gate_name, pin=pin,
+                               net=net, old_net=old,
+                               fanins=tuple(gate.pins.values())))
+
+    def resize_gate(self, name: str, cell: Cell | str) -> Gate:
+        """Swap a gate's cell for a footprint-compatible variant.
+
+        The replacement must keep the pin list (same input names, same
+        sequential-ness): drive-strength and Vt swaps qualify.  This is
+        the journal-aware path the sizing loops use so the incremental
+        timing engine sees the edit; use :meth:`replace_cell` for swaps
+        that change the pinout.
+        """
+        if isinstance(cell, str):
+            cell = self.library[cell]
+        gate = self.gates[name]
+        old = gate.cell
+        if cell is old:
+            return gate
+        if (cell.inputs != old.inputs
+                or cell.is_sequential != old.is_sequential):
+            raise ValueError(
+                f"{cell.name} is not footprint-compatible with "
+                f"{old.name}; use replace_cell")
+        gate.cell = cell
+        self._note(NetlistEdit(kind="resize", gate=name, net=gate.output,
+                               fanins=tuple(gate.pins.values())))
+        return gate
+
+    def replace_cell(self, name: str, cell: Cell | str,
+                     extra_pins: dict | None = None) -> Gate:
+        """Swap a gate's cell, connecting any new pins from
+        ``extra_pins`` (pin name -> net).  Pins the new cell does not
+        declare are dropped.  Used by scan insertion (DFF -> SDFF)."""
+        if isinstance(cell, str):
+            cell = self.library[cell]
+        gate = self.gates[name]
+        pins = {p: n for p, n in gate.pins.items() if p in cell.inputs}
+        pins.update(extra_pins or {})
+        missing = set(cell.inputs) - set(pins)
+        if missing:
+            raise ValueError(f"unconnected pins {sorted(missing)}")
+        gate.cell = cell
+        gate.pins = pins
+        self._note(NetlistEdit(kind="replace_cell", gate=name,
+                               net=gate.output,
+                               fanins=tuple(pins.values())))
+        return gate
 
     # ------------------------------------------------------------------
     # Queries
@@ -142,20 +266,29 @@ class Netlist:
         return list(self._driver)
 
     def loads_of(self, net: str) -> list[tuple]:
-        """All (gate, pin) pairs reading ``net``."""
-        out = []
-        for g in self.gates.values():
-            for pin, n in g.pins.items():
-                if n == net:
-                    out.append((g, pin))
-        return out
+        """All (gate, pin) pairs reading ``net``.
+
+        Served from the memoized :meth:`fanout_map`: the first call
+        after a connectivity edit pays one pass over the design, later
+        calls are dictionary lookups.
+        """
+        return list(self.fanout_map().get(net, ()))
 
     def fanout_map(self) -> dict:
-        """net -> list of (gate, pin) loads, one pass over the design."""
-        fan: dict[str, list] = {n: [] for n in self._driver}
-        for g in self.gates.values():
-            for pin, n in g.pins.items():
-                fan.setdefault(n, []).append((g, pin))
+        """net -> list of (gate, pin) loads.
+
+        Memoized: rebuilt only after a connectivity edit (the change
+        journal invalidates it), so per-iteration callers in the
+        optimization loops get the same dict back.  Treat the returned
+        mapping as read-only.
+        """
+        fan = self._view_cache.get("fanout")
+        if fan is None:
+            fan = {n: [] for n in self._driver}
+            for g in self.gates.values():
+                for pin, n in g.pins.items():
+                    fan.setdefault(n, []).append((g, pin))
+            self._view_cache["fanout"] = fan
         return fan
 
     def sequential_gates(self) -> list[Gate]:
@@ -186,8 +319,12 @@ class Netlist:
         """Combinational gates in topological order.
 
         Flop outputs are treated as sources; an exception is raised on
-        combinational cycles.
+        combinational cycles.  Memoized until the next connectivity
+        edit — treat the returned list as read-only.
         """
+        cached = self._view_cache.get("topo")
+        if cached is not None:
+            return cached
         order: list[Gate] = []
         indeg: dict[str, int] = {}
         dependents: dict[str, list[str]] = {}
@@ -210,6 +347,7 @@ class Netlist:
                     ready.append(dep)
         if len(order) != len(indeg):
             raise ValueError("combinational cycle detected")
+        self._view_cache["topo"] = order
         return order
 
     def validate(self) -> None:

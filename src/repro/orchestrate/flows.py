@@ -107,14 +107,15 @@ def stage_routing(ctx) -> object:
 def stage_signoff(ctx) -> dict:
     """Timing + power signoff with placement-derived parasitics."""
     from repro.power.analysis import power_report
-    from repro.timing import TimingAnalyzer, WireModel
+    from repro.timing import IncrementalTimingAnalyzer, WireModel
     options = ctx["options"]
     placement = ctx["dft"]
     netlist = placement.netlist
     wm = WireModel.for_node(ctx["library"].node,
                             placement.net_lengths())
-    timing = TimingAnalyzer(netlist, wm,
-                            options.clock_period_ps).analyze()
+    with IncrementalTimingAnalyzer(netlist, wm,
+                                   options.clock_period_ps) as sta:
+        timing = sta.analyze()
     power = power_report(netlist, freq_ghz=options.freq_ghz,
                          patterns=64, seed=options.seed)
     return {"delay_ps": timing.critical_delay_ps,

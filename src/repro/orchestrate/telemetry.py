@@ -37,6 +37,33 @@ def stage_timer(stages: dict, name: str):
         stages[name] = time.perf_counter() - t0
 
 
+@contextmanager
+def kernel_span(sink: "TelemetrySink", stage: str, *,
+                job: int | None = None):
+    """Record one kernel execution (STA, place, route, ...) as a
+    :class:`Span` in ``sink``.
+
+    The perf-regression harness (``benchmarks/bench_perf.py``) wraps
+    each timed kernel in one of these so per-kernel wall times flow
+    into the same :class:`TelemetrySink` / ``RunDatabase.log_telemetry``
+    pipeline the flow stages use — sweeps capture kernel regressions
+    for free.  Exceptions mark the span ``failed`` and re-raise.
+    """
+    t0 = time.perf_counter()
+    status = "ok"
+    try:
+        yield
+    except BaseException:
+        status = "failed"
+        raise
+    finally:
+        sink.record(Span(stage=stage,
+                         wall_s=time.perf_counter() - t0,
+                         status=status,
+                         peak_rss_kb=peak_rss_kb(),
+                         job=job))
+
+
 def peak_rss_kb() -> int | None:
     """Peak resident set size of this process in KiB, if measurable."""
     if resource is None:

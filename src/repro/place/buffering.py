@@ -124,7 +124,7 @@ def buffer_long_nets(placement: Placement, *,
                 lp[0].name, (x0, y0))[0] - x0))
         for g, pin in loads_sorted[len(loads_sorted) // 2:]:
             if g.pins[pin] == net:
-                g.pins[pin] = prev
+                nl.rewire_pin(g.name, pin, prev)
     return BufferReport(
         buffers_added=inserted,
         buffer_area_um2=inserted * buf.area_um2,

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.netlist.circuit import Netlist
 from repro.place.global_place import global_place
 from repro.place.placement import Placement
-from repro.timing import TimingAnalyzer, WireModel
+from repro.timing import IncrementalTimingAnalyzer, WireModel
 
 
 def slack_weights(netlist: Netlist, placement: Placement, *,
@@ -26,9 +26,8 @@ def slack_weights(netlist: Netlist, placement: Placement, *,
         raise ValueError("max_weight must be >= 1")
     lengths = placement.net_lengths()
     wm = WireModel.for_node(netlist.library.node, lengths)
-    report = TimingAnalyzer(netlist, wm, clock_period_ps).analyze()
-    slacks = {net: report.slack_ps(net)
-              for net in report.arrival_ps}
+    with IncrementalTimingAnalyzer(netlist, wm, clock_period_ps) as sta:
+        slacks = sta.analyze().slacks()
     if not slacks:
         return {}
     values = sorted(slacks.values())
@@ -66,7 +65,8 @@ def critical_path_length_um(netlist: Netlist,
     """Total routed length (HPWL) of the nets on the critical path."""
     lengths = placement.net_lengths()
     wm = WireModel.for_node(netlist.library.node, lengths)
-    report = TimingAnalyzer(netlist, wm, clock_period_ps).analyze()
+    with IncrementalTimingAnalyzer(netlist, wm, clock_period_ps) as sta:
+        report = sta.analyze()
     total = 0.0
     for gname in report.critical_path:
         gate = netlist.gates.get(gname)

@@ -33,7 +33,10 @@ from repro.synthesis.division import (
 from repro.synthesis.bdd import BddManager, check_equivalence
 from repro.synthesis.mig import Mig, aig_adder, mig_adder, mig_from_aig
 from repro.synthesis.network import LogicNetwork, LogicNode
-from repro.synthesis.retiming import RetimingGraph
+from repro.synthesis.retiming import (
+    RetimingGraph,
+    retiming_graph_from_netlist,
+)
 from repro.synthesis.sat import Cnf, SatSolver, sat_check_equivalence
 from repro.synthesis.rewrite import balance, refactor, rewrite
 from repro.synthesis.mapping import map_aig, trivial_map
@@ -62,6 +65,7 @@ __all__ = [
     "SatSolver",
     "sat_check_equivalence",
     "RetimingGraph",
+    "retiming_graph_from_netlist",
     "balance",
     "refactor",
     "rewrite",

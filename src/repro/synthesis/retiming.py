@@ -200,6 +200,82 @@ class RetimingGraph:
         return w_mat, d_mat
 
 
+#: Name of the environment node closing I/O paths in bridged graphs.
+HOST = "__host__"
+
+
+def retiming_graph_from_netlist(netlist, *, wire_model=None,
+                                clock_period_ps: float = 1000.0,
+                                analyzer=None) -> RetimingGraph:
+    """Abstract a mapped :class:`~repro.netlist.Netlist` into a
+    :class:`RetimingGraph`.
+
+    Nodes are combinational gates annotated with the timing engine's
+    cached per-gate cell delays
+    (:meth:`~repro.timing.IncrementalTimingAnalyzer.gate_delays_ps`);
+    edge weights count the flops crossed between two combinational
+    gates (a walk through flop D -> Q hops, guarded against flop-only
+    rings such as LFSRs).  A ``HOST`` node closes I/O paths with
+    weight-1 edges — the registered-I/O assumption, so retiming cannot
+    borrow registers from the environment.  Scan pins (SI/SE) are not
+    followed: the graph models the functional paths.
+
+    Pass an existing ``analyzer`` to reuse its levelized graph; one is
+    built (and detached) internally otherwise.
+    """
+    from repro.timing.incremental import IncrementalTimingAnalyzer
+
+    own = analyzer is None
+    if own:
+        analyzer = IncrementalTimingAnalyzer(netlist, wire_model,
+                                             clock_period_ps)
+    try:
+        delays = analyzer.gate_delays_ps()
+    finally:
+        if own:
+            analyzer.close()
+
+    g = RetimingGraph()
+    g.add_node(HOST, 0.0)
+    comb = [gt for gt in netlist.gates.values()
+            if not gt.cell.is_sequential]
+    for gt in comb:
+        g.add_node(gt.name, delays.get(gt.name, gt.cell.intrinsic_ps))
+
+    fan = netlist.fanout_map()
+    po_set = set(netlist.primary_outputs)
+    edges: dict = {}        # (u, v) -> min registers on any path
+
+    def note(u, v, w):
+        key = (u, v)
+        if key not in edges or w < edges[key]:
+            edges[key] = w
+
+    def sinks_from(net, weight, visited_flops):
+        """Yield (node, registers) for every comb gate or HOST sink
+        reachable from ``net`` through flops only."""
+        if net in po_set:
+            yield (HOST, weight + 1)
+        for reader, pin in fan.get(net, ()):
+            if reader.cell.is_sequential:
+                if pin == "D" and reader.name not in visited_flops:
+                    visited_flops.add(reader.name)
+                    yield from sinks_from(reader.output, weight + 1,
+                                          visited_flops)
+            else:
+                yield (reader.name, weight)
+
+    for gt in comb:
+        for v, w in sinks_from(gt.output, 0, set()):
+            note(gt.name, v, w)
+    for pi in netlist.primary_inputs:
+        for v, w in sinks_from(pi, 1, set()):
+            note(HOST, v, w)
+    for (u, v), w in sorted(edges.items()):
+        g.add_edge(u, v, w)
+    return g
+
+
 def unbalanced_ring_example(stages: int = 3, *,
                             slow_delay: float = 10.0,
                             fast_delay: float = 1.0) -> RetimingGraph:

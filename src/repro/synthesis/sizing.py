@@ -3,6 +3,15 @@
 Two of the "wide catalogue of techniques" (Domic) that advanced flows
 apply automatically: upsizing drive strength along critical paths and
 swapping slack-rich gates to high-Vt variants to cut leakage.
+
+Both loops evaluate one trial resize per inner step, so they are the
+hottest consumers of STA in the flow.  By default they drive the
+:class:`~repro.timing.IncrementalTimingAnalyzer`: every trial is a
+journaled :meth:`~repro.netlist.Netlist.resize_gate` followed by a
+cone-limited ``update()`` instead of a whole-design re-analysis.  Pass
+``incremental=False`` to fall back to a full scalar STA per trial (the
+pre-incremental behavior; the results are bit-identical either way,
+which ``benchmarks/bench_perf.py`` asserts).
 """
 
 from __future__ import annotations
@@ -11,7 +20,7 @@ import re
 
 from repro.netlist.cells import CellLibrary
 from repro.netlist.circuit import Netlist
-from repro.timing import TimingAnalyzer, WireModel
+from repro.timing import IncrementalTimingAnalyzer, TimingAnalyzer, WireModel
 
 _DRIVE_LADDER = ["X1", "X2", "X4"]
 _NAME_RE = re.compile(r"^(?P<base>[A-Z0-9]+)_(?P<drive>X\d)_(?P<vt>[a-z]+)$")
@@ -27,51 +36,69 @@ def _variant(library: CellLibrary, cell_name: str, *, drive=None, vt=None):
     return library.cells.get(name)
 
 
+def _make_analyzer(netlist, wire_model, clock_period_ps, incremental):
+    """(analyzer, evaluate, close): ``evaluate()`` returns a report for
+    the netlist's current state — a cone update in incremental mode, a
+    full scalar re-analysis otherwise."""
+    if incremental:
+        analyzer = IncrementalTimingAnalyzer(
+            netlist, wire_model, clock_period_ps)
+        return analyzer, analyzer.update, analyzer.close
+    analyzer = TimingAnalyzer(netlist, wire_model, clock_period_ps)
+    return analyzer, analyzer.analyze, lambda: None
+
+
 def size_gates(netlist: Netlist, *, wire_model: WireModel | None = None,
                clock_period_ps: float = 1000.0,
-               max_passes: int = 4) -> dict:
+               max_passes: int = 4,
+               incremental: bool = True) -> dict:
     """Upsize cells along critical paths until timing stops improving.
 
     Mutates the netlist in place.  Returns a report with before/after
     critical delay and the number of cells resized.
     """
     library = netlist.library
-    analyzer = TimingAnalyzer(netlist, wire_model, clock_period_ps)
-    initial = analyzer.analyze()
-    before_ps = initial.critical_delay_ps
-    resized = 0
-    best_ps = before_ps
-    for _ in range(max_passes):
-        report = analyzer.analyze()
-        if report.wns_ps >= 0:
-            break  # timing met: do not spend area on speed nobody asked for
-        improved = False
-        for gname in report.critical_path:
-            gate = netlist.gates.get(gname)
-            if gate is None or gate.cell.is_sequential:
-                continue
-            m = _NAME_RE.match(gate.cell.name)
-            if not m:
-                continue
-            drive = m.group("drive")
-            idx = _DRIVE_LADDER.index(drive) if drive in _DRIVE_LADDER else -1
-            if idx < 0 or idx + 1 >= len(_DRIVE_LADDER):
-                continue
-            bigger = _variant(library, gate.cell.name,
-                              drive=_DRIVE_LADDER[idx + 1])
-            if bigger is None:
-                continue
-            old_cell = gate.cell
-            gate.cell = bigger
-            new_ps = analyzer.analyze().critical_delay_ps
-            if new_ps < best_ps - 1e-9:
-                best_ps = new_ps
-                resized += 1
-                improved = True
-            else:
-                gate.cell = old_cell
-        if not improved:
-            break
+    analyzer, evaluate, close = _make_analyzer(
+        netlist, wire_model, clock_period_ps, incremental)
+    try:
+        initial = analyzer.analyze()
+        before_ps = initial.critical_delay_ps
+        resized = 0
+        best_ps = before_ps
+        for _ in range(max_passes):
+            report = evaluate()
+            if report.wns_ps >= 0:
+                break  # timing met: don't spend area on unneeded speed
+            improved = False
+            for gname in report.critical_path:
+                gate = netlist.gates.get(gname)
+                if gate is None or gate.cell.is_sequential:
+                    continue
+                m = _NAME_RE.match(gate.cell.name)
+                if not m:
+                    continue
+                drive = m.group("drive")
+                idx = (_DRIVE_LADDER.index(drive)
+                       if drive in _DRIVE_LADDER else -1)
+                if idx < 0 or idx + 1 >= len(_DRIVE_LADDER):
+                    continue
+                bigger = _variant(library, gate.cell.name,
+                                  drive=_DRIVE_LADDER[idx + 1])
+                if bigger is None:
+                    continue
+                old_cell = gate.cell
+                netlist.resize_gate(gname, bigger)
+                new_ps = evaluate().critical_delay_ps
+                if new_ps < best_ps - 1e-9:
+                    best_ps = new_ps
+                    resized += 1
+                    improved = True
+                else:
+                    netlist.resize_gate(gname, old_cell)
+            if not improved:
+                break
+    finally:
+        close()
     return {
         "before_ps": before_ps,
         "after_ps": best_ps,
@@ -81,7 +108,8 @@ def size_gates(netlist: Netlist, *, wire_model: WireModel | None = None,
 
 def assign_vt(netlist: Netlist, *, wire_model: WireModel | None = None,
               clock_period_ps: float = 1000.0,
-              slack_margin_ps: float = 0.0) -> dict:
+              slack_margin_ps: float = 0.0,
+              incremental: bool = True) -> dict:
     """Swap slack-rich gates to HVT (leakage recovery).
 
     A gate is swapped when its output slack stays positive by
@@ -93,34 +121,38 @@ def assign_vt(netlist: Netlist, *, wire_model: WireModel | None = None,
     if not any(c.vt_flavor == "hvt" for c in library):
         raise ValueError("library has no HVT flavor; build with "
                          "vt_flavors=('rvt', 'hvt')")
-    analyzer = TimingAnalyzer(netlist, wire_model, clock_period_ps)
-    report = analyzer.analyze()
-    leak_before = netlist.leakage_nw()
-    swapped = []
-    for gate in sorted(netlist.combinational_gates(),
-                       key=lambda g: -g.cell.leak_nw):
-        slack = report.slack_ps(gate.output)
-        hvt = _variant(library, gate.cell.name, vt="hvt")
-        if hvt is None or hvt is gate.cell:
-            continue
-        slowdown = hvt.intrinsic_ps - gate.cell.intrinsic_ps
-        if slack - slowdown * 2.0 <= slack_margin_ps:
-            continue
-        gate.cell = hvt
-        swapped.append(gate)
-    # Repair: revert swaps if the design went negative.
-    repair_passes = 0
-    while swapped and repair_passes < 10:
+    analyzer, evaluate, close = _make_analyzer(
+        netlist, wire_model, clock_period_ps, incremental)
+    try:
         report = analyzer.analyze()
-        if report.wns_ps >= 0:
-            break
-        worst = min(swapped,
-                    key=lambda g: report.slack_ps(g.output))
-        rvt = _variant(library, worst.cell.name, vt="rvt")
-        if rvt is not None:
-            worst.cell = rvt
-        swapped.remove(worst)
-        repair_passes += 1
+        leak_before = netlist.leakage_nw()
+        swapped = []
+        for gate in sorted(netlist.combinational_gates(),
+                           key=lambda g: -g.cell.leak_nw):
+            slack = report.slack_ps(gate.output)
+            hvt = _variant(library, gate.cell.name, vt="hvt")
+            if hvt is None or hvt is gate.cell:
+                continue
+            slowdown = hvt.intrinsic_ps - gate.cell.intrinsic_ps
+            if slack - slowdown * 2.0 <= slack_margin_ps:
+                continue
+            netlist.resize_gate(gate.name, hvt)
+            swapped.append(gate)
+        # Repair: revert swaps if the design went negative.
+        repair_passes = 0
+        while swapped and repair_passes < 10:
+            report = evaluate()
+            if report.wns_ps >= 0:
+                break
+            worst = min(swapped,
+                        key=lambda g: report.slack_ps(g.output))
+            rvt = _variant(library, worst.cell.name, vt="rvt")
+            if rvt is not None:
+                netlist.resize_gate(worst.name, rvt)
+            swapped.remove(worst)
+            repair_passes += 1
+    finally:
+        close()
     return {
         "leak_before_nw": leak_before,
         "leak_after_nw": netlist.leakage_nw(),

@@ -14,6 +14,11 @@ from repro.timing.sta import (
     TimingReport,
     WireModel,
     critical_path,
+    trace_critical,
+)
+from repro.timing.incremental import (
+    IncrementalReport,
+    IncrementalTimingAnalyzer,
 )
 from repro.timing.cts import (
     ClockTree,
@@ -26,6 +31,9 @@ __all__ = [
     "TimingReport",
     "WireModel",
     "critical_path",
+    "trace_critical",
+    "IncrementalTimingAnalyzer",
+    "IncrementalReport",
     "ClockTree",
     "synthesize_clock_tree",
     "naive_clock_spine",

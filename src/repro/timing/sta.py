@@ -96,9 +96,17 @@ class TimingAnalyzer:
         return pin_cap + self.wire.net_cap_ff(gate.output, len(loads))
 
     def analyze(self) -> TimingReport:
-        """Run arrival/required propagation; returns a report."""
+        """Run arrival/required propagation; returns a report.
+
+        Per-net wire delay is computed once per run (forward and
+        backward passes share one memo dict), and per-gate cell delay
+        once per pass instead of once per direction.
+        """
         nl = self.netlist
         fanout = nl.fanout_map()
+        # Wire delay memo: net_delay_ps was previously evaluated twice
+        # per net per analyze (forward + backward).
+        wire_delay = {net: self.wire.net_delay_ps(net) for net in fanout}
         arrival: dict[str, float] = {}
         from_gate: dict[str, str] = {}
 
@@ -110,13 +118,15 @@ class TimingAnalyzer:
             from_gate[flop.output] = flop.name
 
         order = nl.topological_gates()
+        cell_delays: dict[str, float] = {}
         for gate in order:
             load = self.load_on_gate(gate, fanout)
             cell_delay = gate.cell.delay_ps(load)
+            cell_delays[gate.name] = cell_delay
             best, best_src = 0.0, None
             for pin in gate.cell.inputs:
                 net = gate.pins[pin]
-                t = arrival.get(net, 0.0) + self.wire.net_delay_ps(net)
+                t = arrival.get(net, 0.0) + wire_delay.get(net, 0.0)
                 if t >= best:
                     best, best_src = t, net
             arrival[gate.output] = best + cell_delay
@@ -133,12 +143,11 @@ class TimingAnalyzer:
             setup = flop.cell.intrinsic_ps * 0.5
             required[d_net] = min(required.get(d_net, T), T - setup)
         for gate in reversed(order):
-            load = self.load_on_gate(gate, fanout)
-            cell_delay = gate.cell.delay_ps(load)
+            cell_delay = cell_delays[gate.name]
             req_out = required.get(gate.output, T)
             for pin in gate.cell.inputs:
                 net = gate.pins[pin]
-                cand = req_out - cell_delay - self.wire.net_delay_ps(net)
+                cand = req_out - cell_delay - wire_delay.get(net, 0.0)
                 if cand < required.get(net, float("inf")):
                     required[net] = cand
         for net in arrival:
@@ -148,38 +157,53 @@ class TimingAnalyzer:
 
         wns = min(
             (required[n] - arrival[n] for n in arrival), default=0.0)
-        crit = self._trace_critical(arrival, required, from_gate)
+        crit = trace_critical(nl, arrival, required, from_gate)
         return TimingReport(arrival, required, wns, crit, T)
 
     def _trace_critical(self, arrival, required, from_gate) -> list:
-        nl = self.netlist
-        if not arrival:
-            return []
-        # Endpoint with the smallest slack.
-        endpoints = list(nl.primary_outputs) + [
-            f.pins["D"] for f in nl.sequential_gates()]
-        endpoints = [e for e in endpoints if e in arrival]
-        if not endpoints:
-            return []
-        end = min(endpoints, key=lambda n: required[n] - arrival[n])
-        path = []
-        net = end
-        seen = set()
-        while net in from_gate and net not in seen:
-            seen.add(net)
-            gname = from_gate[net]
-            path.append(gname)
-            gate = nl.gates[gname]
-            if gate.cell.is_sequential:
-                break
-            # Step to the worst-arrival fanin.
-            nxt = max(
-                (gate.pins[p] for p in gate.cell.inputs),
-                key=lambda n: arrival.get(n, 0.0),
-            )
-            net = nxt
-        path.reverse()
-        return path
+        return trace_critical(self.netlist, arrival, required, from_gate)
+
+
+def trace_critical(nl: Netlist, arrival, required, from_gate) -> list:
+    """Walk the worst-slack endpoint back to a startpoint.
+
+    ``arrival``/``required`` may be plain dicts or any mapping with
+    ``get``/``__contains__`` (the incremental engine passes array-backed
+    views).  The walk stops explicitly at primary inputs and at flop
+    outputs rather than relying on ``from_gate`` lookup misses.
+    """
+    if not arrival:
+        return []
+    # Endpoint with the smallest slack.
+    endpoints = list(nl.primary_outputs) + [
+        f.pins["D"] for f in nl.sequential_gates()]
+    endpoints = [e for e in endpoints if e in arrival]
+    if not endpoints:
+        return []
+    startpoints = set(nl.primary_inputs)
+    end = min(endpoints, key=lambda n: required[n] - arrival[n])
+    path = []
+    net = end
+    seen = set()
+    while net not in seen:
+        if net in startpoints:
+            break               # reached a primary input: path complete
+        if net not in from_gate:
+            break               # undriven net (e.g. a removed gate)
+        seen.add(net)
+        gname = from_gate[net]
+        path.append(gname)
+        gate = nl.gates[gname]
+        if gate.cell.is_sequential:
+            break               # flop Q: the launching startpoint
+        # Step to the worst-arrival fanin.
+        nxt = max(
+            (gate.pins[p] for p in gate.cell.inputs),
+            key=lambda n: arrival.get(n, 0.0),
+        )
+        net = nxt
+    path.reverse()
+    return path
 
 
 def critical_path(netlist: Netlist, wire_model: WireModel | None = None,

@@ -131,3 +131,37 @@ class TestWireModel:
         for net in ("a", "n0", "n1"):
             assert report.slack_ps(net) == pytest.approx(
                 report.required_ps[net] - report.arrival_ps[net])
+
+
+class TestCriticalTrace:
+    def test_pi_to_po_path_stops_at_primary_input(self, lib):
+        # A purely combinational PI -> gates -> PO path: the trace must
+        # walk the full chain and terminate at the primary input
+        # explicitly, never looping or truncating.
+        nl = inv_chain(lib, 3)
+        report = critical_path(nl)
+        expected = [nl.driver_of(f"n{i}").name for i in range(3)]
+        assert report.critical_path == expected
+        first = nl.gates[report.critical_path[0]]
+        assert first.pins["A"] in nl.primary_inputs
+
+    def test_feedthrough_po_gives_empty_path(self, lib):
+        # A PO that IS a PI: the endpoint is already a startpoint.
+        nl = Netlist("feed", lib)
+        nl.add_input("a")
+        nl.add_output("a")
+        nl.add_gate("INV_X1_rvt", ["a"], "y")  # side logic, not a PO
+        report = critical_path(nl)
+        assert report.critical_path == []
+
+    def test_trace_stops_at_undriven_net(self, lib):
+        # A gate reading a net whose driver was removed: the walk
+        # breaks at the undriven net instead of raising.
+        from repro.timing import trace_critical
+        nl = inv_chain(lib, 2)
+        report = critical_path(nl)
+        last = nl.driver_of("n1").name
+        from_gate = {"n1": last}  # n0's driver "forgotten"
+        path = trace_critical(nl, report.arrival_ps,
+                              report.required_ps, from_gate)
+        assert path == [last]
