@@ -10,8 +10,9 @@ run at 28 nm and at 180 nm, averaged over seeds.
 import numpy as np
 import pytest
 
-from repro.core import FlowOptions, implement
+from repro.core import FlowOptions
 from repro.netlist import random_aig
+from repro.orchestrate import run
 
 from conftest import report
 
@@ -23,10 +24,9 @@ def _run_pair(lib, seed, clock_ps):
     basic_opts.clock_period_ps = clock_ps
     advanced_opts = FlowOptions.advanced()
     advanced_opts.clock_period_ps = clock_ps
-    basic = implement(random_aig(16, 450, 10, seed=seed), lib,
-                      basic_opts)
-    advanced = implement(random_aig(16, 450, 10, seed=seed), lib,
-                         advanced_opts)
+    basic = run(random_aig(16, 450, 10, seed=seed), lib, basic_opts)
+    advanced = run(random_aig(16, 450, 10, seed=seed), lib,
+                   advanced_opts)
     return basic, advanced
 
 
@@ -92,6 +92,6 @@ def test_do_more_with_less_summary(results_28, results_180):
 def test_bench_advanced_flow(benchmark, lib28):
     """Benchmark the full advanced implementation flow."""
     result = benchmark(
-        lambda: implement(random_aig(12, 250, 8, seed=43), lib28,
-                          FlowOptions.advanced()).instances)
+        lambda: run(random_aig(12, 250, 8, seed=43), lib28,
+                    FlowOptions.advanced()).instances)
     assert result > 0

@@ -9,8 +9,9 @@ the era synthesis ladder to show the decade-of-EDA effect.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import FlowOptions, implement
+from repro.core import FlowOptions
 from repro.netlist import build_library, carry_lookahead_adder, random_aig
+from repro.orchestrate import run
 from repro.synthesis.flow import decade_comparison
 from repro.tech import get_node
 
@@ -23,7 +24,7 @@ def main() -> None:
 
     # 1. A real arithmetic block through the full implementation flow.
     adder = carry_lookahead_adder(8, library)
-    result = implement(adder, library, FlowOptions.advanced())
+    result = run(adder, library, FlowOptions.advanced())
     print("8-bit CLA implementation:")
     print(" ", result.summary())
     for stage, seconds in result.stage_runtimes.items():

@@ -11,7 +11,12 @@
   (E1..E15) to their benchmark entry points.
 """
 
-from repro.core.flow import FlowOptions, FlowResult, implement
+from repro.core.flow import (
+    FlowOptions,
+    FlowResult,
+    FlowStatus,
+    implement,
+)
 from repro.core.throughput import (
     ThroughputModel,
     calibrate_throughput,
@@ -23,6 +28,7 @@ from repro.core.signoff import SignoffReport, signoff, signoff_frequency_ghz
 __all__ = [
     "FlowOptions",
     "FlowResult",
+    "FlowStatus",
     "implement",
     "ThroughputModel",
     "calibrate_throughput",

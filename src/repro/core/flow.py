@@ -1,27 +1,53 @@
-"""The full implementation flow: RTL-ish input to routed design.
+"""The flow datatypes, plus the deprecated ``implement`` entry point.
 
-``implement`` strings every substrate together: logic synthesis (era
-recipes), global/detailed placement, optional scan insertion with
-layout-aware reordering, global routing with layer assignment, then
-timing and power signoff with placement-derived parasitics.
+This module owns the public datatypes of an implementation run:
+:class:`FlowOptions` (recipe knobs), :class:`FlowStatus`, and
+:class:`FlowResult` — including the one canonical
+:meth:`FlowResult.from_run` conversion from an executor-level
+:class:`~repro.orchestrate.executor.RunResult`.
 
 The ``basic``/``advanced`` recipes realize Domic's "do more with less"
 comparison (E15): the advanced flow wins on every axis using the same
 substrate algorithms with the decade's options enabled.
 
-Since the ``repro.orchestrate`` subsystem landed, this module only
-owns the public datatypes (:class:`FlowOptions`, :class:`FlowResult`)
-and the thin :func:`implement` wrapper; scheduling, stage timing,
-caching, and parallelism live in
-:func:`repro.orchestrate.flows.implement_dag`.
+Since the ``repro.orchestrate`` subsystem became the one documented
+flow API (:func:`repro.orchestrate.run` /
+:func:`repro.orchestrate.resume_run`), :func:`implement` here is a
+deprecation shim kept for source compatibility.
 """
 
 from __future__ import annotations
 
+import math
+import warnings
 from dataclasses import dataclass, field
+from enum import Enum
 
 from repro.netlist.cells import CellLibrary
 from repro.netlist.circuit import Netlist
+
+#: Version of the FlowOptions/FlowResult wire format.  Bump when a
+#: field changes meaning; journals persist it so a resume can refuse
+#: records written by an incompatible build.
+FLOW_SCHEMA_VERSION = 2
+
+
+class FlowStatus(str, Enum):
+    """Terminal status of a flow run.
+
+    A ``str`` mixin keeps every existing ``result.status == "ok"``
+    comparison working; ``RESUMED`` means the run completed after
+    replaying a journal prefix (its metrics are bit-identical to an
+    uninterrupted ``OK`` run).
+    """
+
+    OK = "ok"
+    DEGRADED = "degraded"      # an optional stage failed
+    RESUMED = "resumed"        # completed via journal replay
+    FAILED = "failed"          # a required stage failed (strict=False)
+
+    def __str__(self) -> str:
+        return self.value
 
 
 @dataclass
@@ -47,6 +73,7 @@ class FlowOptions:
     clock_period_ps: float = 2000.0
     freq_ghz: float = 0.5
     seed: int = 0
+    schema_version: int = FLOW_SCHEMA_VERSION
 
     @staticmethod
     def basic() -> "FlowOptions":
@@ -79,7 +106,51 @@ class FlowResult:
     runtime_s: float
     stage_runtimes: dict = field(default_factory=dict)
     clock_tree: object = None
-    status: str = "ok"       # ok | degraded (optional stage failed)
+    status: FlowStatus = FlowStatus.OK
+    schema_version: int = FLOW_SCHEMA_VERSION
+    run_id: str | None = None    # set when the run was journaled
+
+    @classmethod
+    def from_run(cls, run, options: FlowOptions,
+                 stage_runtimes: dict | None = None,
+                 run_id: str | None = None) -> "FlowResult":
+        """The canonical ``RunResult`` → ``FlowResult`` conversion.
+
+        Every flow front-end (``repro.orchestrate.run``, ``resume_run``,
+        the ``implement`` shim) assembles its result here, so field
+        mapping, status derivation (``resumed`` when journal replays
+        contributed, priority failed > degraded > resumed > ok), and
+        failed-run defaults cannot drift between entry points.  A
+        ``failed`` run (only reachable with ``strict=False``) yields
+        NaN metrics rather than raising on missing stage outputs.
+        """
+        outputs = run.outputs
+        placement = outputs.get("dft")
+        netlist = placement.netlist if placement is not None else None
+        routing = outputs.get("routing")
+        signoff = outputs.get("signoff") or {}
+        status = FlowStatus(run.status)
+        if status is FlowStatus.OK and getattr(run, "replayed", None):
+            status = FlowStatus.RESUMED
+        nan = math.nan
+        return cls(
+            netlist=netlist,
+            placement=placement,
+            routing=routing,
+            options=options,
+            instances=netlist.num_instances() if netlist else 0,
+            area_um2=netlist.area_um2() if netlist else nan,
+            hpwl_um=placement.total_hpwl() if placement else nan,
+            routed_wirelength=routing.wirelength if routing else 0,
+            overflow=routing.overflow if routing else 0,
+            delay_ps=signoff.get("delay_ps", nan),
+            power_uw=signoff.get("power_uw", nan),
+            runtime_s=run.wall_s,
+            stage_runtimes=dict(stage_runtimes or {}),
+            clock_tree=outputs.get("cts"),
+            status=status,
+            run_id=run_id,
+        )
 
     @property
     def clock_skew_ps(self) -> float:
@@ -99,18 +170,17 @@ class FlowResult:
 def implement(subject, library: CellLibrary,
               options: FlowOptions | None = None,
               run_db=None) -> FlowResult:
-    """Run the full flow on an AIG, logic network, or mapped netlist.
+    """Deprecated: use :func:`repro.orchestrate.run` instead.
 
-    With ``run_db`` (a :class:`repro.learn.RunDatabase`) the flow
-    self-monitors: design features, knobs, QoR, and per-stage
-    telemetry spans are logged so later runs can warm-start — Rossi's
-    "self-monitoring of the implementation tools able to generate
-    information useful to the next runs".
-
-    This is a thin wrapper over the DAG engine; pass a result cache,
-    telemetry sink, or ``jobs > 1`` to
-    :func:`repro.orchestrate.flows.implement_dag` for the full
-    orchestration surface.
+    ``repro.orchestrate.run(subject, library, options)`` is the single
+    documented flow entry point; it accepts the same arguments plus
+    the orchestration surface (result cache, telemetry sink,
+    ``jobs > 1``, crash-safe journaling).  This shim forwards there and
+    will be removed once nothing imports it.
     """
-    from repro.orchestrate.flows import implement_dag
-    return implement_dag(subject, library, options, run_db=run_db)
+    warnings.warn(
+        "repro.core.flow.implement is deprecated; use "
+        "repro.orchestrate.run(subject, library, options)",
+        DeprecationWarning, stacklevel=2)
+    from repro.orchestrate.resilience import run
+    return run(subject, library, options, run_db=run_db)

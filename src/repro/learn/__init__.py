@@ -15,6 +15,7 @@ results." (E8)
 """
 
 from repro.learn.rundb import (
+    RecoveryRecord,
     RunDatabase,
     RunRecord,
     TelemetryRecord,
@@ -24,6 +25,7 @@ from repro.learn.predictor import QorPredictor
 from repro.learn.tuner import KnobSpace, tune_knobs
 
 __all__ = [
+    "RecoveryRecord",
     "RunDatabase",
     "RunRecord",
     "TelemetryRecord",

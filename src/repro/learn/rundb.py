@@ -36,6 +36,25 @@ class TelemetryRecord:
     cache: str | None = None
     retries: int = 0
     peak_rss_kb: int | None = None
+    leaked_threads: int = 0
+
+
+@dataclass
+class RecoveryRecord:
+    """One journal-resumed run (see
+    :func:`repro.orchestrate.resilience.resume_run`).
+
+    ``replayed`` counts stages restored from the write-ahead journal,
+    ``executed`` the frontier stages that actually re-ran — the ratio
+    is the work a crash did *not* cost, the metric behind the
+    checkpoint/resume design.
+    """
+
+    run_id: str
+    design: str
+    replayed: int
+    executed: int
+    status: str = "resumed"
 
 
 def design_features(netlist: Netlist) -> dict:
@@ -65,10 +84,15 @@ class RunDatabase:
     def __init__(self):
         self.records: list[RunRecord] = []
         self.telemetry: list[TelemetryRecord] = []
+        self.recovery: list[RecoveryRecord] = []
 
     def log(self, record: RunRecord) -> None:
         """Add a run."""
         self.records.append(record)
+
+    def log_recovery(self, record: RecoveryRecord) -> None:
+        """Add a checkpoint/resume event."""
+        self.recovery.append(record)
 
     def log_telemetry(self, design: str, spans) -> None:
         """Persist per-stage spans (see ``repro.orchestrate``) for a
@@ -130,9 +154,10 @@ class RunDatabase:
     # ------------------------------------------------------------------
 
     def save(self, path) -> None:
-        """Persist runs and telemetry to JSON."""
+        """Persist runs, telemetry, and recovery events to JSON."""
         payload = {"runs": [asdict(r) for r in self.records],
-                   "telemetry": [asdict(t) for t in self.telemetry]}
+                   "telemetry": [asdict(t) for t in self.telemetry],
+                   "recovery": [asdict(r) for r in self.recovery]}
         Path(path).write_text(json.dumps(payload, indent=1))
 
     @staticmethod
@@ -146,4 +171,6 @@ class RunDatabase:
             db.log(RunRecord(**item))
         for item in payload.get("telemetry", []):
             db.telemetry.append(TelemetryRecord(**item))
+        for item in payload.get("recovery", []):
+            db.recovery.append(RecoveryRecord(**item))
         return db

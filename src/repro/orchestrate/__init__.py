@@ -1,35 +1,62 @@
 """Flow orchestration: DAG scheduling, content-hash caching, parallel
-execution, and run telemetry.
+execution, crash-safe journaling, and run telemetry.
 
-The scaling substrate behind the E7 throughput claim: declare flows as
-DAGs of stages (:mod:`~repro.orchestrate.dag`), replay unchanged
-stages from a content-addressed cache
-(:mod:`~repro.orchestrate.cache`), run independent branches and
-independent jobs on a process pool
-(:mod:`~repro.orchestrate.executor`,
-:mod:`~repro.orchestrate.sweep`), and meter every stage with
-structured spans (:mod:`~repro.orchestrate.telemetry`).
-:func:`repro.core.flow.implement` is a thin wrapper over
-:func:`~repro.orchestrate.flows.implement_dag`.
+The scaling substrate behind the E7 throughput claim — and, since the
+resilience layer landed, the *one* documented flow API:
+
+* :func:`run` — execute the implementation flow (cache, telemetry,
+  ``jobs > 1``, optional write-ahead journal, chaos injection).
+* :func:`resume_run` — finish a journaled run after a crash; verified
+  stages replay from the journal, only the frontier re-executes, and
+  the final metrics are bit-identical to an uninterrupted run.
+
+Underneath: declare flows as DAGs of stages
+(:mod:`~repro.orchestrate.dag`), replay unchanged stages from a
+checksummed content-addressed cache (:mod:`~repro.orchestrate.cache`),
+run independent branches and independent jobs on a process pool
+(:mod:`~repro.orchestrate.executor`, :mod:`~repro.orchestrate.sweep`),
+checkpoint and fault-inject (:mod:`~repro.orchestrate.resilience`),
+and meter every stage with structured spans
+(:mod:`~repro.orchestrate.telemetry`).
+:func:`repro.core.flow.implement` survives as a deprecation shim over
+:func:`run`.
 """
 
+from repro.core.flow import FlowOptions, FlowResult, FlowStatus
 from repro.orchestrate.cache import (
     CacheStats,
+    CorruptEntry,
     ResultCache,
+    seal_blob,
     stable_hash,
     stage_key,
+    unseal_blob,
 )
 from repro.orchestrate.dag import CycleError, FlowDAG, Stage
 from repro.orchestrate.executor import (
     PoolExecutor,
+    RetryBudget,
     RunResult,
     SerialExecutor,
     StageError,
     StageTimeout,
+    WorkerCrash,
+    backoff_delay,
+    leaked_threads,
     parallel_map,
     run_stage,
 )
 from repro.orchestrate.flows import build_implement_dag, implement_dag
+from repro.orchestrate.resilience import (
+    ChaosFailure,
+    ChaosPolicy,
+    JournalError,
+    RunJournal,
+    corrupt_file,
+    resumable_runs,
+    resume_run,
+    run,
+)
 from repro.orchestrate.sweep import SweepResult, run_sweep
 from repro.orchestrate.telemetry import (
     RunReport,
@@ -41,10 +68,19 @@ from repro.orchestrate.telemetry import (
 
 __all__ = [
     "CacheStats",
+    "ChaosFailure",
+    "ChaosPolicy",
+    "CorruptEntry",
     "CycleError",
     "FlowDAG",
+    "FlowOptions",
+    "FlowResult",
+    "FlowStatus",
+    "JournalError",
     "PoolExecutor",
     "ResultCache",
+    "RetryBudget",
+    "RunJournal",
     "RunReport",
     "RunResult",
     "SerialExecutor",
@@ -54,13 +90,22 @@ __all__ = [
     "StageTimeout",
     "SweepResult",
     "TelemetrySink",
+    "WorkerCrash",
+    "backoff_delay",
     "build_implement_dag",
+    "corrupt_file",
     "implement_dag",
+    "leaked_threads",
     "parallel_map",
     "peak_rss_kb",
+    "resumable_runs",
+    "resume_run",
+    "run",
     "run_stage",
     "run_sweep",
+    "seal_blob",
     "stable_hash",
     "stage_key",
     "stage_timer",
+    "unseal_blob",
 ]

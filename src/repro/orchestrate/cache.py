@@ -9,6 +9,15 @@ changed — everything upstream and sideways replays from cache.
 Values are stored and returned as pickled blobs: every ``get`` yields
 a *fresh copy*, so downstream stages that mutate their inputs (scan
 insertion, detailed placement) can never corrupt a cached result.
+
+Disk entries are *sealed* (:func:`seal_blob`): a header line carries
+the SHA-256 of the payload and the entry's own key, so a truncated
+write, a flipped bit, or a blob copied under the wrong key is detected
+on read.  A bad entry is moved to a ``quarantine/`` sibling (kept for
+forensics) and reported as a miss, so the caller recomputes instead of
+crashing — the cache can only ever cost a recompute, never a wrong or
+aborted run.  The same sealed format protects the run journal
+(:mod:`repro.orchestrate.resilience`).
 """
 
 from __future__ import annotations
@@ -22,6 +31,50 @@ from dataclasses import dataclass, fields, is_dataclass
 from pathlib import Path
 
 _PICKLE_PROTOCOL = 4
+_SEAL_MAGIC = b"RC2 "
+
+
+class CorruptEntry(RuntimeError):
+    """A sealed blob failed its checksum, key, or format check."""
+
+
+def seal_blob(payload: bytes, key: str = "") -> bytes:
+    """Frame ``payload`` with a checksum header for on-disk storage.
+
+    Format: ``b"RC2 <sha256hex> <key>\\n" + payload``.  The key rides
+    inside the checksummed frame so an entry copied (or written) under
+    the wrong name is as detectable as a flipped bit.
+    """
+    digest = hashlib.sha256(payload).hexdigest()
+    return _SEAL_MAGIC + digest.encode() + b" " + key.encode() \
+        + b"\n" + payload
+
+
+def unseal_blob(data: bytes, key: str = "") -> bytes:
+    """Verify and strip a :func:`seal_blob` frame.
+
+    Raises :class:`CorruptEntry` on a missing/garbled header, checksum
+    mismatch (truncation, bit flips), or — when ``key`` is given — a
+    header key that names a different entry.
+    """
+    if not data.startswith(_SEAL_MAGIC):
+        raise CorruptEntry("unsealed or foreign blob")
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise CorruptEntry("truncated seal header")
+    try:
+        digest, entry_key = data[len(_SEAL_MAGIC):newline] \
+            .decode().split(" ", 1)
+    except (UnicodeDecodeError, ValueError) as err:
+        raise CorruptEntry("garbled seal header") from err
+    if key and entry_key != key:
+        raise CorruptEntry(
+            f"entry sealed for key {entry_key[:16]}..., "
+            f"expected {key[:16]}...")
+    payload = data[newline + 1:]
+    if hashlib.sha256(payload).hexdigest() != digest:
+        raise CorruptEntry("payload checksum mismatch")
+    return payload
 
 
 def _update(h, obj) -> None:
@@ -86,6 +139,7 @@ class CacheStats:
     disk_hits: int = 0
     puts: int = 0
     evictions: int = 0
+    corrupt: int = 0          # disk entries quarantined on read
 
     @property
     def hit_rate(self) -> float:
@@ -106,13 +160,19 @@ class ResultCache:
         self._memory: OrderedDict = OrderedDict()
         self.stats = CacheStats()
 
-    def _disk_path(self, key: str) -> Path:
+    def entry_path(self, key: str) -> Path:
+        """On-disk location of ``key``'s sealed entry (disk tier only)."""
         return self.disk_dir / f"{key}.pkl"
 
     # ------------------------------------------------------------------
 
     def get(self, key: str):
-        """``(True, fresh_copy)`` on hit, ``(False, None)`` on miss."""
+        """``(True, fresh_copy)`` on hit, ``(False, None)`` on miss.
+
+        A disk entry that fails verification (truncated, bit-flipped,
+        sealed under another key, or unpicklable) is quarantined and
+        reported as a miss — the stage recomputes and overwrites it.
+        """
         blob = self._memory.get(key)
         if blob is not None:
             self._memory.move_to_end(key)
@@ -120,13 +180,19 @@ class ResultCache:
             self.stats.memory_hits += 1
             return True, pickle.loads(blob)
         if self.disk_dir:
-            path = self._disk_path(key)
+            path = self.entry_path(key)
             if path.exists():
-                blob = path.read_bytes()
-                self._remember(key, blob)
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
-                return True, pickle.loads(blob)
+                try:
+                    blob = unseal_blob(path.read_bytes(), key)
+                    value = pickle.loads(blob)
+                except Exception:   # noqa: BLE001 - CorruptEntry or
+                    # any unpickling error: fall back to recompute.
+                    self._quarantine(path)
+                else:
+                    self._remember(key, blob)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return True, value
         self.stats.misses += 1
         return False, None
 
@@ -141,12 +207,23 @@ class ResultCache:
             fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    fh.write(blob)
-                os.replace(tmp, self._disk_path(key))
+                    fh.write(seal_blob(blob, key))
+                os.replace(tmp, self.entry_path(key))
             except BaseException:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
                 raise
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad disk entry aside (kept for forensics) so the next
+        ``put`` can republish a clean one."""
+        self.stats.corrupt += 1
+        qdir = self.disk_dir / "quarantine"
+        qdir.mkdir(exist_ok=True)
+        try:
+            os.replace(path, qdir / path.name)
+        except OSError:        # pragma: no cover - racing quarantines
+            path.unlink(missing_ok=True)
 
     def _remember(self, key: str, blob: bytes) -> None:
         self._memory[key] = blob

@@ -1,12 +1,20 @@
 """Stage executors: serial and multiprocessing-pool DAG scheduling.
 
 Both executors share the same per-stage contract: consult the result
-cache, run with bounded retry and exponential backoff, enforce the
-stage timeout, and emit a telemetry span either way.  A failed
-*optional* stage (e.g. CTS) marks the run ``degraded`` and its output
-``None``; a failed required stage kills its transitive dependents and
-— under ``strict`` — raises :class:`StageError` so single-run callers
-see the original traceback.
+cache, run with bounded retry and jittered exponential backoff (under
+an optional per-run :class:`RetryBudget`), enforce the stage timeout,
+and emit a telemetry span either way.  A failed *optional* stage
+(e.g. CTS) marks the run ``degraded`` and its output ``None``; a
+failed required stage kills its transitive dependents and — under
+``strict`` — raises :class:`StageError` so single-run callers see the
+original traceback.
+
+Resilience hooks (see :mod:`repro.orchestrate.resilience`): a
+``journal`` write-ahead-logs every completed stage so a killed process
+can resume; ``preloaded`` seeds outputs replayed from such a journal
+(spans carry ``cache="journal"``); a ``chaos`` policy deterministically
+injects stage faults, timeouts, and :class:`WorkerCrash` kills for
+fault-injection testing.
 
 :class:`PoolExecutor` runs independent DAG branches concurrently in a
 ``multiprocessing`` pool; :func:`parallel_map` is the job-level
@@ -16,6 +24,7 @@ analogue used by :mod:`repro.orchestrate.sweep`.
 from __future__ import annotations
 
 import multiprocessing
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -35,9 +44,104 @@ class StageError(RuntimeError):
         self.attempts = attempts
         self.cause = cause
 
+    def __reduce__(self):
+        # Default Exception reduction would replay only the formatted
+        # message into our three-argument __init__; this keeps stage
+        # errors picklable across the pool boundary.
+        return (self.__class__, (self.stage, self.attempts, self.cause))
+
 
 class StageTimeout(StageError):
     """A stage exceeded its ``timeout_s`` budget."""
+
+
+class WorkerCrash(BaseException):
+    """A worker died mid-run (or chaos simulated one dying).
+
+    Derives from ``BaseException`` — like ``KeyboardInterrupt`` — so
+    the retry machinery and blanket stage-error handlers never absorb
+    it: a crash aborts the whole run, leaving the journal's completed
+    prefix on disk for :func:`repro.orchestrate.resilience.resume_run`.
+    """
+
+    def __init__(self, stage: str):
+        super().__init__(f"worker crashed in stage {stage!r}")
+        self.stage = stage
+
+
+@dataclass
+class RetryBudget:
+    """A per-run cap on total retries across all stages.
+
+    Individual stages still declare their own ``retries``, but one
+    pathologically flaky run cannot burn unbounded wall time: once the
+    shared budget is spent, further failures become terminal
+    immediately.
+    """
+
+    limit: int
+    used: int = 0
+
+    def take(self) -> bool:
+        """Consume one retry; ``False`` when the budget is exhausted."""
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+    @property
+    def remaining(self) -> int:
+        return max(self.limit - self.used, 0)
+
+
+def backoff_delay(base_s: float, attempt: int, *,
+                  jitter: float = 0.25) -> float:
+    """Exponential backoff with multiplicative jitter.
+
+    ``base_s * 2**attempt`` scaled by a uniform factor in
+    ``[1, 1 + jitter]`` — the jitter decorrelates retry storms when a
+    sweep's workers all hit the same transient fault together.
+    """
+    return base_s * (2 ** attempt) * (1.0 + random.uniform(0.0, jitter))
+
+
+# Threads abandoned by timed-out stages, oldest first.  Python offers
+# no safe thread preemption, so a timeout can only orphan its worker;
+# this registry makes the leak observable (``leaked_threads``) and
+# bounded (``MAX_ABANDONED_THREADS``).
+_abandoned_lock = threading.Lock()
+_abandoned_threads: list = []
+
+#: Cap on concurrently-alive abandoned threads.  At the cap, the next
+#: timeout blocks until the oldest orphan finishes — backpressure
+#: instead of unbounded thread growth.  (A stage that never returns
+#: can therefore stall the flow here; that is the documented trade for
+#: a hard bound.)
+MAX_ABANDONED_THREADS = 32
+
+
+def leaked_threads() -> int:
+    """How many timed-out stage threads are still running."""
+    with _abandoned_lock:
+        _abandoned_threads[:] = [t for t in _abandoned_threads
+                                 if t.is_alive()]
+        return len(_abandoned_threads)
+
+
+def _abandon_thread(worker) -> None:
+    """Register an orphaned stage thread, enforcing the cap."""
+    with _abandoned_lock:
+        _abandoned_threads[:] = [t for t in _abandoned_threads
+                                 if t.is_alive()]
+        _abandoned_threads.append(worker)
+    while True:
+        with _abandoned_lock:
+            _abandoned_threads[:] = [t for t in _abandoned_threads
+                                     if t.is_alive()]
+            if len(_abandoned_threads) <= MAX_ABANDONED_THREADS:
+                return
+            oldest = _abandoned_threads[0]
+        oldest.join(0.05)
 
 
 def _call_with_timeout(fn, ctx, timeout_s):
@@ -45,7 +149,10 @@ def _call_with_timeout(fn, ctx, timeout_s):
 
     The bounded path runs in a daemon thread; on timeout the thread is
     abandoned (Python offers no safe preemption) and the stage is
-    reported as timed out.
+    reported as timed out.  Abandoned threads keep running until their
+    stage function returns on its own; they are tracked in a registry
+    capped at :data:`MAX_ABANDONED_THREADS` and surfaced per-span as
+    ``leaked_threads``.
     """
     if not timeout_s:
         return fn(ctx)
@@ -61,6 +168,7 @@ def _call_with_timeout(fn, ctx, timeout_s):
     worker.start()
     worker.join(timeout_s)
     if worker.is_alive():
+        _abandon_thread(worker)
         raise StageTimeout("<stage>", 1)
     if "error" in box:
         raise box["error"]
@@ -95,10 +203,18 @@ class StageOutcome:
     value: object
     span: Span
     error: BaseException | None = None
+    key: str | None = None       # content-hash key, when cacheable
 
 
-def run_stage(stage, ctx, cache=None, job=None) -> StageOutcome:
-    """Execute one stage in-process: cache, retries, timeout, span."""
+def run_stage(stage, ctx, cache=None, job=None, *, chaos=None,
+              budget=None) -> StageOutcome:
+    """Execute one stage in-process: cache, retries, timeout, span.
+
+    ``chaos`` (a :class:`~repro.orchestrate.resilience.ChaosPolicy`)
+    may inject a fault per attempt and corrupt the freshly written
+    cache entry; ``budget`` (a :class:`RetryBudget`) gates every retry
+    after the first attempt.
+    """
     child_ctx = {k: ctx[k] for k in (*stage.deps, *stage.params)}
     t0 = time.perf_counter()
     key = None
@@ -108,8 +224,9 @@ def run_stage(stage, ctx, cache=None, job=None) -> StageOutcome:
         hit, value = cache.get(key)
         if hit:
             span = Span(stage.name, time.perf_counter() - t0,
-                        cache="hit", peak_rss_kb=peak_rss_kb(), job=job)
-            return StageOutcome(stage.name, value, span)
+                        cache="hit", peak_rss_kb=peak_rss_kb(), job=job,
+                        leaked_threads=leaked_threads())
+            return StageOutcome(stage.name, value, span, key=key)
 
     error: BaseException | None = None
     status = "failed"
@@ -118,6 +235,8 @@ def run_stage(stage, ctx, cache=None, job=None) -> StageOutcome:
     for attempt in range(stage.retries + 1):
         attempts = attempt + 1
         try:
+            if chaos is not None:
+                chaos.on_attempt(stage.name, attempt)
             value = _call_with_timeout(stage.fn, child_ctx,
                                        stage.timeout_s)
             status = "ok"
@@ -126,19 +245,26 @@ def run_stage(stage, ctx, cache=None, job=None) -> StageOutcome:
         except StageTimeout:
             status = "timeout"
             error = StageTimeout(stage.name, attempts)
+        except WorkerCrash:
+            raise                  # a kill is not a stage failure
         except BaseException as err:   # noqa: BLE001 - recorded in span
             status = "failed"
             error = err
-        if attempt < stage.retries:
-            time.sleep(stage.backoff_s * (2 ** attempt))
+        if attempt >= stage.retries:
+            break
+        if budget is not None and not budget.take():
+            break                  # per-run retry budget exhausted
+        time.sleep(backoff_delay(stage.backoff_s, attempt))
 
     span = Span(stage.name, time.perf_counter() - t0, status=status,
                 cache=None if key is None else "miss",
                 retries=attempts - 1, peak_rss_kb=peak_rss_kb(),
-                job=job)
+                job=job, leaked_threads=leaked_threads())
     if status == "ok" and key is not None:
         cache.put(key, value)
-    return StageOutcome(stage.name, value, span, error)
+        if chaos is not None:
+            chaos.after_put(cache, key)
+    return StageOutcome(stage.name, value, span, error, key=key)
 
 
 @dataclass
@@ -151,6 +277,7 @@ class RunResult:
     wall_s: float
     failed: list = field(default_factory=list)
     skipped: list = field(default_factory=list)
+    replayed: list = field(default_factory=list)   # from a run journal
 
 
 def _resolve_failure(stage, outcome, state, dag, strict):
@@ -177,27 +304,68 @@ def _finish(state, t0) -> RunResult:
     return RunResult(outputs=state["outputs"], status=status,
                      spans=state["spans"],
                      wall_s=time.perf_counter() - t0,
-                     failed=state["failed"], skipped=state["skipped"])
+                     failed=state["failed"], skipped=state["skipped"],
+                     replayed=state["replayed"])
+
+
+def _seed_preloaded(state, dag, preloaded) -> None:
+    """Replay journaled outputs into a fresh run's state.
+
+    Each replayed stage gets a zero-cost span with ``cache="journal"``
+    so telemetry can count exactly what a resume skipped versus
+    re-executed.
+    """
+    for name, value in (preloaded or {}).items():
+        if name not in dag.stages:
+            continue
+        state["outputs"][name] = value
+        state["replayed"].append(name)
+        state["spans"].append(Span(name, 0.0, cache="journal"))
+
+
+def _journal_outcome(journal, outcome) -> None:
+    """Write-ahead-log one completed stage (best effort: an output the
+    journal cannot pickle simply re-executes on resume)."""
+    if journal is None:
+        return
+    try:
+        journal.record(outcome.name, outcome.value, key=outcome.key,
+                       wall_s=outcome.span.wall_s)
+    except Exception:   # noqa: BLE001 - journaling must not kill runs
+        pass
+
+
+def _new_state() -> dict:
+    return {"outputs": {}, "spans": [], "failed": [], "skipped": [],
+            "degraded": False, "replayed": []}
 
 
 class SerialExecutor:
     """Run stages one at a time in topological order."""
 
-    def run(self, dag, params, cache=None, sink=None,
-            strict=True) -> RunResult:
+    def __init__(self, chaos=None):
+        self.chaos = chaos
+
+    def run(self, dag, params, cache=None, sink=None, strict=True,
+            journal=None, preloaded=None, budget=None) -> RunResult:
         t0 = time.perf_counter()
-        state = {"outputs": {}, "spans": [], "failed": [],
-                 "skipped": [], "degraded": False}
+        state = _new_state()
+        _seed_preloaded(state, dag, preloaded)
         try:
             for stage in dag.topological_order():
-                if stage.name in state["skipped"]:
+                if stage.name in state["outputs"] or \
+                        stage.name in state["skipped"]:
                     continue
+                if self.chaos is not None:
+                    self.chaos.pre_stage(stage.name)   # may crash
                 ctx = {**params, **state["outputs"]}
-                outcome = run_stage(stage, ctx, cache=cache)
+                outcome = run_stage(stage, ctx, cache=cache,
+                                    chaos=self.chaos, budget=budget)
                 state["spans"].append(outcome.span)
                 if outcome.span.status == "ok" or \
                         outcome.span.cache == "hit":
                     state["outputs"][stage.name] = outcome.value
+                    _journal_outcome(journal, outcome)
                 else:
                     _resolve_failure(stage, outcome, state, dag, strict)
         finally:
@@ -206,8 +374,14 @@ class SerialExecutor:
         return _finish(state, t0)
 
 
-def _pool_call(fn, ctx):
-    """Worker-side stage invocation (module-level for pickling)."""
+def _pool_call(fn, ctx, chaos=None, stage=None, attempt=0):
+    """Worker-side stage invocation (module-level for pickling).
+
+    Chaos faults fire *inside* the worker, so an injected failure
+    travels the same pickled-exception path a real stage crash does.
+    """
+    if chaos is not None:
+        chaos.on_attempt(stage, attempt)
     t0 = time.perf_counter()
     value = fn(ctx)
     return value, time.perf_counter() - t0, peak_rss_kb()
@@ -220,29 +394,34 @@ class PoolExecutor:
     callables).  Cache lookups happen in the parent at submit time, so
     a hot cache short-circuits before any process hop.  Timeouts are
     enforced by deadline in the parent; an overrunning worker is
-    abandoned to the pool (its late result is discarded).
+    abandoned to the pool (its late result is discarded).  Journal
+    records are written by the parent as results are collected, so the
+    write-ahead log stays single-writer even with many workers.
     """
 
-    def __init__(self, jobs: int = 2, poll_s: float = 0.002):
+    def __init__(self, jobs: int = 2, poll_s: float = 0.002,
+                 chaos=None):
         if jobs < 1:
             raise ValueError("jobs must be positive")
         self.jobs = jobs
         self.poll_s = poll_s
+        self.chaos = chaos
 
-    def run(self, dag, params, cache=None, sink=None,
-            strict=True) -> RunResult:
+    def run(self, dag, params, cache=None, sink=None, strict=True,
+            journal=None, preloaded=None, budget=None) -> RunResult:
         t0 = time.perf_counter()
         order = dag.topological_order()   # validates + cycle check
-        state = {"outputs": {}, "spans": [], "failed": [],
-                 "skipped": [], "degraded": False}
+        state = _new_state()
+        _seed_preloaded(state, dag, preloaded)
         pending: dict = {}                # name -> submission record
-        submitted: set = set()
+        submitted: set = set(state["replayed"])
         try:
             with multiprocessing.Pool(min(self.jobs, len(order))) as pool:
                 while len(state["outputs"]) + len(state["failed"]) + \
                         len(state["skipped"]) < len(dag):
                     self._submit_ready(pool, dag, params, cache,
-                                       state, pending, submitted)
+                                       state, pending, submitted,
+                                       journal)
                     if not pending:
                         if not dag.ready(state["outputs"],
                                          submitted.union(
@@ -251,7 +430,7 @@ class PoolExecutor:
                             break      # nothing runnable remains
                         continue
                     self._collect(pool, dag, params, cache, state,
-                                  pending, strict)
+                                  pending, strict, journal, budget)
                     if pending:
                         time.sleep(self.poll_s)
         finally:
@@ -262,9 +441,11 @@ class PoolExecutor:
     # ------------------------------------------------------------------
 
     def _submit_ready(self, pool, dag, params, cache, state, pending,
-                      submitted) -> None:
+                      submitted, journal) -> None:
         blocked = submitted.union(state["skipped"], state["failed"])
         for stage in dag.ready(state["outputs"], blocked):
+            if self.chaos is not None:
+                self.chaos.pre_stage(stage.name)   # may crash
             ctx = {**params, **state["outputs"]}
             key = None
             if cache is not None and stage.cacheable:
@@ -274,8 +455,10 @@ class PoolExecutor:
                 if hit:
                     submitted.add(stage.name)
                     state["outputs"][stage.name] = value
-                    state["spans"].append(
-                        Span(stage.name, 0.0, cache="hit"))
+                    span = Span(stage.name, 0.0, cache="hit")
+                    state["spans"].append(span)
+                    _journal_outcome(journal, StageOutcome(
+                        stage.name, value, span, key=key))
                     continue
             submitted.add(stage.name)
             pending[stage.name] = self._submission(
@@ -288,11 +471,12 @@ class PoolExecutor:
         return {"stage": stage, "key": key, "attempts": attempts,
                 "t0": time.perf_counter(), "deadline": deadline,
                 "ctx": ctx, "pool": pool,
-                "async": pool.apply_async(_pool_call,
-                                          (stage.fn, child_ctx))}
+                "async": pool.apply_async(
+                    _pool_call, (stage.fn, child_ctx, self.chaos,
+                                 stage.name, attempts - 1))}
 
     def _collect(self, pool, dag, params, cache, state, pending,
-                 strict) -> None:
+                 strict, journal, budget) -> None:
         now = time.perf_counter()
         for name in list(pending):
             sub = pending[name]
@@ -301,16 +485,23 @@ class PoolExecutor:
             if sub["async"].ready():
                 try:
                     value, child_wall, rss = sub["async"].get()
+                except WorkerCrash:
+                    raise              # abort the run, journal intact
                 except BaseException as err:   # noqa: BLE001
                     error = err
                 else:
                     state["outputs"][name] = value
-                    state["spans"].append(Span(
+                    span = Span(
                         name, now - sub["t0"],
                         cache=None if sub["key"] is None else "miss",
-                        retries=sub["attempts"] - 1, peak_rss_kb=rss))
+                        retries=sub["attempts"] - 1, peak_rss_kb=rss)
+                    state["spans"].append(span)
                     if sub["key"] is not None:
                         cache.put(sub["key"], value)
+                        if self.chaos is not None:
+                            self.chaos.after_put(cache, sub["key"])
+                    _journal_outcome(journal, StageOutcome(
+                        name, value, span, key=sub["key"]))
                     del pending[name]
                     continue
             elif sub["deadline"] is not None and now > sub["deadline"]:
@@ -318,9 +509,10 @@ class PoolExecutor:
             else:
                 continue
             del pending[name]
-            if sub["attempts"] <= stage.retries:
-                time.sleep(stage.backoff_s *
-                           (2 ** (sub["attempts"] - 1)))
+            if sub["attempts"] <= stage.retries and \
+                    (budget is None or budget.take()):
+                time.sleep(backoff_delay(stage.backoff_s,
+                                         sub["attempts"] - 1))
                 pending[name] = self._submission(
                     sub["pool"], stage, sub["ctx"], sub["key"],
                     sub["attempts"] + 1)

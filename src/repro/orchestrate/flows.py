@@ -164,51 +164,43 @@ def build_implement_dag(*, timeout_s: float | None = None,
 def implement_dag(subject, library, options: FlowOptions | None = None,
                   *, run_db=None, cache=None, telemetry=None,
                   jobs: int = 1, strict: bool = True,
-                  dag: FlowDAG | None = None) -> FlowResult:
+                  dag: FlowDAG | None = None, journal=None,
+                  preloaded=None, chaos=None,
+                  retry_budget=None) -> FlowResult:
     """Run the implementation DAG and assemble a :class:`FlowResult`.
 
-    Drop-in engine for :func:`repro.core.flow.implement` (which calls
-    this with defaults), plus the orchestration extras: ``cache`` (a
+    The engine behind :func:`repro.orchestrate.run` (the documented
+    facade, which adds crash-safe journaling on top): ``cache`` (a
     :class:`~repro.orchestrate.cache.ResultCache`) replays unchanged
     stages, ``telemetry`` (a :class:`TelemetrySink`) collects spans,
     ``jobs > 1`` runs independent branches in a process pool, and a
     custom ``dag`` swaps in experimental stage graphs.
+
+    Resilience plumbing (see :mod:`repro.orchestrate.resilience`):
+    ``journal`` write-ahead-logs each completed stage, ``preloaded``
+    seeds journal-replayed outputs so only the frontier re-executes,
+    ``chaos`` injects deterministic faults, and ``retry_budget`` caps
+    total retries across the run.
     """
     if options is None:
         options = FlowOptions()
     if dag is None:
         dag = build_implement_dag()
     sink = telemetry if telemetry is not None else TelemetrySink()
-    executor = SerialExecutor() if jobs <= 1 else PoolExecutor(jobs)
+    executor = SerialExecutor(chaos=chaos) if jobs <= 1 \
+        else PoolExecutor(jobs, chaos=chaos)
     n_before = len(sink.spans)
     run = executor.run(
         dag, {"subject": subject, "library": library,
               "options": options},
-        cache=cache, sink=sink, strict=strict)
+        cache=cache, sink=sink, strict=strict, journal=journal,
+        preloaded=preloaded, budget=retry_budget)
 
-    outputs = run.outputs
-    placement = outputs["dft"]
-    netlist = placement.netlist
-    routing = outputs["routing"]
-    signoff = outputs["signoff"]
-    result = FlowResult(
-        netlist=netlist,
-        placement=placement,
-        routing=routing,
-        options=options,
-        instances=netlist.num_instances(),
-        area_um2=netlist.area_um2(),
-        hpwl_um=placement.total_hpwl(),
-        routed_wirelength=routing.wirelength,
-        overflow=routing.overflow,
-        delay_ps=signoff["delay_ps"],
-        power_uw=signoff["power_uw"],
-        runtime_s=run.wall_s,
+    result = FlowResult.from_run(
+        run, options,
         stage_runtimes={s.stage: s.wall_s
                         for s in sink.spans[n_before:]},
-        clock_tree=outputs.get("cts"),
-        status=run.status,
-    )
+        run_id=getattr(journal, "run_id", None))
     if run_db is not None:
         _log_run(run_db, result, sink.spans[n_before:])
     return result
@@ -218,6 +210,8 @@ def _log_run(run_db, result: FlowResult, spans) -> None:
     """Self-monitoring: persist QoR and telemetry to the run database
     (Rossi's "information useful to the next runs")."""
     from repro.learn.rundb import RunRecord, design_features
+    if result.netlist is None:      # failed run: no QoR to learn from
+        return
     options = result.options
     run_db.log(RunRecord(
         design=result.netlist.name,

@@ -34,9 +34,10 @@ class SweepResult:
     @property
     def degraded(self) -> list:
         """Indices of jobs that finished degraded (optional-stage
-        failure) rather than fully ok."""
+        failure) or failed — ``resumed`` jobs count as healthy."""
         return [i for i, r in enumerate(self.results)
-                if getattr(r, "status", "ok") != "ok"]
+                if str(getattr(r, "status", "ok"))
+                in ("degraded", "failed")]
 
     def summary(self) -> str:
         per_job = self.wall_s / max(len(self.results), 1)
@@ -47,23 +48,35 @@ class SweepResult:
 
 def _run_one(payload):
     """Worker body (module-level for pickling): run one flow job."""
-    subject, library, options, cache_dir, flow_fn, job = payload
+    subject, library, options, cache_dir, flow_fn, job, \
+        journal_root = payload
     if flow_fn is not None:
         return flow_fn(subject, library, options), []
-    from repro.orchestrate.flows import implement_dag
+    from repro.orchestrate.resilience import run
     cache = ResultCache(disk_dir=cache_dir) if cache_dir else None
     sink = TelemetrySink()
-    result = implement_dag(subject, library, options,
-                           cache=cache, telemetry=sink)
+    result = run(subject, library, options, cache=cache,
+                 telemetry=sink, journal_root=journal_root,
+                 run_id=_job_run_id(job) if journal_root else None)
     for span in sink.spans:
         span.job = job
     return result, sink.spans
 
 
+def _job_run_id(job: int) -> str:
+    return f"job{job:04d}"
+
+
 def run_sweep(subject, library, options_list, *, jobs: int = 1,
               cache=None, cache_dir=None, telemetry=None,
-              flow_fn=None) -> SweepResult:
+              flow_fn=None, journal_root=None) -> SweepResult:
     """Run one flow job per entry of ``options_list``.
+
+    With ``journal_root``, each job checkpoints to its own run journal
+    (run id ``jobNNNN``) under that directory, so a killed sweep is
+    finished job by job with
+    :func:`repro.orchestrate.resume_run` instead of re-running the
+    whole batch.
 
     ``subject`` is either a single design (swept over option variants,
     the ablation shape) or a sequence matching ``options_list`` (one
@@ -101,11 +114,12 @@ def run_sweep(subject, library, options_list, *, jobs: int = 1,
             if flow_fn is not None:
                 results.append(flow_fn(subj, library, options))
                 continue
-            from repro.orchestrate.flows import implement_dag
+            from repro.orchestrate.resilience import run
             sink = TelemetrySink()
-            results.append(implement_dag(
-                subj, library, options,
-                cache=cache, telemetry=sink))
+            results.append(run(
+                subj, library, options, cache=cache, telemetry=sink,
+                journal_root=journal_root,
+                run_id=_job_run_id(i) if journal_root else None))
             for span in sink.spans:
                 span.job = i
             spans.extend(sink.spans)
@@ -114,7 +128,8 @@ def run_sweep(subject, library, options_list, *, jobs: int = 1,
             # Workers cannot share the parent's memory tier, but they
             # can share its disk store.
             cache_dir = cache.disk_dir
-        payloads = [(subj, library, options, cache_dir, flow_fn, i)
+        payloads = [(subj, library, options, cache_dir, flow_fn, i,
+                     journal_root)
                     for i, (subj, options)
                     in enumerate(zip(subjects, options_list))]
         with multiprocessing.Pool(min(jobs, len(payloads))) as pool:

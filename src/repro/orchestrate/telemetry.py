@@ -73,15 +73,16 @@ def peak_rss_kb() -> int | None:
 
 @dataclass
 class Span:
-    """One stage execution (or cache replay, or skip)."""
+    """One stage execution (or cache/journal replay, or skip)."""
 
     stage: str
     wall_s: float
     status: str = "ok"          # ok | failed | timeout | skipped
-    cache: str | None = None    # "hit" | "miss" | None (uncacheable)
+    cache: str | None = None    # "hit" | "miss" | "journal" | None
     retries: int = 0
     peak_rss_kb: int | None = None
     job: int | None = None      # sweep job index, when part of a sweep
+    leaked_threads: int = 0     # timed-out stage threads still alive
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -103,6 +104,8 @@ class RunReport:
     failed: int = 0
     timeouts: int = 0
     skipped: int = 0
+    replayed: int = 0           # journal replays (resumed runs)
+    leaked_threads: int = 0     # high-water mark across spans
     peak_rss_kb: int | None = None
     by_stage: dict = field(default_factory=dict)
 
@@ -169,9 +172,12 @@ class TelemetrySink:
             rep.retries += span.retries
             rep.cache_hits += span.cache == "hit"
             rep.cache_misses += span.cache == "miss"
+            rep.replayed += span.cache == "journal"
             rep.failed += span.status == "failed"
             rep.timeouts += span.status == "timeout"
             rep.skipped += span.status == "skipped"
+            rep.leaked_threads = max(rep.leaked_threads,
+                                     span.leaked_threads)
             agg = rep.by_stage.setdefault(
                 span.stage, {"calls": 0, "wall_s": 0.0, "hits": 0})
             agg["calls"] += 1

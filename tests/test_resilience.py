@@ -1,0 +1,581 @@
+"""Tests for repro.orchestrate.resilience: the write-ahead run
+journal, checkpoint/resume, chaos fault injection, sealed-cache
+corruption handling, the timeout-thread leak cap, and the unified
+``run``/``resume_run`` flow API.
+
+The acceptance centerpiece is the chaos soak
+(:class:`TestChaosSoak`): 20+ seeded kill/corruption scenarios, each
+of which must resume to signoff metrics bit-identical to an
+uninterrupted run while re-executing only the frontier.
+"""
+
+import json
+import multiprocessing
+import os
+import pickle
+import random
+import signal
+import time
+
+import pytest
+
+from repro.core import FlowOptions, FlowStatus, implement
+from repro.learn import RecoveryRecord, RunDatabase
+from repro.netlist import build_library, registered_cloud
+from repro.orchestrate import (
+    ChaosFailure,
+    ChaosPolicy,
+    CorruptEntry,
+    FlowDAG,
+    ResultCache,
+    RetryBudget,
+    RunJournal,
+    SerialExecutor,
+    Stage,
+    StageError,
+    TelemetrySink,
+    WorkerCrash,
+    backoff_delay,
+    corrupt_file,
+    leaked_threads,
+    resumable_runs,
+    resume_run,
+    run,
+    run_stage,
+    run_sweep,
+    seal_blob,
+    stage_key,
+    unseal_blob,
+)
+from repro.orchestrate import executor as executor_mod
+from repro.orchestrate.flows import STAGE_NAMES
+from repro.tech import get_node
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(get_node("28nm"),
+                         vt_flavors=("lvt", "rvt", "hvt"))
+
+
+def small_design(lib, seed=3):
+    # Fresh per call: the flow mutates its subject (scan insertion).
+    return registered_cloud(8, 16, 120, lib, seed=seed)
+
+
+OPTS = dict(scan=True, cts=True)
+
+
+def qor(result):
+    """The signoff fingerprint the bit-identical claims compare."""
+    return (result.delay_ps, result.power_uw, result.hpwl_um,
+            result.routed_wirelength, result.overflow,
+            result.instances, result.area_um2)
+
+
+@pytest.fixture(scope="module")
+def clean_qor(lib):
+    """Signoff metrics of one uninterrupted run — the soak baseline."""
+    return qor(run(small_design(lib), lib, FlowOptions(**OPTS)))
+
+
+# ----------------------------------------------------------------------
+# Sealed blobs and the run journal
+
+
+class TestSealedBlobs:
+    def test_roundtrip(self):
+        data = pickle.dumps({"x": 1})
+        assert unseal_blob(seal_blob(data, "k"), "k") == data
+
+    def test_detects_flip_truncation_and_wrong_key(self):
+        sealed = seal_blob(b"payload-bytes", "key-a")
+        flipped = bytearray(sealed)
+        flipped[-1] ^= 0xFF
+        for bad, expect in [
+            (bytes(flipped), "checksum"),
+            (sealed[:-4], "checksum"),
+            (b"garbage", "unsealed"),
+            (sealed[: len(sealed) // 4], "truncated"),
+        ]:
+            with pytest.raises(CorruptEntry, match=expect):
+                unseal_blob(bad, "key-a")
+        with pytest.raises(CorruptEntry, match="sealed for key"):
+            unseal_blob(sealed, "key-b")
+
+
+class TestRunJournal:
+    def test_record_and_completed_roundtrip(self, tmp_path):
+        journal = RunJournal.create(tmp_path, "r1", "subj", None,
+                                    FlowOptions())
+        journal.record("a", {"v": 1}, key="k-a", wall_s=0.5)
+        journal.record("b", [1, 2, 3])
+        journal.record("a", {"v": 2})       # last write wins
+        reopened = RunJournal.open(tmp_path, "r1")
+        assert reopened.completed() == {"a": {"v": 2}, "b": [1, 2, 3]}
+        subject, library, options = reopened.load_inputs()
+        assert subject == "subj" and options == FlowOptions()
+
+    def test_duplicate_create_rejected(self, tmp_path):
+        RunJournal.create(tmp_path, "r1", None, None, None)
+        with pytest.raises(Exception, match="already journaled"):
+            RunJournal.create(tmp_path, "r1", None, None, None)
+
+    def test_open_missing_rejected(self, tmp_path):
+        with pytest.raises(Exception, match="no journal"):
+            RunJournal.open(tmp_path, "ghost")
+
+    def test_torn_index_tail_ignored(self, tmp_path):
+        journal = RunJournal.create(tmp_path, "r1", None, None, None)
+        journal.record("a", 1)
+        with journal.index_path.open("a") as fh:
+            fh.write('{"stage": "b", "blo')   # kill mid-append
+        assert journal.completed() == {"a": 1}
+
+    def test_blob_without_index_line_ignored(self, tmp_path):
+        journal = RunJournal.create(tmp_path, "r1", None, None, None)
+        journal.record("a", 1)
+        # Kill between blob publish and index append: blob exists,
+        # index never saw it.
+        (journal.blob_dir / "orphan.pkl").write_bytes(
+            seal_blob(pickle.dumps(2), "orphan"))
+        assert journal.completed() == {"a": 1}
+
+    def test_corrupted_blob_quarantined_and_dropped(self, tmp_path):
+        journal = RunJournal.create(tmp_path, "r1", None, None, None)
+        journal.record("a", 1)
+        journal.record("b", 2)
+        corrupt_file(journal.blob_dir / "a.pkl", seed=7)
+        assert journal.completed() == {"b": 2}
+        assert (journal.dir / "quarantine" / "a.pkl").exists()
+
+    def test_completion_marker_and_resumable_listing(self, tmp_path):
+        done = RunJournal.create(tmp_path, "done", None, None, None)
+        RunJournal.create(tmp_path, "stuck", None, None, None)
+        done.finish(FlowStatus.OK)
+        assert done.is_complete
+        assert done.meta()["flow_status"] == "ok"
+        assert resumable_runs(tmp_path) == ["stuck"]
+
+
+# ----------------------------------------------------------------------
+# Disk-cache corruption: quarantine and recompute (satellite)
+
+
+def _double(ctx):
+    _double.calls += 1
+    return ctx["x"] * 2
+
+
+_double.calls = 0
+
+
+class TestCacheCorruption:
+    def _cache_with_entry(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        key = stage_key("s", "1", {"x": 1})
+        cache.put(key, {"qor": 42})
+        return cache, key
+
+    def test_truncated_entry_is_miss_and_quarantined(self, tmp_path):
+        cache, key = self._cache_with_entry(tmp_path)
+        path = cache.entry_path(key)
+        path.write_bytes(path.read_bytes()[: 10])
+        fresh = ResultCache(disk_dir=tmp_path)
+        hit, _ = fresh.get(key)
+        assert not hit
+        assert fresh.stats.corrupt == 1
+        assert (tmp_path / "quarantine" / path.name).exists()
+        assert not path.exists()
+
+    def test_flipped_byte_is_miss(self, tmp_path):
+        cache, key = self._cache_with_entry(tmp_path)
+        assert corrupt_file(cache.entry_path(key), seed=11)
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert not fresh.get(key)[0]
+        assert fresh.stats.corrupt == 1
+
+    def test_entry_under_wrong_key_is_miss(self, tmp_path):
+        cache, key = self._cache_with_entry(tmp_path)
+        other = stage_key("s", "1", {"x": 2})
+        os.replace(cache.entry_path(key), cache.entry_path(other))
+        fresh = ResultCache(disk_dir=tmp_path)
+        assert not fresh.get(other)[0]
+        assert fresh.stats.corrupt == 1
+
+    def test_legacy_unsealed_entry_is_miss(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        key = stage_key("s", "1", {"x": 1})
+        cache.entry_path(key).write_bytes(pickle.dumps({"qor": 42}))
+        assert not cache.get(key)[0]
+        assert cache.stats.corrupt == 1
+
+    def test_run_stage_recomputes_over_bad_entry(self, tmp_path):
+        """The satellite bug: a bad disk entry used to raise out of
+        ``run_stage``; now it falls back to recompute and republishes
+        a clean entry."""
+        stage = Stage("double", _double, params=("x",))
+        _double.calls = 0
+        cache = ResultCache(disk_dir=tmp_path)
+        first = run_stage(stage, {"x": 21}, cache=cache)
+        assert first.value == 42 and _double.calls == 1
+        corrupt_file(cache.entry_path(first.key), seed=3)
+        fresh = ResultCache(disk_dir=tmp_path)
+        again = run_stage(stage, {"x": 21}, cache=fresh)
+        assert again.span.status == "ok" and again.value == 42
+        assert again.span.cache == "miss" and _double.calls == 2
+        # The recompute republished a verifiable entry.
+        repaired = ResultCache(disk_dir=tmp_path)
+        hit, value = repaired.get(first.key)
+        assert hit and value == 42
+
+
+# ----------------------------------------------------------------------
+# Timed-out stage threads: observable, capped leak (satellite)
+
+
+def _nap(ctx):
+    time.sleep(ctx["nap_s"])
+    return "late"
+
+
+class TestTimeoutThreadLeak:
+    def test_leak_is_counted_and_surfaced_in_span(self):
+        dag = FlowDAG().add(Stage("slow", _nap, params=("nap_s",),
+                                  timeout_s=0.02))
+        sink = TelemetrySink()
+        SerialExecutor().run(dag, {"nap_s": 0.25}, sink=sink,
+                             strict=False)
+        assert sink.spans[0].status == "timeout"
+        assert sink.spans[0].leaked_threads >= 1
+        assert sink.report().leaked_threads >= 1
+        time.sleep(0.35)                  # orphan finishes its nap
+        assert leaked_threads() == 0
+
+    def test_cap_bounds_concurrent_orphans(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "MAX_ABANDONED_THREADS", 2)
+        dag = FlowDAG().add(Stage("slow", _nap, params=("nap_s",),
+                                  timeout_s=0.01))
+        for _ in range(5):
+            SerialExecutor().run(dag, {"nap_s": 0.15}, strict=False)
+            assert leaked_threads() <= 2
+        time.sleep(0.25)
+        assert leaked_threads() == 0
+
+
+# ----------------------------------------------------------------------
+# Chaos policy: determinism, retries, budget
+
+
+def _always_fail(ctx):
+    raise RuntimeError("permanent")
+
+
+def _ok(ctx):
+    return "fine"
+
+
+class TestChaosPolicy:
+    def test_decisions_are_seed_deterministic(self):
+        a = ChaosPolicy(seed=5, fail_rate=0.5, timeout_rate=0.2,
+                        crash_rate=0.3)
+        b = ChaosPolicy(seed=5, fail_rate=0.5, timeout_rate=0.2,
+                        crash_rate=0.3)
+        other = ChaosPolicy(seed=6, fail_rate=0.5, timeout_rate=0.2,
+                            crash_rate=0.3)
+
+        def decisions(policy):
+            out = []
+            for stage in ("a", "b", "c", "d"):
+                for attempt in range(4):
+                    try:
+                        policy.on_attempt(stage, attempt)
+                        out.append("ok")
+                    except Exception as err:  # noqa: BLE001
+                        out.append(type(err).__name__)
+            return out
+
+        assert decisions(a) == decisions(b)
+        assert decisions(a) != decisions(other)
+
+    def test_injected_fault_recovered_by_retry(self):
+        # By construction: find a seed that faults attempt 0 of this
+        # stage but not attempt 1, so one retry must recover the run.
+        seed = next(
+            s for s in range(1000)
+            if ChaosPolicy(seed=s)._roll("fail", "flaky", 0) < 0.5 <=
+            ChaosPolicy(seed=s)._roll("fail", "flaky", 1))
+        chaos = ChaosPolicy(seed=seed, fail_rate=0.5)
+        dag = FlowDAG().add(Stage("flaky", _ok, retries=2,
+                                  backoff_s=0.001))
+        sink = TelemetrySink()
+        result = SerialExecutor(chaos=chaos).run(dag, {}, sink=sink)
+        assert result.status == "ok"
+        assert sink.spans[0].retries == 1
+
+    def test_chaos_crash_aborts_run(self):
+        chaos = ChaosPolicy(seed=0, crash_stages=("boom",))
+        dag = (FlowDAG().add(Stage("first", _ok))
+               .add(Stage("boom", _ok, deps=("first",))))
+        with pytest.raises(WorkerCrash, match="boom"):
+            SerialExecutor(chaos=chaos).run(dag, {})
+
+    def test_retry_budget_caps_total_retries(self):
+        dag = FlowDAG().add(Stage("dead", _always_fail, retries=5,
+                                  backoff_s=0.0))
+        budget = RetryBudget(limit=1)
+        with pytest.raises(StageError, match="2 attempt"):
+            SerialExecutor().run(dag, {}, budget=budget)
+        assert budget.remaining == 0
+
+    def test_backoff_delay_jitter_bounds(self):
+        random.seed(0)
+        for attempt in range(4):
+            base = 0.01 * (2 ** attempt)
+            for _ in range(20):
+                d = backoff_delay(0.01, attempt, jitter=0.25)
+                assert base <= d <= base * 1.25
+
+
+# ----------------------------------------------------------------------
+# The unified API, status enum, and schema versioning (satellites)
+
+
+class TestUnifiedApi:
+    def test_run_is_the_facade(self, lib):
+        result = run(small_design(lib), lib, FlowOptions(**OPTS))
+        assert result.status is FlowStatus.OK
+        assert result.schema_version == 2
+        assert result.options.schema_version == 2
+        assert result.run_id is None      # no journaling requested
+        assert set(result.stage_runtimes) == set(STAGE_NAMES)
+
+    def test_implement_shim_deprecated_but_equivalent(self, lib):
+        with pytest.deprecated_call(match="repro.orchestrate.run"):
+            shim = implement(small_design(lib), lib,
+                             FlowOptions(**OPTS))
+        assert qor(shim) == qor(run(small_design(lib), lib,
+                                    FlowOptions(**OPTS)))
+
+    def test_max_retries_absorbs_chaos_faults(self, lib, clean_qor):
+        # max_retries gives the default DAG per-stage retry headroom
+        # (its stages carry retries=0 otherwise), so injected faults
+        # are absorbed and the QoR still matches a clean run.
+        sink = TelemetrySink()
+        chaos = ChaosPolicy(seed=7, fail_rate=0.2)
+        with pytest.raises((StageError, ChaosFailure)):
+            run(small_design(lib), lib, FlowOptions(**OPTS),
+                chaos=chaos)
+        result = run(small_design(lib), lib, FlowOptions(**OPTS),
+                     chaos=chaos, telemetry=sink, max_retries=3)
+        assert result.status is FlowStatus.OK
+        assert qor(result) == clean_qor
+        assert sum(s.retries for s in sink.spans) >= 1
+
+    def test_status_enum_is_string_compatible(self):
+        assert FlowStatus.OK == "ok"
+        assert str(FlowStatus.RESUMED) == "resumed"
+        assert f"{FlowStatus.DEGRADED}" == "degraded"
+        assert FlowStatus("failed") is FlowStatus.FAILED
+
+    def test_from_run_tolerates_failed_runs(self):
+        from repro.core.flow import FlowResult
+        from repro.orchestrate import RunResult
+        failed = RunResult(outputs={}, status="failed", spans=[],
+                           wall_s=0.1, failed=["synthesis"],
+                           skipped=["placement"])
+        result = FlowResult.from_run(failed, FlowOptions())
+        assert result.status is FlowStatus.FAILED
+        assert result.netlist is None and result.instances == 0
+        assert result.delay_ps != result.delay_ps   # NaN
+
+    def test_journaled_run_reports_run_id(self, lib, tmp_path):
+        result = run(small_design(lib), lib, FlowOptions(**OPTS),
+                     journal_root=tmp_path, run_id="named")
+        assert result.run_id == "named"
+        assert RunJournal.open(tmp_path, "named").is_complete
+        assert resumable_runs(tmp_path) == []
+
+
+# ----------------------------------------------------------------------
+# Checkpoint/resume
+
+
+class TestResume:
+    def test_resume_after_kill_at_each_stage(self, lib, tmp_path,
+                                             clean_qor):
+        for kill in STAGE_NAMES:
+            run_id = f"kill-{kill}"
+            with pytest.raises(WorkerCrash, match=kill):
+                run(small_design(lib), lib, FlowOptions(**OPTS),
+                    journal_root=tmp_path, run_id=run_id,
+                    chaos=ChaosPolicy(seed=1, crash_stages=(kill,)))
+            sink = TelemetrySink()
+            resumed = resume_run(run_id, journal_root=tmp_path,
+                                 telemetry=sink)
+            assert qor(resumed) == clean_qor, kill
+            assert resumed.status is FlowStatus.RESUMED or \
+                kill == STAGE_NAMES[0]   # nothing journaled: plain ok
+            replayed = {s.stage for s in sink.spans
+                        if s.cache == "journal"}
+            executed = {s.stage for s in sink.spans
+                        if s.cache != "journal"}
+            assert replayed.isdisjoint(executed)
+            assert kill in executed      # the cut stage re-runs
+            assert replayed | executed == set(STAGE_NAMES)
+
+    def test_resume_with_pool_executor(self, lib, tmp_path, clean_qor):
+        with pytest.raises(WorkerCrash):
+            run(small_design(lib), lib, FlowOptions(**OPTS), jobs=2,
+                journal_root=tmp_path, run_id="pool",
+                chaos=ChaosPolicy(seed=2, crash_stages=("signoff",)))
+        resumed = resume_run("pool", journal_root=tmp_path, jobs=2)
+        assert qor(resumed) == clean_qor
+        assert resumed.status is FlowStatus.RESUMED
+
+    def test_resume_of_complete_run_replays_everything(
+            self, lib, tmp_path, clean_qor):
+        run(small_design(lib), lib, FlowOptions(**OPTS),
+            journal_root=tmp_path, run_id="done")
+        sink = TelemetrySink()
+        resumed = resume_run("done", journal_root=tmp_path,
+                             telemetry=sink)
+        assert qor(resumed) == clean_qor
+        assert all(s.cache == "journal" for s in sink.spans)
+
+    def test_recovery_telemetry_logged_and_persisted(
+            self, lib, tmp_path):
+        with pytest.raises(WorkerCrash):
+            run(small_design(lib), lib, FlowOptions(**OPTS),
+                journal_root=tmp_path, run_id="rec",
+                chaos=ChaosPolicy(seed=3, crash_stages=("routing",)))
+        db = RunDatabase()
+        resume_run("rec", journal_root=tmp_path, run_db=db)
+        assert len(db.recovery) == 1
+        rec = db.recovery[0]
+        assert rec.run_id == "rec"
+        assert rec.replayed == 4 and rec.executed == 2
+        assert rec.status == "resumed"
+        path = tmp_path / "db.json"
+        db.save(path)
+        loaded = RunDatabase.load(path)
+        assert loaded.recovery == [rec]
+        assert isinstance(loaded.recovery[0], RecoveryRecord)
+
+    def test_sweep_jobs_journal_individually(self, lib, tmp_path):
+        sweep = run_sweep(
+            [small_design(lib, seed=3), small_design(lib, seed=4)],
+            lib, [FlowOptions(), FlowOptions()],
+            journal_root=tmp_path)
+        assert len(sweep.results) == 2
+        assert sorted(RunJournal.list_runs(tmp_path)) == \
+            ["job0000", "job0001"]
+        assert resumable_runs(tmp_path) == []
+
+
+def _run_and_die(journal_root, run_id, kill_stage):
+    """Child-process body: start a journaled run, SIGKILL ourselves
+    when the flow reaches ``kill_stage`` (a real process death, not a
+    simulated one)."""
+    lib = build_library(get_node("28nm"),
+                        vt_flavors=("lvt", "rvt", "hvt"))
+    run(small_design(lib), lib, FlowOptions(**OPTS),
+        journal_root=journal_root, run_id=run_id,
+        chaos=_SigkillAt(kill_stage))
+
+
+class _SigkillAt:
+    """Chaos stand-in whose kill point is an actual SIGKILL."""
+
+    def __init__(self, stage):
+        self.stage = stage
+
+    def pre_stage(self, stage):
+        if stage == self.stage:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def on_attempt(self, stage, attempt):
+        pass
+
+    def after_put(self, cache, key):
+        pass
+
+
+class TestProcessKill:
+    def test_sigkilled_process_resumes_bit_identical(
+            self, tmp_path, clean_qor):
+        child = multiprocessing.Process(
+            target=_run_and_die, args=(tmp_path, "killed", "routing"))
+        child.start()
+        child.join(timeout=60)
+        assert child.exitcode == -signal.SIGKILL
+        assert resumable_runs(tmp_path) == ["killed"]
+        resumed = resume_run("killed", journal_root=tmp_path)
+        assert qor(resumed) == clean_qor
+        assert resumed.status is FlowStatus.RESUMED
+
+
+# ----------------------------------------------------------------------
+# The chaos soak: the acceptance criterion
+
+
+def _soak_scenarios(n_seeds=20):
+    """Seeded kill/corruption scenarios: which stage dies, and whether
+    a journal blob or a cache entry additionally rots."""
+    out = []
+    for seed in range(n_seeds):
+        rng = random.Random(seed)
+        out.append({
+            "seed": seed,
+            "kill": rng.choice(STAGE_NAMES[1:]),   # after >=1 record
+            "rot": rng.choice(("none", "journal", "cache")),
+        })
+    return out
+
+
+class TestChaosSoak:
+    @pytest.mark.parametrize(
+        "scenario", _soak_scenarios(),
+        ids=lambda s: f"seed{s['seed']}-{s['kill']}-{s['rot']}")
+    def test_interrupted_run_resumes_bit_identical(
+            self, scenario, lib, tmp_path, clean_qor):
+        seed, kill = scenario["seed"], scenario["kill"]
+        run_id = f"soak{seed}"
+        cache = ResultCache(disk_dir=tmp_path / "cache") \
+            if scenario["rot"] == "cache" else None
+        with pytest.raises(WorkerCrash, match=kill):
+            run(small_design(lib), lib, FlowOptions(**OPTS),
+                journal_root=tmp_path, run_id=run_id, cache=cache,
+                chaos=ChaosPolicy(seed=seed, crash_stages=(kill,)))
+
+        journal = RunJournal.open(tmp_path, run_id)
+        journaled = {e["stage"] for e in journal.entries()}
+        rotted = None
+        if scenario["rot"] == "journal" and journaled:
+            rotted = sorted(journaled)[seed % len(journaled)]
+            assert corrupt_file(journal.blob_dir / f"{rotted}.pkl",
+                                seed=seed)
+        elif scenario["rot"] == "cache":
+            entries = [p for p in (tmp_path / "cache").glob("*.pkl")]
+            if entries:
+                assert corrupt_file(entries[seed % len(entries)],
+                                    seed=seed)
+            cache = ResultCache(disk_dir=tmp_path / "cache")
+
+        sink = TelemetrySink()
+        resumed = resume_run(run_id, journal_root=tmp_path,
+                             cache=cache, telemetry=sink)
+
+        # 1. Bit-identical signoff metrics.
+        assert qor(resumed) == clean_qor, scenario
+        # 2. Only the frontier re-executed: every verified journal
+        #    entry replayed, the rotted one (if any) re-ran.
+        replayed = {s.stage for s in sink.spans
+                    if s.cache == "journal"}
+        executed = {s.stage for s in sink.spans
+                    if s.cache != "journal"}
+        expected_replay = journaled - ({rotted} if rotted else set())
+        assert replayed == expected_replay, scenario
+        assert executed == set(STAGE_NAMES) - expected_replay, scenario
+        assert resumed.status is FlowStatus.RESUMED or not replayed
+        assert RunJournal.open(tmp_path, run_id).is_complete
