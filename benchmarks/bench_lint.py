@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Performance harness for the static-analysis subsystem.
+
+Times the full netlist rule set on three synthetic design sizes
+(including a 50k-gate design on the full run), the invariant-only
+subset the stage-boundary sanitizer replays, and the flow static
+verifier (+ purity checker) on the shipped implement DAG.  Results are
+written to ``BENCH_lint.json`` so lint slowdowns show up in review
+diffs alongside the kernel benchmarks.
+
+The economics only work if the checks are effectively free: a linter
+that costs minutes per run is a linter nobody gates on.  ``--check``
+enforces that — the whole suite on the large design must finish under
+2 s and the pre-run flow verification under 50 ms.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_lint.py            # full
+    PYTHONPATH=src python benchmarks/bench_lint.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_lint.py --check    # gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.lint import INVARIANT_RULE_IDS, lint_flow, lint_netlist
+from repro.netlist import build_library, registered_cloud
+from repro.orchestrate.flows import build_implement_dag
+from repro.orchestrate.telemetry import TelemetrySink, kernel_span
+from repro.core.flow import FlowOptions
+from repro.tech import get_node
+
+# (num_inputs, num_flops, num_gates) per design size.
+FULL_SIZES = {
+    "small": (24, 64, 2_000),
+    "medium": (32, 128, 12_000),
+    "large": (48, 256, 50_000),
+}
+QUICK_SIZES = {
+    "small": (12, 24, 300),
+    "medium": (16, 48, 1_500),
+    "large": (24, 64, 5_000),
+}
+REPEATS = 3              # best-of-N per timed lint pass
+
+
+def bench_netlist_lint(name, nl, sink) -> dict:
+    """Full rule set and the sanitizer's invariant subset."""
+    full_s, report = [], None
+    for _ in range(REPEATS):
+        with kernel_span(sink, "lint_full"):
+            report = lint_netlist(nl)
+        full_s.append(sink.spans[-1].wall_s)
+    if report.errors:
+        raise AssertionError(
+            f"{name}: generator produced a lint-dirty design: "
+            f"{[str(f) for f in report.errors]}")
+
+    inv_s = []
+    for _ in range(REPEATS):
+        with kernel_span(sink, "lint_invariants"):
+            lint_netlist(nl, only=list(INVARIANT_RULE_IDS))
+        inv_s.append(sink.spans[-1].wall_s)
+
+    return {
+        "lint_full_ms": 1e3 * min(full_s),
+        "lint_invariants_ms": 1e3 * min(inv_s),
+        "findings": len(report.findings),
+    }
+
+
+def bench_flow_lint(sink) -> dict:
+    """Pre-run flow verification incl. the AST purity checker."""
+    dag = build_implement_dag()
+    options = FlowOptions()
+    flow_s = []
+    for _ in range(REPEATS):
+        with kernel_span(sink, "lint_flow"):
+            report = lint_flow(dag, options)
+        flow_s.append(sink.spans[-1].wall_s)
+    if not report.ok:
+        raise AssertionError(
+            f"implement DAG is lint-dirty: "
+            f"{[str(f) for f in report.findings]}")
+    return {"lint_flow_ms": 1e3 * min(flow_s)}
+
+
+def run(quick: bool) -> dict:
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    lib = build_library(get_node("28nm"),
+                        vt_flavors=("lvt", "rvt", "hvt"))
+    sink = TelemetrySink()
+    results: dict = {"quick": quick, "designs": {}}
+    for name, (ni, nf, ng) in sizes.items():
+        t0 = time.perf_counter()
+        nl = registered_cloud(ni, nf, ng, lib, seed=7, name=name)
+        entry = {"gates": nl.num_instances()}
+        entry.update(bench_netlist_lint(name, nl, sink))
+        entry["total_s"] = time.perf_counter() - t0
+        results["designs"][name] = entry
+        print(f"[{name}] gates={entry['gates']} "
+              f"full={entry['lint_full_ms']:.1f}ms "
+              f"invariants={entry['lint_invariants_ms']:.1f}ms "
+              f"findings={entry['findings']}")
+
+    results["flow"] = bench_flow_lint(sink)
+    print(f"[flow] static verification "
+          f"{results['flow']['lint_flow_ms']:.1f}ms")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small designs (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless large-design lint < 2 s "
+                             "and flow verification < 50 ms")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_lint.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    results = run(args.quick)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        large_s = results["designs"]["large"]["lint_full_ms"] / 1e3
+        flow_ms = results["flow"]["lint_flow_ms"]
+        if large_s > 2.0:
+            print(f"CHECK FAILED: large-design lint took "
+                  f"{large_s:.2f}s (budget 2s)")
+            return 1
+        if flow_ms > 50.0:
+            print(f"CHECK FAILED: flow verification took "
+                  f"{flow_ms:.1f}ms (budget 50ms)")
+            return 1
+        print(f"CHECK OK: large lint {large_s:.3f}s, "
+              f"flow verification {flow_ms:.1f}ms")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

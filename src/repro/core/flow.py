@@ -109,6 +109,7 @@ class FlowResult:
     status: FlowStatus = FlowStatus.OK
     schema_version: int = FLOW_SCHEMA_VERSION
     run_id: str | None = None    # set when the run was journaled
+    lint: object = None          # LintReport from the pre-run gate
 
     @classmethod
     def from_run(cls, run, options: FlowOptions,

@@ -101,6 +101,7 @@ class RunDatabase:
             payload = span.to_dict() if hasattr(span, "to_dict") \
                 else dict(span)
             payload.pop("job", None)
+            payload.pop("notes", None)
             self.telemetry.append(TelemetryRecord(design=design,
                                                   **payload))
 

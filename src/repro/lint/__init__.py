@@ -1,0 +1,88 @@
+"""Static analysis: netlist lint and flow verification before runtime.
+
+The panel's economics are blunt: design cost and debug time, not tool
+speed, bound what gets built.  The cheapest debug hour is the one a
+static check made unnecessary — so this package gives the suite
+signoff-style lint with one rule registry and machine-readable
+reports, wired into the orchestrator as a pre-run gate:
+
+* **Netlist lint** (:mod:`~repro.lint.netlist_rules`) — undriven and
+  multi-driven nets, floating pins, dangling POs, combinational
+  cycles, fanout overloads, dead cones (``NET-xxx``), plus hierarchy
+  port checks for two-level designs (``NET-008``).
+* **Flow static verification** (:mod:`~repro.lint.flow_rules`) —
+  missing producers, cycles, dead stages, knob typos, and undeclared
+  ``ctx`` reads on a :class:`~repro.orchestrate.dag.FlowDAG`
+  (``FLOW-xxx``).
+* **Purity checking** (:mod:`~repro.lint.purity`) — AST-level
+  cache-soundness hazards in stage functions: wall-clock reads,
+  unseeded randomness, environment reads, captured-global mutation
+  (``PURE-xxx``), with inline ``# lint: waive`` support.
+* **Stage-boundary sanitizing** (:mod:`~repro.lint.sanitize`) —
+  re-run the invariant rules on every stage output so the first
+  corrupting stage is named in telemetry.
+
+Everything lands in a :class:`LintReport` (JSON / SARIF export,
+waiver files), and ``orchestrate.run(..., lint="strict")`` refuses to
+execute a flow whose report has unwaived errors.
+
+Command line::
+
+    PYTHONPATH=src python -m repro.lint design.v --node 28nm --json
+"""
+
+from repro.lint.flow_rules import (
+    DEFAULT_RUN_PARAMS,
+    FlowLintContext,
+    lint_flow,
+)
+from repro.lint.netlist_rules import (
+    INVARIANT_RULE_IDS,
+    LintConfig,
+    NetlistLintContext,
+    lint_design,
+    lint_netlist,
+)
+from repro.lint.purity import check_flow_purity, check_stage_purity
+from repro.lint.registry import (
+    REGISTRY,
+    LintError,
+    LintGateError,
+    Rule,
+    RuleRegistry,
+    rule,
+)
+from repro.lint.report import (
+    Finding,
+    LintReport,
+    Severity,
+    Waiver,
+    Waivers,
+)
+from repro.lint.sanitize import StageSanitizer, find_netlists
+
+__all__ = [
+    "DEFAULT_RUN_PARAMS",
+    "Finding",
+    "FlowLintContext",
+    "INVARIANT_RULE_IDS",
+    "LintConfig",
+    "LintError",
+    "LintGateError",
+    "LintReport",
+    "NetlistLintContext",
+    "REGISTRY",
+    "Rule",
+    "RuleRegistry",
+    "Severity",
+    "StageSanitizer",
+    "Waiver",
+    "Waivers",
+    "check_flow_purity",
+    "check_stage_purity",
+    "find_netlists",
+    "lint_design",
+    "lint_flow",
+    "lint_netlist",
+    "rule",
+]

@@ -1,0 +1,378 @@
+"""Netlist lint rules: structural signoff checks before a flow runs.
+
+Commercial flows refuse to burn hours of compute on a netlist a lint
+pass would have rejected in milliseconds.  These rules encode the
+invariants the rest of the suite silently assumes — exactly one driver
+per net, connected pins, acyclic combinational logic — plus the
+quality checks (fanout load, dead cones) that predict downstream pain.
+
+All rules read from one shared :class:`NetlistLintContext` built in a
+single pass over the design, reusing the memoized
+``fanout_map``/``topological_gates`` accelerators where the netlist is
+healthy enough for them, so a full lint of a 50k-gate design stays
+well under a second (``benchmarks/bench_lint.py`` gates this).
+
+Rule table
+----------
+
+========  ========  =====================================================
+NET-001   error     gate pin or load reads an undriven net
+NET-002   error     net has more than one driver
+NET-003   error     gate pin set disagrees with its cell's declared pins
+NET-004   error     primary output dangles (undriven / duplicate)
+NET-005   error     combinational cycle
+NET-006   warning   fanout load exceeds the driver's capability
+NET-007   warning   dead logic cone (unreachable from any PO or flop)
+========  ========  =====================================================
+
+(NET-008, hierarchy port checks, lives in the ``hierarchy`` scope —
+see :func:`hierarchy_port_mismatch` — because its subject is a
+:class:`~repro.netlist.hierarchy.Design`, not a flat netlist.)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.lint.registry import REGISTRY, Violation, rule
+from repro.lint.report import LintReport, Severity, Waivers
+
+#: Rules that must hold for the analysis/optimization kernels to be
+#: trustworthy at all — the set the stage-boundary sanitizer re-runs.
+INVARIANT_RULE_IDS = ("NET-001", "NET-002", "NET-003", "NET-004",
+                      "NET-005")
+
+
+@dataclass
+class LintConfig:
+    """Tunable thresholds for the quality (non-invariant) rules.
+
+    ``max_slope_ff`` bounds the load a driver may see, expressed as a
+    multiple of its own input capacitance (a cell driving more than
+    ~48x its input cap is far outside the linear-delay model's
+    calibration).  ``max_fanout`` is an absolute load-count backstop.
+    """
+
+    max_slope_ff_ratio: float = 48.0
+    max_fanout: int = 256
+    max_findings_per_rule: int = 50
+
+
+class NetlistLintContext:
+    """Shared single-pass facts every netlist rule reads.
+
+    Built once per lint call: driver tables, loads, and a
+    cycle-tolerant topological attempt.  Rules stay tiny and cannot
+    disagree about the design's structure.  When the netlist's own
+    memoized views are usable (no undriven reads), ``fanout_map`` is
+    served from the netlist's cache rather than rebuilt.
+    """
+
+    def __init__(self, netlist: Any,
+                 config: LintConfig | None = None) -> None:
+        self.netlist = netlist
+        self.config = config or LintConfig()
+        self.driven: set[str] = set(netlist.nets())
+        self.pi_set: set[str] = set(netlist.primary_inputs)
+        # net -> driver names ("<pi>" marks a primary-input driver).
+        self.drivers: dict[str, list[str]] = {}
+        for net in netlist.primary_inputs:
+            self.drivers.setdefault(net, []).append("<pi>")
+        gates: dict[str, Any] = netlist.gates
+        for gate in gates.values():
+            self.drivers.setdefault(gate.output, []).append(gate.name)
+        # net -> (gate name, pin) loads.  The netlist's memoized
+        # fanout_map serves this when every read is driven; otherwise
+        # (a netlist broken enough to lint) build it locally so the
+        # context never poisons the accelerator caches.
+        self.loads: dict[str, list[tuple[str, str]]] = {}
+        self.undriven_reads: list[tuple[str, str, str]] = []
+        for gate in gates.values():
+            for pin, net in gate.pins.items():
+                self.loads.setdefault(net, []).append((gate.name, pin))
+                if net not in self.driven:
+                    self.undriven_reads.append((gate.name, pin, net))
+        self.cycle_gates: list[str] = self._find_cycle_gates()
+
+    # -- traversal helpers ---------------------------------------------
+
+    def _find_cycle_gates(self) -> list[str]:
+        """Combinational gates stuck on a dependency cycle.
+
+        A cycle-tolerant Kahn pass (the netlist's own
+        ``topological_gates`` raises instead of reporting, and dies on
+        undriven reads): whatever never becomes ready is on or behind
+        a cycle.
+        """
+        netlist = self.netlist
+        indeg: dict[str, int] = {}
+        dependents: dict[str, list[str]] = {}
+        comb: dict[str, Any] = {
+            g.name: g for g in netlist.combinational_gates()}
+        for name, gate in comb.items():
+            degree = 0
+            for net in gate.pins.values():
+                for drv in self.drivers.get(net, ()):
+                    if drv != "<pi>" and drv in comb:
+                        degree += 1
+                        dependents.setdefault(drv, []).append(name)
+            indeg[name] = degree
+        ready = [n for n, d in indeg.items() if d == 0]
+        done = 0
+        while ready:
+            name = ready.pop()
+            done += 1
+            for dep in dependents.get(name, ()):
+                indeg[dep] -= 1
+                if indeg[dep] == 0:
+                    ready.append(dep)
+        if done == len(comb):
+            return []
+        return sorted(n for n, d in indeg.items() if d > 0)
+
+    def live_gates(self) -> set[str]:
+        """Gates on some cone feeding a PO or a sequential element."""
+        netlist = self.netlist
+        live_nets: list[str] = list(netlist.primary_outputs)
+        for gate in netlist.sequential_gates():
+            live_nets.extend(gate.pins.values())
+        live: set[str] = set()
+        frontier = live_nets
+        gates: dict[str, Any] = netlist.gates
+        while frontier:
+            net = frontier.pop()
+            for drv in self.drivers.get(net, ()):
+                if drv == "<pi>" or drv in live:
+                    continue
+                live.add(drv)
+                gate = gates.get(drv)
+                if gate is not None:
+                    frontier.extend(gate.pins.values())
+        return live
+
+
+# ----------------------------------------------------------------------
+# Invariant rules (the sanitizer re-runs these at stage boundaries)
+
+
+@rule("NET-001", Severity.ERROR, "undriven net", "netlist")
+def undriven_net(ctx: NetlistLintContext) -> Iterator[Violation]:
+    """A gate pin or primary output reads a net nothing drives."""
+    for gate_name, pin, net in ctx.undriven_reads:
+        yield (net, f"gate {gate_name} pin {pin} reads undriven "
+                    f"net {net!r}")
+
+
+@rule("NET-002", Severity.ERROR, "multi-driven net", "netlist")
+def multi_driven_net(ctx: NetlistLintContext) -> Iterator[Violation]:
+    """A net with two or more drivers (short circuit in silicon)."""
+    for net, drivers in ctx.drivers.items():
+        if len(drivers) > 1:
+            names = ", ".join("primary input" if d == "<pi>" else d
+                              for d in sorted(drivers))
+            yield (net, f"net {net!r} has {len(drivers)} drivers: "
+                        f"{names}")
+
+
+@rule("NET-003", Severity.ERROR, "floating or phantom gate input",
+      "netlist")
+def floating_gate_input(ctx: NetlistLintContext) -> Iterator[Violation]:
+    """Gate pin set must match its cell's declared input pins."""
+    gates: dict[str, Any] = ctx.netlist.gates
+    for gate in gates.values():
+        declared = set(gate.cell.inputs)
+        connected = set(gate.pins)
+        for pin in sorted(declared - connected):
+            yield (gate.name, f"gate {gate.name} ({gate.cell.name}) "
+                              f"leaves input pin {pin} floating")
+        for pin in sorted(connected - declared):
+            yield (gate.name, f"gate {gate.name} connects pin {pin} "
+                              f"that cell {gate.cell.name} does not "
+                              f"declare")
+
+
+@rule("NET-004", Severity.ERROR, "dangling primary output", "netlist")
+def dangling_primary_output(ctx: NetlistLintContext
+                            ) -> Iterator[Violation]:
+    """POs must name driven nets, once each."""
+    seen: set[str] = set()
+    for po in ctx.netlist.primary_outputs:
+        if po not in ctx.driven:
+            yield (po, f"primary output {po!r} is undriven")
+        if po in seen:
+            yield (po, f"primary output {po!r} declared more than "
+                       f"once", Severity.WARNING)
+        seen.add(po)
+
+
+@rule("NET-005", Severity.ERROR, "combinational cycle", "netlist")
+def combinational_cycle(ctx: NetlistLintContext) -> Iterator[Violation]:
+    """Feedback through combinational gates only (no flop on the loop)."""
+    if not ctx.cycle_gates:
+        return
+    head = ", ".join(ctx.cycle_gates[:8])
+    more = len(ctx.cycle_gates) - 8
+    if more > 0:
+        head += f", ... {more} more"
+    yield (ctx.cycle_gates[0],
+           f"combinational cycle through {len(ctx.cycle_gates)} "
+           f"gate(s): {head}")
+
+
+# ----------------------------------------------------------------------
+# Quality rules
+
+
+@rule("NET-006", Severity.WARNING, "fanout load beyond drive strength",
+      "netlist")
+def fanout_overload(ctx: NetlistLintContext) -> Iterator[Violation]:
+    """A driver loaded far outside its delay model's calibration."""
+    config = ctx.config
+    gates: dict[str, Any] = ctx.netlist.gates
+    for net, loads in ctx.loads.items():
+        drivers = ctx.drivers.get(net, [])
+        if len(drivers) != 1 or drivers[0] == "<pi>":
+            continue               # PIs have no cell to overload
+        driver = gates[drivers[0]]
+        if len(loads) > config.max_fanout:
+            yield (net, f"net {net!r}: fanout {len(loads)} exceeds "
+                        f"max_fanout {config.max_fanout}")
+            continue
+        load_ff = 0.0
+        for load_name, _pin in loads:
+            load_gate = gates.get(load_name)
+            if load_gate is not None:
+                load_ff += load_gate.cell.input_cap_ff
+        own_cap = driver.cell.input_cap_ff
+        limit_ff = config.max_slope_ff_ratio * max(own_cap, 1e-6)
+        if load_ff > limit_ff:
+            yield (net, f"net {net!r}: load {load_ff:.1f} fF on "
+                        f"{driver.cell.name} exceeds "
+                        f"{config.max_slope_ff_ratio:.0f}x its input "
+                        f"cap ({limit_ff:.1f} fF)")
+
+
+@rule("NET-007", Severity.WARNING, "dead logic cone", "netlist")
+def dead_logic_cone(ctx: NetlistLintContext) -> Iterator[Violation]:
+    """Combinational gates no PO or flop can observe (wasted area)."""
+    live = ctx.live_gates()
+    dead = [g.name for g in ctx.netlist.combinational_gates()
+            if g.name not in live]
+    for name in sorted(dead):
+        yield (name, f"gate {name} drives no cone observable at a "
+                     f"primary output or flop")
+
+
+# ----------------------------------------------------------------------
+# Hierarchy rules (subject: repro.netlist.hierarchy.Design)
+
+
+@rule("NET-008", Severity.ERROR, "hierarchy port mismatch", "hierarchy")
+def hierarchy_port_mismatch(design: Any) -> Iterator[Violation]:
+    """Instance port maps must match their module's declared ports.
+
+    Covers phantom ports (mapped but not declared), unmapped input
+    ports, port-count (bus width) mismatches, and two instances
+    driving the same top-level net.
+    """
+    top_driven: dict[str, list[str]] = {}
+    for net in design.top_inputs:
+        top_driven.setdefault(net, []).append("<top input>")
+    for inst in design.instances:
+        module = design.modules.get(inst.module)
+        if module is None:
+            yield (inst.name, f"instance {inst.name} references "
+                              f"unknown module {inst.module!r}")
+            continue
+        ports_in = set(module.ports_in)
+        ports_out = set(module.ports_out)
+        for port in sorted(set(inst.input_map) - ports_in):
+            yield (inst.name,
+                   f"instance {inst.name} maps input port {port!r} "
+                   f"that module {module.name} does not declare")
+        for port in sorted(ports_in - set(inst.input_map)):
+            yield (inst.name,
+                   f"instance {inst.name} leaves module "
+                   f"{module.name} input port {port!r} unconnected")
+        for port in sorted(set(inst.output_map) - ports_out):
+            yield (inst.name,
+                   f"instance {inst.name} maps output port {port!r} "
+                   f"that module {module.name} does not declare")
+        for port in sorted(ports_out - set(inst.output_map)):
+            yield (inst.name,
+                   f"instance {inst.name} leaves module "
+                   f"{module.name} output port {port!r} dangling",
+                   Severity.WARNING)
+        if len(inst.input_map) != len(ports_in) or \
+                len(inst.output_map) > len(ports_out):
+            yield (inst.name,
+                   f"instance {inst.name} port widths "
+                   f"{len(inst.input_map)}/{len(inst.output_map)} "
+                   f"do not match module {module.name} "
+                   f"{len(ports_in)}/{len(ports_out)}",
+                   Severity.WARNING)
+        for port, net in inst.output_map.items():
+            top_driven.setdefault(net, []).append(
+                f"{inst.name}.{port}")
+    for net, drivers in sorted(top_driven.items()):
+        if len(drivers) > 1:
+            yield (net, f"top-level net {net!r} has "
+                        f"{len(drivers)} drivers: "
+                        f"{', '.join(sorted(drivers))}")
+    driven = set(top_driven)
+    for net in design.top_outputs:
+        if net not in driven:
+            yield (net, f"top-level output {net!r} is driven by no "
+                        f"instance or top input")
+
+
+# ----------------------------------------------------------------------
+# Entry points
+
+
+def lint_netlist(netlist: Any, *, config: LintConfig | None = None,
+                 waivers: Waivers | None = None,
+                 only: list[str] | None = None) -> LintReport:
+    """Run every netlist-scope rule over a flat mapped netlist.
+
+    ``only`` restricts to specific rule ids (the sanitizer passes
+    :data:`INVARIANT_RULE_IDS`); ``waivers`` marks reviewed findings.
+    """
+    t0 = time.perf_counter()
+    ctx = NetlistLintContext(netlist, config)
+    cap = ctx.config.max_findings_per_rule
+    report = REGISTRY.run("netlist", ctx, netlist.name, only=only,
+                          waivers=waivers,
+                          max_findings_per_rule=cap)
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def lint_design(design: Any, *, config: LintConfig | None = None,
+                waivers: Waivers | None = None,
+                lint_modules: bool = True) -> LintReport:
+    """Lint a two-level hierarchical design.
+
+    Hierarchy port rules run on the design itself; with
+    ``lint_modules`` each module's implementation netlist is linted
+    too (findings keep the module netlist as their subject prefix).
+    """
+    t0 = time.perf_counter()
+    report = REGISTRY.run(
+        "hierarchy", design, design.name,
+        max_findings_per_rule=(config or LintConfig())
+        .max_findings_per_rule)
+    if lint_modules:
+        for module in design.modules.values():
+            sub = lint_netlist(module.netlist, config=config)
+            for finding in sub.findings:
+                report.findings.append(finding)
+            for rule_id, count in sub.truncated.items():
+                report.truncated[rule_id] = \
+                    report.truncated.get(rule_id, 0) + count
+    if waivers is not None:
+        report.findings = waivers.apply(report.findings)
+    report.wall_s = time.perf_counter() - t0
+    return report

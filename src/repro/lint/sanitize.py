@@ -1,0 +1,131 @@
+"""Stage-boundary sanitizer: re-check netlist invariants mid-flow.
+
+Pre-run lint proves the *input* is healthy; it cannot prove every
+stage keeps it that way.  A buggy optimization pass that doubles a
+driver or snips a PO poisons every downstream stage — and, through
+the content-hash cache, every *future* run that replays the rotten
+artifact.  The sanitizer (opt-in: ``orchestrate.run(...,
+sanitize=True)``) re-runs the invariant netlist rules
+(:data:`~repro.lint.netlist_rules.INVARIANT_RULE_IDS`) on every
+netlist reachable from each completed stage's output, so the **first**
+stage that corrupts an invariant is named — in the telemetry span
+(``sanitize:<stage>``, status ``failed``) and therefore in the
+:class:`~repro.orchestrate.telemetry.RunReport`.
+
+Only *newly broken* invariants are attributed to a stage: findings
+already present on the flow's input are the pre-run gate's business,
+not the sanitizer's.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+from repro.lint.netlist_rules import (
+    INVARIANT_RULE_IDS,
+    LintConfig,
+    lint_netlist,
+)
+from repro.lint.registry import LintGateError
+from repro.lint.report import Finding, LintReport
+
+
+def find_netlists(value: Any, label: str = "",
+                  _depth: int = 0) -> Iterator[tuple[str, Any]]:
+    """Netlist objects reachable from a stage output value.
+
+    Shallow by design: the value itself, a ``.netlist`` attribute
+    (placements, routing results), and one level of dict/list/tuple
+    containers — the shapes real stage outputs take.
+    """
+    if value is None or _depth > 2:
+        return
+    if hasattr(value, "gates") and hasattr(value, "primary_inputs") \
+            and hasattr(value, "fanout_map"):
+        yield (label or getattr(value, "name", "netlist"), value)
+        return
+    nested = getattr(value, "netlist", None)
+    if nested is not None:
+        yield from find_netlists(nested, label, _depth + 1)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            yield from find_netlists(item, f"{label}[{key}]",
+                                     _depth + 1)
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            yield from find_netlists(item, f"{label}[{index}]",
+                                     _depth + 1)
+
+
+def _finding_key(finding: Finding) -> tuple[str, str]:
+    return (finding.rule_id, finding.location)
+
+
+class StageSanitizer:
+    """Per-run invariant watchdog the executors call at each boundary.
+
+    ``mode`` mirrors the lint gate: ``"strict"`` raises
+    :class:`~repro.lint.registry.LintGateError` on the first
+    corrupting stage, anything else records and continues.  Findings
+    present on the flow's input (seed with :meth:`baseline`) are
+    excluded from attribution.
+    """
+
+    def __init__(self, mode: str = "warn",
+                 config: LintConfig | None = None) -> None:
+        self.mode = mode
+        self.config = config or LintConfig()
+        self.reports: dict[str, LintReport] = {}
+        self.first_corrupt: str | None = None
+        self._baseline: set[tuple[str, str]] = set()
+
+    def baseline(self, value: Any) -> None:
+        """Record pre-existing invariant findings of the flow input."""
+        for label, netlist in find_netlists(value):
+            report = self._lint(netlist)
+            self._baseline.update(
+                _finding_key(f) for f in report.findings)
+
+    def _lint(self, netlist: Any) -> LintReport:
+        return lint_netlist(netlist, config=self.config,
+                            only=list(INVARIANT_RULE_IDS))
+
+    def check(self, stage: str, value: Any) -> LintReport:
+        """Sanitize one completed stage's output.
+
+        Returns the (possibly empty) report of *new* invariant
+        violations; in strict mode a non-empty report raises instead,
+        naming the stage.
+        """
+        t0 = time.perf_counter()
+        report = LintReport(subject=f"sanitize:{stage}")
+        for label, netlist in find_netlists(value):
+            sub = self._lint(netlist)
+            for finding in sub.findings:
+                if _finding_key(finding) in self._baseline:
+                    continue
+                report.findings.append(Finding(
+                    rule_id=finding.rule_id,
+                    severity=finding.severity,
+                    message=f"after stage {stage!r}: "
+                            f"{finding.message}",
+                    subject=f"{stage}:{label}",
+                    location=finding.location,
+                    waived=finding.waived,
+                    waive_reason=finding.waive_reason))
+        report.wall_s = time.perf_counter() - t0
+        self.reports[stage] = report
+        if report.errors and self.first_corrupt is None:
+            self.first_corrupt = stage
+        if report.errors and self.mode == "strict":
+            raise LintGateError(report)
+        return report
+
+    def merged(self) -> LintReport:
+        """All boundary findings across the run, one report."""
+        merged = LintReport(subject="sanitize")
+        for report in self.reports.values():
+            merged.merge(report)
+        return merged

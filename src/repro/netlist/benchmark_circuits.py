@@ -96,7 +96,9 @@ def priority_encoder(bits: int, library: CellLibrary) -> Netlist:
         else:
             nh = nl.add_gate("INV_X1_rvt", [higher]).output
             g = nl.add_gate("AND2_X1_rvt", [req[i], nh]).output
-            higher = nl.add_gate("OR2_X1_rvt", [higher, req[i]]).output
+            if i > 0:      # the final OR would drive nothing
+                higher = nl.add_gate(
+                    "OR2_X1_rvt", [higher, req[i]]).output
         grants.append(g)
     for g in reversed(grants):
         nl.add_output(g)

@@ -164,6 +164,10 @@ class Netlist:
         missing = set(cell.inputs) - set(pins)
         if missing:
             raise ValueError(f"unconnected pins {sorted(missing)}")
+        phantom = set(pins) - set(cell.inputs)
+        if phantom:
+            raise ValueError(
+                f"{cell.name} has no pins {sorted(phantom)}")
         if name is None:
             name = self._fresh(f"u_{cell.name.lower()}")
         if name in self.gates:
@@ -195,10 +199,20 @@ class Netlist:
                                fanins=tuple(gate.pins.values())))
 
     def rewire_pin(self, gate_name: str, pin: str, net: str) -> None:
-        """Reconnect one input pin of a gate to a different net."""
+        """Reconnect one input pin of a gate to a different net.
+
+        The target net must already exist (be driven by a gate or
+        declared a primary input): rewiring to a phantom net would
+        leave the pin floating and silently corrupt the memoized
+        fanout/topological views.
+        """
         gate = self.gates[gate_name]
         if pin not in gate.pins:
             raise KeyError(f"gate {gate_name} has no pin {pin}")
+        if net not in self._driver:
+            raise ValueError(
+                f"cannot rewire {gate_name}.{pin} to {net!r}: "
+                f"net does not exist (undriven)")
         old = gate.pins[pin]
         gate.pins[pin] = net
         self._note(NetlistEdit(kind="rewire", gate=gate_name, pin=pin,

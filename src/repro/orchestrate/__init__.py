@@ -23,6 +23,8 @@ and meter every stage with structured spans
 """
 
 from repro.core.flow import FlowOptions, FlowResult, FlowStatus
+from repro.lint.registry import LintGateError
+from repro.lint.report import LintReport
 from repro.orchestrate.cache import (
     CacheStats,
     CorruptEntry,
@@ -46,7 +48,11 @@ from repro.orchestrate.executor import (
     parallel_map,
     run_stage,
 )
-from repro.orchestrate.flows import build_implement_dag, implement_dag
+from repro.orchestrate.flows import (
+    LINT_MODES,
+    build_implement_dag,
+    implement_dag,
+)
 from repro.orchestrate.resilience import (
     ChaosFailure,
     ChaosPolicy,
@@ -77,6 +83,9 @@ __all__ = [
     "FlowResult",
     "FlowStatus",
     "JournalError",
+    "LINT_MODES",
+    "LintGateError",
+    "LintReport",
     "PoolExecutor",
     "ResultCache",
     "RetryBudget",

@@ -340,6 +340,25 @@ def _new_state() -> dict:
             "degraded": False, "replayed": []}
 
 
+def _sanitize_boundary(sanitizer, name, value, state) -> None:
+    """Run the opt-in stage-boundary sanitizer on one completed stage.
+
+    The span (``sanitize:<stage>``) is recorded even when strict mode
+    raises, so the corrupting stage is named in telemetry either way.
+    """
+    if sanitizer is None:
+        return
+    try:
+        sanitizer.check(name, value)
+    finally:
+        report = sanitizer.reports.get(name)
+        if report is not None:
+            state["spans"].append(Span(
+                f"sanitize:{name}", report.wall_s,
+                status="failed" if report.errors else "ok",
+                notes=tuple(str(f) for f in report.findings[:8])))
+
+
 class SerialExecutor:
     """Run stages one at a time in topological order."""
 
@@ -347,7 +366,8 @@ class SerialExecutor:
         self.chaos = chaos
 
     def run(self, dag, params, cache=None, sink=None, strict=True,
-            journal=None, preloaded=None, budget=None) -> RunResult:
+            journal=None, preloaded=None, budget=None,
+            sanitizer=None) -> RunResult:
         t0 = time.perf_counter()
         state = _new_state()
         _seed_preloaded(state, dag, preloaded)
@@ -366,6 +386,8 @@ class SerialExecutor:
                         outcome.span.cache == "hit":
                     state["outputs"][stage.name] = outcome.value
                     _journal_outcome(journal, outcome)
+                    _sanitize_boundary(sanitizer, stage.name,
+                                       outcome.value, state)
                 else:
                     _resolve_failure(stage, outcome, state, dag, strict)
         finally:
@@ -408,7 +430,8 @@ class PoolExecutor:
         self.chaos = chaos
 
     def run(self, dag, params, cache=None, sink=None, strict=True,
-            journal=None, preloaded=None, budget=None) -> RunResult:
+            journal=None, preloaded=None, budget=None,
+            sanitizer=None) -> RunResult:
         t0 = time.perf_counter()
         order = dag.topological_order()   # validates + cycle check
         state = _new_state()
@@ -421,7 +444,7 @@ class PoolExecutor:
                         len(state["skipped"]) < len(dag):
                     self._submit_ready(pool, dag, params, cache,
                                        state, pending, submitted,
-                                       journal)
+                                       journal, sanitizer)
                     if not pending:
                         if not dag.ready(state["outputs"],
                                          submitted.union(
@@ -430,7 +453,8 @@ class PoolExecutor:
                             break      # nothing runnable remains
                         continue
                     self._collect(pool, dag, params, cache, state,
-                                  pending, strict, journal, budget)
+                                  pending, strict, journal, budget,
+                                  sanitizer)
                     if pending:
                         time.sleep(self.poll_s)
         finally:
@@ -441,7 +465,7 @@ class PoolExecutor:
     # ------------------------------------------------------------------
 
     def _submit_ready(self, pool, dag, params, cache, state, pending,
-                      submitted, journal) -> None:
+                      submitted, journal, sanitizer=None) -> None:
         blocked = submitted.union(state["skipped"], state["failed"])
         for stage in dag.ready(state["outputs"], blocked):
             if self.chaos is not None:
@@ -459,6 +483,8 @@ class PoolExecutor:
                     state["spans"].append(span)
                     _journal_outcome(journal, StageOutcome(
                         stage.name, value, span, key=key))
+                    _sanitize_boundary(sanitizer, stage.name, value,
+                                       state)
                     continue
             submitted.add(stage.name)
             pending[stage.name] = self._submission(
@@ -476,7 +502,7 @@ class PoolExecutor:
                                  stage.name, attempts - 1))}
 
     def _collect(self, pool, dag, params, cache, state, pending,
-                 strict, journal, budget) -> None:
+                 strict, journal, budget, sanitizer=None) -> None:
         now = time.perf_counter()
         for name in list(pending):
             sub = pending[name]
@@ -502,6 +528,7 @@ class PoolExecutor:
                             self.chaos.after_put(cache, sub["key"])
                     _journal_outcome(journal, StageOutcome(
                         name, value, span, key=sub["key"]))
+                    _sanitize_boundary(sanitizer, name, value, state)
                     del pending[name]
                     continue
             elif sub["deadline"] is not None and now > sub["deadline"]:

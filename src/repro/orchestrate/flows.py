@@ -31,7 +31,7 @@ from __future__ import annotations
 from repro.core.flow import FlowOptions, FlowResult
 from repro.orchestrate.dag import FlowDAG, Stage
 from repro.orchestrate.executor import PoolExecutor, SerialExecutor
-from repro.orchestrate.telemetry import TelemetrySink
+from repro.orchestrate.telemetry import Span, TelemetrySink
 
 STAGE_NAMES = ("synthesis", "placement", "dft", "cts", "routing",
                "signoff")
@@ -161,12 +161,44 @@ def build_implement_dag(*, timeout_s: float | None = None,
     return dag
 
 
+#: Accepted values for the ``lint`` pre-run gate mode.
+LINT_MODES = ("off", "warn", "strict")
+
+
+def _pre_run_lint(dag, subject, options, mode, sink):
+    """The static gate: flow verification plus netlist lint.
+
+    When the gate finds *errors* it records a ``lint`` telemetry span
+    (even when the strict gate then refuses the run) whose notes carry
+    the rendered findings, so ``lint="warn"`` leaves an audit trail
+    without blocking.  Runs without errors stay span-silent: the stage
+    span stream is unchanged and the report itself
+    (``FlowResult.lint``) is the record that the gate ran —
+    warning-level findings live there.
+    """
+    from repro.lint import LintGateError, lint_flow, lint_netlist
+    from repro.netlist.circuit import Netlist
+    report = lint_flow(dag, options)
+    if isinstance(subject, Netlist):
+        report.merge(lint_netlist(subject))
+    try:
+        if mode == "strict" and report.errors:
+            raise LintGateError(report)
+    finally:
+        if report.errors:
+            sink.record(Span(
+                "lint", report.wall_s, status="failed",
+                notes=tuple(str(f) for f in report.findings[:16])))
+    return report
+
+
 def implement_dag(subject, library, options: FlowOptions | None = None,
                   *, run_db=None, cache=None, telemetry=None,
                   jobs: int = 1, strict: bool = True,
                   dag: FlowDAG | None = None, journal=None,
-                  preloaded=None, chaos=None,
-                  retry_budget=None) -> FlowResult:
+                  preloaded=None, chaos=None, retry_budget=None,
+                  lint: str = "warn",
+                  sanitize: bool = False) -> FlowResult:
     """Run the implementation DAG and assemble a :class:`FlowResult`.
 
     The engine behind :func:`repro.orchestrate.run` (the documented
@@ -176,31 +208,62 @@ def implement_dag(subject, library, options: FlowOptions | None = None,
     ``jobs > 1`` runs independent branches in a process pool, and a
     custom ``dag`` swaps in experimental stage graphs.
 
+    Static checks (see :mod:`repro.lint`): ``lint`` gates the run on
+    pre-run findings — ``"strict"`` raises
+    :class:`~repro.lint.registry.LintGateError` on any unwaived
+    error-level finding, ``"warn"`` (the default) records findings in
+    the telemetry span and :attr:`FlowResult.lint` but proceeds, and
+    ``"off"`` skips the gate.  ``sanitize=True`` additionally re-runs
+    the netlist invariant rules at every stage boundary, so the first
+    stage that corrupts the design is named in a ``sanitize:<stage>``
+    span (and, under ``lint="strict"``, aborts the run).
+
     Resilience plumbing (see :mod:`repro.orchestrate.resilience`):
     ``journal`` write-ahead-logs each completed stage, ``preloaded``
     seeds journal-replayed outputs so only the frontier re-executes,
     ``chaos`` injects deterministic faults, and ``retry_budget`` caps
     total retries across the run.
     """
+    if lint not in LINT_MODES:
+        raise ValueError(
+            f"lint must be one of {LINT_MODES}, got {lint!r}")
     if options is None:
         options = FlowOptions()
     if dag is None:
         dag = build_implement_dag()
     sink = telemetry if telemetry is not None else TelemetrySink()
+    n_before = len(sink.spans)
+    lint_report = None
+    if lint != "off":
+        lint_report = _pre_run_lint(dag, subject, options, lint, sink)
+    sanitizer = None
+    if sanitize:
+        from repro.lint import StageSanitizer
+        sanitizer = StageSanitizer(
+            mode="strict" if lint == "strict" else "warn")
+        sanitizer.baseline(subject)
     executor = SerialExecutor(chaos=chaos) if jobs <= 1 \
         else PoolExecutor(jobs, chaos=chaos)
-    n_before = len(sink.spans)
     run = executor.run(
         dag, {"subject": subject, "library": library,
               "options": options},
         cache=cache, sink=sink, strict=strict, journal=journal,
-        preloaded=preloaded, budget=retry_budget)
+        preloaded=preloaded, budget=retry_budget,
+        sanitizer=sanitizer)
 
     result = FlowResult.from_run(
         run, options,
         stage_runtimes={s.stage: s.wall_s
-                        for s in sink.spans[n_before:]},
+                        for s in sink.spans[n_before:]
+                        if s.stage != "lint"
+                        and not s.stage.startswith("sanitize:")},
         run_id=getattr(journal, "run_id", None))
+    result.lint = lint_report
+    if sanitizer is not None and sanitizer.reports:
+        merged = sanitizer.merged()
+        if merged.findings:
+            result.lint = (lint_report.merge(merged)
+                           if lint_report is not None else merged)
     if run_db is not None:
         _log_run(run_db, result, sink.spans[n_before:])
     return result

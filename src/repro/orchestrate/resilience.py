@@ -42,6 +42,7 @@ from repro.orchestrate.cache import (
     stable_hash,
     unseal_blob,
 )
+from repro.lint.registry import LintGateError
 from repro.orchestrate.executor import (
     RetryBudget,
     StageTimeout,
@@ -345,7 +346,8 @@ def _retry_setup(dag, max_retries):
 def run(subject, library, options=None, *, run_db=None, cache=None,
         telemetry=None, jobs: int = 1, strict: bool = True, dag=None,
         journal_root=None, run_id: str | None = None, chaos=None,
-        max_retries: int | None = None):
+        max_retries: int | None = None, lint: str = "warn",
+        sanitize: bool = False):
     """Run the implementation flow — the single documented entry point.
 
     The classic surface (``run_db``, ``cache``, ``telemetry``,
@@ -364,6 +366,11 @@ def run(subject, library, options=None, *, run_db=None, cache=None,
       :class:`~repro.orchestrate.executor.RetryBudget`.  (The default
       DAG carries no per-stage retries, so this is also how transient
       — e.g. chaos-injected — faults get absorbed at all.)
+    * ``lint`` — the static pre-run gate (see :mod:`repro.lint`):
+      ``"strict"`` refuses to start on any unwaived error finding,
+      ``"warn"`` (default) records findings, ``"off"`` skips.
+    * ``sanitize`` — re-check netlist invariants at every stage
+      boundary so the first corrupting stage is named in telemetry.
 
     Returns a :class:`~repro.core.flow.FlowResult`; its ``status`` is a
     :class:`~repro.core.flow.FlowStatus` and its ``run_id`` echoes the
@@ -376,10 +383,16 @@ def run(subject, library, options=None, *, run_db=None, cache=None,
         journal = RunJournal.create(journal_root, run_id, subject,
                                     library, options)
     dag, budget = _retry_setup(dag, max_retries)
-    result = implement_dag(
-        subject, library, options, run_db=run_db, cache=cache,
-        telemetry=telemetry, jobs=jobs, strict=strict, dag=dag,
-        journal=journal, chaos=chaos, retry_budget=budget)
+    try:
+        result = implement_dag(
+            subject, library, options, run_db=run_db, cache=cache,
+            telemetry=telemetry, jobs=jobs, strict=strict, dag=dag,
+            journal=journal, chaos=chaos, retry_budget=budget,
+            lint=lint, sanitize=sanitize)
+    except LintGateError:
+        if journal is not None:
+            journal.finish("failed")
+        raise
     if journal is not None:
         journal.finish(result.status)
     return result
@@ -387,7 +400,8 @@ def run(subject, library, options=None, *, run_db=None, cache=None,
 
 def resume_run(run_id: str, *, journal_root, run_db=None, cache=None,
                telemetry=None, jobs: int = 1, strict: bool = True,
-               dag=None, chaos=None, max_retries: int | None = None):
+               dag=None, chaos=None, max_retries: int | None = None,
+               lint: str = "warn", sanitize: bool = False):
     """Finish an interrupted journaled run.
 
     Inputs (subject, library, options) are reloaded from the journal,
@@ -411,7 +425,7 @@ def resume_run(run_id: str, *, journal_root, run_db=None, cache=None,
         subject, library, options, run_db=run_db, cache=cache,
         telemetry=telemetry, jobs=jobs, strict=strict, dag=dag,
         journal=journal, preloaded=preloaded, chaos=chaos,
-        retry_budget=budget)
+        retry_budget=budget, lint=lint, sanitize=sanitize)
     journal.finish(result.status)
     if run_db is not None and hasattr(run_db, "log_recovery"):
         from repro.learn.rundb import RecoveryRecord

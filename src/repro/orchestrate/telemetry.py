@@ -83,12 +83,17 @@ class Span:
     peak_rss_kb: int | None = None
     job: int | None = None      # sweep job index, when part of a sweep
     leaked_threads: int = 0     # timed-out stage threads still alive
+    notes: tuple = ()           # lint/sanitizer findings, rendered
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        payload = asdict(self)
+        payload["notes"] = list(self.notes)
+        return payload
 
     @staticmethod
     def from_dict(payload: dict) -> "Span":
+        payload = dict(payload)
+        payload["notes"] = tuple(payload.get("notes", ()))
         return Span(**payload)
 
 
