@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Serialization benchmark: PackedNetlist vs pickle as flow currency.
+
+Before the columnar interchange refactor, every flow stage pickled its
+design twice (once into the result cache, once into the run journal)
+and pickled it a third time just to hash it for the cache key.  This
+harness measures the stage-level serialization pipeline both ways:
+
+* **pickle pipeline** — ``pickle.dumps`` for the cache blob, a second
+  ``pickle.dumps`` for the journal blob, plus ``pickle.dumps`` +
+  SHA-256 for the stage key (the pre-refactor ``stable_hash`` path).
+* **packed pipeline** — one ``Netlist.to_packed()`` pack, one
+  ``to_bytes()`` encode for the cache, the memoized re-encode for the
+  journal, and ``content_digest()`` for the key.
+
+Blob sizes compare the raw pickle of the object netlist against the
+compressed ``.pnl`` container.  Decode compares ``pickle.loads``
+against ``PackedNetlist.from_bytes(...).to_netlist(library)`` (the
+full rehydration a worker performs).  Correctness rides along: the
+rehydrated netlist must report the same content digest.
+
+Results are written to ``BENCH_serialize.json`` (repo root by default)
+so regressions show up in review diffs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serialize.py           # full
+    PYTHONPATH=src python benchmarks/bench_serialize.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_serialize.py --check   # gate
+
+``--check`` exits nonzero unless, on the largest design, the ``.pnl``
+blob is at least 3x smaller than the pickle and the packed stage
+pipeline is at least 2x faster than the pickle pipeline.  In
+``--quick`` mode the speed gate drops to 1.5x: on CI-smoke-sized
+designs fixed per-call overheads eat into the ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import pickle
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.netlist import build_library, registered_cloud
+from repro.netlist.packed import PackedNetlist
+from repro.tech import get_node
+
+# (num_inputs, num_flops, num_gates) per design size.
+FULL_SIZES = {
+    "small": (16, 64, 1000),
+    "medium": (32, 256, 10000),
+    "large": (64, 512, 50000),
+}
+QUICK_SIZES = {
+    "small": (12, 24, 400),
+    "medium": (16, 48, 1500),
+    "large": (24, 96, 4000),
+}
+REPEATS = 3              # best-of-N for every timed pipeline
+
+SIZE_RATIO_MIN = 3.0         # .pnl blob vs pickle blob, largest design
+SPEED_RATIO_MIN = 2.0        # pickle pipeline vs packed pipeline, ditto
+QUICK_SPEED_RATIO_MIN = 1.5  # smoke designs: fixed overheads dominate
+
+
+def _best_of(fn, repeats=REPEATS) -> float:
+    """Best-of-N wall seconds; best-of beats mean for small kernels."""
+    xs = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        xs.append(time.perf_counter() - t0)
+    return min(xs)
+
+
+def _pickle_pipeline(nl) -> bytes:
+    """What one stage cost pre-refactor: cache blob + journal blob +
+    key hash, each a fresh pickle of the object graph."""
+    cache_blob = pickle.dumps(nl, protocol=pickle.HIGHEST_PROTOCOL)
+    pickle.dumps(nl, protocol=pickle.HIGHEST_PROTOCOL)
+    hashlib.sha256(
+        pickle.dumps(nl, protocol=pickle.HIGHEST_PROTOCOL)).hexdigest()
+    return cache_blob
+
+
+def _packed_pipeline(nl) -> bytes:
+    """The columnar equivalent: pack once, encode for the cache, reuse
+    the memoized encoding for the journal, digest for the key."""
+    packed = PackedNetlist.from_netlist(nl)
+    cache_blob = packed.to_bytes()
+    packed.to_bytes()          # journal blob: memoized, near-free
+    packed.content_digest()
+    return cache_blob
+
+
+def bench_design(name, params, lib) -> dict:
+    ni, nf, ng = params
+    nl = registered_cloud(ni, nf, ng, lib, seed=5, name=name)
+
+    pickle_blob = pickle.dumps(nl, protocol=pickle.HIGHEST_PROTOCOL)
+    packed = nl.to_packed()
+    pnl_blob = packed.to_bytes()
+
+    pickle_s = _best_of(lambda: _pickle_pipeline(nl))
+    packed_s = _best_of(lambda: _packed_pipeline(nl))
+
+    pickle_dec_s = _best_of(lambda: pickle.loads(pickle_blob))
+    packed_dec_s = _best_of(
+        lambda: PackedNetlist.from_bytes(pnl_blob).to_netlist(lib))
+
+    back = PackedNetlist.from_bytes(pnl_blob).to_netlist(lib)
+    if back.content_digest() != nl.content_digest():
+        raise AssertionError(
+            f"[{name}] .pnl round-trip changed the content digest")
+
+    return {
+        "gates": nl.num_instances(),
+        "flops": len(nl.sequential_gates()),
+        "pickle_bytes": len(pickle_blob),
+        "pnl_bytes": len(pnl_blob),
+        "size_ratio": len(pickle_blob) / len(pnl_blob),
+        "pickle_pipeline_ms": pickle_s * 1e3,
+        "packed_pipeline_ms": packed_s * 1e3,
+        "pipeline_ratio": pickle_s / packed_s if packed_s > 0
+        else float("inf"),
+        "pickle_decode_ms": pickle_dec_s * 1e3,
+        "packed_decode_ms": packed_dec_s * 1e3,
+    }
+
+
+def run(quick: bool) -> dict:
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    lib = build_library(get_node("28nm"),
+                        vt_flavors=("lvt", "rvt", "hvt"))
+    results: dict = {"quick": quick, "repeats": REPEATS, "designs": {}}
+    for name, params in sizes.items():
+        entry = bench_design(name, params, lib)
+        results["designs"][name] = entry
+        print(f"[{name}] gates={entry['gates']} "
+              f"pickle={entry['pickle_bytes']}B "
+              f"pnl={entry['pnl_bytes']}B "
+              f"({entry['size_ratio']:.2f}x smaller) "
+              f"pipeline {entry['pickle_pipeline_ms']:.1f}ms vs "
+              f"{entry['packed_pipeline_ms']:.1f}ms "
+              f"({entry['pipeline_ratio']:.2f}x) "
+              f"decode {entry['pickle_decode_ms']:.1f}ms vs "
+              f"{entry['packed_decode_ms']:.1f}ms")
+    return results
+
+
+def check(results: dict) -> int:
+    """Gate the largest design on the acceptance thresholds."""
+    large = results["designs"]["large"]
+    speed_min = (QUICK_SPEED_RATIO_MIN if results["quick"]
+                 else SPEED_RATIO_MIN)
+    failures = []
+    if large["size_ratio"] < SIZE_RATIO_MIN:
+        failures.append(
+            f"size ratio {large['size_ratio']:.2f}x < "
+            f"{SIZE_RATIO_MIN}x")
+    if large["pipeline_ratio"] < speed_min:
+        failures.append(
+            f"pipeline ratio {large['pipeline_ratio']:.2f}x < "
+            f"{speed_min}x")
+    for f in failures:
+        print(f"CHECK FAILED: {f}", file=sys.stderr)
+    if not failures:
+        print(f"check OK: size {large['size_ratio']:.2f}x "
+              f">= {SIZE_RATIO_MIN}x, pipeline "
+              f"{large['pipeline_ratio']:.2f}x >= {speed_min}x")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small designs (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless the largest design meets the "
+                             "size and pipeline-speed thresholds")
+    parser.add_argument("--out", type=Path,
+                        default=Path(__file__).resolve().parent.parent
+                        / "BENCH_serialize.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    results = run(args.quick)
+    args.out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if args.check:
+        return check(results)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

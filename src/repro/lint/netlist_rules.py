@@ -7,10 +7,15 @@ per net, connected pins, acyclic combinational logic — plus the
 quality checks (fanout load, dead cones) that predict downstream pain.
 
 All rules read from one shared :class:`NetlistLintContext` built in a
-single pass over the design, reusing the memoized
-``fanout_map``/``topological_gates`` accelerators where the netlist is
-healthy enough for them, so a full lint of a 50k-gate design stays
-well under a second (``benchmarks/bench_lint.py`` gates this).
+single pass over the design.  The context packs the (possibly broken)
+netlist into a fresh columnar
+:class:`~repro.netlist.packed.PackedNetlist` — fresh, because lint
+subjects are often mutated behind the change journal's back — and the
+rules run vectorized over the interned int32 arrays: undriven reads,
+driver counts, load sums, cycle detection, and liveness are all numpy
+passes, with Python fallbacks only for the (rare) violating rows, so
+a full lint of a 50k-gate design stays well under a second
+(``benchmarks/bench_lint.py`` gates this).
 
 Rule table
 ----------
@@ -36,8 +41,11 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterator
 
+import numpy as np
+
 from repro.lint.registry import REGISTRY, Violation, rule
 from repro.lint.report import LintReport, Severity, Waivers
+from repro.netlist.packed import PackedNetlist, _kahn_levels, csr_gather
 
 #: Rules that must hold for the analysis/optimization kernels to be
 #: trustworthy at all — the set the stage-boundary sanitizer re-runs.
@@ -63,11 +71,14 @@ class LintConfig:
 class NetlistLintContext:
     """Shared single-pass facts every netlist rule reads.
 
-    Built once per lint call: driver tables, loads, and a
-    cycle-tolerant topological attempt.  Rules stay tiny and cannot
-    disagree about the design's structure.  When the netlist's own
-    memoized views are usable (no undriven reads), ``fanout_map`` is
-    served from the netlist's cache rather than rebuilt.
+    Built once per lint call from a *fresh*
+    :class:`~repro.netlist.packed.PackedNetlist` (lint subjects are
+    frequently mutated behind the change journal's back, so the
+    netlist's memoized ``to_packed`` view cannot be trusted here):
+    interned name tables, per-net driver CSRs tolerant of multi-driven
+    nets, pin-order load sums, and a cycle-tolerant Kahn pass — all
+    vectorized.  Rules stay tiny and cannot disagree about the
+    design's structure.
     """
 
     def __init__(self, netlist: Any,
@@ -76,81 +87,106 @@ class NetlistLintContext:
         self.config = config or LintConfig()
         self.driven: set[str] = set(netlist.nets())
         self.pi_set: set[str] = set(netlist.primary_inputs)
-        # net -> driver names ("<pi>" marks a primary-input driver).
-        self.drivers: dict[str, list[str]] = {}
-        for net in netlist.primary_inputs:
-            self.drivers.setdefault(net, []).append("<pi>")
-        gates: dict[str, Any] = netlist.gates
-        for gate in gates.values():
-            self.drivers.setdefault(gate.output, []).append(gate.name)
-        # net -> (gate name, pin) loads.  The netlist's memoized
-        # fanout_map serves this when every read is driven; otherwise
-        # (a netlist broken enough to lint) build it locally so the
-        # context never poisons the accelerator caches.
-        self.loads: dict[str, list[tuple[str, str]]] = {}
-        self.undriven_reads: list[tuple[str, str, str]] = []
-        for gate in gates.values():
-            for pin, net in gate.pins.items():
-                self.loads.setdefault(net, []).append((gate.name, pin))
-                if net not in self.driven:
-                    self.undriven_reads.append((gate.name, pin, net))
+        packed = PackedNetlist.from_netlist(netlist)
+        self.packed = packed
+        n_nets = packed.num_nets
+        G = packed.num_gates
+        self.gate_list: list[Any] = list(netlist.gates.values())
+
+        # ``driven`` comes from the netlist's own ledger (``nets()``),
+        # not from the packed outputs: on a broken design the two
+        # disagree, and the ledger is what the rest of the suite
+        # trusts.
+        self.driven_mask = np.fromiter(
+            (n in self.driven for n in packed.net_names),
+            dtype=bool, count=n_nets)
+
+        self.out = packed.gate_output.astype(np.int64)
+        self.pin_counts = np.diff(packed.pin_off.astype(np.int64))
+        self.pin_row = np.repeat(np.arange(G, dtype=np.int64),
+                                 self.pin_counts)
+        self.pin_net = packed.pin_net.astype(np.int64)
+        self.pin_name = packed.pin_name.astype(np.int64)
+        self.pi_ids = packed.primary_inputs.astype(np.int64)
+
+        # Per-net driver CSR over gates (multi-driver tolerant) plus
+        # primary-input driver counts.
+        self.drv_order = np.argsort(self.out, kind="stable")
+        self.drv_cnt = np.bincount(self.out, minlength=n_nets) \
+            if G else np.zeros(n_nets, dtype=np.int64)
+        self.drv_off = np.zeros(n_nets + 1, dtype=np.int64)
+        np.cumsum(self.drv_cnt, out=self.drv_off[1:])
+        self.pi_cnt = np.bincount(self.pi_ids, minlength=n_nets) \
+            if self.pi_ids.size else np.zeros(n_nets, dtype=np.int64)
+
+        # Undriven reads, in packed pin order (= gate, then pin order).
+        bad = np.flatnonzero(~self.driven_mask[self.pin_net]) \
+            if self.pin_net.size else np.empty(0, dtype=np.int64)
+        gn, pn, nn = packed.gate_names, packed.pin_names, packed.net_names
+        self.undriven_reads: list[tuple[str, str, str]] = [
+            (gn[self.pin_row[i]], pn[self.pin_name[i]], nn[self.pin_net[i]])
+            for i in bad.tolist()]
         self.cycle_gates: list[str] = self._find_cycle_gates()
 
     # -- traversal helpers ---------------------------------------------
 
+    def net_drivers(self, net_id: int) -> np.ndarray:
+        """Gate rows driving a net (excludes primary-input drivers)."""
+        return self.drv_order[self.drv_off[net_id]:
+                              self.drv_off[net_id + 1]]
+
     def _find_cycle_gates(self) -> list[str]:
         """Combinational gates stuck on a dependency cycle.
 
-        A cycle-tolerant Kahn pass (the netlist's own
-        ``topological_gates`` raises instead of reporting, and dies on
-        undriven reads): whatever never becomes ready is on or behind
-        a cycle.
+        A cycle-tolerant vectorized Kahn pass over explicit
+        comb-driver -> comb-reader edges (multi-driven nets expand to
+        one edge per driver): whatever never becomes ready is on or
+        behind a cycle.
         """
-        netlist = self.netlist
-        indeg: dict[str, int] = {}
-        dependents: dict[str, list[str]] = {}
-        comb: dict[str, Any] = {
-            g.name: g for g in netlist.combinational_gates()}
-        for name, gate in comb.items():
-            degree = 0
-            for net in gate.pins.values():
-                for drv in self.drivers.get(net, ()):
-                    if drv != "<pi>" and drv in comb:
-                        degree += 1
-                        dependents.setdefault(drv, []).append(name)
-            indeg[name] = degree
-        ready = [n for n, d in indeg.items() if d == 0]
-        done = 0
-        while ready:
-            name = ready.pop()
-            done += 1
-            for dep in dependents.get(name, ()):
-                indeg[dep] -= 1
-                if indeg[dep] == 0:
-                    ready.append(dep)
-        if done == len(comb):
-            return []
-        return sorted(n for n, d in indeg.items() if d > 0)
+        packed = self.packed
+        comb = ~packed.seq_gate_mask()
+        cnt = self.drv_cnt[self.pin_net]
+        edst = np.repeat(self.pin_row, cnt)
+        esrc = self.drv_order[
+            csr_gather(self.drv_off[:-1][self.pin_net], cnt)]
+        keep = comb[esrc] & comb[edst]
+        _, cyclic = _kahn_levels(packed.num_gates, comb,
+                                 esrc[keep], edst[keep])
+        names = packed.gate_names
+        return sorted(names[i] for i in cyclic.tolist())
 
     def live_gates(self) -> set[str]:
-        """Gates on some cone feeding a PO or a sequential element."""
-        netlist = self.netlist
-        live_nets: list[str] = list(netlist.primary_outputs)
-        for gate in netlist.sequential_gates():
-            live_nets.extend(gate.pins.values())
-        live: set[str] = set()
-        frontier = live_nets
-        gates: dict[str, Any] = netlist.gates
-        while frontier:
-            net = frontier.pop()
-            for drv in self.drivers.get(net, ()):
-                if drv == "<pi>" or drv in live:
-                    continue
-                live.add(drv)
-                gate = gates.get(drv)
-                if gate is not None:
-                    frontier.extend(gate.pins.values())
-        return live
+        """Gates on some cone feeding a PO or a sequential element.
+
+        Vectorized reverse BFS: frontier nets gather their driver
+        gates through the per-net driver CSR, newly live gates
+        contribute their pin nets, until the closure is stable.
+        """
+        packed = self.packed
+        seq = packed.seq_gate_mask()
+        live = np.zeros(packed.num_gates, dtype=bool)
+        seen = np.zeros(packed.num_nets, dtype=bool)
+        seeds = [packed.primary_outputs.astype(np.int64)]
+        if self.pin_net.size:
+            seeds.append(self.pin_net[seq[self.pin_row]])
+        frontier = np.unique(np.concatenate(seeds)) \
+            if packed.num_nets else np.empty(0, dtype=np.int64)
+        off = packed.pin_off.astype(np.int64)
+        while frontier.size:
+            seen[frontier] = True
+            cnt = self.drv_cnt[frontier]
+            drvs = self.drv_order[
+                csr_gather(self.drv_off[:-1][frontier], cnt)]
+            new = np.unique(drvs[~live[drvs]]) if drvs.size else drvs
+            if not new.size:
+                break
+            live[new] = True
+            nets = self.pin_net[
+                csr_gather(off[:-1][new], self.pin_counts[new])]
+            frontier = np.unique(nets[~seen[nets]]) \
+                if nets.size else nets
+        names = packed.gate_names
+        return {names[i] for i in np.flatnonzero(live).tolist()}
 
 
 # ----------------------------------------------------------------------
@@ -168,20 +204,57 @@ def undriven_net(ctx: NetlistLintContext) -> Iterator[Violation]:
 @rule("NET-002", Severity.ERROR, "multi-driven net", "netlist")
 def multi_driven_net(ctx: NetlistLintContext) -> Iterator[Violation]:
     """A net with two or more drivers (short circuit in silicon)."""
-    for net, drivers in ctx.drivers.items():
-        if len(drivers) > 1:
-            names = ", ".join("primary input" if d == "<pi>" else d
-                              for d in sorted(drivers))
-            yield (net, f"net {net!r} has {len(drivers)} drivers: "
-                        f"{names}")
+    total = ctx.pi_cnt + ctx.drv_cnt
+    if not (total > 1).any():
+        return
+    # Report in first-declaration order (PIs, then gate outputs).
+    seq = np.concatenate((ctx.pi_ids, ctx.out))
+    uq, first = np.unique(seq, return_index=True)
+    multi = uq[total[uq] > 1]
+    gn, nn = ctx.packed.gate_names, ctx.packed.net_names
+    for nid in multi[np.argsort(first[total[uq] > 1],
+                                kind="stable")].tolist():
+        drivers = ["<pi>"] * int(ctx.pi_cnt[nid]) + \
+            [gn[g] for g in ctx.net_drivers(nid).tolist()]
+        names = ", ".join("primary input" if d == "<pi>" else d
+                          for d in sorted(drivers))
+        net = nn[nid]
+        yield (net, f"net {net!r} has {len(drivers)} drivers: "
+                    f"{names}")
 
 
 @rule("NET-003", Severity.ERROR, "floating or phantom gate input",
       "netlist")
 def floating_gate_input(ctx: NetlistLintContext) -> Iterator[Violation]:
-    """Gate pin set must match its cell's declared input pins."""
-    gates: dict[str, Any] = ctx.netlist.gates
-    for gate in gates.values():
+    """Gate pin set must match its cell's declared input pins.
+
+    Vectorized screen: a gate is suspect when any connected pin falls
+    outside its cell's declared table or its pin count disagrees with
+    the declaration; only suspects pay the Python set-diff that emits
+    the exact finding text.
+    """
+    packed = ctx.packed
+    n_cells = len(packed.cell_names)
+    n_pins = len(packed.pin_names)
+    pin_tbl = {p: i for i, p in enumerate(packed.pin_names)}
+    declared_ok = np.zeros((n_cells, n_pins), dtype=bool)
+    declared_cnt = np.zeros(n_cells, dtype=np.int64)
+    for ci, pins in enumerate(packed.cell_pins):
+        declared_cnt[ci] = len(pins)
+        for p in pins:
+            j = pin_tbl.get(p)
+            if j is not None:
+                declared_ok[ci, j] = True
+    cell_of = packed.gate_cell.astype(np.int64)
+    bad_pins = np.zeros(packed.num_gates, dtype=np.int64)
+    if ctx.pin_net.size:
+        ok = declared_ok[cell_of[ctx.pin_row], ctx.pin_name] \
+            if n_pins else np.zeros(ctx.pin_net.size, dtype=bool)
+        np.add.at(bad_pins, ctx.pin_row[~ok], 1)
+    suspects = np.flatnonzero((bad_pins > 0)
+                              | (ctx.pin_counts != declared_cnt[cell_of]))
+    for i in suspects.tolist():
+        gate = ctx.gate_list[i]
         declared = set(gate.cell.inputs)
         connected = set(gate.pins)
         for pin in sorted(declared - connected):
@@ -228,27 +301,38 @@ def combinational_cycle(ctx: NetlistLintContext) -> Iterator[Violation]:
 @rule("NET-006", Severity.WARNING, "fanout load beyond drive strength",
       "netlist")
 def fanout_overload(ctx: NetlistLintContext) -> Iterator[Violation]:
-    """A driver loaded far outside its delay model's calibration."""
+    """A driver loaded far outside its delay model's calibration.
+
+    Per-net load counts and cap sums are single ``bincount`` passes
+    over the packed pin arrays (weights accumulate in pin order — the
+    same float addition order as the old per-net Python sum).
+    """
     config = ctx.config
-    gates: dict[str, Any] = ctx.netlist.gates
-    for net, loads in ctx.loads.items():
-        drivers = ctx.drivers.get(net, [])
-        if len(drivers) != 1 or drivers[0] == "<pi>":
-            continue               # PIs have no cell to overload
-        driver = gates[drivers[0]]
-        if len(loads) > config.max_fanout:
-            yield (net, f"net {net!r}: fanout {len(loads)} exceeds "
-                        f"max_fanout {config.max_fanout}")
+    if not ctx.pin_net.size:
+        return
+    n_nets = ctx.packed.num_nets
+    cap = np.array([g.cell.input_cap_ff for g in ctx.gate_list])
+    n_loads = np.bincount(ctx.pin_net, minlength=n_nets)
+    load_ff = np.bincount(ctx.pin_net, weights=cap[ctx.pin_row],
+                          minlength=n_nets)
+    # Nets with exactly one driver, and it is a gate (PIs have no
+    # cell to overload), visited in first-read order.
+    read_ids, first = np.unique(ctx.pin_net, return_index=True)
+    order = np.argsort(first, kind="stable")
+    nn = ctx.packed.net_names
+    for nid in read_ids[order].tolist():
+        if int(ctx.drv_cnt[nid]) != 1 or int(ctx.pi_cnt[nid]):
             continue
-        load_ff = 0.0
-        for load_name, _pin in loads:
-            load_gate = gates.get(load_name)
-            if load_gate is not None:
-                load_ff += load_gate.cell.input_cap_ff
+        net = nn[nid]
+        if int(n_loads[nid]) > config.max_fanout:
+            yield (net, f"net {net!r}: fanout {int(n_loads[nid])} "
+                        f"exceeds max_fanout {config.max_fanout}")
+            continue
+        driver = ctx.gate_list[int(ctx.net_drivers(nid)[0])]
         own_cap = driver.cell.input_cap_ff
         limit_ff = config.max_slope_ff_ratio * max(own_cap, 1e-6)
-        if load_ff > limit_ff:
-            yield (net, f"net {net!r}: load {load_ff:.1f} fF on "
+        if load_ff[nid] > limit_ff:
+            yield (net, f"net {net!r}: load {load_ff[nid]:.1f} fF on "
                         f"{driver.cell.name} exceeds "
                         f"{config.max_slope_ff_ratio:.0f}x its input "
                         f"cap ({limit_ff:.1f} fF)")
@@ -258,8 +342,10 @@ def fanout_overload(ctx: NetlistLintContext) -> Iterator[Violation]:
 def dead_logic_cone(ctx: NetlistLintContext) -> Iterator[Violation]:
     """Combinational gates no PO or flop can observe (wasted area)."""
     live = ctx.live_gates()
-    dead = [g.name for g in ctx.netlist.combinational_gates()
-            if g.name not in live]
+    names = ctx.packed.gate_names
+    comb_rows = np.flatnonzero(~ctx.packed.seq_gate_mask())
+    dead = [names[i] for i in comb_rows.tolist()
+            if names[i] not in live]
     for name in sorted(dead):
         yield (name, f"gate {name} drives no cone observable at a "
                      f"primary output or flop")

@@ -11,6 +11,9 @@ This package provides the representations every flow stage consumes:
   from a :class:`~repro.tech.TechNode`.
 * :class:`Netlist` — mapped gate-level networks (combinational +
   sequential) used by timing, power, placement, routing, and DFT.
+* :class:`PackedNetlist` — the columnar (structure-of-arrays)
+  interchange form: interned name tables + int32 CSR arrays, with the
+  binary ``.pnl`` format and the canonical ``content_digest()``.
 * generators — adders, multipliers, ALUs, random logic clouds, crossbars,
   and hierarchical SoCs used as benchmark workloads.
 """
@@ -20,6 +23,7 @@ from repro.netlist.cubes import Cover, Cube
 from repro.netlist.aig import Aig, AIG_FALSE, AIG_TRUE
 from repro.netlist.cells import Cell, CellLibrary, build_library
 from repro.netlist.circuit import Gate, Netlist, NetlistEdit
+from repro.netlist.packed import PackedNetlist, PackError
 from repro.netlist.generators import (
     carry_lookahead_adder,
     crossbar_switch,
@@ -52,6 +56,8 @@ __all__ = [
     "Gate",
     "Netlist",
     "NetlistEdit",
+    "PackedNetlist",
+    "PackError",
     "ripple_carry_adder",
     "carry_lookahead_adder",
     "multiplier",

@@ -13,6 +13,7 @@ and DFT (which edits one).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,19 +82,37 @@ class Netlist:
         self._driver: dict[str, str] = {}  # net -> gate name ("" for PI)
         self._counter = 0
         self._struct_version = 0           # bumped on connectivity edits
+        self._edit_version = 0             # bumped on *every* edit
         self._view_cache: dict = {}        # memoized fanout/topo views
+        self._packed_memo = None           # (edit_version, PackedNetlist)
         self._subscribers: list = []       # change-journal callbacks
 
     def __getstate__(self):
         """Pickle without the memoized views, journal subscribers, or
-        version counter: they are per-process acceleration state, and
+        version counters: they are per-process acceleration state, and
         including them would make structurally identical netlists hash
         (and cache-key) differently depending on usage history."""
         state = self.__dict__.copy()
         state["_view_cache"] = {}
         state["_subscribers"] = []
         state["_struct_version"] = 0
+        state["_edit_version"] = 0
+        state["_packed_memo"] = None
         return state
+
+    def __setstate__(self, state):
+        # Intern the attribute names like the default (no-__setstate__)
+        # unpickling path does: without this, a pickle -> unpickle ->
+        # pickle round trip is not byte-stable (the copy's dict keys
+        # stop sharing identity with interned attribute names, so the
+        # pickler's memo stream — and any cache key hashed from the
+        # bytes — drifts).
+        for k, v in state.items():
+            self.__dict__[sys.intern(k)] = v
+        # Blobs written before the packed-interchange fields existed
+        # unpickle without them; backfill so memoization keeps working.
+        self.__dict__.setdefault("_edit_version", 0)
+        self.__dict__.setdefault("_packed_memo", None)
 
     # ------------------------------------------------------------------
     # Change journal
@@ -119,11 +138,43 @@ class Netlist:
         return self._struct_version
 
     def _note(self, edit: NetlistEdit) -> None:
+        self._edit_version += 1
+        self._packed_memo = None
         if edit.structural:
             self._struct_version += 1
             self._view_cache.clear()
         for callback in self._subscribers:
             callback(edit)
+
+    # ------------------------------------------------------------------
+    # Columnar interchange
+    # ------------------------------------------------------------------
+
+    def to_packed(self):
+        """The columnar :class:`~repro.netlist.packed.PackedNetlist`
+        form of this netlist.
+
+        Memoized on the edit journal (any journaled edit invalidates),
+        so the cache key digest, cache blob, journal blob, and worker
+        payload of one design all share a single packing pass.  Like
+        the memoized views, the memo cannot see direct attribute
+        assignments that bypass the journal (``gate.pins[...] = ...``);
+        use :meth:`~repro.netlist.packed.PackedNetlist.from_netlist`
+        for a guaranteed-fresh packing of a hand-mutated netlist.
+        """
+        from repro.netlist.packed import PackedNetlist
+        memo = self._packed_memo
+        if memo is not None and memo[0] == self._edit_version:
+            return memo[1]
+        packed = PackedNetlist.from_netlist(self)
+        self._packed_memo = (self._edit_version, packed)
+        return packed
+
+    def content_digest(self) -> str:
+        """Canonical insertion-order-independent SHA-256 of the design
+        content (delegates to the memoized packed form); used as the
+        cache-key identity of netlist-bearing stage inputs."""
+        return self.to_packed().content_digest()
 
     # ------------------------------------------------------------------
     # Construction

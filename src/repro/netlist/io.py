@@ -17,15 +17,36 @@ from repro.netlist.cells import CellLibrary
 from repro.netlist.circuit import Netlist
 
 
+#: Keywords of the structural subset (plus common Verilog reserved
+#: words): a net or instance carrying one of these names must be
+#: written escaped, or the reader would mistake it for a declaration.
+_VERILOG_KEYWORDS = frozenset((
+    "module", "endmodule", "input", "output", "inout", "wire", "reg",
+    "assign", "always", "initial", "begin", "end", "generate",
+    "endgenerate", "parameter", "localparam", "supply0", "supply1",
+))
+
+
 def _escape(name: str) -> str:
     """Escape a net/instance name for Verilog if needed."""
-    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", name):
+    if name not in _VERILOG_KEYWORDS and \
+            re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", name):
         return name
     return f"\\{name} "
 
 
-def write_verilog(netlist: Netlist) -> str:
-    """Serialize a mapped netlist as flat structural Verilog."""
+def write_verilog(netlist) -> str:
+    """Serialize a mapped netlist as flat structural Verilog.
+
+    Accepts either a :class:`~repro.netlist.circuit.Netlist` or its
+    columnar :class:`~repro.netlist.packed.PackedNetlist` form (no
+    cell library needed — only names are emitted); both produce
+    byte-identical text for the same design.
+    """
+    from repro.netlist.packed import PackedNetlist
+
+    if isinstance(netlist, PackedNetlist):
+        return _write_verilog_packed(netlist)
     lines = []
     ports = [_escape(p) for p in
              netlist.primary_inputs + netlist.primary_outputs]
@@ -36,10 +57,11 @@ def write_verilog(netlist: Netlist) -> str:
         lines.append(f"  input {_escape(pi)};")
     for po in netlist.primary_outputs:
         lines.append(f"  output {_escape(po)};")
+    pi_set = set(netlist.primary_inputs)
+    po_set = set(netlist.primary_outputs)
     internal = [
         n for n in netlist.nets()
-        if n not in netlist.primary_inputs
-        and n not in netlist.primary_outputs
+        if n not in pi_set and n not in po_set
     ]
     for net in sorted(internal):
         lines.append(f"  wire {_escape(net)};")
@@ -54,21 +76,65 @@ def write_verilog(netlist: Netlist) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _write_verilog_packed(packed) -> str:
+    """The packed-form writer: direct iteration over the interned
+    tables and CSR pin arrays, no object netlist materialized."""
+    nn = packed.net_names
+    pis = [nn[i] for i in packed.primary_inputs.tolist()]
+    pos_ = [nn[i] for i in packed.primary_outputs.tolist()]
+    lines = [f"module {_escape(packed.name)} (",
+             "  " + ", ".join(_escape(p) for p in pis + pos_),
+             ");"]
+    for pi in pis:
+        lines.append(f"  input {_escape(pi)};")
+    for po in pos_:
+        lines.append(f"  output {_escape(po)};")
+    gout = packed.gate_output.tolist()
+    pi_set, po_set = set(pis), set(pos_)
+    driven = dict.fromkeys(pis)
+    driven.update(dict.fromkeys(nn[i] for i in gout))
+    internal = [n for n in driven
+                if n not in pi_set and n not in po_set]
+    for net in sorted(internal):
+        lines.append(f"  wire {_escape(net)};")
+    off = packed.pin_off.tolist()
+    pnet = packed.pin_net.tolist()
+    pname = packed.pin_name.tolist()
+    pt = packed.pin_names
+    gcell = packed.gate_cell.tolist()
+    for gi, gname in enumerate(packed.gate_names):
+        conns = [f".{pin}({_escape(net)})" for pin, net in sorted(
+            (pt[pname[k]], nn[pnet[k]])
+            for k in range(off[gi], off[gi + 1]))]
+        conns.append(f".Y({_escape(nn[gout[gi]])})")
+        lines.append(
+            f"  {packed.cell_names[gcell[gi]]} {_escape(gname)} "
+            f"({', '.join(conns)});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+#: Comments are alternatives of the token regex (not pre-stripped):
+#: stripping text up front would corrupt escaped identifiers that
+#: contain ``//`` or ``/*``.  Escaped identifiers get their own kind
+#: (``eid``) so a net named ``wire`` or ``endmodule`` is never
+#: mistaken for a keyword.
 _VLOG_TOKEN = re.compile(
-    r"\\(?P<esc>\S+)\s|(?P<id>[A-Za-z_][A-Za-z0-9_$]*)"
-    r"|(?P<punct>[(),.;])")
+    r"//[^\n]*|/\*.*?\*/"
+    r"|\\(?P<esc>\S+)\s"
+    r"|(?P<id>[A-Za-z_][A-Za-z0-9_$]*)"
+    r"|(?P<punct>[(),.;])", re.S)
 
 
 def _tokenize_verilog(text: str):
-    text = re.sub(r"//[^\n]*", " ", text)
-    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
     for m in _VLOG_TOKEN.finditer(text):
         if m.group("esc") is not None:
-            yield ("id", m.group("esc"))
+            yield ("eid", m.group("esc"))
         elif m.group("id") is not None:
             yield ("id", m.group("id"))
-        else:
+        elif m.group("punct") is not None:
             yield ("punct", m.group("punct"))
+        # comment alternatives bind no group and are skipped
 
 
 def read_verilog(text: str, library: CellLibrary) -> Netlist:
@@ -83,10 +149,24 @@ def read_verilog(text: str, library: CellLibrary) -> Netlist:
     def peek():
         return tokens[pos] if pos < len(tokens) else ("eof", "")
 
+    def at_punct(ch):
+        kind, val = peek()
+        return kind == "punct" and val == ch
+
+    def at_keyword(word):
+        # Escaped identifiers ("eid") are never keywords: ``\wire ``
+        # is a net named "wire", not a declaration.
+        kind, val = peek()
+        return kind == "id" and val == word
+
     def take(expect=None):
         nonlocal pos
         kind, val = peek()
-        if expect is not None and val != expect and kind != expect:
+        if expect == "id":
+            if kind not in ("id", "eid"):
+                raise ValueError(
+                    f"parse error: expected identifier, got {val!r}")
+        elif expect is not None and (kind == "eid" or val != expect):
             raise ValueError(
                 f"parse error: expected {expect!r}, got {val!r}")
         pos += 1
@@ -97,7 +177,7 @@ def read_verilog(text: str, library: CellLibrary) -> Netlist:
     nl = Netlist(name, library)
     # Port list (names only; direction comes from declarations).
     take("(")
-    while peek()[1] != ")":
+    while not at_punct(")"):
         take()
     take(")")
     take(";")
@@ -105,32 +185,33 @@ def read_verilog(text: str, library: CellLibrary) -> Netlist:
     inputs: list[str] = []
     outputs: list[str] = []
     pending_gates: list[tuple] = []
-    while peek()[1] != "endmodule":
+    while not at_keyword("endmodule"):
         kind, val = peek()
-        if val in ("input", "output", "wire"):
+        if kind == "id" and val in ("input", "output", "wire"):
             take()
             names = []
-            while peek()[1] != ";":
+            while not at_punct(";"):
+                comma = at_punct(",")
                 tok = take()
-                if tok != ",":
+                if not comma:
                     names.append(tok)
             take(";")
             if val == "input":
                 inputs.extend(names)
             elif val == "output":
                 outputs.extend(names)
-        elif kind == "id":
+        elif kind in ("id", "eid"):
             cell_name = take("id")
             inst_name = take("id")
             take("(")
             pins = {}
-            while peek()[1] != ")":
+            while not at_punct(")"):
                 take(".")
                 pin = take("id")
                 take("(")
                 net = take("id")
                 take(")")
-                if peek()[1] == ",":
+                if at_punct(","):
                     take(",")
                 pins[pin] = net
             take(")")

@@ -1,14 +1,26 @@
 """Content-addressed result cache for flow stages.
 
 Keys are a stable SHA-256 over (stage name, code version tag,
-canonicalized inputs); values are pickled stage results held in an
+canonicalized inputs); values are encoded stage results held in an
 in-memory LRU with an optional on-disk store.  Re-running a sweep with
 one knob changed only re-executes the stages whose key inputs actually
 changed — everything upstream and sideways replays from cache.
 
-Values are stored and returned as pickled blobs: every ``get`` yields
-a *fresh copy*, so downstream stages that mutate their inputs (scan
-insertion, detailed placement) can never corrupt a cached result.
+Values travel through the *packed-design codec*
+(:func:`encode_value` / :func:`decode_value`): netlists and
+placements are framed as columnar ``.pnl`` bytes
+(:class:`~repro.netlist.packed.PackedNetlist`) instead of deep
+pickles, and everything else falls back to a fixed-protocol pickle.
+The same codec frames :class:`~repro.orchestrate.executor.PoolExecutor`
+cross-process payloads and
+:class:`~repro.orchestrate.resilience.RunJournal` stage blobs, so one
+encoding is the single design currency everywhere a design crosses a
+boundary.  Cache keys for design-bearing inputs use the canonical
+:meth:`~repro.netlist.packed.PackedNetlist.content_digest` rather
+than a pickle, so structurally identical netlists built in different
+insertion orders share one entry.  Every ``get`` decodes a *fresh
+copy*, so downstream stages that mutate their inputs (scan insertion,
+detailed placement) can never corrupt a cached result.
 
 Disk entries are *sealed* (:func:`seal_blob`): a header line carries
 the SHA-256 of the payload and the entry's own key, so a truncated
@@ -77,14 +89,107 @@ def unseal_blob(data: bytes, key: str = "") -> bytes:
     return payload
 
 
+_CODEC_MAGIC = b"PVC1"
+_TAG_NETLIST = b"N"
+_TAG_PLACEMENT = b"P"
+_TAG_PACKED = b"K"
+_TAG_PICKLE = b"G"
+
+
+def encode_value(value) -> bytes:
+    """Frame a stage value for storage or transport.
+
+    Designs go columnar: a :class:`~repro.netlist.circuit.Netlist`
+    becomes (pickled library, ``.pnl`` bytes), a
+    :class:`~repro.place.placement.Placement` becomes (pickled
+    non-netlist fields + library, ``.pnl`` bytes of its netlist), and a
+    bare :class:`~repro.netlist.packed.PackedNetlist` passes through as
+    its own bytes.  Everything else is pickled.  ``to_packed()`` /
+    ``to_bytes()`` are memoized on the design, so the cache blob, the
+    journal blob, and the worker payload of one stage output share one
+    packing pass.
+    """
+    from repro.netlist.circuit import Netlist
+    from repro.netlist.packed import PackedNetlist
+    if type(value) is Netlist:
+        head = pickle.dumps(value.library, protocol=_PICKLE_PROTOCOL)
+        return (_CODEC_MAGIC + _TAG_NETLIST
+                + len(head).to_bytes(4, "little") + head
+                + value.to_packed().to_bytes())
+    if isinstance(value, PackedNetlist):
+        return _CODEC_MAGIC + _TAG_PACKED + value.to_bytes()
+    from repro.place.placement import Placement
+    if type(value) is Placement:
+        shell = {f.name: getattr(value, f.name)
+                 for f in fields(Placement) if f.name != "netlist"}
+        head = pickle.dumps((shell, value.netlist.library),
+                            protocol=_PICKLE_PROTOCOL)
+        return (_CODEC_MAGIC + _TAG_PLACEMENT
+                + len(head).to_bytes(4, "little") + head
+                + value.netlist.to_packed().to_bytes())
+    return _CODEC_MAGIC + _TAG_PICKLE \
+        + pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+
+
+def decode_value(data: bytes):
+    """Invert :func:`encode_value`, yielding a fresh value.
+
+    Raw-pickle blobs (no codec frame — entries written before the
+    codec existed) decode transparently: a pickle stream starts with
+    ``b"\\x80"``, which can never collide with the codec magic.
+    """
+    if not data.startswith(_CODEC_MAGIC):
+        return pickle.loads(data)
+    tag, body = data[4:5], data[5:]
+    if tag == _TAG_PICKLE:
+        return pickle.loads(body)
+    from repro.netlist.packed import PackedNetlist
+    if tag == _TAG_PACKED:
+        return PackedNetlist.from_bytes(body)
+    if tag == _TAG_NETLIST:
+        n = int.from_bytes(body[:4], "little")
+        library = pickle.loads(body[4:4 + n])
+        return PackedNetlist.from_bytes(body[4 + n:]) \
+            .to_netlist(library)
+    if tag == _TAG_PLACEMENT:
+        from repro.place.placement import Placement
+        n = int.from_bytes(body[:4], "little")
+        shell, library = pickle.loads(body[4:4 + n])
+        netlist = PackedNetlist.from_bytes(body[4 + n:]) \
+            .to_netlist(library)
+        return Placement(netlist=netlist, **shell)
+    raise CorruptEntry(f"unknown codec tag {tag!r}")
+
+
+def _design_digest(obj) -> str | None:
+    """Canonical key material for design-bearing objects, or ``None``.
+
+    Uses the packed form's :meth:`content_digest` instead of a pickle,
+    plus the fresh-name counter (stages that generate names must not
+    share an entry across different construction histories).
+    """
+    digest = getattr(obj, "content_digest", None)
+    if digest is None:
+        return None
+    try:
+        counter = getattr(obj, "_counter", None)
+        if counter is None:
+            counter = getattr(obj, "counter", 0)
+        return f"design:{digest()}:{int(counter)};"
+    except Exception:   # noqa: BLE001 - fall back to the pickle path
+        return None
+
+
 def _update(h, obj) -> None:
     """Feed a canonical byte encoding of ``obj`` into hash ``h``.
 
     Deterministic for the container/scalar types flows actually pass
     around; dicts hash as sorted (key, value) digests, sets as sorted
-    element digests, dataclasses as (qualname, field dict).  Anything
-    else falls back to a fixed-protocol pickle, which is stable within
-    a process for identically constructed objects.
+    element digests, design-bearing objects (anything exposing
+    ``content_digest``) as their canonical packed digest, dataclasses
+    as (qualname, field dict).  Anything else falls back to a
+    fixed-protocol pickle, which is stable within a process for
+    identically constructed objects.
     """
     if obj is None or isinstance(obj, (bool, int, str, bytes)):
         h.update(f"{type(obj).__name__}:{obj!r};".encode())
@@ -105,6 +210,8 @@ def _update(h, obj) -> None:
         h.update(f"set:{len(obj)};".encode())
         for digest in sorted(stable_hash(item) for item in obj):
             h.update(digest.encode())
+    elif (design := _design_digest(obj)) is not None:
+        h.update(design.encode())
     elif is_dataclass(obj) and not isinstance(obj, type):
         h.update(f"dc:{type(obj).__qualname__};".encode())
         _update(h, {f.name: getattr(obj, f.name) for f in fields(obj)})
@@ -178,15 +285,15 @@ class ResultCache:
             self._memory.move_to_end(key)
             self.stats.hits += 1
             self.stats.memory_hits += 1
-            return True, pickle.loads(blob)
+            return True, decode_value(blob)
         if self.disk_dir:
             path = self.entry_path(key)
             if path.exists():
                 try:
                     blob = unseal_blob(path.read_bytes(), key)
-                    value = pickle.loads(blob)
-                except Exception:   # noqa: BLE001 - CorruptEntry or
-                    # any unpickling error: fall back to recompute.
+                    value = decode_value(blob)
+                except Exception:   # noqa: BLE001 - CorruptEntry,
+                    # PackError, or any unpickling error: recompute.
                     self._quarantine(path)
                 else:
                     self._remember(key, blob)
@@ -198,7 +305,7 @@ class ResultCache:
 
     def put(self, key: str, value) -> None:
         """Store a result under its content key (both tiers)."""
-        blob = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+        blob = encode_value(value)
         self._remember(key, blob)
         self.stats.puts += 1
         if self.disk_dir:

@@ -29,7 +29,8 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.orchestrate.cache import stage_key
+from repro.orchestrate.cache import (decode_value, encode_value,
+                                     stage_key)
 from repro.orchestrate.telemetry import Span, peak_rss_kb
 
 
@@ -399,14 +400,20 @@ class SerialExecutor:
 def _pool_call(fn, ctx, chaos=None, stage=None, attempt=0):
     """Worker-side stage invocation (module-level for pickling).
 
+    ``ctx`` values arrive framed by the packed-design codec
+    (:func:`~repro.orchestrate.cache.encode_value`) — netlists and
+    placements cross the process boundary as columnar ``.pnl`` bytes,
+    not deep pickles — and the stage result returns the same way.
     Chaos faults fire *inside* the worker, so an injected failure
     travels the same pickled-exception path a real stage crash does.
     """
     if chaos is not None:
         chaos.on_attempt(stage, attempt)
+    from repro.orchestrate.cache import decode_value, encode_value
+    ctx = {k: decode_value(v) for k, v in ctx.items()}
     t0 = time.perf_counter()
     value = fn(ctx)
-    return value, time.perf_counter() - t0, peak_rss_kb()
+    return encode_value(value), time.perf_counter() - t0, peak_rss_kb()
 
 
 class PoolExecutor:
@@ -491,7 +498,10 @@ class PoolExecutor:
                 pool, stage, ctx, key, attempts=1)
 
     def _submission(self, pool, stage, ctx, key, attempts) -> dict:
-        child_ctx = {k: ctx[k] for k in (*stage.deps, *stage.params)}
+        # Codec-framed payload: designs ship as .pnl bytes (memoized on
+        # the live object, so fan-out stages pack once).
+        child_ctx = {k: encode_value(ctx[k])
+                     for k in (*stage.deps, *stage.params)}
         deadline = (time.perf_counter() + stage.timeout_s
                     if stage.timeout_s else None)
         return {"stage": stage, "key": key, "attempts": attempts,
@@ -511,6 +521,7 @@ class PoolExecutor:
             if sub["async"].ready():
                 try:
                     value, child_wall, rss = sub["async"].get()
+                    value = decode_value(value)
                 except WorkerCrash:
                     raise              # abort the run, journal intact
                 except BaseException as err:   # noqa: BLE001

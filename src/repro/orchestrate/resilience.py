@@ -38,6 +38,8 @@ from pathlib import Path
 
 from repro.orchestrate.cache import (
     CorruptEntry,
+    decode_value,
+    encode_value,
     seal_blob,
     stable_hash,
     unseal_blob,
@@ -72,7 +74,8 @@ class RunJournal:
         meta.json        run metadata + completion marker
         inputs.pkl       sealed pickle of (subject, library, options)
         journal.jsonl    one line per completed stage (the index)
-        blobs/<stage>.pkl  sealed pickle of that stage's output
+        blobs/<stage>.pkl  sealed codec blob of that stage's output
+                           (designs as columnar ``.pnl`` bytes)
         quarantine/      corrupted blobs moved aside on detection
 
     Crash safety: :meth:`record` publishes the blob atomically
@@ -106,7 +109,10 @@ class RunJournal:
             raise JournalError(f"run {run_id!r} already journaled "
                                f"under {journal.root}")
         journal.blob_dir.mkdir(parents=True, exist_ok=True)
-        inputs = pickle.dumps((subject, library, options),
+        # The subject rides the packed codec like every stage blob;
+        # library and options stay pickled (they are the rehydration
+        # context, not design data).
+        inputs = pickle.dumps((encode_value(subject), library, options),
                               protocol=_PICKLE_PROTOCOL)
         _atomic_write(journal.inputs_path, seal_blob(inputs, "inputs"))
         journal._write_meta({
@@ -164,8 +170,14 @@ class RunJournal:
 
     def record(self, stage: str, value, *, key: str | None = None,
                wall_s: float = 0.0) -> None:
-        """Checkpoint one completed stage: blob first, index second."""
-        blob = pickle.dumps(value, protocol=_PICKLE_PROTOCOL)
+        """Checkpoint one completed stage: blob first, index second.
+
+        Stage outputs travel the packed-design codec
+        (:func:`~repro.orchestrate.cache.encode_value`): a netlist or
+        placement journals as columnar ``.pnl`` bytes, sharing the
+        packing pass with the result cache.
+        """
+        blob = encode_value(value)
         blob_path = self.blob_dir / f"{stage}.pkl"
         _atomic_write(blob_path, seal_blob(blob, stage))
         line = json.dumps({"stage": stage, "key": key,
@@ -196,15 +208,17 @@ class RunJournal:
         """Verified stage outputs: ``{stage: value}``.
 
         Every blob is unsealed (checksum + stage-name check) and
-        unpickled; a corrupted one is quarantined and dropped, so the
+        decoded; a corrupted one is quarantined and dropped, so the
         resume re-executes that stage instead of trusting bad bytes.
+        Blobs journaled before the packed codec existed (raw pickles)
+        decode transparently.
         """
         outputs: dict = {}
         for entry in self.entries():
             path = self.blob_dir / entry["blob"]
             try:
                 blob = unseal_blob(path.read_bytes(), entry["stage"])
-                outputs[entry["stage"]] = pickle.loads(blob)
+                outputs[entry["stage"]] = decode_value(blob)
             except Exception:   # noqa: BLE001 - missing, corrupt, or
                 # unpicklable blob: re-execute the stage instead.
                 self._quarantine(path)
@@ -219,14 +233,22 @@ class RunJournal:
             pass
 
     def load_inputs(self):
-        """``(subject, library, options)`` as pickled at create time."""
+        """``(subject, library, options)`` as journaled at create time.
+
+        Journals written before the packed codec stored the subject
+        object directly; current ones store its codec frame (bytes).
+        Both load.
+        """
         try:
             blob = unseal_blob(self.inputs_path.read_bytes(), "inputs")
-            return pickle.loads(blob)
+            subject, library, options = pickle.loads(blob)
         except (OSError, CorruptEntry) as err:
             raise JournalError(
                 f"run {self.run_id!r}: inputs unreadable "
                 f"({err}); cannot resume") from err
+        if isinstance(subject, bytes):
+            subject = decode_value(subject)
+        return subject, library, options
 
 
 def _atomic_write(path: Path, data: bytes) -> None:

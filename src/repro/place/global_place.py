@@ -22,13 +22,25 @@ def global_place(netlist: Netlist, *, die_w_um: float | None = None,
                  spreading_passes: int = 3, bins: int = 16,
                  spread_blend: float = 0.6,
                  net_weights: dict | None = None,
-                 seed: int = 0, legalize: bool = True) -> Placement:
+                 seed: int = 0, legalize: bool = True,
+                 library=None) -> Placement:
     """Place a netlist analytically.
 
     Returns a legalized :class:`Placement`.  ``spreading_passes``
     controls the quality/runtime trade (the knob the self-learning
     engine of E8 tunes).
+
+    Also accepts the columnar
+    :class:`~repro.netlist.packed.PackedNetlist` interchange form, in
+    which case ``library`` must supply the cells to rehydrate with.
     """
+    from repro.netlist.packed import PackedNetlist
+
+    if isinstance(netlist, PackedNetlist):
+        if library is None:
+            raise TypeError(
+                "global_place(PackedNetlist) requires library=")
+        netlist = netlist.to_netlist(library)
     if die_w_um is None or die_h_um is None:
         die_w_um, die_h_um = die_for_netlist(
             netlist, utilization=utilization)

@@ -25,10 +25,17 @@ to the scalar engine.
 
 Bit-identity is a hard invariant, not an aspiration: every arithmetic
 step mirrors the scalar engine's expression order (pin-cap sums are
-accumulated by the same Python ``sum`` over the same memoized fanout
-map; delays are ``intrinsic + res * load`` in that order; max/min
-reductions are exact), so ``arrival``, ``required``, and WNS match
+accumulated in packed pin order — the same left-to-right order as the
+scalar ``sum`` over the memoized fanout map; delays are
+``intrinsic + res * load`` in that order; max/min reductions are
+exact), so ``arrival``, ``required``, and WNS match
 ``TimingAnalyzer.analyze()`` bit for bit after any edit sequence.
+
+The levelized graph is built from the columnar
+:class:`~repro.netlist.packed.PackedNetlist` view
+(``Netlist.to_packed()``): connectivity, levels, pin caps, and reader
+CSRs all come from vectorized passes over the interned int32 arrays
+instead of re-walking the gate dicts.
 """
 
 from __future__ import annotations
@@ -38,6 +45,7 @@ import heapq
 import numpy as np
 
 from repro.netlist.circuit import Netlist, NetlistEdit
+from repro.netlist.packed import csr_gather
 from repro.timing.sta import WireModel, trace_critical
 
 _INF = float("inf")
@@ -97,112 +105,140 @@ class _ArrayMap:
 class _LevelGraph:
     """The levelized timing graph: every per-gate/per-net quantity the
     forward/backward passes touch, packed into numpy arrays in
-    (level, topological-index) order."""
+    (level, topological-index) order.
+
+    Built from the columnar ``Netlist.to_packed()`` view: levels come
+    from :meth:`PackedNetlist.comb_levels`, fanin/reader CSRs are
+    gathers over the packed pin arrays, and pin-cap sums are
+    ``np.bincount`` accumulations in packed pin order — the same
+    left-to-right float addition order as the scalar engine's
+    ``sum`` over the memoized fanout map, keeping bit-identity.
+    Cell parameters (intrinsic/res/cap/delay) still come from the live
+    ``Cell`` objects so footprint swaps via ``_refresh_cells`` observe
+    the same instances."""
 
     def __init__(self, nl: Netlist, wire: WireModel, T: float):
-        fan = nl.fanout_map()
-        order = nl.topological_gates()
-        flops = nl.sequential_gates()
-        drv = nl._driver          # net -> gate name ("" for PI)
+        packed = nl.to_packed()
+        level_all, cyclic = packed.comb_levels()
+        if cyclic.size:
+            raise ValueError("combinational cycle detected")
+        seq = packed.seq_gate_mask()
+        G_all = packed.num_gates
+        n_nets = packed.num_nets
 
-        self.net_names = list(fan)
+        self.net_names = list(packed.net_names)
         self.net_id = {n: i for i, n in enumerate(self.net_names)}
-        nid = self.net_id
-        n_nets = len(self.net_names)
 
-        # Levelize: longest combinational depth from a source.
-        lvl_by_name: dict[str, int] = {}
-        for g in order:
-            lv = 0
-            for p in g.cell.inputs:
-                dname = drv.get(g.pins[p])
-                if dname:
-                    dg = nl.gates[dname]
-                    if not dg.cell.is_sequential:
-                        lv = max(lv, lvl_by_name[dname] + 1)
-            lvl_by_name[g.name] = lv
-        perm = sorted(range(len(order)),
-                      key=lambda k: (lvl_by_name[order[k].name], k))
-        gates = [order[k] for k in perm]
+        gate_objs = list(nl.gates.values())
+        names_all = packed.gate_names
+        caps_all = (np.array([g.cell.input_cap_ff for g in gate_objs])
+                    if G_all else np.empty(0))
 
-        self.gate_names = [g.name for g in gates]
-        self.gid = {g.name: i for i, g in enumerate(gates)}
-        G = len(gates)
-        self.level = np.array(
-            [lvl_by_name[g.name] for g in gates], dtype=np.int64)
+        # Comb gates in (level, packed-row) order.  Within-level order
+        # only feeds exact max/min reductions, so it is free.
+        comb_rows = np.flatnonzero(~seq)
+        lv = level_all[comb_rows]
+        order = np.argsort(lv, kind="stable")
+        perm = comb_rows[order]
+        perm_l = perm.tolist()
+        G = int(perm.size)
+        self.level = lv[order]
         self.num_levels = int(self.level[-1]) + 1 if G else 0
         # level_starts[L] = first gate index at level L.
         self.level_starts = np.searchsorted(
             self.level, np.arange(self.num_levels + 1))
 
-        self.out = np.array([nid[g.output] for g in gates],
-                            dtype=np.int64) if G else np.empty(0, np.int64)
-        self.intrinsic = np.array(
-            [g.cell.intrinsic_ps for g in gates])
-        self.res = np.array([g.cell.drive_res_kohm for g in gates])
-        fi: list[int] = []
-        fi_off = [0]
-        for g in gates:
-            fi.extend(nid[g.pins[p]] for p in g.cell.inputs)
-            fi_off.append(len(fi))
-        self.fi_flat = np.array(fi, dtype=np.int64)
-        self.fi_off = np.array(fi_off, dtype=np.int64)
+        out_all = packed.gate_output.astype(np.int64)
+        self.out = out_all[perm] if G else np.empty(0, np.int64)
+        self.gate_names = [names_all[i] for i in perm_l]
+        self.gid = {n: i for i, n in enumerate(self.gate_names)}
+        cells = [gate_objs[i].cell for i in perm_l]
+        self.intrinsic = np.array([c.intrinsic_ps for c in cells])
+        self.res = np.array([c.drive_res_kohm for c in cells])
 
-        # Per-net quantities.  Pin-cap sums use the same Python ``sum``
-        # over the same memoized fanout list as the scalar engine, so
-        # the floats are bit-identical.
-        self.pin_cap = np.zeros(n_nets)
-        self.wire_cap = np.zeros(n_nets)
-        self.wire_delay = np.zeros(n_nets)
-        for net, i in nid.items():
-            loads = fan.get(net, [])
-            self.pin_cap[i] = sum(
-                g.cell.input_cap_ff for g, _ in loads)
-            self.wire_cap[i] = wire.net_cap_ff(net, len(loads))
-            self.wire_delay[i] = wire.net_delay_ps(net)
+        # Fanin CSR: a gather of the packed pin rows in perm order.
+        off = packed.pin_off.astype(np.int64)
+        counts_all = np.diff(off)
+        pnet = packed.pin_net.astype(np.int64)
+        self.fi_off = np.zeros(G + 1, dtype=np.int64)
+        np.cumsum(counts_all[perm], out=self.fi_off[1:])
+        self.fi_flat = (pnet[csr_gather(off[:-1][perm], counts_all[perm])]
+                        if G else np.empty(0, np.int64))
+
+        # Per-net quantities.  ``bincount`` adds weights in pin index
+        # order — exactly the scalar engine's fanout-map sum order —
+        # so the pin-cap floats are bit-identical.
+        row_all = np.repeat(np.arange(G_all, dtype=np.int64), counts_all)
+        self.pin_cap = np.bincount(pnet, weights=caps_all[row_all],
+                                   minlength=n_nets) \
+            if pnet.size else np.zeros(n_nets)
+        n_loads = np.bincount(pnet, minlength=n_nets) \
+            if pnet.size else np.zeros(n_nets, dtype=np.int64)
+        self.wire_cap = np.array(
+            [wire.net_cap_ff(net, int(k))
+             for net, k in zip(self.net_names, n_loads.tolist())]
+        ) if n_nets else np.zeros(0)
+        self.wire_delay = np.array(
+            [wire.net_delay_ps(net) for net in self.net_names]
+        ) if n_nets else np.zeros(0)
 
         self.load = self.pin_cap[self.out] + self.wire_cap[self.out] \
             if G else np.empty(0)
         self.cell_delay = self.intrinsic + self.res * self.load
 
         # Per-net comb readers (CSR) and drivers.
-        readers: list[list[int]] = [[] for _ in range(n_nets)]
-        for i, g in enumerate(gates):
-            for p in g.cell.inputs:
-                readers[nid[g.pins[p]]].append(i)
+        inv = np.full(G_all, -1, dtype=np.int64)
+        inv[perm] = np.arange(G, dtype=np.int64)
+        rgate = inv[row_all]
+        keep = rgate >= 0
+        rnet = pnet[keep]
+        ro = np.argsort(rnet, kind="stable")
+        self.rd_flat = rgate[keep][ro]
         self.rd_off = np.zeros(n_nets + 1, dtype=np.int64)
-        np.cumsum([len(r) for r in readers], out=self.rd_off[1:])
-        self.rd_flat = np.array(
-            [i for r in readers for i in r], dtype=np.int64)
+        np.cumsum(np.bincount(rnet, minlength=n_nets),
+                  out=self.rd_off[1:])
 
         self.drv_gid = np.full(n_nets, -1, dtype=np.int64)
-        self.drv_flop = np.full(n_nets, -1, dtype=np.int64)
-        for i, g in enumerate(gates):
-            self.drv_gid[nid[g.output]] = i
+        self.drv_gid[self.out] = np.arange(G, dtype=np.int64)
 
-        # Flops: sources (Q) and endpoints (D).
-        self.flop_names = [f.name for f in flops]
-        self.fid = {f.name: i for i, f in enumerate(flops)}
-        F = len(flops)
-        self.fl_q = np.array([nid[f.output] for f in flops],
-                             dtype=np.int64) if F else np.empty(0, np.int64)
-        self.fl_d = np.array([nid[f.pins["D"]] for f in flops],
-                             dtype=np.int64) if F else np.empty(0, np.int64)
+        # Flops: sources (Q) and endpoints (D).  Packed row order of
+        # sequential gates is insertion order — the same order
+        # ``sequential_gates()`` yields, which ``_refresh_cells``
+        # relies on when indexing ``flop_objs`` by flop id.
+        flop_rows = np.flatnonzero(seq)
+        flop_l = flop_rows.tolist()
+        F = len(flop_l)
+        self.flop_names = [names_all[i] for i in flop_l]
+        self.fid = {n: i for i, n in enumerate(self.flop_names)}
+        self.fl_q = out_all[flop_rows] if F else np.empty(0, np.int64)
+        flop_cells = [gate_objs[i].cell for i in flop_l]
         self.fl_setup = np.array(
-            [f.cell.intrinsic_ps * 0.5 for f in flops])
-        self.fl_load = np.zeros(F)
-        self.fl_delay = np.zeros(F)
-        for i, f in enumerate(flops):
-            self.drv_flop[self.fl_q[i]] = i
-            self.fl_load[i] = (self.pin_cap[self.fl_q[i]]
-                               + self.wire_cap[self.fl_q[i]])
-            self.fl_delay[i] = f.cell.delay_ps(self.fl_load[i])
+            [c.intrinsic_ps * 0.5 for c in flop_cells])
+        # D-pin nets resolved through the interned pin-name table.
+        self.fl_d = np.full(F, -1, dtype=np.int64)
+        if F:
+            try:
+                d_id = packed.pin_names.index("D")
+            except ValueError:
+                d_id = -1
+            inv_f = np.full(G_all, -1, dtype=np.int64)
+            inv_f[flop_rows] = np.arange(F, dtype=np.int64)
+            frow = inv_f[row_all]
+            sel = (packed.pin_name.astype(np.int64) == d_id) & (frow >= 0)
+            self.fl_d[frow[sel]] = pnet[sel]
+            if (self.fl_d < 0).any():
+                raise KeyError("D")
+        self.drv_flop = np.full(n_nets, -1, dtype=np.int64)
+        self.drv_flop[self.fl_q] = np.arange(F, dtype=np.int64)
+        self.fl_load = (self.pin_cap[self.fl_q]
+                        + self.wire_cap[self.fl_q]) if F else np.zeros(0)
+        self.fl_delay = np.array(
+            [c.delay_ps(ld) for c, ld in zip(flop_cells, self.fl_load)])
 
         # Arrival keys: PIs, flop Qs, comb outputs (the scalar
         # engine's ``arrival`` dict domain).
         self.arr_key = np.zeros(n_nets, dtype=bool)
-        for pi in nl.primary_inputs:
-            self.arr_key[nid[pi]] = True
+        self.arr_key[packed.primary_inputs.astype(np.int64)] = True
         self.arr_key[self.fl_q] = True
         self.arr_key[self.out] = True
         self.arr_key_ids = np.flatnonzero(self.arr_key)
@@ -211,9 +247,7 @@ class _LevelGraph:
 
         # Required-time bases: T at POs, T - setup at flop D pins.
         self.is_po = np.zeros(n_nets, dtype=bool)
-        for po in nl.primary_outputs:
-            if po in nid:
-                self.is_po[nid[po]] = True
+        self.is_po[packed.primary_outputs.astype(np.int64)] = True
         self.flopd_readers: dict[int, list[int]] = {}
         for i in range(F):
             self.flopd_readers.setdefault(int(self.fl_d[i]), []).append(i)
@@ -226,10 +260,12 @@ class _LevelGraph:
 
         # Critical-path bookkeeping (matches the scalar engine's
         # ``from_gate``: every >=1-input comb gate plus every flop).
-        self.from_gate = {g.output: g.name for g in gates
-                          if g.cell.num_inputs >= 1}
-        for f in flops:
-            self.from_gate[f.output] = f.name
+        self.from_gate = {}
+        for o, n, c in zip(self.out.tolist(), self.gate_names, cells):
+            if c.num_inputs >= 1:
+                self.from_gate[self.net_names[o]] = n
+        for q, n in zip(self.fl_q.tolist(), self.flop_names):
+            self.from_gate[self.net_names[q]] = n
 
         # Value arrays (filled by the passes).
         self.arr = np.zeros(n_nets)

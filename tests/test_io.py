@@ -93,6 +93,69 @@ class TestVerilog:
         back = read_verilog(text, lib)
         assert back.num_instances() == 10
 
+    def test_keyword_named_nets_escaped(self, lib):
+        # A net or instance named like a Verilog keyword must be
+        # written escaped, or the reader mistakes it for a declaration.
+        from repro.netlist import Netlist
+        nl = Netlist("top", lib)
+        a = nl.add_input("wire")
+        nl.add_gate("INV_X1_rvt", [a], "endmodule", name="output")
+        nl.add_output("endmodule")
+        text = write_verilog(nl)
+        assert "\\wire " in text
+        assert "\\endmodule " in text
+        assert "\\output " in text
+        back = read_verilog(text, lib)
+        back.validate()
+        assert back.primary_inputs == ["wire"]
+        assert back.primary_outputs == ["endmodule"]
+        assert "output" in back.gates
+        vec = np.array([[True], [False]])
+        assert np.array_equal(back.simulate(vec), nl.simulate(vec))
+
+    def test_escaped_names_with_comment_starters(self, lib):
+        # ``//`` and ``/*`` inside an escaped identifier are part of
+        # the name, not comments — the tokenizer must not strip them.
+        from repro.netlist import Netlist
+        nl = Netlist("top", lib)
+        a = nl.add_input("a//b")
+        b = nl.add_input("c/*d*/e")
+        nl.add_gate("NAND2_X1_rvt", [a, b], "y/**/z")
+        nl.add_output("y/**/z")
+        back = read_verilog(write_verilog(nl), lib)
+        back.validate()
+        assert back.primary_inputs == ["a//b", "c/*d*/e"]
+        assert back.primary_outputs == ["y/**/z"]
+        pats = np.random.default_rng(5).random((8, 2)) < 0.5
+        assert np.array_equal(back.simulate(pats), nl.simulate(pats))
+
+    def test_digit_leading_and_bus_names(self, lib):
+        from repro.netlist import Netlist
+        nl = Netlist("top", lib)
+        a = nl.add_input("1badname")
+        b = nl.add_input("bus[3]")
+        nl.add_gate("NOR2_X1_rvt", [a, b], "out.net")
+        nl.add_output("out.net")
+        text = write_verilog(nl)
+        assert "\\1badname " in text
+        assert "\\bus[3] " in text
+        back = read_verilog(text, lib)
+        back.validate()
+        assert back.primary_inputs == ["1badname", "bus[3]"]
+        assert back.primary_outputs == ["out.net"]
+
+    def test_packed_writer_byte_identical(self, lib):
+        # The packed-form writer must emit exactly the object-form
+        # text, including for designs that need escaping.
+        from repro.netlist import Netlist
+        nl = Netlist("top", lib)
+        a = nl.add_input("wire")
+        b = nl.add_input("b//c")
+        nl.add_gate("NAND2_X1_rvt", [a, b], "mid$1")
+        nl.add_gate("INV_X1_rvt", ["mid$1"], "module")
+        nl.add_output("module")
+        assert write_verilog(nl.to_packed()) == write_verilog(nl)
+
 
 class TestBlif:
     def _xor_network(self):
