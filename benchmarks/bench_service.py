@@ -1,0 +1,231 @@
+"""Benchmark: the flow service vs ``run_sweep`` on a heterogeneous
+job stream.
+
+The scenario the service exists for: a large stream of flow jobs over
+a modest set of distinct (design, options) combinations — the design-
+starts shape, where many tenants resubmit overlapping work.  Both
+schedulers get the same stream:
+
+* **baseline** — ``run_sweep`` with a process pool and a shared
+  on-disk *stage* cache (its best configuration);
+* **service** — a :class:`repro.service.FlowService` with the same
+  worker count, shared-memory design transport, the sharded job-level
+  result cache, and write-ahead journaling enabled.  Mid-sweep, one
+  worker is SIGKILLed to prove the throughput number includes paying
+  for crash recovery.
+
+Acceptance (``--check``):
+
+* every per-job QoR from the service is identical to the baseline's
+  (and therefore to a direct ``run``) — including jobs recovered from
+  the kill;
+* zero jobs are lost to the kill;
+* service throughput >= ``--floor`` x baseline (1.5 full, 1.1 quick —
+  the quick stream is small enough that fixed costs dominate).
+
+Writes BENCH_service.json: jobs/sec for both schedulers, the ratio,
+job-cache hit rate, scheduler counters, and p50/p99 job latency.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import FlowOptions
+from repro.netlist import build_library, registered_cloud
+from repro.orchestrate import run_sweep
+from repro.service import FlowService
+from repro.tech import get_node
+
+
+def _qor(result):
+    return (result.delay_ps, result.power_uw, result.hpwl_um,
+            result.routed_wirelength, result.overflow,
+            result.instances, result.area_um2)
+
+
+def _job_stream(jobs: int, designs: int, variants: int, lib):
+    """A deterministic heterogeneous stream: ``designs * variants``
+    distinct combos cycled to ``jobs`` entries."""
+    subjects = [registered_cloud(8, 16, 100 + 24 * i, lib, seed=3 + i)
+                for i in range(designs)]
+    combos = [(subjects[d], FlowOptions(seed=11 + v,
+                                        utilization=0.55 + 0.05 * (v % 3)))
+              for d in range(designs) for v in range(variants)]
+    return [combos[i % len(combos)] for i in range(jobs)]
+
+
+def _percentile(values, q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    idx = min(int(q * (len(ordered) - 1) + 0.5), len(ordered) - 1)
+    return ordered[idx]
+
+
+def bench_baseline(stream, lib, workers: int, root: Path):
+    subjects = [s for s, _ in stream]
+    options = [o for _, o in stream]
+    t0 = time.perf_counter()
+    sweep = run_sweep(subjects, lib, options, jobs=workers,
+                      cache_dir=root / "baseline-cache")
+    wall = time.perf_counter() - t0
+    return sweep.results, wall
+
+
+def bench_service(stream, lib, workers: int, root: Path,
+                  kill_workers: int):
+    import threading
+
+    service = FlowService(workers=workers,
+                          cache_root=root / "service-cache",
+                          journal_root=root / "service-journals",
+                          rundb_log=root / "service-runs.jsonl")
+    kills = [0]
+    done = threading.Event()
+
+    def killer():
+        # SIGKILL live workers mid-sweep, concurrently with
+        # submission: recovery is part of the measured wall clock,
+        # not an excuse.
+        deadline = time.time() + 30
+        while kills[0] < kill_workers and not done.is_set() \
+                and time.time() < deadline:
+            running = service.running_jobs()
+            if running:
+                os.kill(running[0][1], signal.SIGKILL)
+                kills[0] += 1
+            else:
+                time.sleep(0.001)
+
+    t0 = time.perf_counter()
+    with service:
+        assassin = threading.Thread(target=killer, daemon=True)
+        assassin.start()
+        jobs = [service.submit(subject, lib, options)
+                for subject, options in stream]
+        results = [service.result(job_id, timeout=600)
+                   for job_id in jobs]
+        done.set()
+        assassin.join()
+        wall = time.perf_counter() - t0
+        stats = service.stats()
+        records = service.job_records()
+    latencies = [r["queued_s"] + r["exec_s"] for r in records]
+    return results, wall, stats, latencies, kills[0]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1000)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--designs", type=int, default=4)
+    parser.add_argument("--variants", type=int, default=4)
+    parser.add_argument("--kills", type=int, default=1,
+                        help="workers to SIGKILL mid-sweep")
+    parser.add_argument("--node", default="28nm")
+    parser.add_argument("--quick", action="store_true",
+                        help="small stream for CI (120 jobs)")
+    parser.add_argument("--check", action="store_true",
+                        help="enforce the acceptance floors")
+    parser.add_argument("--floor", type=float, default=None,
+                        help="required service/baseline throughput "
+                             "ratio (default: 1.5, quick: 1.1)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path "
+                             "(default: BENCH_service.json)")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.jobs = min(args.jobs, 120)
+        args.workers = min(args.workers, 2)
+        args.designs = min(args.designs, 2)
+        args.variants = min(args.variants, 3)
+    floor = args.floor if args.floor is not None \
+        else (1.1 if args.quick else 1.5)
+
+    lib = build_library(get_node(args.node))
+    stream = _job_stream(args.jobs, args.designs, args.variants, lib)
+    print(f"{args.jobs} jobs over "
+          f"{args.designs * args.variants} distinct combos, "
+          f"{args.workers} workers, {args.kills} mid-sweep kill(s)")
+
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
+        root = Path(tmp)
+        base_results, base_wall = bench_baseline(
+            stream, lib, args.workers, root)
+        print(f"baseline run_sweep: {base_wall:.2f}s "
+              f"({args.jobs / base_wall:.1f} jobs/s)")
+        svc_results, svc_wall, stats, latencies, kills = bench_service(
+            stream, lib, args.workers, root, args.kills)
+        print(f"service:            {svc_wall:.2f}s "
+              f"({args.jobs / svc_wall:.1f} jobs/s), "
+              f"{kills} worker(s) killed")
+
+    base_qor = [_qor(r) for r in base_results]
+    svc_qor = [_qor(r) for r in svc_results]
+    mismatches = sum(1 for a, b in zip(base_qor, svc_qor) if a != b)
+    lost = args.jobs - stats["completed"]
+    ratio = (args.jobs / svc_wall) / (args.jobs / base_wall)
+    cache = stats.get("job_cache", {})
+    report = {
+        "quick": args.quick,
+        "jobs": args.jobs,
+        "workers": args.workers,
+        "distinct_combos": args.designs * args.variants,
+        "workers_killed": kills,
+        "baseline_wall_s": base_wall,
+        "baseline_jobs_per_s": args.jobs / base_wall,
+        "service_wall_s": svc_wall,
+        "service_jobs_per_s": args.jobs / svc_wall,
+        "throughput_ratio": ratio,
+        "qor_mismatches": mismatches,
+        "jobs_lost": lost,
+        "latency_p50_s": _percentile(latencies, 0.50),
+        "latency_p99_s": _percentile(latencies, 0.99),
+        "job_cache_hit_rate": cache.get("hit_rate", 0.0),
+        "job_cache_hits": cache.get("hits", 0),
+        "scheduler": {k: stats[k] for k in (
+            "completed", "failed", "parent_hits", "worker_hits",
+            "coalesced", "steals", "affinity_hits", "resumed",
+            "respawns", "segments")},
+    }
+    out = Path(args.out or
+               Path(__file__).resolve().parent.parent /
+               "BENCH_service.json")
+    out.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"ratio {ratio:.2f}x | hit rate "
+          f"{report['job_cache_hit_rate']:.2f} | p50 "
+          f"{report['latency_p50_s'] * 1000:.0f}ms p99 "
+          f"{report['latency_p99_s'] * 1000:.0f}ms -> {out}")
+
+    if args.check:
+        failures = []
+        if mismatches:
+            failures.append(f"{mismatches} QoR mismatches vs baseline")
+        if lost:
+            failures.append(f"{lost} jobs lost to the worker kill")
+        if stats["failed"]:
+            failures.append(f"{stats['failed']} jobs failed")
+        if ratio < floor:
+            failures.append(f"throughput ratio {ratio:.2f} < "
+                            f"floor {floor}")
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures))
+            return 1
+        print(f"CHECK OK: identical QoR, zero lost jobs, "
+              f"{ratio:.2f}x >= {floor}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""Append machine-normalized benchmark results to a trend file.
+
+``BENCH_*.json`` snapshots are absolute numbers from whatever machine
+ran them, so comparing across commits compares hardware as much as
+code.  This tool extracts each bench's headline metrics, divides the
+time-like ones by a measured *machine score* (a short fixed pure-
+Python workload, timed at append time), and appends one JSONL row per
+bench to a trajectory file (default ``BENCH_TREND.jsonl``).  Ratios,
+counts, and rates are dimensionless and pass through unchanged.
+
+Rows carry the git revision when available, so the trajectory reads
+as "normalized metric over history":
+
+    python benchmarks/trend.py                  # append all BENCH_*.json
+    python benchmarks/trend.py BENCH_perf.json  # just one
+    python benchmarks/trend.py --show           # print the trajectory
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: bench name -> (headline metrics, which of them are seconds-like and
+#: therefore divided by the machine score).  Metrics missing from a
+#: snapshot are skipped, so older files still append.
+HEADLINES = {
+    "service": {
+        "metrics": ["throughput_ratio", "job_cache_hit_rate",
+                    "latency_p50_s", "latency_p99_s",
+                    "service_jobs_per_s", "jobs_lost"],
+        "time_like": ["latency_p50_s", "latency_p99_s"],
+        "rate_like": ["service_jobs_per_s"],
+    },
+    "perf": {
+        "metrics": ["designs.large.sta_incremental_ms",
+                    "designs.large.place_ms",
+                    "designs.large.speedup_incr_vs_cold"],
+        "time_like": ["designs.large.sta_incremental_ms",
+                      "designs.large.place_ms"],
+        "rate_like": [],
+    },
+    "serialize": {
+        "metrics": ["designs.large.size_ratio",
+                    "designs.large.pipeline_ratio",
+                    "designs.large.packed_pipeline_ms"],
+        "time_like": ["designs.large.packed_pipeline_ms"],
+        "rate_like": [],
+    },
+    "lint": {
+        "metrics": ["designs.large.lint_full_ms",
+                    "designs.large.lint_invariants_ms"],
+        "time_like": ["designs.large.lint_full_ms",
+                      "designs.large.lint_invariants_ms"],
+        "rate_like": [],
+    },
+    "resilience": {
+        "metrics": ["clean_run_s", "scenarios", "identical",
+                    "divergent"],
+        "time_like": ["clean_run_s"],
+        "rate_like": [],
+    },
+}
+
+
+def machine_score(repeats: int = 3) -> float:
+    """Relative speed of this machine (1.0 = the reference box).
+
+    Times a fixed integer/string workload; the reference constant was
+    measured once on the box that seeded the trend file.  Dividing a
+    wall-clock metric by this score cancels (to first order) raw
+    single-core speed differences between machines.
+    """
+    def workload() -> int:
+        acc = 0
+        for i in range(200_000):
+            acc = (acc * 1103515245 + i) % (1 << 31)
+        return acc ^ sum(map(hash, map(str, range(10_000))))
+
+    best = min(_timed(workload) for _ in range(repeats))
+    reference_s = 0.034              # the seeding machine's best time
+    return reference_s / best
+
+
+def _timed(fn) -> float:
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
+def _lookup(payload: dict, dotted: str):
+    node = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def _git_rev() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=REPO,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def append_snapshot(path: Path, trend_path: Path,
+                    score: float) -> dict | None:
+    name = path.stem.replace("BENCH_", "")
+    spec = HEADLINES.get(name)
+    if spec is None:
+        print(f"  {path.name}: no headline spec, skipped")
+        return None
+    payload = json.loads(path.read_text())
+    metrics = {}
+    for dotted in spec["metrics"]:
+        value = _lookup(payload, dotted)
+        if value is None:
+            continue
+        if dotted in spec["time_like"]:
+            value = value / score    # faster machine -> smaller raw
+        elif dotted in spec["rate_like"]:
+            value = value * (1.0 / score)
+        metrics[dotted] = value
+    row = {"bench": name, "rev": _git_rev(),
+           "machine_score": score, "quick": payload.get("quick"),
+           "metrics": metrics}
+    with open(trend_path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row, separators=(",", ":")) + "\n")
+    return row
+
+
+def show(trend_path: Path) -> None:
+    if not trend_path.exists():
+        print("no trend file yet")
+        return
+    for line in trend_path.read_text().splitlines():
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        metrics = ", ".join(f"{k}={v:.4g}" if isinstance(v, float)
+                            else f"{k}={v}"
+                            for k, v in row["metrics"].items())
+        print(f"{row.get('rev') or '???????':>9}  "
+              f"{row['bench']:<10} {metrics}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("snapshots", nargs="*",
+                        help="BENCH_*.json files "
+                             "(default: all in the repo root)")
+    parser.add_argument("--trend", default=REPO / "BENCH_TREND.jsonl")
+    parser.add_argument("--show", action="store_true",
+                        help="print the trajectory and exit")
+    args = parser.parse_args(argv)
+    trend_path = Path(args.trend)
+    if args.show:
+        show(trend_path)
+        return 0
+    paths = [Path(p) for p in args.snapshots] or \
+        sorted(REPO.glob("BENCH_*.json"))
+    if not paths:
+        print("no BENCH_*.json snapshots found", file=sys.stderr)
+        return 1
+    score = machine_score()
+    print(f"machine score {score:.3f} (1.0 = reference box)")
+    appended = 0
+    for path in paths:
+        row = append_snapshot(path, trend_path, score)
+        if row is not None:
+            appended += 1
+            print(f"  {path.name}: {len(row['metrics'])} metrics")
+    print(f"appended {appended} row(s) to {trend_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -117,8 +117,11 @@ def _names_to_blob(names: Sequence[str]) -> bytes:
     return joined.encode("utf-8")
 
 
-def _blob_to_names(blob: bytes, count: int) -> tuple[str, ...]:
+def _blob_to_names(blob: "bytes | memoryview",
+                   count: int) -> tuple[str, ...]:
     """Decode a name table written by :func:`_names_to_blob`."""
+    if not isinstance(blob, bytes):
+        blob = bytes(blob)
     try:
         text = blob.decode("utf-8")
     except UnicodeDecodeError as err:
@@ -191,7 +194,7 @@ class PackedNetlist:
         self.primary_inputs = primary_inputs
         self.primary_outputs = primary_outputs
         self._digest: str | None = None
-        self._bytes: dict[bool, bytes] = {}
+        self._bytes: dict[tuple[bool, bool], bytes] = {}
         self._levels: tuple[Int64Array, Int64Array] | None = None
         self._seq_mask: npt.NDArray[np.bool_] | None = None
 
@@ -500,24 +503,32 @@ class PackedNetlist:
                 self.pin_net, self.pin_name,
                 self.primary_inputs, self.primary_outputs]
 
-    def to_bytes(self, *, compress: bool = True) -> bytes:
+    def to_bytes(self, *, compress: bool = True,
+                 shuffle: bool = True) -> bytes:
         """Serialize to the versioned ``.pnl`` binary format.
 
         Layout: fixed header (magic, format version, flags, header
         length), a JSON header (scalars, small interned tables, section
         lengths, payload checksum), then the raw little-endian array
-        sections — zlib-compressed as one block when ``compress``.
+        sections — zlib-compressed as one block when ``compress`` and
+        byte-shuffled when ``shuffle`` (the on-disk default).
+        ``compress=False, shuffle=False`` produces the *raw* layout the
+        shared-memory transport (:mod:`repro.service.shm`) maps with
+        :meth:`from_buffer` — array sections usable in place, no
+        decompress or unshuffle pass on the reader side.
 
-        Memoized per ``compress`` flag: pack once, and the cache blob,
-        journal blob, and worker payload all reuse the same bytes.
+        Memoized per ``(compress, shuffle)``: pack once, and the cache
+        blob, journal blob, and worker payload all reuse the same bytes.
         """
-        cached = self._bytes.get(compress)
+        cached = self._bytes.get((compress, shuffle))
         if cached is not None:
             return cached
         parts = [s.astype("<i4").tobytes()
                  if isinstance(s, np.ndarray) else s
                  for s in self._sections()]
-        payload = parts[0] + parts[1] + _shuffle4(b"".join(parts[2:]))
+        ints = b"".join(parts[2:])
+        payload = parts[0] + parts[1] \
+            + (_shuffle4(ints) if shuffle else ints)
         header = {
             "name": self.name,
             "node": self.node,
@@ -532,15 +543,32 @@ class PackedNetlist:
         if compress:
             payload = zlib.compress(payload, 1)
         hjson = json.dumps(header, separators=(",", ":")).encode("utf-8")
-        flags = _FLAG_SHUFFLE | (_FLAG_ZLIB if compress else 0)
+        flags = (_FLAG_SHUFFLE if shuffle else 0) \
+            | (_FLAG_ZLIB if compress else 0)
         blob = _HEADER_STRUCT.pack(_MAGIC, _FORMAT_VERSION, flags,
                                    len(hjson)) + hjson + payload
-        self._bytes[compress] = blob
+        self._bytes[(compress, shuffle)] = blob
         return blob
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "PackedNetlist":
         """Parse a ``.pnl`` blob; :class:`PackError` on any damage."""
+        return cls.from_buffer(data)
+
+    @classmethod
+    def from_buffer(cls, data: "bytes | memoryview") -> "PackedNetlist":
+        """Parse a ``.pnl`` blob from any contiguous byte buffer.
+
+        For the raw layout (``compress=False, shuffle=False``) the int
+        array sections become read-only views *into* ``data`` — no
+        copy.  Handing in a ``memoryview`` over a shared-memory segment
+        therefore yields a packed netlist whose connectivity arrays
+        live in the segment itself; the caller must keep the segment
+        mapped for the life of the returned object.  Compressed or
+        shuffled payloads (the on-disk default) decode as before, via
+        one transform pass.
+        """
+        data = memoryview(data) if not isinstance(data, bytes) else data
         if len(data) < _HEADER_STRUCT.size:
             raise PackError("truncated .pnl header")
         magic, version, flags, hlen = _HEADER_STRUCT.unpack_from(data)
@@ -552,11 +580,11 @@ class PackedNetlist:
             raise PackError("truncated .pnl header")
         try:
             header = json.loads(
-                data[_HEADER_STRUCT.size:_HEADER_STRUCT.size + hlen]
-                .decode("utf-8"))
+                bytes(data[_HEADER_STRUCT.size:_HEADER_STRUCT.size
+                           + hlen]).decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as err:
             raise PackError("corrupt .pnl header") from err
-        payload = data[_HEADER_STRUCT.size + hlen:]
+        payload: "bytes | memoryview" = data[_HEADER_STRUCT.size + hlen:]
         if flags & _FLAG_ZLIB:
             try:
                 payload = zlib.decompress(payload)
@@ -583,18 +611,22 @@ class PackedNetlist:
             raise PackError(".pnl payload checksum mismatch")
         if flags & _FLAG_SHUFFLE:
             split = sections[0] + sections[1]
-            payload = payload[:split] + _unshuffle4(payload[split:])
+            payload = bytes(payload[:split]) \
+                + _unshuffle4(payload[split:])
 
-        views: list[bytes] = []
+        views: list["bytes | memoryview"] = []
         pos = 0
         for n in sections:
             views.append(payload[pos:pos + n])
             pos += n
 
-        def ints(b: bytes) -> IntArray:
+        def ints(b: "bytes | memoryview") -> IntArray:
             if len(b) % 4:
                 raise PackError("misaligned .pnl array section")
-            return np.frombuffer(b, dtype="<i4").astype(np.int32)
+            arr = np.frombuffer(b, dtype="<i4")
+            # Little-endian hosts keep the (read-only) view; only a
+            # byte-order mismatch forces the copy.
+            return arr if arr.dtype == np.int32 else arr.astype(np.int32)
 
         net_names = _blob_to_names(views[0], n_nets)
         gate_names = _blob_to_names(views[1], n_gates)

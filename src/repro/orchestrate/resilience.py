@@ -135,6 +135,11 @@ class RunJournal:
                 f"no journal for run {run_id!r} under {Path(root)}")
         return journal
 
+    @classmethod
+    def exists(cls, root, run_id: str) -> bool:
+        """``True`` when ``run_id`` has a journal under ``root``."""
+        return cls(root, run_id).meta_path.exists()
+
     @staticmethod
     def list_runs(root) -> list:
         """Run ids journaled under ``root``, oldest directory first."""

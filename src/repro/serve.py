@@ -1,0 +1,128 @@
+"""``python -m repro.serve`` — command-line front end of the flow
+service.
+
+Three subcommands:
+
+``sweep``
+    Stand up a service, drive a synthetic multi-tenant job sweep
+    through it, and print the service's telemetry as JSON — the
+    quickest way to see the scheduler, cache shards, and tenancy
+    accounting in motion without writing code.
+
+``clean``
+    Unlink shared-memory design segments whose owning process is dead
+    (the same sweep every service start performs) and report how many
+    were reclaimed.
+
+``log``
+    Summarize a :class:`~repro.learn.rundb.RunLog` written by a
+    service: per-tenant utilization and the stage cost profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+
+def _cmd_sweep(args) -> int:
+    from repro.core import FlowOptions
+    from repro.netlist import build_library, registered_cloud
+    from repro.service import FlowService
+    from repro.tech import get_node
+
+    lib = build_library(get_node(args.node))
+    designs = [registered_cloud(6, 12, 60 + 20 * i, lib, seed=3 + i)
+               for i in range(args.designs)]
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        root = Path(tmp)
+        service = FlowService(
+            workers=args.workers,
+            cache_root=root / "cache",
+            journal_root=root / "journals" if args.journal else None,
+            rundb_log=args.log or (root / "service.jsonl"),
+            use_shm=not args.no_shm)
+        with service:
+            job_ids = []
+            for i in range(args.jobs):
+                design = designs[i % len(designs)]
+                options = FlowOptions(
+                    seed=args.seed + (i % args.variants),
+                    utilization=0.55 + 0.05 * (i % 3))
+                job_ids.append(service.submit(
+                    design, lib, options,
+                    tenant=f"tenant{i % args.tenants}"))
+            for job_id in job_ids:
+                service.result(job_id, timeout=600)
+            stats = service.stats()
+    json.dump(stats, sys.stdout, indent=1, default=str)
+    print()
+    return 0
+
+
+def _cmd_clean(args) -> int:
+    from repro.service import sweep_leaked_segments
+    removed = sweep_leaked_segments()
+    print(f"reclaimed {removed} leaked design segment(s)")
+    return 0
+
+
+def _cmd_log(args) -> int:
+    from repro.learn.rundb import RunDatabase
+    db = RunDatabase.from_log(args.path)
+    json.dump({
+        "records": {"runs": len(db.records),
+                    "telemetry": len(db.telemetry),
+                    "recovery": len(db.recovery),
+                    "service": len(db.service)},
+        "service_profile": db.service_profile(),
+        "stage_profile": db.stage_profile(),
+    }, sys.stdout, indent=1)
+    print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="multi-tenant flow job service front end")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a synthetic sweep through a service")
+    p_sweep.add_argument("--workers", type=int, default=2)
+    p_sweep.add_argument("--jobs", type=int, default=24)
+    p_sweep.add_argument("--designs", type=int, default=4)
+    p_sweep.add_argument("--variants", type=int, default=3,
+                         help="distinct option seeds (controls the "
+                              "job-cache hit rate)")
+    p_sweep.add_argument("--tenants", type=int, default=3)
+    p_sweep.add_argument("--node", default="28nm")
+    p_sweep.add_argument("--seed", type=int, default=7)
+    p_sweep.add_argument("--journal", action="store_true",
+                         help="journal every job (enables resume)")
+    p_sweep.add_argument("--no-shm", action="store_true",
+                         help="send designs through pipes instead of "
+                              "shared memory")
+    p_sweep.add_argument("--log", default=None,
+                         help="append service telemetry to this "
+                              "RunLog path")
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_clean = sub.add_parser(
+        "clean", help="unlink design segments of dead processes")
+    p_clean.set_defaults(fn=_cmd_clean)
+
+    p_log = sub.add_parser("log", help="summarize a service RunLog")
+    p_log.add_argument("path")
+    p_log.set_defaults(fn=_cmd_log)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

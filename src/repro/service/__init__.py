@@ -1,0 +1,38 @@
+"""repro.service — a multi-tenant flow job service.
+
+Long-lived worker processes execute flow jobs submitted through
+:class:`FlowService` (submit / status / cancel / result).  Designs
+travel to workers as zero-copy shared-memory ``.pnl`` segments, job
+results land in a sharded content-addressed LRU cache, tenants get
+quotas, rate limits, fair queuing, and backpressure, and every job
+runs through :func:`repro.orchestrate.run` — so journaling, lint
+gating, and chaos-tested crash recovery apply unchanged.  SIGKILL a
+worker mid-job and the job resumes on another worker, bit-identically.
+
+``python -m repro.serve`` is the command-line front end.
+"""
+
+from repro.service.api import FlowService, service_sweep
+from repro.service.cache_shard import ShardedResultCache, ShardStats
+from repro.service.scheduler import (JobCancelled, JobFailed, JobState,
+                                     Scheduler)
+from repro.service.shm import (DesignSegment, SegmentError,
+                               pack_design, sweep_leaked_segments,
+                               unpack_design)
+from repro.service.tenancy import (FairQueue, QueueFull, QuotaExceeded,
+                                   RateLimited, ServiceRejection,
+                                   TenantLedger, TenantPolicy,
+                                   TokenBucket)
+from repro.service.workers import (JOB_FLOW_VERSION, WorkerConfig,
+                                   job_cache_key)
+
+__all__ = [
+    "FlowService", "service_sweep",
+    "Scheduler", "JobState", "JobFailed", "JobCancelled",
+    "ShardedResultCache", "ShardStats",
+    "DesignSegment", "SegmentError", "pack_design", "unpack_design",
+    "sweep_leaked_segments",
+    "TenantLedger", "TenantPolicy", "TokenBucket", "FairQueue",
+    "ServiceRejection", "RateLimited", "QueueFull", "QuotaExceeded",
+    "WorkerConfig", "job_cache_key", "JOB_FLOW_VERSION",
+]

@@ -1,0 +1,172 @@
+"""The public face of the flow service.
+
+:class:`FlowService` wraps the scheduler in a four-verb client API —
+``submit`` / ``status`` / ``cancel`` / ``result`` — plus lifecycle
+(``close``, context manager) and introspection (``stats``,
+``job_records``).  Everything the service does under those verbs
+(shared-memory transport, job caching, fair queuing, crash recovery)
+is policy behind this surface.
+
+:func:`service_sweep` is the batch adapter: it drives a whole
+``options_list`` through a service and returns the same
+:class:`~repro.orchestrate.sweep.SweepResult` shape as
+:func:`~repro.orchestrate.sweep.run_sweep`, so benches and callers can
+swap schedulers without rewriting their result handling
+(``run_sweep(..., scheduler="service")`` does exactly that).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.orchestrate.sweep import SweepResult
+from repro.service.scheduler import Scheduler
+from repro.service.tenancy import ServiceRejection, TenantLedger
+
+
+class FlowService:
+    """A running multi-tenant flow job service.
+
+    Parameters mirror the scheduler: ``workers`` processes, optional
+    ``cache_root`` (enables the sharded job cache and the per-stage
+    cache), optional ``journal_root`` (enables write-ahead journaling
+    and therefore crash recovery of killed workers), optional
+    ``rundb_log`` (a :class:`~repro.learn.rundb.RunLog` path receiving
+    service and stage telemetry), ``policies`` / ``default_policy`` /
+    ``max_queued_total`` for tenancy, and ``use_shm`` to toggle the
+    shared-memory design transport (on by default; off falls back to
+    sending the framed design through the pipe).
+    """
+
+    def __init__(self, *, workers: int = 2, cache_root=None,
+                 journal_root=None, rundb_log=None,
+                 policies: dict | None = None,
+                 default_policy=None,
+                 max_queued_total: int | None = None,
+                 cache_shards: int = 8,
+                 cache_max_bytes: int = 512 << 20,
+                 stage_cache: bool = True,
+                 use_shm: bool = True,
+                 lint: str = "warn") -> None:
+        ledger = TenantLedger(policies,
+                              default_policy=default_policy,
+                              max_queued_total=max_queued_total)
+        self._scheduler = Scheduler(
+            workers=workers, ledger=ledger,
+            cache_root=str(cache_root) if cache_root else None,
+            journal_root=str(journal_root) if journal_root else None,
+            rundb_log=str(rundb_log) if rundb_log else None,
+            cache_shards=cache_shards,
+            cache_max_bytes=cache_max_bytes,
+            stage_cache=stage_cache, use_shm=use_shm, lint=lint)
+
+    # -- the four verbs ------------------------------------------------
+
+    def submit(self, subject, library, options, *,
+               tenant: str = "default") -> str:
+        """Queue one flow job; returns its job id.
+
+        Raises :class:`~repro.service.tenancy.ServiceRejection` (with
+        ``retry_after``) when the tenant's limits say no.
+        """
+        return self._scheduler.submit(subject, library, options,
+                                      tenant=tenant)
+
+    def status(self, job_id: str) -> dict:
+        """The job's current accounting record (state, timings, …)."""
+        return self._scheduler.status(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued or running job; ``False`` if too late."""
+        return self._scheduler.cancel(job_id)
+
+    def result(self, job_id: str, timeout: float | None = None):
+        """Block for the job's :class:`FlowResult`."""
+        return self._scheduler.result(job_id, timeout)
+
+    # -- batch + introspection -----------------------------------------
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Wait for every submitted job to reach a terminal state."""
+        self._scheduler.drain(timeout)
+
+    def stats(self) -> dict:
+        """Aggregate counters, tenant snapshots, cache telemetry."""
+        return self._scheduler.stats()
+
+    def job_records(self) -> list[dict]:
+        return self._scheduler.job_records()
+
+    def running_jobs(self) -> list[tuple[str, int]]:
+        """``(job_id, worker_pid)`` for jobs executing right now."""
+        return self._scheduler.running_jobs()
+
+    def close(self, *, drain: bool = True,
+              timeout: float | None = None) -> None:
+        self._scheduler.close(drain=drain, timeout=timeout)
+
+    def __enter__(self) -> "FlowService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(drain=exc[0] is None)
+
+
+def service_sweep(subject, library, options_list, *,
+                  workers: int = 2, cache_root=None,
+                  journal_root=None, rundb_log=None,
+                  tenant: str = "default", use_shm: bool = True,
+                  service: FlowService | None = None,
+                  submit_retries: int = 64) -> SweepResult:
+    """Run a sweep through a :class:`FlowService`.
+
+    Accepts the :func:`~repro.orchestrate.sweep.run_sweep` subject
+    shapes (one design, or one per options entry) and returns results
+    in input order.  Backpressure rejections are honoured: the
+    submitter sleeps the advertised ``retry_after`` and retries, so a
+    sweep larger than the queue cap still completes.
+
+    Pass an existing ``service`` to reuse its warm workers and caches;
+    otherwise one is created and closed around the sweep.
+    """
+    options_list = list(options_list)
+    if isinstance(subject, (list, tuple)):
+        if len(subject) != len(options_list):
+            raise ValueError(
+                f"{len(subject)} subjects for {len(options_list)} "
+                f"option sets")
+        subjects = list(subject)
+    else:
+        subjects = [subject] * len(options_list)
+
+    owned = service is None
+    if owned:
+        service = FlowService(
+            workers=workers, cache_root=cache_root,
+            journal_root=journal_root, rundb_log=rundb_log,
+            use_shm=use_shm)
+    t0 = time.perf_counter()
+    try:
+        job_ids = []
+        for subj, options in zip(subjects, options_list):
+            for attempt in range(submit_retries):
+                try:
+                    job_ids.append(service.submit(
+                        subj, library, options, tenant=tenant))
+                    break
+                except ServiceRejection as rej:
+                    if attempt == submit_retries - 1:
+                        raise
+                    time.sleep(rej.retry_after
+                               if rej.retry_after is not None
+                               else 0.05)
+        results = [service.result(job_id) for job_id in job_ids]
+        wall_s = time.perf_counter() - t0
+        stats = service.stats()
+    finally:
+        if owned:
+            service.close(drain=False)
+    sweep = SweepResult(results=results, wall_s=wall_s,
+                        jobs=workers)
+    sweep.cache_stats = stats.get("job_cache")
+    return sweep

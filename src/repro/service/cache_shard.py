@@ -1,0 +1,245 @@
+"""Sharded, size-capped, content-addressed result cache.
+
+The service's job-level cache: whole :class:`FlowResult` blobs keyed
+by a content hash of (design digest, library, options, flow version),
+spread over N directory shards so many workers read and write without
+contending on one directory, with per-shard byte budgets enforced by
+LRU eviction (mtime is the recency clock — a hit touches the file) and
+hit/miss/eviction telemetry per shard.
+
+Layered on the sealed-entry discipline of
+:mod:`repro.orchestrate.cache`: every blob is framed by
+:func:`~repro.orchestrate.cache.seal_blob`, verified on read, and
+quarantined on damage — a rotted entry costs a recompute, never a
+wrong result.  The class is duck-compatible with
+:class:`~repro.orchestrate.cache.ResultCache` (``get``/``put``/
+``stats``/``disk_dir``), so it can also serve as a stage cache for
+:func:`repro.orchestrate.run`.
+
+Writers on different processes see each other's entries immediately
+(shared directories); byte accounting is per-process and trued up
+against the real directory on rollover, so concurrent eviction races
+degrade to a miss, never corruption.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.orchestrate.cache import (decode_value, encode_value,
+                                     seal_blob, unseal_blob)
+
+
+@dataclass
+class ShardStats:
+    """Hit/miss/eviction accounting for one shard (or the total)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    corrupt: int = 0
+    bytes_stored: int = 0          # this process's view of shard size
+    bytes_evicted: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def merge(self, other: "ShardStats") -> "ShardStats":
+        for name in ("hits", "misses", "puts", "evictions", "corrupt",
+                     "bytes_stored", "bytes_evicted"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        return self
+
+
+@dataclass
+class _Shard:
+    dir: Path
+    max_bytes: int
+    stats: ShardStats = field(default_factory=ShardStats)
+    _scanned: bool = False
+
+    def _scan(self) -> None:
+        """True up byte accounting against the directory (lazy)."""
+        self._scanned = True
+        total = 0
+        for p in self.dir.glob("*.blob"):
+            try:
+                total += p.stat().st_size
+            except OSError:          # racing eviction from a sibling
+                pass
+        self.stats.bytes_stored = total
+
+    def path(self, key: str) -> Path:
+        return self.dir / f"{key}.blob"
+
+    def get_bytes(self, key: str) -> bytes | None:
+        path = self.path(key)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            blob = unseal_blob(data, key)
+        except Exception:  # noqa: BLE001 - CorruptEntry or worse
+            self._quarantine(path)
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        try:
+            os.utime(path)           # recency bump for LRU eviction
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return blob
+
+    def put_bytes(self, key: str, blob: bytes) -> None:
+        if not self._scanned:
+            self._scan()
+        path = self.path(key)
+        data = seal_blob(blob, key)
+        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.stats.puts += 1
+        self.stats.bytes_stored += len(data)
+        if self.stats.bytes_stored > self.max_bytes:
+            self._evict(keep=path.name)
+
+    def _evict(self, keep: str) -> None:
+        """Drop least-recently-used entries until under budget."""
+        entries = []
+        for p in self.dir.glob("*.blob"):
+            if p.name == keep:
+                continue
+            try:
+                st = p.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, p))
+        entries.sort()
+        self._scan()                 # exact size before deciding
+        for _, size, p in entries:
+            if self.stats.bytes_stored <= self.max_bytes:
+                break
+            try:
+                p.unlink()
+            except OSError:          # a sibling evicted it first
+                continue
+            self.stats.bytes_stored -= size
+            self.stats.evictions += 1
+            self.stats.bytes_evicted += size
+
+    def _quarantine(self, path: Path) -> None:
+        qdir = self.dir / "quarantine"
+        qdir.mkdir(exist_ok=True)
+        try:
+            os.replace(path, qdir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+
+
+class ShardedResultCache:
+    """N directory shards of sealed blobs with per-shard LRU budgets.
+
+    ``max_bytes`` is the *total* budget, split evenly across shards.
+    Keys are hex content hashes (:func:`~repro.orchestrate.cache.stable_hash`);
+    the shard is the key's leading bits, so placement is stable across
+    processes and restarts.
+    """
+
+    def __init__(self, root, *, shards: int = 8,
+                 max_bytes: int = 512 << 20) -> None:
+        if shards < 1:
+            raise ValueError("shards must be positive")
+        self.root = Path(root)
+        self.shards = shards
+        self.max_bytes = max_bytes
+        self._shards: list[_Shard] = []
+        per_shard = max(max_bytes // shards, 1)
+        for i in range(shards):
+            d = self.root / f"shard{i:02x}"
+            d.mkdir(parents=True, exist_ok=True)
+            self._shards.append(_Shard(d, per_shard))
+
+    def _shard(self, key: str) -> _Shard:
+        try:
+            bucket = int(key[:8], 16) % self.shards
+        except ValueError:
+            bucket = hash(key) % self.shards
+        return self._shards[bucket]
+
+    # -- byte-level API (the service hot path: no decode on a relay) --
+
+    def get_bytes(self, key: str) -> bytes | None:
+        return self._shard(key).get_bytes(key)
+
+    def put_bytes(self, key: str, blob: bytes) -> None:
+        self._shard(key).put_bytes(key, blob)
+
+    # -- ResultCache-compatible API -----------------------------------
+
+    def get(self, key: str):
+        """``(True, fresh_value)`` on hit, ``(False, None)`` on miss."""
+        blob = self.get_bytes(key)
+        if blob is None:
+            return False, None
+        return True, decode_value(blob)
+
+    def put(self, key: str, value) -> None:
+        self.put_bytes(key, encode_value(value))
+
+    @property
+    def disk_dir(self) -> Path:
+        return self.root
+
+    def entry_path(self, key: str) -> Path:
+        return self._shard(key).path(key)
+
+    # -- telemetry ----------------------------------------------------
+
+    @property
+    def stats(self) -> ShardStats:
+        total = ShardStats()
+        for shard in self._shards:
+            total.merge(shard.stats)
+        return total
+
+    def telemetry(self) -> dict:
+        """Aggregate plus per-shard counters, JSON-ready."""
+        total = self.stats
+        return {
+            "shards": self.shards,
+            "max_bytes": self.max_bytes,
+            "hits": total.hits,
+            "misses": total.misses,
+            "hit_rate": total.hit_rate,
+            "puts": total.puts,
+            "evictions": total.evictions,
+            "corrupt": total.corrupt,
+            "bytes_stored": total.bytes_stored,
+            "bytes_evicted": total.bytes_evicted,
+            "per_shard": [
+                {"dir": s.dir.name, "hits": s.stats.hits,
+                 "misses": s.stats.misses, "puts": s.stats.puts,
+                 "evictions": s.stats.evictions,
+                 "bytes_stored": s.stats.bytes_stored}
+                for s in self._shards
+            ],
+        }
+
+    def __len__(self) -> int:
+        return sum(len(list(s.dir.glob("*.blob")))
+                   for s in self._shards)

@@ -1,0 +1,714 @@
+"""The asynchronous job scheduler behind :class:`repro.service.FlowService`.
+
+One dispatcher loop (a daemon thread) owns all scheduling state and
+multiplexes over worker pipes and process sentinels with
+``multiprocessing.connection.wait`` — event-driven, no polling sleeps
+on the hot path.  Submissions are admitted through the tenant ledger
+(:mod:`repro.service.tenancy`), queued in a round-robin
+:class:`~repro.service.tenancy.FairQueue`, and pulled by idle workers.
+
+Scheduling policy, in dispatch order:
+
+* **Job-cache short-circuit** — the dispatcher probes the sharded
+  job-result cache before spending a worker; a hit completes the job
+  in the parent with no process hop at all.
+* **Single-flight coalescing** — a job whose content key is already
+  executing parks as a *waiter* and completes with the first copy's
+  result (flows are deterministic, so results are interchangeable);
+  a thousand identical submissions cost one execution.
+* **Affinity + work stealing** — every job hashes to a preferred
+  worker (keeping that worker's page cache and journal directory warm
+  for a given design); an idle worker with no work of its own takes
+  the next fair-queue job regardless of affinity, and the mismatch is
+  counted as a steal (``stats()["steals"]``).
+
+Crash recovery: a worker death (SIGKILL, OOM, chaos) fires its
+sentinel; the dispatcher re-queues the in-flight job at the *front*
+of its tenant's queue with ``resume=True`` — the replacement worker
+replays the job's write-ahead journal and re-executes only the
+frontier — and respawns the worker slot.  Zero jobs are lost; resumed
+results are bit-identical (gated by ``bench_service.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import pickle
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from enum import Enum
+from multiprocessing.connection import wait as _mpwait
+
+from repro.service.tenancy import FairQueue, TenantLedger
+from repro.service.workers import (WorkerConfig, job_cache_key,
+                                   worker_main)
+
+_PICKLE_PROTOCOL = 4
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED,
+                        JobState.CANCELLED)
+
+
+class JobFailed(RuntimeError):
+    """The job's flow raised; the original error is in the message."""
+
+
+class JobCancelled(RuntimeError):
+    """The job was cancelled before it produced a result."""
+
+
+@dataclass
+class JobSpec:
+    """One submitted job, parent-side."""
+
+    job_id: str
+    tenant: str
+    options: object
+    design: str                     # display name of the subject
+    digest: str                     # content identity (affinity basis)
+    job_key: str | None             # job-cache key (None: uncacheable)
+    seg_key: tuple | None           # segment table key
+    affinity: int                   # preferred worker slot
+    submitted_s: float
+    inline: bytes | None = None     # transport when shm is off
+    state: JobState = JobState.QUEUED
+    resume: bool = False            # re-dispatch after a worker death
+    dispatched_s: float | None = None
+    finished_s: float | None = None
+    worker: int | None = None
+    stolen: bool = False
+    cache: str | None = None        # job-hit | parent-hit | coalesced | miss
+    resumed: bool = False
+    error: str | None = None
+    blob: bytes | None = None       # encoded FlowResult
+    event: threading.Event = field(default_factory=threading.Event,
+                                   repr=False)
+
+    def record(self) -> dict:
+        """JSON-ready accounting row (the service telemetry record)."""
+        queued_s = (self.dispatched_s or self.finished_s
+                    or self.submitted_s) - self.submitted_s
+        exec_s = 0.0
+        if self.dispatched_s is not None and self.finished_s is not None:
+            exec_s = self.finished_s - self.dispatched_s
+        return {"job_id": self.job_id, "tenant": self.tenant,
+                "design": self.design, "state": str(self.state),
+                "worker": self.worker, "queued_s": queued_s,
+                "exec_s": exec_s, "cache": self.cache,
+                "resumed": self.resumed, "stolen": self.stolen,
+                "error": self.error}
+
+
+@dataclass
+class _Slot:
+    """One worker process slot (the slot survives its processes)."""
+
+    wid: int
+    proc: multiprocessing.Process | None = None
+    conn: object = None
+    pid: int | None = None
+    idle: bool = False
+    stopped: bool = False
+    current: JobSpec | None = None
+
+
+@dataclass
+class _Segment:
+    seg: object                     # DesignSegment (owner) or None
+    payload: bytes | None           # inline transport fallback
+    refs: int = 0
+
+
+class Scheduler:
+    """Work-stealing multi-worker job scheduler (see module docs)."""
+
+    def __init__(self, *, workers: int = 2,
+                 ledger: TenantLedger | None = None,
+                 cache_root: str | None = None,
+                 journal_root: str | None = None,
+                 rundb_log: str | None = None,
+                 cache_shards: int = 8,
+                 cache_max_bytes: int = 512 << 20,
+                 stage_cache: bool = True,
+                 use_shm: bool = True,
+                 lint: str = "warn") -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        self.nworkers = workers
+        self.ledger = ledger if ledger is not None else TenantLedger()
+        self.worker_cfg = WorkerConfig(
+            wid=-1, cache_root=cache_root, journal_root=journal_root,
+            rundb_log=rundb_log, cache_shards=cache_shards,
+            cache_max_bytes=cache_max_bytes, stage_cache=stage_cache,
+            lint=lint)
+        self.use_shm = use_shm
+        self._lock = threading.RLock()
+        self._jobs: dict[str, JobSpec] = {}
+        self._queue = FairQueue()
+        self._slots: list[_Slot] = []
+        self._segments: dict[tuple, _Segment] = {}
+        self._lib_tokens: dict[int, tuple] = {}   # id -> (lib, token)
+        self._inflight: dict[str, JobSpec] = {}   # job_key -> leader
+        self._waiters: dict[str, list[JobSpec]] = {}
+        self._dispatch_log: list[str] = []
+        self._stats = {"submitted": 0, "completed": 0, "failed": 0,
+                       "cancelled": 0, "rejected": 0, "steals": 0,
+                       "affinity_hits": 0, "parent_hits": 0,
+                       "worker_hits": 0, "coalesced": 0, "resumed": 0,
+                       "respawns": 0, "segments": 0}
+        self._job_counter = itertools.count()
+        self._stopping = False
+        self._closed = False
+        self._run_log = None
+        if rundb_log:
+            from repro.learn.rundb import RunLog
+            self._run_log = RunLog(rundb_log)
+        self._job_cache = None
+        if cache_root:
+            from repro.service.cache_shard import ShardedResultCache
+            import os
+            self._job_cache = ShardedResultCache(
+                os.path.join(cache_root, "jobs"), shards=cache_shards,
+                max_bytes=cache_max_bytes)
+        # Reclaim segments a previously killed service left behind.
+        if use_shm:
+            from repro.service.shm import sweep_leaked_segments
+            try:
+                sweep_leaked_segments()
+            except OSError:  # pragma: no cover - registry dir races
+                pass
+        self._wake_r, self._wake_w = multiprocessing.Pipe(duplex=False)
+        self._wake_lock = threading.Lock()
+        for wid in range(workers):
+            self._slots.append(self._spawn(wid))
+        self._loop_thread = threading.Thread(
+            target=self._loop, name="repro-service-scheduler",
+            daemon=True)
+        self._loop_thread.start()
+
+    # -- public API ----------------------------------------------------
+
+    def submit(self, subject, library, options, *,
+               tenant: str = "default") -> str:
+        """Admit and queue one job; returns its id.
+
+        Raises a :class:`~repro.service.tenancy.ServiceRejection`
+        subclass (with ``retry_after``) when the tenant is over quota,
+        over rate, or the queue is full.
+        """
+        if self._closed or self._stopping:
+            raise RuntimeError("service is shut down")
+        digest, counter, packed = self._identify(subject)
+        with self._lock:
+            try:
+                self.ledger.admit(tenant)
+            except Exception:
+                self._stats["rejected"] += 1
+                raise
+            job_id = f"svc{next(self._job_counter):06d}-" \
+                     f"{uuid.uuid4().hex[:6]}"
+            job_key = None
+            if self._job_cache is not None and digest is not None:
+                job_key = job_cache_key(
+                    digest, counter, library, options,
+                    self.worker_cfg.lint)
+            seg_key, inline = self._place_design(
+                subject, library, digest, counter, packed)
+            job = JobSpec(
+                job_id=job_id, tenant=tenant, options=options,
+                design=getattr(subject, "name", type(subject).__name__),
+                digest=digest or job_id, job_key=job_key,
+                seg_key=seg_key, inline=inline,
+                affinity=self._affinity(digest or job_id),
+                submitted_s=time.monotonic())
+            self._jobs[job_id] = job
+            self._queue.push(tenant, job)
+            self._stats["submitted"] += 1
+        self._wake()
+        return job_id
+
+    def status(self, job_id: str) -> dict:
+        with self._lock:
+            return self._job(job_id).record()
+
+    def result(self, job_id: str, timeout: float | None = None):
+        """Block for the job's :class:`FlowResult` (a fresh copy)."""
+        job = self._job(job_id)
+        if not job.event.wait(timeout):
+            raise TimeoutError(f"job {job_id} still "
+                               f"{job.state} after {timeout}s")
+        if job.state == JobState.FAILED:
+            raise JobFailed(f"job {job_id} failed: {job.error}")
+        if job.state == JobState.CANCELLED:
+            raise JobCancelled(f"job {job_id} was cancelled")
+        from repro.orchestrate.cache import decode_value
+        return decode_value(job.blob)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job: queued jobs never run, running jobs have
+        their worker killed (the slot respawns).  Returns ``False``
+        for jobs already terminal."""
+        with self._lock:
+            job = self._job(job_id)
+            if job.state.terminal:
+                return False
+            acct = self.ledger.account(job.tenant)
+            if job.state == JobState.QUEUED:
+                removed = self._queue.remove(
+                    job.tenant, lambda item: item is job)
+                if not removed:      # parked as a coalescing waiter
+                    for waiters in self._waiters.values():
+                        if job in waiters:
+                            waiters.remove(job)
+                            break
+                acct.queued -= 1
+                self._finish(job, JobState.CANCELLED)
+                return True
+            # RUNNING: kill the worker out from under it.
+            slot = self._slots[job.worker]
+            acct.running -= 1
+            self._finish(job, JobState.CANCELLED)
+            if slot.proc is not None and slot.proc.is_alive():
+                slot.proc.kill()
+            return True
+
+    def running_jobs(self) -> list[tuple[str, int]]:
+        """``(job_id, worker_pid)`` pairs currently executing."""
+        with self._lock:
+            return [(s.current.job_id, s.pid) for s in self._slots
+                    if s.current is not None and s.pid is not None
+                    and not s.current.state.terminal]
+
+    def stats(self) -> dict:
+        with self._lock:
+            out = dict(self._stats)
+            out["queued"] = len(self._queue)
+            out["workers"] = self.nworkers
+            out["tenants"] = self.ledger.snapshot()
+            if self._job_cache is not None:
+                out["job_cache"] = self._job_cache.telemetry()
+            return out
+
+    def job_records(self) -> list[dict]:
+        with self._lock:
+            return [j.record() for j in self._jobs.values()]
+
+    def dispatch_log(self) -> list[str]:
+        """Job ids in the order the dispatcher started them."""
+        with self._lock:
+            return list(self._dispatch_log)
+
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every submitted job is terminal."""
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        for job in list(self._jobs.values()):
+            remaining = None if deadline is None \
+                else max(deadline - time.monotonic(), 0.0)
+            if not job.event.wait(remaining):
+                raise TimeoutError(
+                    f"jobs still pending after {timeout}s")
+
+    def close(self, *, drain: bool = True,
+              timeout: float | None = None) -> None:
+        """Shut down: optionally drain, else cancel the queue; stop
+        workers; unlink every design segment."""
+        if self._closed:
+            return
+        if drain:
+            self.drain(timeout)
+        else:
+            with self._lock:
+                queued = [j.job_id for j in self._jobs.values()
+                          if j.state == JobState.QUEUED]
+            for job_id in queued:
+                self.cancel(job_id)
+        self._stopping = True
+        self._wake()
+        self._loop_thread.join(timeout=30)
+        with self._lock:
+            for key in list(self._segments):
+                self._drop_segment(key, force=True)
+        self._closed = True
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close(drain=exc[0] is None)
+
+    # -- identity and transport ----------------------------------------
+
+    def _identify(self, subject):
+        """``(digest, counter, packed)`` of the subject, or pickles."""
+        from repro.netlist.circuit import Netlist
+        from repro.netlist.packed import PackedNetlist
+        if isinstance(subject, Netlist):
+            packed = subject.to_packed()
+        elif isinstance(subject, PackedNetlist):
+            packed = subject
+        else:
+            from repro.orchestrate.cache import stable_hash
+            blob = pickle.dumps(subject, protocol=_PICKLE_PROTOCOL)
+            return stable_hash(blob), 0, None
+        return packed.content_digest(), int(packed.counter), packed
+
+    def _lib_token(self, library) -> int:
+        entry = self._lib_tokens.get(id(library))
+        if entry is None or entry[0] is not library:
+            entry = (library, len(self._lib_tokens))
+            self._lib_tokens[id(library)] = entry
+        return entry[1]
+
+    def _place_design(self, subject, library, digest, counter, packed):
+        """Get-or-create the transport for this design.
+
+        Returns ``(seg_key, inline)``: one distinct design packs once
+        no matter how many jobs reference it.
+        """
+        key = (digest, counter, self._lib_token(library))
+        entry = self._segments.get(key)
+        if entry is None:
+            from repro.service.shm import DesignSegment, pack_design
+            payload = pack_design(packed if packed is not None
+                                  else subject, library)
+            if self.use_shm:
+                entry = _Segment(DesignSegment.create(payload), None)
+            else:
+                entry = _Segment(None, payload)
+            self._segments[key] = entry
+            self._stats["segments"] += 1
+        entry.refs += 1
+        return key, (entry.payload if entry.seg is None else None)
+
+    def _drop_segment(self, key, *, force: bool = False) -> None:
+        entry = self._segments.get(key)
+        if entry is None:
+            return
+        entry.refs -= 1
+        if entry.refs <= 0 or force:
+            if entry.seg is not None:
+                entry.seg.unlink()
+            del self._segments[key]
+
+    def _affinity(self, digest: str) -> int:
+        try:
+            return int(digest[:8], 16) % self.nworkers
+        except ValueError:
+            return hash(digest) % self.nworkers
+
+    # -- worker lifecycle ----------------------------------------------
+
+    def _spawn(self, wid: int) -> _Slot:
+        import dataclasses
+        cfg = dataclasses.replace(self.worker_cfg, wid=wid)
+        parent_conn, child_conn = multiprocessing.Pipe()
+        proc = multiprocessing.Process(
+            target=worker_main, args=(cfg, child_conn),
+            name=f"repro-service-worker-{wid}", daemon=True)
+        proc.start()
+        child_conn.close()
+        return _Slot(wid=wid, proc=proc, conn=parent_conn)
+
+    def _wake(self) -> None:
+        with self._wake_lock:
+            try:
+                self._wake_w.send(b"w")
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+
+    # -- the dispatcher loop -------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._lock:
+                slots = [s for s in self._slots if s.proc is not None
+                         and not s.stopped]
+                waitables = [self._wake_r]
+                waitables += [s.conn for s in slots]
+                waitables += [s.proc.sentinel for s in slots]
+                if self._stopping and self._try_stop_workers():
+                    return
+            try:
+                ready = _mpwait(waitables, timeout=0.5)
+            except OSError:          # a conn died mid-wait; re-scan
+                ready = []
+            if self._wake_r in ready:
+                try:
+                    while self._wake_r.poll():
+                        self._wake_r.recv()
+                except (EOFError, OSError):  # pragma: no cover
+                    pass
+            with self._lock:
+                for slot in list(self._slots):
+                    if slot.conn in ready:
+                        self._drain_conn(slot)
+                for slot in list(self._slots):
+                    if slot.proc is not None \
+                            and slot.proc.sentinel in ready \
+                            and slot.proc.exitcode is not None:
+                        self._handle_death(slot)
+                self._dispatch()
+
+    def _try_stop_workers(self) -> bool:
+        """Stop idle workers; ``True`` when every slot is down."""
+        alive = False
+        for slot in self._slots:
+            if slot.proc is None or slot.stopped:
+                continue
+            if not slot.proc.is_alive():
+                slot.proc.join()
+                slot.stopped = True
+                continue
+            alive = True
+            if slot.idle and slot.current is None:
+                try:
+                    slot.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+                slot.idle = False
+        if not alive:
+            for slot in self._slots:
+                if slot.proc is not None:
+                    slot.proc.join(timeout=5)
+            return True
+        return False
+
+    def _drain_conn(self, slot: _Slot) -> None:
+        try:
+            while slot.conn.poll():
+                msg = slot.conn.recv()
+                if msg[0] == "ready":
+                    slot.pid = msg[2]
+                    slot.idle = True
+                elif msg[0] == "done":
+                    self._complete(slot, *msg[1:])
+        except (EOFError, OSError):
+            pass                     # the sentinel path handles death
+
+    def _handle_death(self, slot: _Slot) -> None:
+        slot.proc.join()
+        job = slot.current
+        slot.current = None
+        slot.idle = False
+        if job is not None and not job.state.terminal:
+            # Lost mid-flight: recover at the front of the fair queue.
+            if job.job_key is not None:
+                self._inflight.pop(job.job_key, None)
+            job.state = JobState.QUEUED
+            job.resume = True
+            job.worker = None
+            acct = self.ledger.account(job.tenant)
+            acct.running -= 1
+            acct.queued += 1
+            self._queue.push_front(job.tenant, job)
+        elif job is not None and job.job_key is not None:
+            # Cancelled-by-kill: release the key and its waiters.
+            self._inflight.pop(job.job_key, None)
+            for waiter in self._waiters.pop(job.job_key, []):
+                if not waiter.state.terminal:
+                    self._queue.push_front(waiter.tenant, waiter)
+        if self._stopping:
+            slot.proc = None
+            slot.stopped = True
+            return
+        self._stats["respawns"] += 1
+        fresh = self._spawn(slot.wid)
+        slot.proc, slot.conn, slot.pid = fresh.proc, fresh.conn, None
+
+    # -- dispatch and completion ---------------------------------------
+
+    def _idle_slots(self) -> list[_Slot]:
+        return [s for s in self._slots
+                if s.idle and s.current is None and not s.stopped]
+
+    def _dispatch(self) -> None:
+        if self._stopping:
+            return
+        while len(self._queue):
+            idle = self._idle_slots()
+            popped = None
+            # Fast paths that need no worker run regardless of idleness.
+            popped = self._queue.pop()
+            if popped is None:
+                return
+            _, job = popped
+            if job.state.terminal:   # cancelled while queued
+                continue
+            if self._complete_from_cache(job):
+                continue
+            if self._coalesce(job):
+                continue
+            if not idle:
+                # No worker free: put it back where it came from.
+                self._queue.push_front(job.tenant, job)
+                return
+            slot = self._pick_slot(idle, job)
+            self._send_job(slot, job)
+
+    def _complete_from_cache(self, job: JobSpec) -> bool:
+        if job.job_key is None or self._job_cache is None:
+            return False
+        blob = self._job_cache.get_bytes(job.job_key)
+        if blob is None:
+            return False
+        acct = self.ledger.account(job.tenant)
+        acct.queued -= 1
+        acct.completed += 1
+        job.dispatched_s = job.finished_s = time.monotonic()
+        job.cache = "parent-hit"
+        job.blob = blob
+        self._stats["parent_hits"] += 1
+        self._stats["completed"] += 1
+        self._dispatch_log.append(job.job_id)
+        self._drop_segment(job.seg_key)
+        self._log_service_record(job)
+        self._finish(job, JobState.DONE, count=False)
+        return True
+
+    def _coalesce(self, job: JobSpec) -> bool:
+        if job.job_key is None or job.job_key not in self._inflight:
+            return False
+        self._waiters.setdefault(job.job_key, []).append(job)
+        self._stats["coalesced"] += 1
+        return True
+
+    def _pick_slot(self, idle: list[_Slot], job: JobSpec) -> _Slot:
+        for slot in idle:
+            if slot.wid == job.affinity:
+                self._stats["affinity_hits"] += 1
+                return slot
+        # Affinity worker is busy (or down): someone else steals it.
+        self._stats["steals"] += 1
+        job.stolen = True
+        return idle[0]
+
+    def _send_job(self, slot: _Slot, job: JobSpec) -> None:
+        desc = {"job_id": job.job_id, "job_key": job.job_key,
+                "options": job.options, "design": job.design,
+                "resume": job.resume, "tenant": job.tenant}
+        entry = self._segments.get(job.seg_key)
+        if entry is not None and entry.seg is not None:
+            desc["segment"] = entry.seg.name
+            desc["segment_size"] = entry.seg.size
+        else:
+            desc["inline"] = job.inline if job.inline is not None \
+                else (entry.payload if entry is not None else None)
+        try:
+            slot.conn.send(("job", desc))
+        except (BrokenPipeError, OSError):
+            # Worker died between wait() and send: recover via its
+            # sentinel; keep the job queued.
+            self._queue.push_front(job.tenant, job)
+            slot.idle = False
+            return
+        acct = self.ledger.account(job.tenant)
+        acct.queued -= 1
+        acct.running += 1
+        job.state = JobState.RUNNING
+        job.worker = slot.wid
+        job.dispatched_s = time.monotonic()
+        slot.idle = False
+        slot.current = job
+        if job.job_key is not None:
+            self._inflight[job.job_key] = job
+        self._dispatch_log.append(job.job_id)
+
+    def _complete(self, slot: _Slot, job_id: str, status: str,
+                  blob: bytes | None, meta: dict) -> None:
+        job = self._jobs.get(job_id)
+        slot.current = None
+        slot.idle = True
+        if job is None:              # pragma: no cover - unknown job
+            return
+        if job.state.terminal:       # cancelled while running; the
+            return                   # worker outran the kill
+        acct = self.ledger.account(job.tenant)
+        acct.running -= 1
+        job.finished_s = time.monotonic()
+        job.cache = meta.get("cache")
+        job.resumed = bool(meta.get("resumed"))
+        if job.resumed:
+            self._stats["resumed"] += 1
+        if meta.get("cache") == "job-hit":
+            self._stats["worker_hits"] += 1
+        self.ledger.observe_service_time(
+            max(meta.get("wall_s", 0.0), 1e-4))
+        if job.job_key is not None:
+            self._inflight.pop(job.job_key, None)
+        waiters = self._waiters.pop(job.job_key, []) \
+            if job.job_key is not None else []
+        self._drop_segment(job.seg_key)
+        if status == "done":
+            acct.completed += 1
+            job.blob = blob
+            self._stats["completed"] += 1
+            job.state = JobState.DONE
+        else:
+            acct.failed += 1
+            job.error = meta.get("error", "unknown worker error")
+            self._stats["failed"] += 1
+            job.state = JobState.FAILED
+        self._log_service_record(job)
+        job.event.set()
+        for waiter in waiters:
+            if waiter.state.terminal:
+                continue
+            wacct = self.ledger.account(waiter.tenant)
+            wacct.queued -= 1
+            waiter.dispatched_s = waiter.finished_s = time.monotonic()
+            waiter.cache = "coalesced"
+            self._drop_segment(waiter.seg_key)
+            if status == "done":
+                wacct.completed += 1
+                waiter.blob = blob
+                self._stats["completed"] += 1
+                waiter.state = JobState.DONE
+            else:
+                wacct.failed += 1
+                waiter.error = job.error
+                self._stats["failed"] += 1
+                waiter.state = JobState.FAILED
+            self._log_service_record(waiter)
+            waiter.event.set()
+
+    def _finish(self, job: JobSpec, state: JobState, *,
+                count: bool = True) -> None:
+        job.state = state
+        job.finished_s = job.finished_s or time.monotonic()
+        if count and state == JobState.CANCELLED:
+            self.ledger.account(job.tenant).cancelled += 1
+            self._stats["cancelled"] += 1
+            self._drop_segment(job.seg_key)
+            self._log_service_record(job)
+        job.event.set()
+
+    def _log_service_record(self, job: JobSpec) -> None:
+        if self._run_log is None:
+            return
+        try:
+            self._run_log.append("service", job.record())
+        except Exception:  # noqa: BLE001 - telemetry never kills jobs
+            pass
+
+    def _job(self, job_id: str) -> JobSpec:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job

@@ -1,0 +1,351 @@
+"""Zero-copy design transport over POSIX shared memory.
+
+The service hands designs to workers as shared-memory ``.pnl``
+segments instead of pickling them through a queue: the scheduler packs
+each distinct design *once* into a :class:`DesignSegment` (raw,
+uncompressed ``.pnl`` layout plus the pickled cell library), and every
+worker that executes a job for that design attaches the segment by
+name and maps the connectivity arrays in place via
+:meth:`~repro.netlist.packed.PackedNetlist.from_buffer` — the int32
+CSR sections are read directly out of the segment, no copy and no
+decompress pass.  A thousand jobs over sixteen designs ship sixteen
+packs, not a thousand.
+
+Crash safety mirrors the abandoned-thread registry from the executor:
+every segment this process creates is listed in a per-PID registry
+file under ``<tmpdir>/repro-shm/``, an ``atexit`` hook unlinks
+whatever is still alive at clean exit, and
+:func:`sweep_leaked_segments` (run at service start and by
+``python -m repro.serve clean``) unlinks segments whose owning process
+is dead — a SIGKILLed service or worker can leak a segment only until
+the next sweep.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import errno
+import json
+import os
+import pickle
+import struct
+import tempfile
+import threading
+import uuid
+from multiprocessing import shared_memory
+from pathlib import Path
+
+_PICKLE_PROTOCOL = 4
+_FRAME_MAGIC = b"RSH1"
+_TAG_DESIGN = b"D"        # pickled library + raw .pnl payload
+_TAG_PICKLE = b"G"        # arbitrary pickled subject (RTL specs, ...)
+_FRAME_STRUCT = struct.Struct("<4scQQ")   # magic, tag, head len, body len
+
+_SEGMENT_PREFIX = "rpnl"
+
+
+class SegmentError(RuntimeError):
+    """A design segment is missing, torn, or not ours to read."""
+
+
+def registry_dir() -> Path:
+    """Directory of per-PID segment registry files."""
+    root = Path(os.environ.get("REPRO_SHM_REGISTRY",
+                               Path(tempfile.gettempdir()) / "repro-shm"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:          # alive, owned by someone else
+        return True
+    except OSError as err:           # pragma: no cover - exotic errnos
+        return err.errno != errno.ESRCH
+    return True
+
+
+class _Registry:
+    """The calling process's record of segments it owns."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._names: set[str] = set()
+        self._pid: int | None = None
+
+    def _path(self) -> Path:
+        return registry_dir() / f"{os.getpid()}.json"
+
+    def _flush_locked(self) -> None:
+        path = self._path()
+        if not self._names:
+            path.unlink(missing_ok=True)
+            return
+        tmp = path.with_suffix(f".{uuid.uuid4().hex[:8]}.tmp")
+        tmp.write_text(json.dumps(sorted(self._names)))
+        os.replace(tmp, path)
+
+    def add(self, name: str) -> None:
+        with self._lock:
+            if self._pid != os.getpid():
+                # First touch after a fork: the inherited set belongs
+                # to the parent's registry file, not ours.
+                self._names = set()
+                self._pid = os.getpid()
+                atexit.register(self.purge)
+            self._names.add(name)
+            self._flush_locked()
+
+    def remove(self, name: str) -> None:
+        with self._lock:
+            if self._pid != os.getpid():
+                return
+            self._names.discard(name)
+            self._flush_locked()
+
+    def purge(self) -> None:
+        """Unlink every segment this process still owns (atexit)."""
+        with self._lock:
+            if self._pid != os.getpid():
+                return
+            for name in sorted(self._names):
+                _unlink_quiet(name, owned=True)
+            self._names = set()
+            self._flush_locked()
+
+
+_registry = _Registry()
+
+
+@contextlib.contextmanager
+def _tracker_silenced():
+    """Suppress resource-tracker (un)registration inside the block.
+
+    The sweeper unlinks segments *other* processes created; its own
+    tracker never saw them, so the attach must not register and the
+    unlink must not unregister (either mismatch makes the tracker
+    process log spurious KeyErrors).
+    """
+    from multiprocessing import resource_tracker
+    original = (resource_tracker.register, resource_tracker.unregister)
+    resource_tracker.register = lambda *a, **k: None
+    resource_tracker.unregister = lambda *a, **k: None
+    try:
+        yield
+    finally:
+        resource_tracker.register, resource_tracker.unregister = original
+
+
+def _unlink_quiet(name: str, *, owned: bool = False) -> bool:
+    """Unlink ``name`` if it still exists.
+
+    ``owned`` says this process created (and therefore registered) the
+    segment: its unlink then goes through the live tracker so the
+    registration is retired with it.  Foreign segments (the sweep
+    path) are unlinked with the tracker silenced on both sides.
+    """
+    try:
+        with _tracker_silenced():
+            seg = shared_memory.SharedMemory(name=name)
+            seg.close()
+        if owned:
+            seg.unlink()
+        else:
+            with _tracker_silenced():
+                seg.unlink()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to ``name`` without registering with a resource tracker.
+
+    Attaching normally registers the segment with the caller's
+    tracker, which unlinks it when that tracker's last client exits —
+    yanking the mapping out from under the owner and every sibling
+    worker.  Worse, under ``fork`` a worker may *share* the owner's
+    tracker, where a compensating ``unregister`` would cancel the
+    owner's registration instead.  Ownership here is explicit (the
+    creator unlinks; the registry sweeps leaks), so readers must not
+    be lifetime-coupled at all: registration is suppressed for the
+    duration of the attach.  (CPython grew a ``track=False`` argument
+    for exactly this in 3.13; this is the portable spelling.)
+    """
+    with _tracker_silenced():
+        return shared_memory.SharedMemory(name=name)
+
+
+def sweep_leaked_segments() -> int:
+    """Unlink segments whose owning process is dead; count removed.
+
+    Scans the registry directory: for each per-PID file whose PID no
+    longer exists, every listed segment is unlinked and the file
+    removed.  Safe to run concurrently with live services (their PIDs
+    are alive, their files are skipped).
+    """
+    removed = 0
+    for entry in sorted(registry_dir().glob("*.json")):
+        try:
+            pid = int(entry.stem)
+        except ValueError:
+            continue
+        if _pid_alive(pid):
+            continue
+        try:
+            names = json.loads(entry.read_text())
+        except (OSError, json.JSONDecodeError):
+            names = []
+        for name in names:
+            removed += _unlink_quiet(str(name))
+        entry.unlink(missing_ok=True)
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Framing
+
+
+def pack_design(subject, library) -> bytes:
+    """Frame ``(subject, library)`` for a segment.
+
+    A :class:`~repro.netlist.circuit.Netlist` (or packed netlist)
+    rides as pickled library + *raw* ``.pnl`` bytes — uncompressed and
+    unshuffled, so :func:`unpack_design` maps the arrays in place.
+    Any other subject (RTL-ish specs) falls back to one pickle.
+    """
+    from repro.netlist.circuit import Netlist
+    from repro.netlist.packed import PackedNetlist
+    if isinstance(subject, Netlist):
+        packed = subject.to_packed()
+    elif isinstance(subject, PackedNetlist):
+        packed = subject
+    else:
+        body = pickle.dumps((subject, library),
+                            protocol=_PICKLE_PROTOCOL)
+        return _FRAME_STRUCT.pack(_FRAME_MAGIC, _TAG_PICKLE,
+                                  0, len(body)) + body
+    head = pickle.dumps(library, protocol=_PICKLE_PROTOCOL)
+    body = packed.to_bytes(compress=False, shuffle=False)
+    return _FRAME_STRUCT.pack(_FRAME_MAGIC, _TAG_DESIGN,
+                              len(head), len(body)) + head + body
+
+
+def unpack_design(buf) -> tuple[object, object]:
+    """Invert :func:`pack_design` from any byte buffer.
+
+    Returns ``(subject, library)``.  For design frames the subject is
+    rebuilt from a :class:`~repro.netlist.packed.PackedNetlist` whose
+    arrays view ``buf`` directly — the reconstruction into ``Netlist``
+    objects is the only copy a worker pays.
+    """
+    view = memoryview(buf)
+    if len(view) < _FRAME_STRUCT.size:
+        raise SegmentError("truncated design frame")
+    magic, tag, hlen, blen = _FRAME_STRUCT.unpack_from(view)
+    if magic != _FRAME_MAGIC:
+        raise SegmentError("not a design frame (bad magic)")
+    total = _FRAME_STRUCT.size + hlen + blen
+    if len(view) < total:
+        raise SegmentError("truncated design frame")
+    if tag == _TAG_PICKLE:
+        return pickle.loads(view[_FRAME_STRUCT.size:total])
+    if tag != _TAG_DESIGN:
+        raise SegmentError(f"unknown design frame tag {tag!r}")
+    from repro.netlist.packed import PackedNetlist
+    library = pickle.loads(view[_FRAME_STRUCT.size:
+                                _FRAME_STRUCT.size + hlen])
+    packed = PackedNetlist.from_buffer(
+        view[_FRAME_STRUCT.size + hlen:total])
+    return packed.to_netlist(library), library
+
+
+# ----------------------------------------------------------------------
+# Segments
+
+
+class DesignSegment:
+    """One shared-memory segment holding a framed design.
+
+    Created by the scheduler (:meth:`create`), attached by workers
+    (:meth:`attach`).  The creator owns the name: it unlinks via
+    :meth:`unlink` (or the atexit/registry sweep); readers just
+    :meth:`close` their mapping.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, size: int,
+                 *, owner: bool) -> None:
+        self._shm = shm
+        self.name = shm.name
+        self.size = size
+        self.owner = owner
+        self._closed = False
+
+    @classmethod
+    def create(cls, payload: bytes) -> "DesignSegment":
+        """Publish ``payload`` under a fresh registered segment name."""
+        name = f"{_SEGMENT_PREFIX}_{os.getpid()}_{uuid.uuid4().hex[:12]}"
+        shm = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(len(payload), 1))
+        _registry.add(shm.name)
+        shm.buf[:len(payload)] = payload
+        return cls(shm, len(payload), owner=True)
+
+    @classmethod
+    def create_design(cls, subject, library) -> "DesignSegment":
+        """Pack and publish one design (see :func:`pack_design`)."""
+        return cls.create(pack_design(subject, library))
+
+    @classmethod
+    def attach(cls, name: str, size: int) -> "DesignSegment":
+        """Map an existing segment read-only-by-convention."""
+        try:
+            shm = _attach_untracked(name)
+        except FileNotFoundError as err:
+            raise SegmentError(
+                f"design segment {name!r} has vanished") from err
+        return cls(shm, size, owner=False)
+
+    # ------------------------------------------------------------------
+
+    def view(self) -> memoryview:
+        return self._shm.buf[:self.size]
+
+    def read_design(self) -> tuple[object, object]:
+        """``(subject, library)`` decoded from the mapped frame."""
+        return unpack_design(self.view())
+
+    def close(self) -> None:
+        """Drop this process's mapping (keeps the segment alive)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:          # pragma: no cover - a live view
+            pass                     # outlived us; the unmap happens
+                                     # when the view is collected
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner only); idempotent."""
+        self.close()
+        if not self.owner:
+            return
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        _registry.remove(self.name)
+
+    def __enter__(self) -> "DesignSegment":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self.owner:
+            self.unlink()
+        else:
+            self.close()

@@ -1,0 +1,268 @@
+"""Per-tenant accounting: quotas, rate limits, fair queuing,
+backpressure.
+
+A service fronting many design starts cannot let one tenant starve the
+rest or queue without bound.  Four mechanisms, all enforced at the
+scheduler boundary:
+
+* **Token-bucket rate limiting** — each tenant refills
+  ``policy.rate`` submissions/second up to a burst of
+  ``policy.burst``; an empty bucket rejects with the exact
+  ``retry_after`` until the next token.
+* **Quotas** — ``max_active`` caps a tenant's concurrently
+  queued+running jobs, ``quota`` its lifetime admissions; exhaustion
+  rejects immediately (``retry_after`` only when waiting could help).
+* **Fair queuing** — the scheduler drains tenants round-robin
+  (:class:`FairQueue`), so a 900-job flood and a 3-job interactive
+  tenant interleave instead of serializing.
+* **Backpressure** — per-tenant and global queue-depth caps reject
+  with ``retry_after`` instead of queuing unboundedly; the estimate is
+  derived from observed service rate.
+
+All rejections derive from :class:`ServiceRejection` and carry
+``retry_after`` (seconds, or ``None`` when retrying cannot help), so
+clients can implement honest backoff.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+
+
+class ServiceRejection(RuntimeError):
+    """A submission the service refused to queue.
+
+    ``retry_after`` is the seconds after which a retry may succeed, or
+    ``None`` when the rejection is not time-based (exhausted lifetime
+    quota, unknown tenant).
+    """
+
+    def __init__(self, message: str,
+                 retry_after: float | None = None) -> None:
+        if retry_after is not None:
+            message += f" (retry after {retry_after:.3f}s)"
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class RateLimited(ServiceRejection):
+    """The tenant's token bucket is empty."""
+
+
+class QueueFull(ServiceRejection):
+    """Per-tenant or global queue depth cap reached (backpressure)."""
+
+
+class QuotaExceeded(ServiceRejection):
+    """The tenant is out of quota (lifetime or concurrent)."""
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission limits for one tenant (``None`` = unlimited)."""
+
+    rate: float | None = None        # submissions per second
+    burst: int = 8                   # bucket capacity when rate is set
+    max_queued: int | None = None    # jobs waiting in this tenant's queue
+    max_active: int | None = None    # queued + running jobs
+    quota: int | None = None         # lifetime admitted jobs
+
+
+class TokenBucket:
+    """Classic token bucket with lazy refill and exact retry hints."""
+
+    def __init__(self, rate: float, burst: int, *,
+                 clock=time.monotonic) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+        self.burst = max(int(burst), 1)
+        self._clock = clock
+        self._tokens = float(self.burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_take(self) -> float | None:
+        """``None`` on success; otherwise seconds until a token."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return None
+        return (1.0 - self._tokens) / self.rate
+
+
+@dataclass
+class TenantAccount:
+    """Live accounting for one tenant."""
+
+    name: str
+    policy: TenantPolicy
+    bucket: TokenBucket | None = None
+    queued: int = 0
+    running: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+
+    @property
+    def active(self) -> int:
+        return self.queued + self.running
+
+    def snapshot(self) -> dict:
+        return {"tenant": self.name, "queued": self.queued,
+                "running": self.running, "admitted": self.admitted,
+                "completed": self.completed, "failed": self.failed,
+                "cancelled": self.cancelled, "rejected": self.rejected}
+
+
+class TenantLedger:
+    """All tenants' accounts plus the admission decision."""
+
+    def __init__(self, policies: dict | None = None, *,
+                 default_policy: TenantPolicy | None = None,
+                 max_queued_total: int | None = None,
+                 clock=time.monotonic) -> None:
+        self.policies = dict(policies or {})
+        self.default_policy = default_policy \
+            if default_policy is not None else TenantPolicy()
+        self.max_queued_total = max_queued_total
+        self._clock = clock
+        self.accounts: dict[str, TenantAccount] = {}
+        #: EWMA of job service time, feeding retry_after estimates.
+        self.service_time_s = 0.25
+
+    def account(self, tenant: str) -> TenantAccount:
+        acct = self.accounts.get(tenant)
+        if acct is None:
+            policy = self.policies.get(tenant, self.default_policy)
+            bucket = TokenBucket(policy.rate, policy.burst,
+                                 clock=self._clock) \
+                if policy.rate else None
+            acct = TenantAccount(tenant, policy, bucket)
+            self.accounts[tenant] = acct
+        return acct
+
+    def observe_service_time(self, wall_s: float) -> None:
+        self.service_time_s += 0.2 * (wall_s - self.service_time_s)
+
+    def total_queued(self) -> int:
+        return sum(a.queued for a in self.accounts.values())
+
+    def admit(self, tenant: str) -> TenantAccount:
+        """Check every limit; on success, count the job as queued.
+
+        Raises a :class:`ServiceRejection` subclass naming the limit
+        and (where meaningful) the retry horizon.
+        """
+        acct = self.account(tenant)
+        policy = acct.policy
+        if policy.quota is not None and acct.admitted >= policy.quota:
+            acct.rejected += 1
+            raise QuotaExceeded(
+                f"tenant {tenant!r} exhausted its quota of "
+                f"{policy.quota} jobs")
+        if policy.max_active is not None \
+                and acct.active >= policy.max_active:
+            acct.rejected += 1
+            raise QuotaExceeded(
+                f"tenant {tenant!r} already has {acct.active} active "
+                f"jobs (max_active={policy.max_active})",
+                retry_after=self.service_time_s)
+        if policy.max_queued is not None \
+                and acct.queued >= policy.max_queued:
+            acct.rejected += 1
+            raise QueueFull(
+                f"tenant {tenant!r} queue is full "
+                f"({acct.queued}/{policy.max_queued})",
+                retry_after=self.service_time_s)
+        if self.max_queued_total is not None \
+                and self.total_queued() >= self.max_queued_total:
+            acct.rejected += 1
+            raise QueueFull(
+                f"service queue is full ({self.max_queued_total})",
+                retry_after=self.service_time_s)
+        if acct.bucket is not None:
+            wait = acct.bucket.try_take()
+            if wait is not None:
+                acct.rejected += 1
+                raise RateLimited(
+                    f"tenant {tenant!r} over its rate of "
+                    f"{policy.rate}/s", retry_after=wait)
+        acct.admitted += 1
+        acct.queued += 1
+        return acct
+
+    def snapshot(self) -> list[dict]:
+        return [a.snapshot() for _, a in sorted(self.accounts.items())]
+
+
+class FairQueue:
+    """Round-robin-across-tenants FIFO of job specs.
+
+    ``push`` appends to the tenant's own deque; ``pop`` serves tenants
+    in rotation, so no tenant waits behind another's backlog more than
+    one job deep.  ``push_front`` re-queues a crash-recovered job at
+    the head of its tenant's deque *and* moves that tenant to the
+    front of the rotation — recovery work is never penalized for the
+    crash.
+    """
+
+    def __init__(self) -> None:
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def push(self, tenant: str, item) -> None:
+        self._queues.setdefault(tenant, deque()).append(item)
+        self._count += 1
+
+    def push_front(self, tenant: str, item) -> None:
+        self._queues.setdefault(tenant, deque()).appendleft(item)
+        self._queues.move_to_end(tenant, last=False)
+        self._count += 1
+
+    def pop(self):
+        """Next ``(tenant, item)`` in rotation, or ``None`` when empty."""
+        while self._queues:
+            tenant, queue = next(iter(self._queues.items()))
+            if not queue:
+                del self._queues[tenant]
+                continue
+            item = queue.popleft()
+            self._count -= 1
+            # Rotate: the served tenant goes to the back.
+            self._queues.move_to_end(tenant)
+            if not queue:
+                del self._queues[tenant]
+            return tenant, item
+        return None
+
+    def remove(self, tenant: str, match) -> bool:
+        """Drop the first queued item where ``match(item)`` (cancel)."""
+        queue = self._queues.get(tenant)
+        if not queue:
+            return False
+        for item in queue:
+            if match(item):
+                queue.remove(item)
+                self._count -= 1
+                if not queue:
+                    del self._queues[tenant]
+                return True
+        return False
+
+    def items(self):
+        for tenant, queue in self._queues.items():
+            for item in queue:
+                yield tenant, item

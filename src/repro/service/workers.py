@@ -1,0 +1,193 @@
+"""Worker processes: the execution half of the flow service.
+
+Each worker is one long-lived process on the far end of a duplex pipe.
+The scheduler sends job descriptors; the worker attaches the design's
+shared-memory segment (:mod:`repro.service.shm`), checks the sharded
+job-result cache, and on a miss executes the job through the one
+documented flow facade — :func:`repro.orchestrate.run` (or
+:func:`~repro.orchestrate.resume_run` when the descriptor marks a
+crash recovery) — so every job inherits journaling, lint gating, and
+chaos-tested crash recovery unchanged.  Results travel back as
+codec-framed bytes (:func:`~repro.orchestrate.cache.encode_value`),
+the same currency the cache shards store, so a job-cache hit is a
+byte relay with no decode anywhere.
+
+A worker holds no scheduler state: SIGKILL one mid-job and the
+scheduler re-queues the job with ``resume=True``; the replacement
+worker replays the journaled prefix and re-executes only the frontier,
+bit-identically (the property ``bench_service.py`` gates in CI).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass
+
+_PICKLE_PROTOCOL = 4
+
+#: Flow/codec version folded into every job cache key: bump to
+#: invalidate job-level results when the flow's semantics change.
+JOB_FLOW_VERSION = "service-flow:1"
+
+
+def job_cache_key(digest: str, counter: int, library,
+                  options, lint: str) -> str:
+    """Content key of one job execution (design + recipe + flow)."""
+    from repro.orchestrate.cache import stable_hash
+    return stable_hash({
+        "flow": JOB_FLOW_VERSION,
+        "design": digest,
+        "counter": int(counter),
+        "library": pickle.dumps(library, protocol=_PICKLE_PROTOCOL),
+        "options": options,
+        "lint": lint,
+    })
+
+
+@dataclass
+class WorkerConfig:
+    """Spawn-time configuration shipped to ``worker_main``."""
+
+    wid: int
+    cache_root: str | None          # job-cache shards + stage cache
+    journal_root: str | None
+    rundb_log: str | None           # concurrent telemetry log path
+    cache_shards: int = 8
+    cache_max_bytes: int = 512 << 20
+    stage_cache: bool = True
+    lint: str = "warn"
+
+
+class _WorkerState:
+    """Per-process lazily built caches and sinks."""
+
+    def __init__(self, cfg: WorkerConfig) -> None:
+        self.cfg = cfg
+        self.job_cache = None
+        self.stage_cache = None
+        self.run_log = None
+        if cfg.cache_root:
+            from repro.service.cache_shard import ShardedResultCache
+            self.job_cache = ShardedResultCache(
+                os.path.join(cfg.cache_root, "jobs"),
+                shards=cfg.cache_shards,
+                max_bytes=cfg.cache_max_bytes)
+            if cfg.stage_cache:
+                from repro.orchestrate.cache import ResultCache
+                self.stage_cache = ResultCache(
+                    disk_dir=os.path.join(cfg.cache_root, "stages"))
+        if cfg.rundb_log:
+            from repro.learn.rundb import RunLog
+            self.run_log = RunLog(cfg.rundb_log)
+
+
+def _load_design(desc: dict):
+    """``(subject, library)`` from the descriptor's transport."""
+    seg_name = desc.get("segment")
+    if seg_name is not None:
+        from repro.service.shm import DesignSegment
+        with DesignSegment.attach(seg_name, desc["segment_size"]) as seg:
+            return seg.read_design()
+    from repro.service.shm import unpack_design
+    return unpack_design(desc["inline"])
+
+
+def execute_job(desc: dict, state: _WorkerState) -> tuple[str, bytes | None, dict]:
+    """Run one job descriptor to completion in this process.
+
+    Returns ``(status, result_blob, meta)`` with ``status`` one of
+    ``done``/``failed``; ``meta`` carries wall time, cache disposition,
+    and the resume flag for the scheduler's telemetry.
+    """
+    from repro.orchestrate import TelemetrySink, resume_run, run
+    from repro.orchestrate.cache import encode_value
+    from repro.orchestrate.resilience import RunJournal
+
+    t0 = time.perf_counter()
+    meta: dict = {"worker": state.cfg.wid, "cache": "miss",
+                  "resumed": False, "wall_s": 0.0}
+    key = desc.get("job_key")
+    try:
+        if key and state.job_cache is not None:
+            blob = state.job_cache.get_bytes(key)
+            if blob is not None:
+                meta["cache"] = "job-hit"
+                meta["wall_s"] = time.perf_counter() - t0
+                return "done", blob, meta
+
+        subject, library = _load_design(desc)
+        options = desc["options"]
+        sink = TelemetrySink()
+        journal_root = state.cfg.journal_root
+        if journal_root and desc.get("resume") \
+                and RunJournal.exists(journal_root, desc["job_id"]):
+            result = resume_run(
+                desc["job_id"], journal_root=journal_root,
+                cache=state.stage_cache, telemetry=sink,
+                lint=state.cfg.lint)
+            meta["resumed"] = True
+        else:
+            result = run(
+                subject, library, options, cache=state.stage_cache,
+                telemetry=sink, journal_root=journal_root,
+                run_id=desc["job_id"] if journal_root else None,
+                lint=state.cfg.lint)
+        blob = encode_value(result)
+        if key and state.job_cache is not None \
+                and str(result.status) in ("ok", "resumed"):
+            # A resumed run is bit-identical to an uninterrupted one,
+            # so it is as cacheable; degraded/failed runs are not.
+            state.job_cache.put_bytes(key, blob)
+        meta["wall_s"] = time.perf_counter() - t0
+        if state.run_log is not None:
+            _log_spans(state, desc, sink)
+        return "done", blob, meta
+    except BaseException as err:  # noqa: BLE001 - reported to scheduler
+        meta["wall_s"] = time.perf_counter() - t0
+        meta["error"] = repr(err)
+        return "failed", None, meta
+
+
+def _log_spans(state: _WorkerState, desc: dict, sink) -> None:
+    """Append this job's stage spans to the shared telemetry log."""
+    try:
+        for span in sink.spans:
+            state.run_log.append("telemetry", {
+                "design": desc.get("design", ""),
+                "stage": span.stage,
+                "wall_s": span.wall_s,
+                "status": span.status,
+                "cache": span.cache,
+                "retries": span.retries,
+                "peak_rss_kb": span.peak_rss_kb,
+                "leaked_threads": span.leaked_threads,
+            })
+    except Exception:  # noqa: BLE001 - telemetry must not fail jobs
+        pass
+
+
+def worker_main(cfg: WorkerConfig, conn) -> None:
+    """Worker process entry point: serve jobs until ``stop`` or EOF."""
+    state = _WorkerState(cfg)
+    try:
+        conn.send(("ready", cfg.wid, os.getpid()))
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break                # scheduler died; exit quietly
+            if msg[0] == "stop":
+                break
+            desc = msg[1]
+            status, blob, meta = execute_job(desc, state)
+            try:
+                conn.send(("done", desc["job_id"], status, blob, meta))
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass

@@ -1,0 +1,640 @@
+"""Tests for repro.service: the multi-tenant flow job service.
+
+Covers the shared-memory design transport (zero-copy framing, leak
+registry and sweep), the sharded LRU job cache (eviction, corruption
+quarantine, telemetry), tenancy (token buckets, quotas, backpressure
+with honest ``retry_after``, fair queuing), the concurrent-writer
+:class:`~repro.learn.rundb.RunLog`, and the scheduler itself —
+including the acceptance centerpiece: SIGKILL a worker mid-job and
+the job resumes on another worker with bit-identical QoR.
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.core import FlowOptions
+from repro.learn.rundb import RunDatabase, RunLog, ServiceRecord
+from repro.netlist import build_library, registered_cloud
+from repro.netlist.packed import PackedNetlist
+from repro.orchestrate import run, run_sweep
+from repro.orchestrate.cache import CorruptEntry, stable_hash
+from repro.service import (DesignSegment, FairQueue, FlowService,
+                           JobCancelled, JobFailed, QueueFull,
+                           QuotaExceeded, RateLimited, SegmentError,
+                           ShardedResultCache, TenantLedger,
+                           TenantPolicy, TokenBucket, job_cache_key,
+                           pack_design, service_sweep,
+                           sweep_leaked_segments, unpack_design)
+from repro.service import shm as shm_mod
+from repro.tech import get_node
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return build_library(get_node("28nm"))
+
+
+@pytest.fixture(scope="module")
+def design(lib):
+    return registered_cloud(6, 12, 60, lib, seed=3)
+
+
+@pytest.fixture(scope="module")
+def design2(lib):
+    return registered_cloud(6, 12, 80, lib, seed=4)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_registry(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SHM_REGISTRY",
+                       str(tmp_path / "shm-registry"))
+
+
+def _qor(result):
+    return (result.delay_ps, result.power_uw, result.hpwl_um,
+            result.routed_wirelength, result.overflow,
+            result.instances, result.area_um2)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport
+
+
+class TestDesignTransport:
+    def test_pack_unpack_roundtrip(self, design, lib):
+        subject, library = unpack_design(pack_design(design, lib))
+        assert library is not lib            # a fresh unpickle
+        assert subject.to_packed().content_digest() == \
+            design.to_packed().content_digest()
+
+    def test_pack_is_raw_pnl(self, design, lib):
+        # The frame body must be the uncompressed layout a worker can
+        # map in place; a compressed body would force a copy.
+        frame = pack_design(design, lib)
+        raw = design.to_packed().to_bytes(compress=False,
+                                          shuffle=False)
+        assert raw in frame
+
+    def test_pickle_fallback_for_non_netlist(self, lib):
+        frame = pack_design({"rtl": "adder"}, lib)
+        subject, library = unpack_design(frame)
+        assert subject == {"rtl": "adder"}
+
+    def test_unpack_rejects_garbage(self):
+        with pytest.raises(SegmentError):
+            unpack_design(b"not a frame at all")
+        with pytest.raises(SegmentError):
+            unpack_design(b"RSH1")              # truncated header
+
+    def test_segment_roundtrip(self, design, lib):
+        seg = DesignSegment.create_design(design, lib)
+        try:
+            reader = DesignSegment.attach(seg.name, seg.size)
+            subject, _ = reader.read_design()
+            assert subject.to_packed().content_digest() == \
+                design.to_packed().content_digest()
+            reader.close()
+        finally:
+            seg.unlink()
+
+    def test_attach_vanished_raises(self):
+        with pytest.raises(SegmentError):
+            DesignSegment.attach("rpnl_0_doesnotexist", 16)
+
+    def test_unlink_idempotent(self, design, lib):
+        seg = DesignSegment.create_design(design, lib)
+        seg.unlink()
+        seg.unlink()                            # second time is a no-op
+
+    def test_from_buffer_is_zero_copy(self, design):
+        raw = design.to_packed().to_bytes(compress=False,
+                                          shuffle=False)
+        packed = PackedNetlist.from_buffer(memoryview(raw))
+        # Arrays must view the buffer, not copy it.
+        assert packed.pin_net.base is not None
+
+
+class TestLeakRegistry:
+    def test_registry_lists_live_segments(self, design, lib):
+        seg = DesignSegment.create_design(design, lib)
+        reg = shm_mod.registry_dir() / f"{os.getpid()}.json"
+        assert seg.name in json.loads(reg.read_text())
+        seg.unlink()
+        assert not reg.exists() or \
+            seg.name not in json.loads(reg.read_text())
+
+    def test_sweep_ignores_live_owners(self, design, lib):
+        seg = DesignSegment.create_design(design, lib)
+        try:
+            assert sweep_leaked_segments() == 0
+            DesignSegment.attach(seg.name, seg.size).close()
+        finally:
+            seg.unlink()
+
+    def test_sweep_reclaims_dead_owner(self, design, lib):
+        # A child creates a segment and dies without unlinking (the
+        # SIGKILL shape); the parent's sweep must reclaim it.
+        def child(conn):
+            seg = DesignSegment.create_design(design, lib)
+            conn.send((seg.name, seg.size))
+            os._exit(0)              # skips atexit, like a SIGKILL
+
+        parent, remote = multiprocessing.Pipe()
+        proc = multiprocessing.Process(target=child, args=(remote,))
+        proc.start()
+        name, size = parent.recv()
+        proc.join()
+        assert sweep_leaked_segments() >= 1
+        with pytest.raises(SegmentError):
+            DesignSegment.attach(name, size)
+
+
+# ----------------------------------------------------------------------
+# Sharded job cache
+
+
+class TestShardedCache:
+    def test_roundtrip_and_telemetry(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c", shards=4)
+        key = stable_hash({"job": 1})
+        assert cache.get_bytes(key) is None
+        cache.put_bytes(key, b"payload")
+        assert cache.get_bytes(key) == b"payload"
+        tele = cache.telemetry()
+        assert tele["hits"] == 1 and tele["misses"] == 1
+        assert tele["puts"] == 1
+        assert 0.0 < tele["hit_rate"] < 1.0
+        assert len(tele["per_shard"]) == 4
+
+    def test_value_api_returns_fresh_copies(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c", shards=2)
+        value = {"metrics": [1, 2, 3]}
+        cache.put("k" * 16, value)
+        hit, out = cache.get("k" * 16)
+        assert hit and out == value and out is not value
+
+    def test_keys_spread_over_shards(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c", shards=4)
+        for i in range(32):
+            cache.put_bytes(stable_hash({"i": i}), b"x" * 10)
+        used = sum(1 for s in cache._shards
+                   if list(s.dir.glob("*.blob")))
+        assert used >= 3             # hash spread, not one hot shard
+
+    def test_lru_eviction_under_budget(self, tmp_path):
+        blob = b"z" * 512
+        cache = ShardedResultCache(tmp_path / "c", shards=1,
+                                   max_bytes=4 * 1024)
+        keys = [stable_hash({"i": i}) for i in range(16)]
+        for i, key in enumerate(keys):
+            cache.put_bytes(key, blob)
+            if i == 3:
+                time.sleep(0.01)
+                # A hit refreshes recency: key 0 must survive.
+                assert cache.get_bytes(keys[0]) == blob
+        tele = cache.telemetry()
+        assert tele["evictions"] > 0
+        assert tele["bytes_stored"] <= 4 * 1024
+        assert cache.get_bytes(keys[-1]) == blob   # newest survives
+
+    def test_corruption_quarantines_not_crashes(self, tmp_path):
+        cache = ShardedResultCache(tmp_path / "c", shards=1)
+        key = stable_hash({"x": 1})
+        cache.put_bytes(key, b"good")
+        path = cache.entry_path(key)
+        path.write_bytes(b"\x00" * 32)
+        assert cache.get_bytes(key) is None
+        assert cache.telemetry()["corrupt"] == 1
+        assert (path.parent / "quarantine" / path.name).exists()
+
+    def test_shared_dir_cross_instance(self, tmp_path):
+        # Two instances (two processes in real life) share entries.
+        a = ShardedResultCache(tmp_path / "c", shards=2)
+        b = ShardedResultCache(tmp_path / "c", shards=2)
+        a.put_bytes(stable_hash({"k": 1}), b"from-a")
+        assert b.get_bytes(stable_hash({"k": 1})) == b"from-a"
+
+
+# ----------------------------------------------------------------------
+# Tenancy
+
+
+class TestTokenBucket:
+    def test_burst_then_drain(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, burst=3,
+                             clock=lambda: now[0])
+        assert [bucket.try_take() for _ in range(3)] == [None] * 3
+        wait = bucket.try_take()
+        assert wait == pytest.approx(0.5)
+        now[0] += wait               # honour the hint exactly
+        assert bucket.try_take() is None
+        now[0] += 10.0               # refills cap at the burst
+        assert [bucket.try_take() for _ in range(3)] == [None] * 3
+        assert bucket.try_take() is not None
+
+
+class TestTenantLedger:
+    def test_rate_limit_carries_retry_after(self):
+        now = [0.0]
+        ledger = TenantLedger(
+            {"t": TenantPolicy(rate=1.0, burst=1)},
+            clock=lambda: now[0])
+        ledger.admit("t")
+        with pytest.raises(RateLimited) as exc:
+            ledger.admit("t")
+        assert exc.value.retry_after == pytest.approx(1.0)
+        now[0] += exc.value.retry_after
+        ledger.admit("t")            # the hint was honest
+
+    def test_lifetime_quota_exhausts_mid_stream(self):
+        ledger = TenantLedger({"t": TenantPolicy(quota=2)})
+        ledger.admit("t")
+        ledger.admit("t")
+        with pytest.raises(QuotaExceeded) as exc:
+            ledger.admit("t")
+        assert exc.value.retry_after is None   # waiting cannot help
+        assert ledger.account("t").rejected == 1
+
+    def test_max_active_frees_as_jobs_finish(self):
+        ledger = TenantLedger({"t": TenantPolicy(max_active=1)})
+        acct = ledger.admit("t")
+        with pytest.raises(QuotaExceeded) as exc:
+            ledger.admit("t")
+        assert exc.value.retry_after is not None
+        acct.queued -= 1             # the job completed
+        acct.completed += 1
+        ledger.admit("t")
+
+    def test_global_backpressure(self):
+        ledger = TenantLedger(max_queued_total=2)
+        ledger.admit("a")
+        ledger.admit("b")
+        with pytest.raises(QueueFull) as exc:
+            ledger.admit("c")
+        assert exc.value.retry_after is not None
+
+    def test_isolated_tenants(self):
+        ledger = TenantLedger({"slow": TenantPolicy(rate=0.001,
+                                                    burst=1)})
+        ledger.admit("slow")
+        with pytest.raises(RateLimited):
+            ledger.admit("slow")
+        for _ in range(5):           # others are unaffected
+            ledger.admit("fast")
+
+
+class TestFairQueue:
+    def test_round_robin_across_tenants(self):
+        q = FairQueue()
+        for i in range(3):
+            q.push("flood", f"f{i}")
+        q.push("tiny", "t0")
+        order = [q.pop() for _ in range(4)]
+        tenants = [t for t, _ in order]
+        # The single-job tenant is served before the flood drains.
+        assert tenants.index("tiny") <= 1
+        assert len(q) == 0 and q.pop() is None
+
+    def test_push_front_jumps_the_line(self):
+        q = FairQueue()
+        q.push("a", "a0")
+        q.push("b", "b0")
+        q.push_front("b", "recovered")
+        tenant, item = q.pop()
+        assert (tenant, item) == ("b", "recovered")
+
+    def test_remove_for_cancel(self):
+        q = FairQueue()
+        q.push("a", "a0")
+        q.push("a", "a1")
+        assert q.remove("a", lambda x: x == "a0")
+        assert not q.remove("a", lambda x: x == "zz")
+        assert q.pop() == ("a", "a1")
+
+
+# ----------------------------------------------------------------------
+# Concurrent run log
+
+
+def _log_writer(path, wid, count):
+    log = RunLog(path)
+    for i in range(count):
+        log.append("service", {
+            "job_id": f"w{wid}-{i}", "tenant": f"t{wid}",
+            "design": "d", "state": "done"})
+    log.close()
+
+
+class TestRunLog:
+    def test_concurrent_writers_lose_nothing(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        writers, per = 8, 50
+        procs = [multiprocessing.Process(
+            target=_log_writer, args=(path, wid, per))
+            for wid in range(writers)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        entries = RunLog(path).entries()
+        assert len(entries) == writers * per
+        ids = {e["job_id"] for e in entries}
+        assert len(ids) == writers * per        # no torn/merged lines
+
+    def test_from_log_folds_and_profiles(self, tmp_path):
+        log = RunLog(tmp_path / "runs.jsonl")
+        log.append("service", {"job_id": "j1", "tenant": "a",
+                               "design": "d", "state": "done",
+                               "exec_s": 1.0, "cache": "job-hit"})
+        log.append("service", {"job_id": "j2", "tenant": "a",
+                               "design": "d", "state": "failed"})
+        log.append("telemetry", {"design": "d", "stage": "place",
+                                 "wall_s": 0.5})
+        db = RunDatabase.from_log(log)
+        assert len(db.service) == 2 and len(db.telemetry) == 1
+        profile = db.service_profile()
+        assert profile["a"]["jobs"] == 2
+        assert profile["a"]["cache_hits"] == 1
+        assert profile["a"]["failed"] == 1
+
+    def test_torn_trailing_line_is_skipped(self, tmp_path):
+        log = RunLog(tmp_path / "runs.jsonl")
+        log.append("service", {"job_id": "j1", "tenant": "a",
+                               "design": "d", "state": "done"})
+        with open(log.path, "ab") as fh:
+            fh.write(b'{"kind": "service", "job_id"')   # writer died
+        assert len(log.entries()) == 1
+
+    def test_unknown_kind_rejected_on_write(self, tmp_path):
+        log = RunLog(tmp_path / "runs.jsonl")
+        with pytest.raises(ValueError):
+            log.append("nonsense", {})
+
+    def test_service_record_roundtrip_via_save(self, tmp_path):
+        db = RunDatabase()
+        db.log_service(ServiceRecord(job_id="j", tenant="t",
+                                     design="d", state="done"))
+        db.save(tmp_path / "db.json")
+        again = RunDatabase.load(tmp_path / "db.json")
+        assert again.service[0].job_id == "j"
+
+
+# ----------------------------------------------------------------------
+# The service
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = FlowService(workers=2, cache_root=tmp_path / "cache",
+                      journal_root=tmp_path / "journals",
+                      rundb_log=tmp_path / "runs.jsonl")
+    yield svc
+    svc.close(drain=False)
+
+
+class TestFlowService:
+    def test_submit_result_matches_direct_run(self, service, design,
+                                              lib):
+        options = FlowOptions(seed=11)
+        job = service.submit(design, lib, options)
+        result = service.result(job, timeout=240)
+        assert _qor(result) == _qor(run(design, lib, options))
+        assert service.status(job)["state"] == "done"
+
+    def test_identical_jobs_coalesce_or_hit_cache(self, service,
+                                                  design, lib):
+        options = FlowOptions(seed=12)
+        jobs = [service.submit(design, lib, options)
+                for _ in range(6)]
+        results = [service.result(j, timeout=240) for j in jobs]
+        assert len({_qor(r) for r in results}) == 1
+        stats = service.stats()
+        saved = (stats["coalesced"] + stats["parent_hits"]
+                 + stats["worker_hits"])
+        assert saved >= 4            # at most 2 of 6 actually ran
+
+    def test_cache_hit_after_drain(self, service, design, lib):
+        options = FlowOptions(seed=13)
+        first = service.submit(design, lib, options)
+        service.result(first, timeout=240)
+        again = service.submit(design, lib, options)
+        service.result(again, timeout=240)
+        assert service.status(again)["cache"] in ("parent-hit",
+                                                  "job-hit")
+
+    def test_failed_job_reports_error(self, service, lib):
+        job = service.submit({"not": "a design"}, lib,
+                             FlowOptions(seed=1))
+        with pytest.raises(JobFailed):
+            service.result(job, timeout=240)
+        assert service.status(job)["state"] == "failed"
+        assert service.status(job)["error"]
+
+    def test_cancel_queued_running_completed(self, service, design,
+                                             design2, lib):
+        # Saturate both workers so later jobs stay queued.
+        blockers = [service.submit(design if i % 2 else design2, lib,
+                                   FlowOptions(seed=20 + i))
+                    for i in range(2)]
+        queued = service.submit(design, lib, FlowOptions(seed=30))
+        assert service.cancel(queued)
+        with pytest.raises(JobCancelled):
+            service.result(queued, timeout=60)
+        assert service.status(queued)["state"] == "cancelled"
+
+        # Cancel of a running job kills its worker and respawns.
+        deadline = time.time() + 60
+        cancelled_running = False
+        while time.time() < deadline and not cancelled_running:
+            for job_id, _pid in service.running_jobs():
+                cancelled_running = service.cancel(job_id)
+                break
+            time.sleep(0.002)
+        for job_id in blockers:
+            try:
+                service.result(job_id, timeout=240)
+            except JobCancelled:
+                pass
+        if cancelled_running:
+            states = {service.status(j)["state"] for j in blockers}
+            assert "cancelled" in states
+
+        # Completed jobs cannot be cancelled.
+        done = service.submit(design, lib, FlowOptions(seed=31))
+        service.result(done, timeout=240)
+        assert service.cancel(done) is False
+
+    def test_tenant_accounting_in_stats(self, service, design, lib):
+        service.result(service.submit(design, lib,
+                                      FlowOptions(seed=40),
+                                      tenant="acme"), timeout=240)
+        tenants = {t["tenant"]: t for t in service.stats()["tenants"]}
+        assert tenants["acme"]["completed"] == 1
+
+    def test_telemetry_lands_in_run_log(self, service, design, lib,
+                                        tmp_path):
+        service.result(service.submit(design, lib,
+                                      FlowOptions(seed=41)),
+                       timeout=240)
+        db = RunDatabase.from_log(tmp_path / "runs.jsonl")
+        assert len(db.service) == 1
+        assert db.service[0].state == "done"
+
+    def test_backpressure_rejects_with_retry_after(self, tmp_path,
+                                                   design, lib):
+        svc = FlowService(
+            workers=1, cache_root=tmp_path / "c2",
+            policies={"t": TenantPolicy(max_queued=1)})
+        with svc:
+            first = svc.submit(design, lib, FlowOptions(seed=50),
+                               tenant="t")
+            retry_after = None
+            for i in range(20):      # the first may dispatch quickly
+                try:
+                    svc.submit(design, lib, FlowOptions(seed=51 + i),
+                               tenant="t")
+                except QueueFull as rej:
+                    retry_after = rej.retry_after
+                    break
+            assert retry_after is not None and retry_after > 0
+            svc.result(first, timeout=240)
+
+    def test_quota_exhaustion_mid_stream(self, tmp_path, design, lib):
+        svc = FlowService(
+            workers=1, cache_root=tmp_path / "c3",
+            policies={"t": TenantPolicy(quota=2)})
+        with svc:
+            for i in range(2):
+                svc.submit(design, lib, FlowOptions(seed=60 + i),
+                           tenant="t")
+            with pytest.raises(QuotaExceeded):
+                svc.submit(design, lib, FlowOptions(seed=62),
+                           tenant="t")
+            svc.submit(design, lib, FlowOptions(seed=62),
+                       tenant="other")
+            svc.drain(timeout=240)
+
+    def test_rate_limit_burst_then_drain(self, tmp_path, design, lib):
+        svc = FlowService(
+            workers=1, cache_root=tmp_path / "c4",
+            policies={"t": TenantPolicy(rate=4.0, burst=2)})
+        with svc:
+            svc.submit(design, lib, FlowOptions(seed=70), tenant="t")
+            svc.submit(design, lib, FlowOptions(seed=71), tenant="t")
+            with pytest.raises(RateLimited) as exc:
+                svc.submit(design, lib, FlowOptions(seed=72),
+                           tenant="t")
+            assert exc.value.retry_after is not None
+            time.sleep(exc.value.retry_after + 0.01)
+            svc.submit(design, lib, FlowOptions(seed=72), tenant="t")
+            svc.drain(timeout=240)
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_job_resumes_bit_identical(self, tmp_path,
+                                                   design, design2,
+                                                   lib):
+        subjects = [design, design2] * 2
+        options = [FlowOptions(seed=80 + i) for i in range(4)]
+        expected = [_qor(run(s, lib, o))
+                    for s, o in zip(subjects, options)]
+        svc = FlowService(workers=2, cache_root=tmp_path / "cache",
+                          journal_root=tmp_path / "journals")
+        with svc:
+            jobs = [svc.submit(s, lib, o)
+                    for s, o in zip(subjects, options)]
+            deadline = time.time() + 60
+            killed = False
+            while time.time() < deadline and not killed:
+                running = svc.running_jobs()
+                if running:
+                    os.kill(running[0][1], signal.SIGKILL)
+                    killed = True
+                time.sleep(0.002)
+            assert killed, "no job was ever observed running"
+            results = [svc.result(j, timeout=240) for j in jobs]
+            stats = svc.stats()
+        assert [_qor(r) for r in results] == expected
+        assert stats["completed"] == 4 and stats["failed"] == 0
+        assert stats["respawns"] >= 1
+
+    def test_no_segments_leak_after_kill_and_close(self, tmp_path,
+                                                   design, lib):
+        svc = FlowService(workers=1, cache_root=tmp_path / "cache",
+                          journal_root=tmp_path / "journals")
+        with svc:
+            job = svc.submit(design, lib, FlowOptions(seed=90))
+            deadline = time.time() + 60
+            while time.time() < deadline:
+                running = svc.running_jobs()
+                if running:
+                    os.kill(running[0][1], signal.SIGKILL)
+                    break
+                time.sleep(0.002)
+            svc.result(job, timeout=240)
+        reg = shm_mod.registry_dir() / f"{os.getpid()}.json"
+        assert not reg.exists()      # every segment was unlinked
+
+
+class TestServiceSweep:
+    def test_matches_run_sweep_results(self, tmp_path, design,
+                                       design2, lib):
+        subjects = [design, design2, design, design2]
+        options = [FlowOptions(seed=100 + i % 2) for i in range(4)]
+        baseline = run_sweep(subjects, lib, options)
+        sweep = service_sweep(subjects, lib, options, workers=2,
+                              cache_root=tmp_path / "cache")
+        assert [_qor(r) for r in sweep.results] == \
+            [_qor(r) for r in baseline.results]
+
+    def test_run_sweep_service_scheduler(self, tmp_path, design, lib):
+        options = [FlowOptions(seed=110 + i) for i in range(2)]
+        via_service = run_sweep(design, lib, options, jobs=2,
+                                scheduler="service",
+                                cache_dir=tmp_path / "cache")
+        direct = run_sweep(design, lib, options)
+        assert [_qor(r) for r in via_service.results] == \
+            [_qor(r) for r in direct.results]
+
+    def test_run_sweep_rejects_bad_scheduler(self, design, lib):
+        with pytest.raises(ValueError):
+            run_sweep(design, lib, [FlowOptions()],
+                      scheduler="quantum")
+        with pytest.raises(ValueError):
+            run_sweep(design, lib, [FlowOptions()],
+                      scheduler="service", flow_fn=lambda *a: None)
+
+    def test_backpressure_retry_lets_big_sweeps_finish(self, tmp_path,
+                                                       design, lib):
+        svc = FlowService(workers=1, cache_root=tmp_path / "cache",
+                          max_queued_total=2)
+        with svc:
+            options = [FlowOptions(seed=120 + i) for i in range(6)]
+            sweep = service_sweep(design, lib, options,
+                                  service=svc)
+            assert len(sweep.results) == 6
+
+
+class TestJobCacheKey:
+    def test_sensitive_to_all_inputs(self, design, design2, lib):
+        digest = design.to_packed().content_digest()
+        digest2 = design2.to_packed().content_digest()
+        base = job_cache_key(digest, 0, lib, FlowOptions(seed=1),
+                             "warn")
+        assert base == job_cache_key(digest, 0, lib,
+                                     FlowOptions(seed=1), "warn")
+        assert base != job_cache_key(digest2, 0, lib,
+                                     FlowOptions(seed=1), "warn")
+        assert base != job_cache_key(digest, 1, lib,
+                                     FlowOptions(seed=1), "warn")
+        assert base != job_cache_key(digest, 0, lib,
+                                     FlowOptions(seed=2), "warn")
+        assert base != job_cache_key(digest, 0, lib,
+                                     FlowOptions(seed=1), "strict")
