@@ -14,6 +14,12 @@ as "normalized metric over history":
     python benchmarks/trend.py                  # append all BENCH_*.json
     python benchmarks/trend.py BENCH_perf.json  # just one
     python benchmarks/trend.py --show           # print the trajectory
+    python benchmarks/trend.py --check          # regression gate
+
+``--check`` compares the two most recent rows of every (bench, quick)
+series and exits nonzero if any gated time-like metric regressed by
+more than 10% (machine-normalized, so a slower CI box alone does not
+trip it).
 """
 
 from __future__ import annotations
@@ -41,7 +47,9 @@ HEADLINES = {
     "perf": {
         "metrics": ["designs.large.sta_incremental_ms",
                     "designs.large.place_ms",
-                    "designs.large.speedup_incr_vs_cold"],
+                    "designs.large.speedup_incr_vs_cold",
+                    "designs.large.place_speedup",
+                    "designs.large.hpwl_ratio"],
         "time_like": ["designs.large.sta_incremental_ms",
                       "designs.large.place_ms"],
         "rate_like": [],
@@ -154,6 +162,51 @@ def show(trend_path: Path) -> None:
               f"{row['bench']:<10} {metrics}")
 
 
+def check(trend_path: Path, tolerance: float = 0.10) -> int:
+    """Fail on >``tolerance`` regression of any gated kernel.
+
+    For every (bench, quick) series in the trend file, the newest row
+    is compared against the one before it; only the ``time_like``
+    headline metrics are gated (ratios and counts drift for
+    legitimate reasons).  Both rows are machine-normalized at append
+    time, so this compares code, not hardware.
+    """
+    if not trend_path.exists():
+        print("no trend file yet; nothing to check")
+        return 0
+    series: dict[tuple, list] = {}
+    for line in trend_path.read_text().splitlines():
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        series.setdefault((row["bench"], row.get("quick")),
+                          []).append(row)
+    failures = 0
+    for (bench, quick), rows in sorted(series.items()):
+        spec = HEADLINES.get(bench)
+        if spec is None or len(rows) < 2:
+            continue
+        prev, last = rows[-2], rows[-1]
+        for metric in spec["time_like"]:
+            a = prev["metrics"].get(metric)
+            b = last["metrics"].get(metric)
+            if a is None or b is None or a <= 0:
+                continue
+            ratio = b / a
+            tag = f"{bench}[quick={quick}] {metric}"
+            if ratio > 1 + tolerance:
+                print(f"REGRESSION {tag}: {a:.4g} -> {b:.4g} "
+                      f"({ratio:.2f}x, max {1 + tolerance:.2f}x)")
+                failures += 1
+            else:
+                print(f"ok {tag}: {a:.4g} -> {b:.4g} ({ratio:.2f}x)")
+    if failures:
+        print(f"{failures} gated kernel(s) regressed >10%")
+        return 1
+    print("no gated kernel regressed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("snapshots", nargs="*",
@@ -162,11 +215,17 @@ def main(argv=None) -> int:
     parser.add_argument("--trend", default=REPO / "BENCH_TREND.jsonl")
     parser.add_argument("--show", action="store_true",
                         help="print the trajectory and exit")
+    parser.add_argument("--check", action="store_true",
+                        help="gate: fail on >10%% regression of any "
+                             "time-like headline metric between the "
+                             "two newest rows of each series")
     args = parser.parse_args(argv)
     trend_path = Path(args.trend)
     if args.show:
         show(trend_path)
         return 0
+    if args.check:
+        return check(trend_path)
     paths = [Path(p) for p in args.snapshots] or \
         sorted(REPO.glob("BENCH_*.json"))
     if not paths:

@@ -29,7 +29,7 @@ from repro.netlist.circuit import Netlist
 #: Version of the FlowOptions/FlowResult wire format.  Bump when a
 #: field changes meaning; journals persist it so a resume can refuse
 #: records written by an incompatible build.
-FLOW_SCHEMA_VERSION = 2
+FLOW_SCHEMA_VERSION = 3
 
 
 class FlowStatus(str, Enum):
@@ -60,6 +60,7 @@ class FlowOptions:
 
     era: str = "2016"
     utilization: float = 0.4
+    place_engine: str = "analytic"   # "analytic" | "quadratic"
     spreading_passes: int = 3
     detailed_passes: int = 2
     routing_engine: str = "maze"

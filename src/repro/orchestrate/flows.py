@@ -51,10 +51,24 @@ def stage_synthesis(ctx) -> object:
 
 
 def stage_placement(ctx) -> object:
-    """Global + optional detailed placement of the mapped netlist."""
+    """Global + optional detailed placement of the mapped netlist.
+
+    ``options.place_engine`` selects the implementation: ``analytic``
+    (the vectorized CSR-native engine, the default) or ``quadratic``
+    (the original object-graph placer, kept as the QoR baseline).
+    """
+    options = ctx["options"]
+    engine = options.place_engine
+    if engine == "analytic":
+        from repro.place.analytic import analytic_place
+        return analytic_place(
+            ctx["synthesis"], utilization=options.utilization,
+            seed=options.seed,
+            detailed_passes=options.detailed_passes)
+    if engine != "quadratic":
+        raise ValueError(f"unknown place_engine {engine!r}")
     from repro.place.detailed import detailed_place
     from repro.place.global_place import global_place
-    options = ctx["options"]
     placement = global_place(
         ctx["synthesis"], utilization=options.utilization,
         spreading_passes=options.spreading_passes, seed=options.seed)
@@ -137,8 +151,9 @@ def build_implement_dag(*, timeout_s: float | None = None,
                   timeout_s=timeout_s, retries=retries))
     dag.add(Stage("placement", stage_placement,
                   deps=("synthesis",), params=("options",),
-                  knobs=("utilization", "spreading_passes",
-                         "detailed_passes", "seed"),
+                  knobs=("utilization", "place_engine",
+                         "spreading_passes", "detailed_passes",
+                         "seed"),
                   timeout_s=timeout_s, retries=retries))
     dag.add(Stage("dft", stage_dft,
                   deps=("placement",), params=("options",),

@@ -7,7 +7,8 @@ reordering (E10).
 """
 
 from repro.place.placement import Placement, half_perimeter_wirelength
-from repro.place.global_place import global_place
+from repro.place.analytic import PackedPlacement, analytic_place
+from repro.place.global_place import global_place, star_pairs
 from repro.place.detailed import detailed_place
 from repro.place.buffering import buffer_long_nets, estimate_buffers
 from repro.place.flows import (
@@ -22,8 +23,11 @@ from repro.place.timing_driven import (
 
 __all__ = [
     "Placement",
+    "PackedPlacement",
     "half_perimeter_wirelength",
+    "analytic_place",
     "global_place",
+    "star_pairs",
     "detailed_place",
     "buffer_long_nets",
     "estimate_buffers",

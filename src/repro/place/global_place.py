@@ -17,6 +17,20 @@ from repro.netlist.circuit import Netlist
 from repro.place.placement import Placement, die_for_netlist
 
 
+def star_pairs(members: list, driver: int | None) -> list:
+    """Spring pairs of a star-modeled net, hubbed on its driver.
+
+    Big nets (fanout above the clique threshold) are modeled as a star
+    around the gate that actually drives the net — not the first
+    member in sort order, which would hub high-fanout nets on an
+    arbitrary sink and let the true driver drift away from its fanout.
+    PI-driven nets have no gate driver and fall back to the first
+    member.
+    """
+    center = driver if driver in members else members[0]
+    return [(center, b) for b in members if b != center]
+
+
 def global_place(netlist: Netlist, *, die_w_um: float | None = None,
                  die_h_um: float | None = None, utilization: float = 0.7,
                  spreading_passes: int = 3, bins: int = 16,
@@ -67,8 +81,10 @@ def global_place(netlist: Netlist, *, die_w_um: float | None = None,
 
     # Build the connectivity: net -> [cell indices], pad anchor or None.
     nets: dict[str, list] = {}
+    driver_of: dict[str, int] = {}
     for g in gates:
         nets.setdefault(g.output, []).append(index[g.name])
+        driver_of.setdefault(g.output, index[g.name])
         for net in g.pins.values():
             nets.setdefault(net, []).append(index[g.name])
 
@@ -89,7 +105,7 @@ def global_place(netlist: Netlist, *, die_w_um: float | None = None,
             w *= net_weights.get(net, 1.0)
         if len(members) > 10:
             # Star model around the driver keeps big nets O(p).
-            pairs = [(members[0], b) for b in members[1:]]
+            pairs = star_pairs(members, driver_of.get(net))
         else:
             pairs = [(a, b) for i, a in enumerate(members)
                      for b in members[i + 1:]]

@@ -45,18 +45,31 @@ def timing_driven_place(netlist: Netlist, *,
                         clock_period_ps: float = 1000.0,
                         utilization: float = 0.4,
                         max_weight: float = 6.0,
-                        seed: int = 0) -> Placement:
+                        seed: int = 0,
+                        engine: str = "analytic") -> Placement:
     """Two-pass timing-driven placement.
 
     Returns the second-pass placement (the first exists only to
-    measure slack).
+    measure slack).  ``engine`` selects the placer: ``analytic`` (the
+    vectorized CSR-native engine) or ``quadratic`` (the baseline).
     """
-    first = global_place(netlist, utilization=utilization, seed=seed)
+    if engine == "analytic":
+        from repro.place.analytic import analytic_place
+
+        def _place(weights=None):
+            return analytic_place(netlist, utilization=utilization,
+                                  seed=seed, net_weights=weights)
+    elif engine == "quadratic":
+        def _place(weights=None):
+            return global_place(netlist, utilization=utilization,
+                                seed=seed, net_weights=weights)
+    else:
+        raise ValueError(f"unknown engine {engine!r}")
+    first = _place()
     weights = slack_weights(netlist, first,
                             clock_period_ps=clock_period_ps,
                             max_weight=max_weight)
-    return global_place(netlist, utilization=utilization, seed=seed,
-                        net_weights=weights)
+    return _place(weights)
 
 
 def critical_path_length_um(netlist: Netlist,

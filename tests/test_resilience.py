@@ -345,8 +345,9 @@ class TestUnifiedApi:
     def test_run_is_the_facade(self, lib):
         result = run(small_design(lib), lib, FlowOptions(**OPTS))
         assert result.status is FlowStatus.OK
-        assert result.schema_version == 2
-        assert result.options.schema_version == 2
+        from repro.core.flow import FLOW_SCHEMA_VERSION
+        assert result.schema_version == FLOW_SCHEMA_VERSION
+        assert result.options.schema_version == FLOW_SCHEMA_VERSION
         assert result.run_id is None      # no journaling requested
         assert set(result.stage_runtimes) == set(STAGE_NAMES)
 
