@@ -56,6 +56,11 @@ def stage_placement(ctx) -> object:
     ``options.place_engine`` selects the implementation: ``analytic``
     (the vectorized CSR-native engine, the default) or ``quadratic``
     (the original object-graph placer, kept as the QoR baseline).
+    ``options.spreading_passes`` is honored by both: the quadratic
+    engine runs that many diffusion passes, the analytic engine scales
+    its electrostatic iteration budget by 8 iterations per pass (the
+    default 3 passes is the engine's native budget of 24), so the
+    knob stays meaningful everywhere it appears in the cache key.
     """
     options = ctx["options"]
     engine = options.place_engine
@@ -64,6 +69,7 @@ def stage_placement(ctx) -> object:
         return analytic_place(
             ctx["synthesis"], utilization=options.utilization,
             seed=options.seed,
+            max_iterations=8 * options.spreading_passes,
             detailed_passes=options.detailed_passes)
     if engine != "quadratic":
         raise ValueError(f"unknown place_engine {engine!r}")

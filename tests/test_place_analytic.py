@@ -113,6 +113,38 @@ class TestStarPairs:
 
 
 # ----------------------------------------------------------------------
+# Electrostatic field orientation regression: a density stripe must
+# push cells away from itself, not along itself.  Legalization hides a
+# transposed field from the legality tests, so pin the axis convention
+# of the (Ex, Ey) pair directly.
+
+
+class TestPoissonField:
+    DIE = 100.0
+
+    def _field(self, density, xs, ys):
+        from repro.place.analytic import _field_at, _poisson_field
+        ex, ey = _poisson_field(density)
+        return _field_at(ex, ey, np.asarray(xs, dtype=float),
+                         np.asarray(ys, dtype=float),
+                         self.DIE, self.DIE)
+
+    def test_vertical_stripe_pushes_along_x(self):
+        density = np.zeros((32, 32))
+        density[:, 14:18] = 10.0      # dense at mid-x, all y
+        gx, gy = self._field(density, [30.0, 70.0], [50.0, 50.0])
+        assert gx[0] < 0 < gx[1], "cells must move away from the stripe"
+        assert np.abs(gy).max() < 0.05 * np.abs(gx).max()
+
+    def test_horizontal_stripe_pushes_along_y(self):
+        density = np.zeros((32, 32))
+        density[14:18, :] = 10.0      # dense at mid-y, all x
+        gx, gy = self._field(density, [50.0, 50.0], [30.0, 70.0])
+        assert gy[0] < 0 < gy[1], "cells must move away from the stripe"
+        assert np.abs(gx).max() < 0.05 * np.abs(gy).max()
+
+
+# ----------------------------------------------------------------------
 # Legality of both engines, object and packed forms.
 
 

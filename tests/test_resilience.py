@@ -345,9 +345,11 @@ class TestUnifiedApi:
     def test_run_is_the_facade(self, lib):
         result = run(small_design(lib), lib, FlowOptions(**OPTS))
         assert result.status is FlowStatus.OK
-        from repro.core.flow import FLOW_SCHEMA_VERSION
-        assert result.schema_version == FLOW_SCHEMA_VERSION
-        assert result.options.schema_version == FLOW_SCHEMA_VERSION
+        # Pinned literal on purpose: a schema bump must fail here and
+        # be acknowledged by updating this test, not slide through via
+        # the imported constant.
+        assert result.schema_version == 3
+        assert result.options.schema_version == 3
         assert result.run_id is None      # no journaling requested
         assert set(result.stage_runtimes) == set(STAGE_NAMES)
 
