@@ -1,0 +1,256 @@
+#!/usr/bin/env python
+"""Routing engine parity/performance harness (batched vs maze).
+
+Routes the same placed design with the sequential maze engine and the
+vectorized batched engine, both resolved through the shared engine
+registry, and records wall time, overflow, wirelength, and the batched
+engine's kernel-phase breakdown to ``BENCH_route.json``.
+
+The full tier routes a 50k-gate flattened hierarchical SoC under a
+tiled floorplan; the quick tier shrinks the SoC an order of magnitude
+for CI.  Both engines run the identical instance, iteration budget,
+and seed — the bench measures engines, not configurations.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_route.py            # full
+    PYTHONPATH=src python benchmarks/bench_route.py --quick    # CI
+    PYTHONPATH=src python benchmarks/bench_route.py --check    # gate
+
+``--check`` exits nonzero unless:
+
+* the batched engine is at least 10x (quick: 3x) faster than maze on
+  the same instance (batched best-of-3 vs maze single run — the maze
+  run dominates total bench time),
+* overflow parity holds: batched overflow <= 1.02x maze overflow
+  (both engines fully resolve the full-tier instance, so parity there
+  means literal equality at zero),
+* batched wirelength <= 1.02x maze wirelength,
+* two seeded batched runs are bit-identical (paths compared
+  cell-for-cell), and
+* both the placement and routing stages resolve through
+  ``repro.engines`` with construction-time knob validation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.flow import FlowOptions
+from repro.engines import UnknownEngineError, default_engine, get_engine
+from repro.netlist import build_library
+from repro.netlist.generators import hierarchical_soc
+from repro.netlist.hierarchy import flatten
+from repro.place.placement import Placement
+from repro.route import route_placement
+from repro.tech import get_node
+
+LAYERS = 8
+GCELL_UM = 2.0
+ITERATIONS = 4
+SEED = 0
+UTILIZATION = 0.2
+
+
+def tiled_placement(nl, utilization: float = UTILIZATION,
+                    row_height: float = 1.0) -> Placement:
+    """Serpentine-in-tile placement of a flattened hierarchical SoC.
+
+    Each block of the SoC gets a square tile of the die and fills it
+    in serpentine row order — the regular, locality-preserving
+    floorplan a real hierarchical flow would produce, without paying
+    for a 50k-gate global placement inside a routing bench.
+    """
+    gates = list(nl.gates.values())
+    area = sum(g.cell.area_um2 for g in gates)
+    die = (area / utilization) ** 0.5
+    groups: dict = {}
+    for g in gates:
+        key = g.name.split("_", 2)
+        key = key[1] if len(key) > 2 and key[0] == "u" else "top"
+        groups.setdefault(key, []).append(g)
+    tiles = int(np.ceil(len(groups) ** 0.5))
+    tw, th = die / tiles, die / tiles
+    positions: dict = {}
+    for bi, (key, members) in enumerate(sorted(groups.items())):
+        ty, tx = divmod(bi, tiles)
+        ox, oy = tx * tw, ty * th
+        rows = max(1, int(th / row_height))
+        per_row = max(1, -(-len(members) // rows))
+        pitch = tw / per_row
+        for i, g in enumerate(members):
+            r, c = divmod(i, per_row)
+            if r % 2:
+                c = per_row - 1 - c
+            positions[g.name] = (ox + (c + 0.5) * pitch,
+                                 oy + (r + 0.5) * row_height)
+    pads: dict = {}
+    io = sorted(set(nl.primary_inputs) | set(nl.primary_outputs))
+    for j, net in enumerate(io):
+        t = j / max(len(io), 1)
+        side, u = divmod(t * 4, 1)
+        u *= die
+        pads[net] = [(u, 0.0), (die, u), (die - u, die),
+                     (0.0, die - u)][int(side)]
+    return Placement(netlist=nl, die_w_um=die, die_h_um=die,
+                     positions=positions, pad_positions=pads,
+                     row_height_um=row_height)
+
+
+def build_instance(quick: bool):
+    lib = build_library(get_node("28nm"))
+    blocks, gates_per = (12, 400) if quick else (50, 1000)
+    soc = hierarchical_soc(blocks, gates_per, lib, seed=7,
+                           bus_width=8 if quick else 16)
+    nl = flatten(soc)
+    return nl, tiled_placement(nl)
+
+
+def registry_resolution() -> dict:
+    """Both stages resolve through the shared registry, knobs early."""
+    route_spec = get_engine("routing", "batched")
+    place_spec = get_engine("placement", default_engine("placement"))
+    assert route_spec.load() is not None
+    assert place_spec.load() is not None
+    opts = FlowOptions(routing_engine="batched")   # validates at init
+    assert opts.routing_engine == "batched"
+    try:
+        FlowOptions(routing_engine="bathced")
+        raise AssertionError("typo'd engine accepted")
+    except UnknownEngineError:
+        pass
+    return {"routing_default": default_engine("routing"),
+            "placement_default": default_engine("placement"),
+            "early_validation": True}
+
+
+def run_engine(pl, engine: str, repeats: int) -> tuple:
+    best_s, result = None, None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = route_placement(pl, engine=engine, layers=LAYERS,
+                                 gcell_um=GCELL_UM,
+                                 max_iterations=ITERATIONS, seed=SEED)
+        dt = time.perf_counter() - t0
+        best_s = dt if best_s is None else min(best_s, dt)
+    return best_s, result
+
+
+def paths_identical(a, b) -> bool:
+    if a.paths.keys() != b.paths.keys():
+        return False
+    for net in a.paths:
+        pa, pb = a.paths[net], b.paths[net]
+        if len(pa) != len(pb):
+            return False
+        for p, q in zip(pa, pb):
+            if not np.array_equal(np.asarray(p), np.asarray(q)):
+                return False
+    return True
+
+
+def run(quick: bool) -> dict:
+    nl, pl = build_instance(quick)
+    n_gates = nl.num_instances()
+    print(f"instance: {n_gates} gates, die {pl.die_w_um:.0f} um, "
+          f"utilization {UTILIZATION}")
+
+    registry = registry_resolution()
+
+    maze_s, maze = run_engine(pl, "maze", repeats=1)
+    print(f"  maze:    {maze.summary()}  [{maze_s:.2f} s]")
+
+    batched_s, batched = run_engine(pl, "batched", repeats=3)
+    print(f"  batched: {batched.summary()}  [{batched_s:.2f} s "
+          f"best-of-3]")
+
+    _, twin = run_engine(pl, "batched", repeats=1)
+    reproducible = (batched.wirelength == twin.wirelength
+                    and batched.overflow == twin.overflow
+                    and paths_identical(batched, twin))
+
+    speedup = maze_s / batched_s
+    wl_ratio = batched.wirelength / maze.wirelength
+    print(f"  speedup {speedup:.1f}x, overflow {batched.overflow} vs "
+          f"{maze.overflow}, wl ratio {wl_ratio:.4f}, "
+          f"reproducible={reproducible}")
+    return {
+        "quick": quick,
+        "gates": n_gates,
+        "engine_registry": registry,
+        "route_maze_ms": maze_s * 1000,
+        "route_ms": batched_s * 1000,
+        "route_speedup": speedup,
+        "overflow_maze": maze.overflow,
+        "overflow_batched": batched.overflow,
+        "wl_maze": maze.wirelength,
+        "wl_batched": batched.wirelength,
+        "wl_ratio": wl_ratio,
+        "failed_nets": len(batched.failed),
+        "bit_reproducible": bool(reproducible),
+        "phase_ms": {k: round(v, 1)
+                     for k, v in batched.phase_ms.items()},
+    }
+
+
+def check(payload: dict) -> int:
+    floor = 3.0 if payload["quick"] else 10.0
+    gates = [
+        (payload["route_speedup"] >= floor,
+         f"speedup {payload['route_speedup']:.1f}x >= {floor:.0f}x"),
+        (payload["overflow_batched"]
+         <= payload["overflow_maze"] * 1.02,
+         f"overflow {payload['overflow_batched']} <= "
+         f"1.02 * {payload['overflow_maze']}"),
+        (payload["wl_ratio"] <= 1.02,
+         f"wl ratio {payload['wl_ratio']:.4f} <= 1.02"),
+        (payload["failed_nets"] == 0, "no failed nets"),
+        (payload["bit_reproducible"], "seeded runs bit-identical"),
+        (payload["engine_registry"]["early_validation"],
+         "registry validates knobs at option construction"),
+    ]
+    failures = 0
+    for ok, desc in gates:
+        print(f"  {'ok  ' if ok else 'FAIL'} {desc}")
+        failures += 0 if ok else 1
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small instance for CI")
+    parser.add_argument("--check", action="store_true",
+                        help="apply the speedup/parity gates")
+    parser.add_argument("--out", default=None,
+                        help="snapshot path (default: repo-root "
+                             "BENCH_route.json, full runs only)")
+    args = parser.parse_args(argv)
+    payload = run(args.quick)
+    out = args.out
+    if out is None and not args.quick:
+        out = Path(__file__).resolve().parent.parent / \
+            "BENCH_route.json"
+    if out:
+        Path(out).write_text(json.dumps(payload, indent=2,
+                                        sort_keys=True) + "\n")
+        print(f"wrote {out}")
+    if args.check:
+        failures = check(payload)
+        if failures:
+            print(f"{failures} gate(s) failed")
+            return 1
+        print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -74,6 +74,12 @@ HEADLINES = {
         "time_like": ["clean_run_s"],
         "rate_like": [],
     },
+    "route": {
+        "metrics": ["route_ms", "route_speedup",
+                    "overflow_batched", "wl_ratio"],
+        "time_like": ["route_ms"],
+        "rate_like": [],
+    },
 }
 
 
@@ -207,6 +213,68 @@ def check(trend_path: Path, tolerance: float = 0.10) -> int:
     return 0
 
 
+def report(trend_path: Path, out_path: Path) -> int:
+    """Render the trajectory as a committed markdown summary.
+
+    One table row per (series, metric): the latest normalized value,
+    the best value the series ever recorded (min for time-like
+    metrics, where smaller is faster), and the delta of the latest
+    row against the one before it.  The output is deterministic for a
+    given trend file, so CI can regenerate it and diff against the
+    committed copy.
+    """
+    if not trend_path.exists():
+        print("no trend file yet; nothing to report")
+        return 1
+    series: dict[tuple, list] = {}
+    for line in trend_path.read_text().splitlines():
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        series.setdefault((row["bench"], row.get("quick")),
+                          []).append(row)
+    lines = [
+        "# Benchmark trend",
+        "",
+        "Machine-normalized headline metrics from "
+        "`BENCH_TREND.jsonl` (time-like metrics are divided by the "
+        "appending machine's score, so rows compare code, not "
+        "hardware).  Regenerate with "
+        "`python benchmarks/trend.py --report`.",
+        "",
+        "| series | metric | latest | best | Δ vs prev | rev |",
+        "|---|---|---:|---:|---:|---|",
+    ]
+    for (bench, quick), rows in sorted(
+            series.items(), key=lambda kv: (kv[0][0],
+                                            str(kv[0][1]))):
+        spec = HEADLINES.get(bench)
+        if spec is None:
+            continue
+        tier = f"{bench}" + (" (quick)" if quick else "")
+        for metric in spec["metrics"]:
+            vals = [r["metrics"][metric] for r in rows
+                    if metric in r["metrics"]]
+            if not vals:
+                continue
+            latest = vals[-1]
+            fmt = (lambda v: f"{v:.4g}"
+                   if isinstance(v, float) else f"{v}")
+            best = (fmt(min(vals)) if metric in spec["time_like"]
+                    else "—")
+            if len(vals) >= 2 and isinstance(vals[-2], (int, float)) \
+                    and vals[-2]:
+                delta = f"{(latest / vals[-2] - 1) * 100:+.1f}%"
+            else:
+                delta = "—"
+            rev = rows[-1].get("rev") or "—"
+            lines.append(f"| {tier} | {metric} | {fmt(latest)} "
+                         f"| {best} | {delta} | {rev} |")
+    out_path.write_text("\n".join(lines) + "\n")
+    print(f"wrote {out_path} ({len(lines) - 6} metric rows)")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("snapshots", nargs="*",
@@ -219,6 +287,11 @@ def main(argv=None) -> int:
                         help="gate: fail on >10%% regression of any "
                              "time-like headline metric between the "
                              "two newest rows of each series")
+    parser.add_argument("--report", action="store_true",
+                        help="write the markdown summary "
+                             "(BENCH_TREND.md) and exit")
+    parser.add_argument("--report-out",
+                        default=REPO / "BENCH_TREND.md")
     args = parser.parse_args(argv)
     trend_path = Path(args.trend)
     if args.show:
@@ -226,6 +299,8 @@ def main(argv=None) -> int:
         return 0
     if args.check:
         return check(trend_path)
+    if args.report:
+        return report(trend_path, Path(args.report_out))
     paths = [Path(p) for p in args.snapshots] or \
         sorted(REPO.glob("BENCH_*.json"))
     if not paths:

@@ -28,8 +28,11 @@ from repro.netlist.circuit import Netlist
 
 #: Version of the FlowOptions/FlowResult wire format.  Bump when a
 #: field changes meaning; journals persist it so a resume can refuse
-#: records written by an incompatible build.
-FLOW_SCHEMA_VERSION = 3
+#: records written by an incompatible build.  v4: engine-selection
+#: knobs validate against the ``repro.engines`` registry at option
+#: construction and ``routing_engine`` defaults to the vectorized
+#: ``batched`` engine.
+FLOW_SCHEMA_VERSION = 4
 
 
 class FlowStatus(str, Enum):
@@ -56,14 +59,22 @@ class FlowOptions:
 
     The named constructors give the two era recipes; individual knobs
     remain overridable for ablations and tuning (E8).
+
+    ``place_engine`` and ``routing_engine`` name engines in the
+    :mod:`repro.engines` registry and are validated — along with the
+    option values their knob schemas constrain — when the options
+    object is constructed, so a typo is a ``ValueError`` here rather
+    than a surprise mid-flow.  Unpickling (journal/cache decode)
+    bypasses the check; execution-time resolution handles retired
+    names via the registry's deprecation shims.
     """
 
     era: str = "2016"
     utilization: float = 0.4
-    place_engine: str = "analytic"   # "analytic" | "quadratic"
+    place_engine: str = "analytic"   # registry stage "placement"
     spreading_passes: int = 3
     detailed_passes: int = 2
-    routing_engine: str = "maze"
+    routing_engine: str = "batched"  # registry stage "routing"
     routing_layers: int = 6
     routing_iterations: int = 4
     gcell_um: float = 2.0
@@ -75,6 +86,10 @@ class FlowOptions:
     freq_ghz: float = 0.5
     seed: int = 0
     schema_version: int = FLOW_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        from repro.engines import validate_options
+        validate_options(self)
 
     @staticmethod
     def basic() -> "FlowOptions":

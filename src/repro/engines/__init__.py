@@ -1,0 +1,165 @@
+"""``repro.engines``: the shared stage-engine registry.
+
+Both physical stages resolve their implementation through this one
+catalog: placement (``analytic`` | ``quadratic``) and routing
+(``batched`` | ``maze`` | ``line_search``).  Each engine registers a
+deferred loader returning a *uniform per-stage kernel signature*, so
+flow code never branches on engine names:
+
+* placement kernels: ``fn(design, *, utilization, seed,
+  spreading_passes, detailed_passes) -> Placement``
+* routing kernels: ``fn(placement, *, layers, gcell_um, topology,
+  max_iterations, seed, telemetry) -> RoutingResult``
+
+:class:`~repro.core.flow.FlowOptions` validates its ``place_engine`` /
+``routing_engine`` fields here at construction time (typos raise
+early), while :func:`resolve_engine` keeps old journals and cache
+blobs decodable through deprecated-alias and unknown-name fallbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engines.registry import (
+    EngineSpec,
+    Knob,
+    UnknownEngineError,
+    default_engine,
+    engine_names,
+    get_engine,
+    register,
+    register_alias,
+    resolve_engine,
+    validate_options,
+)
+
+__all__ = [
+    "EngineSpec",
+    "Knob",
+    "UnknownEngineError",
+    "default_engine",
+    "engine_names",
+    "get_engine",
+    "register",
+    "register_alias",
+    "resolve_engine",
+    "validate_options",
+]
+
+
+# ----------------------------------------------------------------------
+# Placement engines (kernel signature: design, *, utilization, seed,
+# spreading_passes, detailed_passes).
+
+
+def _load_place_analytic() -> Callable[..., Any]:
+    from repro.place.analytic import analytic_place
+
+    def kernel(design: Any, *, utilization: float, seed: int,
+               spreading_passes: int, detailed_passes: int) -> Any:
+        # ``spreading_passes`` maps onto the electrostatic iteration
+        # budget (8 iterations/pass; the default 3 passes is the
+        # engine's native budget of 24) so the knob stays meaningful
+        # everywhere it appears in the cache key.
+        return analytic_place(
+            design, utilization=utilization, seed=seed,
+            max_iterations=8 * spreading_passes,
+            detailed_passes=detailed_passes)
+
+    return kernel
+
+
+def _load_place_quadratic() -> Callable[..., Any]:
+    from repro.place.detailed import detailed_place
+    from repro.place.global_place import global_place
+
+    def kernel(design: Any, *, utilization: float, seed: int,
+               spreading_passes: int, detailed_passes: int) -> Any:
+        placement = global_place(
+            design, utilization=utilization,
+            spreading_passes=spreading_passes, seed=seed)
+        if detailed_passes:
+            detailed_place(placement, passes=detailed_passes,
+                           seed=seed)
+        return placement
+
+    return kernel
+
+
+_PLACE_KNOBS = (
+    Knob("utilization", "in (0, 1]",
+         lambda v: isinstance(v, (int, float)) and 0 < v <= 1),
+    Knob("spreading_passes", ">= 1",
+         lambda v: isinstance(v, int) and v >= 1),
+    Knob("detailed_passes", ">= 0",
+         lambda v: isinstance(v, int) and v >= 0),
+    Knob("seed", "an int", lambda v: isinstance(v, int)),
+)
+
+register(EngineSpec(
+    stage="placement", name="analytic", loader=_load_place_analytic,
+    description="vectorized ePlace-style CSR-native placer (PR 7)",
+    knobs=_PLACE_KNOBS, default=True))
+register(EngineSpec(
+    stage="placement", name="quadratic", loader=_load_place_quadratic,
+    description="object-graph quadratic placer (QoR baseline)",
+    knobs=_PLACE_KNOBS))
+register_alias("placement", "eplace", "analytic")
+register_alias("placement", "force_directed", "quadratic")
+
+
+# ----------------------------------------------------------------------
+# Routing engines (kernel signature: placement, *, layers, gcell_um,
+# topology, max_iterations, seed, telemetry).
+
+
+def _load_route_batched() -> Callable[..., Any]:
+    from repro.route.batched import batched_route
+    return batched_route
+
+
+def _load_route_maze() -> Callable[..., Any]:
+    from repro.route.global_route import sequential_route
+
+    def kernel(placement: Any, **kwargs: Any) -> Any:
+        return sequential_route(placement, engine="maze", **kwargs)
+
+    return kernel
+
+
+def _load_route_line_search() -> Callable[..., Any]:
+    from repro.route.global_route import sequential_route
+
+    def kernel(placement: Any, **kwargs: Any) -> Any:
+        return sequential_route(placement, engine="line_search",
+                                **kwargs)
+
+    return kernel
+
+
+_ROUTE_KNOBS = (
+    Knob("routing_layers", ">= 2 metal layers",
+         lambda v: isinstance(v, int) and v >= 2),
+    Knob("routing_iterations", ">= 1",
+         lambda v: isinstance(v, int) and v >= 1),
+    Knob("gcell_um", "a positive gcell pitch",
+         lambda v: isinstance(v, (int, float)) and v > 0),
+    Knob("seed", "an int", lambda v: isinstance(v, int)),
+)
+
+register(EngineSpec(
+    stage="routing", name="batched", loader=_load_route_batched,
+    description="vectorized batched wavefront router with "
+                "negotiated-congestion arrays",
+    knobs=_ROUTE_KNOBS, default=True))
+register(EngineSpec(
+    stage="routing", name="maze", loader=_load_route_maze,
+    description="sequential A* maze router (QoR baseline)",
+    knobs=_ROUTE_KNOBS))
+register(EngineSpec(
+    stage="routing", name="line_search", loader=_load_route_line_search,
+    description="Hightower line-probe router with maze fallback",
+    knobs=_ROUTE_KNOBS))
+register_alias("routing", "line-search", "line_search")
+register_alias("routing", "lee", "maze")

@@ -53,35 +53,23 @@ def stage_synthesis(ctx) -> object:
 def stage_placement(ctx) -> object:
     """Global + optional detailed placement of the mapped netlist.
 
-    ``options.place_engine`` selects the implementation: ``analytic``
-    (the vectorized CSR-native engine, the default) or ``quadratic``
-    (the original object-graph placer, kept as the QoR baseline).
-    ``options.spreading_passes`` is honored by both: the quadratic
-    engine runs that many diffusion passes, the analytic engine scales
-    its electrostatic iteration budget by 8 iterations per pass (the
-    default 3 passes is the engine's native budget of 24), so the
-    knob stays meaningful everywhere it appears in the cache key.
+    ``options.place_engine`` resolves through the :mod:`repro.engines`
+    registry: ``analytic`` (the vectorized CSR-native engine) is the
+    stage default, ``quadratic`` (the original object-graph placer)
+    stays registered as the QoR baseline.  Every placement kernel
+    shares one signature, so the stage body never branches on engine
+    names — and resolution here is *lenient*: an engine string from an
+    old journal that the registry no longer knows falls back to the
+    stage default with a warning instead of failing the replay (typos
+    in fresh options already raised at construction).
     """
+    from repro.engines import resolve_engine
     options = ctx["options"]
-    engine = options.place_engine
-    if engine == "analytic":
-        from repro.place.analytic import analytic_place
-        return analytic_place(
-            ctx["synthesis"], utilization=options.utilization,
-            seed=options.seed,
-            max_iterations=8 * options.spreading_passes,
-            detailed_passes=options.detailed_passes)
-    if engine != "quadratic":
-        raise ValueError(f"unknown place_engine {engine!r}")
-    from repro.place.detailed import detailed_place
-    from repro.place.global_place import global_place
-    placement = global_place(
+    kernel = resolve_engine("placement", options.place_engine).load()
+    return kernel(
         ctx["synthesis"], utilization=options.utilization,
-        spreading_passes=options.spreading_passes, seed=options.seed)
-    if options.detailed_passes:
-        detailed_place(placement, passes=options.detailed_passes,
-                       seed=options.seed)
-    return placement
+        seed=options.seed, spreading_passes=options.spreading_passes,
+        detailed_passes=options.detailed_passes)
 
 
 def stage_dft(ctx) -> object:
@@ -114,14 +102,23 @@ def stage_cts(ctx) -> object:
 
 
 def stage_routing(ctx) -> object:
-    """Global routing with layer assignment over the post-DFT
-    placement (scan-chain nets are routed, as in the serial flow)."""
+    """Global routing over the post-DFT placement (scan-chain nets
+    are routed, as in the serial flow).
+
+    ``options.routing_engine`` resolves leniently through the
+    :mod:`repro.engines` registry, like placement.  ``options.seed``
+    feeds the batched engine's deterministic tie-break jitter, which
+    is why ``seed`` is part of this stage's cache key.
+    """
+    from repro.engines import resolve_engine
     from repro.route.global_route import route_placement
     options = ctx["options"]
+    spec = resolve_engine("routing", options.routing_engine)
     return route_placement(
-        ctx["dft"], engine=options.routing_engine,
+        ctx["dft"], engine=spec.name,
         layers=options.routing_layers, gcell_um=options.gcell_um,
-        max_iterations=options.routing_iterations)
+        max_iterations=options.routing_iterations,
+        seed=options.seed)
 
 
 def stage_signoff(ctx) -> dict:
@@ -172,7 +169,7 @@ def build_implement_dag(*, timeout_s: float | None = None,
     dag.add(Stage("routing", stage_routing,
                   deps=("dft",), params=("options",),
                   knobs=("routing_engine", "routing_layers",
-                         "routing_iterations", "gcell_um"),
+                         "routing_iterations", "gcell_um", "seed"),
                   timeout_s=timeout_s, retries=retries))
     dag.add(Stage("signoff", stage_signoff,
                   deps=("dft",),

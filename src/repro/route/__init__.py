@@ -10,10 +10,12 @@ nanometers and above" — the 6-to-4-layer cost experiment (E4).
 from repro.route.grid import RoutingGrid
 from repro.route.maze import maze_route
 from repro.route.linesearch import line_search_route
+from repro.route.result import ROUTE_SCHEMA_VERSION, RoutingResult
+from repro.route.batched import batched_route
 from repro.route.global_route import (
     GlobalRouter,
-    RoutingResult,
     route_placement,
+    sequential_route,
 )
 from repro.route.layers import LayerAssignment, assign_layers
 from repro.route.track_assign import (
@@ -30,8 +32,11 @@ __all__ = [
     "maze_route",
     "line_search_route",
     "GlobalRouter",
+    "ROUTE_SCHEMA_VERSION",
     "RoutingResult",
+    "batched_route",
     "route_placement",
+    "sequential_route",
     "LayerAssignment",
     "assign_layers",
 ]

@@ -1,0 +1,1323 @@
+"""Vectorized batched global routing on the gcell cost grid.
+
+The sequential engines (:mod:`repro.route.global_route`) pop one gcell
+at a time from a heapq per 2-pin segment; at the 50k-gate tier that is
+millions of Python-level expansions and routing dominates the flow
+(``BENCH_perf.json``).  This engine gives routing the treatment the
+analytic placer gave placement in PR 7 — the whole pipeline is numpy
+array ops:
+
+* **decompose** — pins are binned to gcells in one vectorized pass and
+  multi-pin nets are decomposed with a *batched* Prim MST: nets of the
+  same pin count form a ``(B, n, n)`` Manhattan distance tensor and
+  the n-1 Prim steps run across all B nets at once.
+* **pattern fast path** — straight segments price their single line
+  with one prefix-sum gather; bent segments price their *entire*
+  monotone L/Z family (every H-V-H / V-H-V bend position) as three
+  prefix-sum differences per candidate and commit the cheapest when
+  it beats ``manhattan + slack``.  On a sane placement this settles
+  the overwhelming majority of segments without any search.
+* **expand** — the remainder get a quantized window around their bbox
+  (clipped *and shifted* inside the grid, so every window cell is
+  real) and same-shape windows route together: a Bellman–Ford round
+  is four directional *min-plus scans*, where sweeping with prefix
+  sums ``S`` of the edge costs turns the weighted relaxation into a
+  plain running minimum — ``dist = min(dist, S + cummin(dist - S))``
+  — over the whole ``(K, H, W)`` batch.  Rounds repeat to a fixed
+  point (one round per direction change of the shortest path).
+* **commit** — every route lands on the usage arrays as flat edge
+  indices via ``np.add.at``, plus a one-byte *descriptor*
+  (``_KIND_*`` and a bend coordinate) instead of a materialized cell
+  path; only wavefront backtraces — vectorized greedy strict-descent,
+  fixed neighbor order — and the rare maze fallback store explicit
+  cells.  Survivors' geometric paths are rebuilt in bulk once, in
+  :meth:`_BatchedRouter._emit`.
+* **negotiate** — PathFinder-style: history accumulates on overflowed
+  edges (:meth:`RoutingGrid.bump_history`); each round first
+  *relocates* segments with profitable equal-length escapes (free
+  moves priced newcomer-vs-incumbent, accepted in quota-ranked
+  sub-waves), then rips the per-edge excess — plus movers whose every
+  escape is blocked — with one ``bincount`` over flattened edge
+  indices and forces it back through the pattern tail at the round's
+  raised congestion weight.
+
+The cost model is *exactly* the sequential engines' negotiated cost
+(:meth:`RoutingGrid.cost_arrays` is the vectorized twin of
+:meth:`RoutingGrid.edge_cost`); a seeded jitter on candidate scores
+and seeded shuffles on acceptance order break ties deterministically,
+so a fixed seed gives a bit-identical run while QoR is seed-robust.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from itertools import chain
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.place.placement import Placement
+from repro.route.grid import RoutingGrid
+from repro.route.maze import maze_route
+from repro.route.result import RoutingResult
+
+FloatArray = Any   # numpy float64 ndarray
+IntArray = Any     # numpy int64 ndarray
+BoolArray = Any    # numpy bool ndarray
+
+#: Target cells (K * H * W) per expansion batch; bounds peak memory.
+_WAVE_CELLS = 1 << 21
+#: Max segments per chunk on the first pass.  Chunks share one cost
+#: snapshot, so the cap bounds how much demand can land between cost
+#: refreshes; on the 50k-gate bench 256 buys ~30% less first-pass
+#: overflow than 2048 for ~0.15 s — chunks are cheap now that the
+#: pattern fast path prices whole candidate families per chunk.
+_CHUNK_CAP = 256
+#: First-pass caps per fast path.  Straight lines barely interact
+#: within a chunk (one line per segment, spread across the die), so
+#: they tolerate a much staler cost snapshot than the bent patterns
+#: that pick bends from it; the negotiation rounds converge to the
+#: same overflow while the bigger chunks cut the per-chunk pricing
+#: overhead.
+_STRAIGHT_CHUNK_CAP = 4096
+_PATTERN_CHUNK_CAP = 512
+#: Route descriptors: how a routed segment's gcell path is
+#: reconstructed at emit time.  During routing only the flat edge
+#: arrays are committed (negotiation rips and recommits thousands of
+#: routes; materializing throw-away paths dominated the commit
+#: phase), so every straight or pattern route is stored as its
+#: descriptor — endpoints plus bend — and the survivors' paths are
+#: built in bulk exactly once in :meth:`_BatchedRouter._emit`.  Only
+#: wavefront/maze routes (non-monotone detours) store explicit cells.
+_KIND_NONE = 0
+_KIND_EXPLICIT = 1
+_KIND_STRAIGHT = 2
+_KIND_HVH = 3
+_KIND_VHV = 4
+#: Per-round negotiation schedules (last entry repeats): keepers
+#: evicted per overflowed edge (see
+#: :meth:`_BatchedRouter._overflowed_ids`) and the congestion weight
+#: of the sequential tail.  Early rounds evict few segments at the
+#: sequential engine's weight; later rounds evict more keepers and
+#: price congestion harder, pushing chronic traffic out of corridors
+#: the fixed-weight tail leaves pinned at capacity.
+_NEG_MARGIN = (1, 2, 4)
+_NEG_CW = (5.0, 8.0, 12.0)
+
+#: Acceptance sub-waves per relocation pricing (see ``_relocate``):
+#: how many times vacancies opened by the wave just committed may
+#: unlock further accepts before the pass pays for a full re-pricing.
+_ACCEPT_WAVES = 4
+
+#: Full pricing passes per ``_relocate`` call; later passes move ever
+#: fewer segments, so a small cap keeps the tail of the loop cheap.
+_RELOC_PASSES = 4
+#: Cost slack (over manhattan) below which a straight segment commits
+#: without windowed expansion.  Zero means "every edge on the line is
+#: penalty-free": a line with any congestion pays the full wavefront
+#: search instead, because the tiny per-wire overflow penalty would
+#: otherwise let wide buses stack far past capacity before the slack
+#: is used up.
+_STRAIGHT_SLACK = 0.0
+#: Cost slack (over manhattan) below which a bent segment commits its
+#: best monotone L/Z pattern instead of running windowed expansion.
+_PATTERN_SLACK = 0.0
+#: Min-plus rounds before a window is declared non-converged.
+_SWEEP_LIMIT = 64
+#: Detour margin around a segment's bbox on the first pass — the grid
+#: is near-empty, so shortest paths barely leave the bbox.
+_FIRST_PAD = 2
+#: Detour margin while negotiating: rerouted segments must be able to
+#: sidestep whole contested corridors.
+_WINDOW_PAD = 8
+#: Quantized window dims — few distinct shapes means big batches.
+_WINDOW_SIZES = (8, 16, 24, 32, 48, 64, 96, 128, 192, 256, 384, 512,
+                 768, 1024)
+
+
+@contextmanager
+def _phase(sink: Any, phases: dict, name: str) -> Iterator[None]:
+    """Accumulate wall ms into ``phases[name]`` and (when a telemetry
+    sink is given) record the block as a kernel span."""
+    t0 = time.perf_counter()
+    try:
+        if sink is None:
+            yield
+        else:
+            from repro.orchestrate.telemetry import kernel_span
+            with kernel_span(sink, name):
+                yield
+    finally:
+        phases[name] = (phases.get(name, 0.0)
+                        + (time.perf_counter() - t0) * 1e3)
+
+
+# ----------------------------------------------------------------------
+# Decompose: pins -> gcells -> 2-pin segments.
+
+
+def _batched_prim(xs: IntArray, ys: IntArray) -> tuple:
+    """Prim MST over B equal-size point sets at once.
+
+    ``xs``/``ys`` are (B, n); returns ``(ea, eb)`` local point-index
+    arrays of shape (B, n-1), one tree edge per step.  Deterministic:
+    argmin ties resolve to the lowest index.
+    """
+    B, n = xs.shape
+    d = (np.abs(xs[:, :, None] - xs[:, None, :])
+         + np.abs(ys[:, :, None] - ys[:, None, :]))
+    big = np.iinfo(np.int64).max
+    rows = np.arange(B)
+    in_tree = np.zeros((B, n), dtype=bool)
+    in_tree[:, 0] = True
+    min_d = d[:, :, 0].astype(np.int64)
+    min_d[:, 0] = big
+    parent = np.zeros((B, n), dtype=np.int64)
+    ea = np.empty((B, n - 1), dtype=np.int64)
+    eb = np.empty((B, n - 1), dtype=np.int64)
+    for step in range(n - 1):
+        j = np.argmin(min_d, axis=1)
+        ea[:, step] = parent[rows, j]
+        eb[:, step] = j
+        in_tree[rows, j] = True
+        dj = d[rows, :, j].astype(np.int64)
+        parent = np.where(dj < min_d, j[:, None], parent)
+        min_d = np.minimum(min_d, dj)
+        min_d[in_tree] = big
+    return ea, eb
+
+
+def _decompose(placement: Placement, grid: RoutingGrid,
+               topology: str) -> tuple:
+    """Vectorized net decomposition.
+
+    Returns ``(net_names, seg_net, sx, sy, dx, dy)`` — segment
+    endpoint gcell arrays plus the index of each segment's net in
+    ``net_names`` (net_pins iteration order).
+    """
+    pins = placement.net_pins()
+    names = list(pins)
+    counts = np.fromiter((len(p) for p in pins.values()),
+                         dtype=np.int64, count=len(names))
+    empty = np.zeros(0, dtype=np.int64)
+    if not counts.sum():
+        return names, empty, empty, empty, empty, empty
+
+    n_arr = np.repeat(np.arange(len(names), dtype=np.int64), counts)
+    xy = np.asarray(list(chain.from_iterable(pins.values())),
+                    dtype=np.float64)
+    # Same binning expression as GlobalRouter._gcell, elementwise.
+    gx = np.clip(xy[:, 0] / placement.die_w_um * grid.nx,
+                 0, grid.nx - 1).astype(np.int64)
+    gy = np.clip(xy[:, 1] / placement.die_h_um * grid.ny,
+                 0, grid.ny - 1).astype(np.int64)
+
+    # Per-net unique gcells, (x, y)-sorted within each net.
+    order = np.lexsort((gy, gx, n_arr))
+    n_arr, gx, gy = n_arr[order], gx[order], gy[order]
+    keep = np.ones(n_arr.size, dtype=bool)
+    keep[1:] = ((n_arr[1:] != n_arr[:-1]) | (gx[1:] != gx[:-1])
+                | (gy[1:] != gy[:-1]))
+    n_arr, gx, gy = n_arr[keep], gx[keep], gy[keep]
+
+    starts = np.flatnonzero(np.r_[True, n_arr[1:] != n_arr[:-1]])
+    counts = np.diff(np.r_[starts, n_arr.size])
+    net_of_run = n_arr[starts]
+
+    seg_net: list = []
+    seg_sx: list = []
+    seg_sy: list = []
+    seg_dx: list = []
+    seg_dy: list = []
+
+    def _emit(nets: IntArray, ax: IntArray, ay: IntArray,
+              bx: IntArray, by: IntArray) -> None:
+        seg_net.append(nets)
+        seg_sx.append(ax)
+        seg_sy.append(ay)
+        seg_dx.append(bx)
+        seg_dy.append(by)
+
+    two = np.flatnonzero(counts == 2)
+    if two.size:
+        s = starts[two]
+        _emit(net_of_run[two], gx[s], gy[s], gx[s + 1], gy[s + 1])
+
+    multi = np.flatnonzero(counts >= 3)
+    steiner_runs: list = []
+    if topology == "steiner":
+        small = multi[counts[multi] <= 8]
+        steiner_runs = list(small)
+        multi = multi[counts[multi] > 8]
+    for c in np.unique(counts[multi]) if multi.size else ():
+        runs = multi[counts[multi] == c]
+        rows = starts[runs][:, None] + np.arange(c)[None, :]
+        bx, by = gx[rows], gy[rows]
+        ea, eb = _batched_prim(bx, by)
+        B = runs.size
+        nets = np.repeat(net_of_run[runs], c - 1)
+        r = np.repeat(np.arange(B), c - 1)
+        _emit(nets, bx[r, ea.ravel()], by[r, ea.ravel()],
+              bx[r, eb.ravel()], by[r, eb.ravel()])
+    for run in steiner_runs:  # small multi-pin nets, exact topology
+        from repro.route.steiner import steiner_tree
+        s, c = starts[run], counts[run]
+        cells = [(int(gx[s + k]), int(gy[s + k])) for k in range(c)]
+        for (ax, ay), (bx_, by_) in steiner_tree(cells):
+            _emit(np.asarray([net_of_run[run]]),
+                  np.asarray([ax]), np.asarray([ay]),
+                  np.asarray([bx_]), np.asarray([by_]))
+
+    if not seg_net:
+        return names, empty, empty, empty, empty, empty
+    net_i = np.concatenate(seg_net)
+    sx = np.concatenate(seg_sx).astype(np.int64)
+    sy = np.concatenate(seg_sy).astype(np.int64)
+    dx = np.concatenate(seg_dx).astype(np.int64)
+    dy = np.concatenate(seg_dy).astype(np.int64)
+    # Ascending Manhattan length, like the sequential engines.
+    order = np.argsort(np.abs(sx - dx) + np.abs(sy - dy),
+                       kind="stable")
+    return (names, net_i[order], sx[order], sy[order], dx[order],
+            dy[order])
+
+
+# ----------------------------------------------------------------------
+# Expand: batched min-plus scan Bellman-Ford over per-segment windows.
+
+
+def _quantize(v: IntArray) -> IntArray:
+    """Round window dims up to the nearest canonical size."""
+    sizes = np.asarray(_WINDOW_SIZES, dtype=np.int64)
+    idx = np.searchsorted(sizes, v)
+    return np.where(idx < sizes.size,
+                    sizes[np.minimum(idx, sizes.size - 1)], v)
+
+
+def _windows(grid: RoutingGrid, sx: IntArray, sy: IntArray,
+             dx: IntArray, dy: IntArray,
+             pad: int = _WINDOW_PAD) -> tuple:
+    """Per-segment quantized windows ``(x0, y0, W, H)``.
+
+    Windows are clipped to the grid by *shifting*, never by padding —
+    every cell of every window is a real gcell, so the cost gathers
+    need no sentinel values.
+    """
+    bw = np.abs(sx - dx) + 1
+    bh = np.abs(sy - dy) + 1
+    w = np.minimum(grid.nx, _quantize(bw + 2 * pad))
+    h = np.minimum(grid.ny, _quantize(bh + 2 * pad))
+    x0 = np.clip(np.minimum(sx, dx) - (w - bw) // 2, 0, grid.nx - w)
+    y0 = np.clip(np.minimum(sy, dy) - (h - bh) // 2, 0, grid.ny - h)
+    return x0, y0, w, h
+
+
+def _expand_chunk(h_cost: FloatArray, v_cost: FloatArray,
+                  x0: IntArray, y0: IntArray, w: int, h: int,
+                  sxw: IntArray, syw: IntArray) -> tuple:
+    """Shortest-path distances for K same-shape windows at once.
+
+    Returns ``(dist, hw, vw)`` — the (K, H, W) distance field from
+    each window's source plus the gathered edge-cost slabs (reused by
+    the backtrace).
+    """
+    k = x0.shape[0]
+    ys = (y0[:, None] + np.arange(h))[:, :, None]     # (K, H, 1)
+    xs = (x0[:, None] + np.arange(w))[:, None, :]     # (K, 1, W)
+    hw = h_cost[ys, xs[:, :, :w - 1]]                 # (K, H, W-1)
+    vw = v_cost[ys[:, :h - 1, :], xs]                 # (K, H-1, W)
+    full = np.full((k, h, w), np.inf)
+    full[np.arange(k), syw, sxw] = 0.0
+    sh_full = np.concatenate(
+        [np.zeros((k, h, 1)), np.cumsum(hw, axis=2)], axis=2)
+    sv_full = np.concatenate(
+        [np.zeros((k, 1, w)), np.cumsum(vw, axis=1)], axis=1)
+    # Sweep only the windows that are still changing: converged ones
+    # are scattered back into ``full`` and dropped from the batch, so
+    # a few straggler windows stop costing whole-batch sweeps.
+    act = np.arange(k)
+    dist, sh, sv = full, sh_full, sv_full
+    for _ in range(_SWEEP_LIMIT):
+        prev = dist.copy()
+        t = dist - sh                                  # rightward
+        np.minimum.accumulate(t, axis=2, out=t)
+        np.minimum(dist, t + sh, out=dist)
+        t = np.flip(np.minimum.accumulate(              # leftward
+            np.flip(dist + sh, axis=2), axis=2), axis=2)
+        np.minimum(dist, t - sh, out=dist)
+        t = dist - sv                                  # downward (+y)
+        np.minimum.accumulate(t, axis=1, out=t)
+        np.minimum(dist, t + sv, out=dist)
+        t = np.flip(np.minimum.accumulate(              # upward (-y)
+            np.flip(dist + sv, axis=1), axis=1), axis=1)
+        np.minimum(dist, t - sv, out=dist)
+        # Tolerant check: prefix-sum arithmetic can keep flipping the
+        # last ulp forever; improvements below 1e-9 are far smaller
+        # than any real cost difference (>= 0.1) and cannot change a
+        # backtrace, so treat them as converged.
+        changed = (dist < prev - 1e-9).any(axis=(1, 2))
+        n_changed = int(changed.sum())
+        if n_changed == 0:
+            break
+        if n_changed <= act.size // 2:
+            settled = ~changed
+            full[act[settled]] = dist[settled]
+            act = act[changed]
+            dist = dist[changed]
+            sh = sh[changed]
+            sv = sv[changed]
+    if dist is not full:
+        full[act] = dist
+    return full, hw, vw
+
+
+def _backtrace(dist: FloatArray, hw: FloatArray, vw: FloatArray,
+               sxw: IntArray, syw: IntArray, dxw: IntArray,
+               dyw: IntArray, rng: Any) -> tuple:
+    """Walk dst -> src by greedy strict descent, whole batch at once.
+
+    Below capacity the negotiated cost is flat, so many staircase
+    paths tie exactly; a deterministic tie-break would send every
+    segment of a batch down the same canonical corridor and stack
+    usage far past capacity before the next cost refresh could react.
+    Instead, ties break on a per-segment, per-step ~1e-4 perturbation
+    drawn from ``rng`` — tied neighbors all lie on shortest paths, so
+    this diffuses the batch across the whole equal-cost corridor
+    ensemble (the batched analogue of the sequential engines filling
+    corridors one segment at a time) while the strict-descent check
+    keeps every walk a true shortest path.
+
+    Returns ``(px, py, done, ok)``: step-stacked window coordinates
+    (K, S+1), per-segment final step index, and a success mask (a
+    window that did not converge cannot descend and falls back to the
+    sequential maze router).
+    """
+    k, h, w = dist.shape
+    rows = np.arange(k)
+    cx, cy = dxw.astype(np.int64), dyw.astype(np.int64)
+    steps_x, steps_y = [cx.copy()], [cy.copy()]
+    active = (cx != sxw) | (cy != syw)
+    ok = np.ones(k, dtype=bool)
+    done = np.zeros(k, dtype=np.int64)
+    moves_x = np.asarray([-1, 1, 0, 0])
+    moves_y = np.asarray([0, 0, -1, 1])
+    cap = h * w
+    step = 0
+    while active.any() and step < cap:
+        step += 1
+        cur_d = dist[rows, cy, cx]
+        cand = np.full((4, k), np.inf)
+        m = cx > 0
+        cand[0, m] = (dist[rows[m], cy[m], cx[m] - 1]
+                      + hw[rows[m], cy[m], cx[m] - 1])
+        m = cx < w - 1
+        cand[1, m] = (dist[rows[m], cy[m], cx[m] + 1]
+                      + hw[rows[m], cy[m], cx[m]])
+        m = cy > 0
+        cand[2, m] = (dist[rows[m], cy[m] - 1, cx[m]]
+                      + vw[rows[m], cy[m] - 1, cx[m]])
+        m = cy < h - 1
+        cand[3, m] = (dist[rows[m], cy[m] + 1, cx[m]]
+                      + vw[rows[m], cy[m], cx[m]])
+        cand += rng.random((4, k)) * 1e-4
+        choice = np.argmin(cand, axis=0)
+        nx_ = np.clip(cx + moves_x[choice], 0, w - 1)
+        ny_ = np.clip(cy + moves_y[choice], 0, h - 1)
+        good = active & (dist[rows, ny_, nx_] < cur_d)
+        ok &= ~(active & ~good)
+        cx = np.where(good, nx_, cx)
+        cy = np.where(good, ny_, cy)
+        steps_x.append(cx.copy())
+        steps_y.append(cy.copy())
+        done = np.where(good, step, done)
+        active = good & ((cx != sxw) | (cy != syw))
+    ok &= ~active  # hit the step cap while still walking
+    return np.stack(steps_x, axis=1), np.stack(steps_y, axis=1), \
+        done, ok
+
+
+# ----------------------------------------------------------------------
+# Commit / negotiate.
+
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+def _ragged_runs(starts: IntArray, steps: IntArray,
+                 lens: IntArray) -> IntArray:
+    """Concatenated arithmetic runs: ``out[off_i + t] = starts[i] +
+    steps[i] * t`` for ``t < lens[i]`` — the ragged analogue of
+    ``arange``, used to materialize whole batches of path legs and
+    edge runs without per-segment loops."""
+    tot = int(lens.sum())
+    off = np.repeat(np.cumsum(lens) - lens, lens)
+    t = np.arange(tot) - off
+    return np.repeat(starts, lens) + np.repeat(steps, lens) * t
+
+
+def _pattern_family(hp: Any, vp: Any, sx: IntArray, sy: IntArray,
+                    dx: IntArray, dy: IntArray) -> tuple:
+    """Price every monotone L/Z route of each segment in one gather.
+
+    ``hp``/``vp`` are row/column prefix sums of per-edge weights
+    (full costs or overflow penalties).  Column ``j < wmax`` of the
+    returned matrix is the H-V-H route bending at column
+    ``min(x1 + j, x2)``; column ``wmax + j`` is the V-H-V route
+    bending at row ``min(y1 + j, y2)`` — L-shapes are the endpoint
+    bends, so the family needs no special cases.  Returns the cost
+    matrix and ``wmax`` (the H-V-H column count).
+    """
+    x1, x2 = np.minimum(sx, dx), np.maximum(sx, dx)
+    y1, y2 = np.minimum(sy, dy), np.maximum(sy, dy)
+    wmax = int((x2 - x1).max()) + 1
+    cc = np.minimum(x1[:, None] + np.arange(wmax)[None, :],
+                    x2[:, None])
+    hvh = (np.abs(hp[sy[:, None], cc] - hp[sy, sx][:, None])
+           + np.abs(vp[dy[:, None], cc] - vp[sy[:, None], cc])
+           + np.abs(hp[dy, dx][:, None] - hp[dy[:, None], cc]))
+    hmax = int((y2 - y1).max()) + 1
+    rr = np.minimum(y1[:, None] + np.arange(hmax)[None, :],
+                    y2[:, None])
+    vhv = (np.abs(vp[rr, sx[:, None]] - vp[sy, sx][:, None])
+           + np.abs(hp[rr, dx[:, None]] - hp[rr, sx[:, None]])
+           + np.abs(vp[dy, dx][:, None] - vp[rr, dx[:, None]]))
+    return np.concatenate([hvh, vhv], axis=1), wmax
+
+
+def _path_edges(path: IntArray, nx: int) -> tuple:
+    """Flat (h, v) usage-array indices of an (L, 2) gcell path."""
+    x, y = path[:, 0], path[:, 1]
+    horiz = y[1:] == y[:-1]
+    hx = np.minimum(x[1:], x[:-1])[horiz]
+    hy = y[1:][horiz]
+    vx = x[1:][~horiz]
+    vy = np.minimum(y[1:], y[:-1])[~horiz]
+    return hy * (nx - 1) + hx, vy * nx + vx
+
+
+class _BatchedRouter:
+    """One batched-routing run; see the module docstring."""
+
+    def __init__(self, placement: Placement, *, layers: int,
+                 gcell_um: float, topology: str, max_iterations: int,
+                 seed: int, telemetry: Any) -> None:
+        if topology not in ("mst", "steiner"):
+            raise ValueError("topology must be 'mst' or 'steiner'")
+        self.placement = placement
+        self.topology = topology
+        self.max_iterations = max_iterations
+        self.telemetry = telemetry
+        node = placement.netlist.library.node
+        self.grid = RoutingGrid.for_die(
+            placement.die_w_um, placement.die_h_um, node,
+            gcell_um=gcell_um, layers=layers)
+        self.rng = np.random.default_rng(seed)
+        self.phases: dict = {}
+
+    # -- one wave of segment ids, bucketed by window shape -------------
+
+    def _route_ids(self, ids: IntArray, congestion_weight: float,
+                   chunk_cap: int = _CHUNK_CAP) -> None:
+        if ids.size == 0:
+            return
+        sx, dx = self.seg_sx[ids], self.seg_dx[ids]
+        sy, dy = self.seg_sy[ids], self.seg_dy[ids]
+        straight = (sx == dx) | (sy == dy)
+        rest: list = []
+        st = ids[straight]
+        for lo in range(0, st.size, _STRAIGHT_CHUNK_CAP):
+            rest.append(self._route_straight(
+                st[lo:lo + _STRAIGHT_CHUNK_CAP], congestion_weight))
+        bent = ids[~straight]
+        for lo in range(0, bent.size, _PATTERN_CHUNK_CAP):
+            rest.append(self._route_patterns(
+                bent[lo:lo + _PATTERN_CHUNK_CAP], congestion_weight,
+                _PATTERN_SLACK))
+        ids = np.concatenate(rest) if rest else ids[:0]
+        if ids.size == 0:
+            return
+        x0, y0, w, h = (a[ids] for a in self.windows)
+        shapes: dict = {}
+        for pos in range(ids.size):
+            shapes.setdefault((int(h[pos]), int(w[pos])),
+                              []).append(pos)
+        for (hh, ww) in sorted(shapes):
+            pos = np.asarray(shapes[(hh, ww)], dtype=np.int64)
+            k_max = max(16, min(_WAVE_CELLS // (hh * ww), chunk_cap))
+            for lo in range(0, pos.size, k_max):
+                self._route_chunk(ids[pos[lo:lo + k_max]], hh, ww,
+                                  congestion_weight)
+
+    def _route_straight(self, ids: IntArray,
+                        congestion_weight: float) -> IntArray:
+        """Commit provably-optimal straight segments without expansion.
+
+        An axis-aligned segment's line cost is an O(1) prefix-sum
+        difference, and any alternative path is at least two edges
+        longer at a floor cost of 1.0 per edge — so a line costing no
+        more than ``manhattan + 2`` *is* a shortest path and can skip
+        the wavefront entirely.  Returns the ids (congested lines)
+        that must go through the regular windowed expansion.
+        """
+        if ids.size == 0:
+            return ids
+        g = self.grid
+        nx = g.nx
+        with _phase(self.telemetry, self.phases, "route_expand"):
+            h_cost, v_cost = g.cost_arrays(
+                congestion_weight=congestion_weight)
+            # Zero-congestion-weight twin: the overflow *penalty* on
+            # the line is the difference, so the slack check is not
+            # poisoned by the history tax that every edge pays once
+            # negotiation has begun.
+            h_cost0, v_cost0 = g.cost_arrays(congestion_weight=0.0)
+            hps = np.concatenate(
+                [np.zeros((h_cost.shape[0], 1)),
+                 np.cumsum(h_cost - h_cost0, axis=1)], axis=1)
+            vps = np.concatenate(
+                [np.zeros((1, v_cost.shape[1])),
+                 np.cumsum(v_cost - v_cost0, axis=0)], axis=0)
+            sx, dx = self.seg_sx[ids], self.seg_dx[ids]
+            sy, dy = self.seg_sy[ids], self.seg_dy[ids]
+            x1, x2 = np.minimum(sx, dx), np.maximum(sx, dx)
+            y1, y2 = np.minimum(sy, dy), np.maximum(sy, dy)
+            horiz = sy == dy
+            penalty = np.where(horiz,
+                               hps[sy, x2] - hps[sy, x1],
+                               vps[y2, sx] - vps[y1, sx])
+            length = (x2 - x1) + (y2 - y1)
+            good = penalty <= _STRAIGHT_SLACK + 1e-9
+        with _phase(self.telemetry, self.phases, "route_commit"):
+            for axis in (True, False):
+                pick = good & (horiz == axis)
+                if not pick.any():
+                    continue
+                pids = ids[pick]
+                ln = length[pick]
+                total = int(ln.sum())
+                off = np.repeat(np.cumsum(ln) - ln, ln)
+                steps = np.arange(total) - off
+                if axis:
+                    base = y1[pick] * (nx - 1) + x1[pick]
+                    flat = np.repeat(base, ln) + steps
+                    np.add.at(g.h_usage.ravel(), flat, 1)
+                else:
+                    base = y1[pick] * nx + sx[pick]
+                    flat = np.repeat(base, ln) + steps * nx
+                    np.add.at(g.v_usage.ravel(), flat, 1)
+                cuts = np.cumsum(ln)[:-1]
+                parts = np.split(flat, cuts)
+                for j, i in enumerate(pids):
+                    if axis:
+                        self.seg_h[i] = parts[j]
+                        self.seg_v[i] = _EMPTY_I64
+                    else:
+                        self.seg_v[i] = parts[j]
+                        self.seg_h[i] = _EMPTY_I64
+                self.seg_kind[pids] = _KIND_STRAIGHT
+        return ids[~good]
+
+    def _route_patterns(self, ids: IntArray, congestion_weight: float,
+                        slack: float) -> IntArray:
+        """Route bent segments as min-cost monotone L/Z patterns.
+
+        Every 3-leg monotone route (H-V-H with a bend column ``c``, or
+        V-H-V with a bend row ``r``) has a cost that is three
+        prefix-sum differences, so the *entire* candidate family —
+        every possible bend position, L-shapes included as the
+        endpoints — evaluates as one batched gather per chunk.  A
+        segment commits its cheapest pattern when that costs no more
+        than ``manhattan + slack`` (monotone patterns never add
+        wirelength); the rest return to the caller for windowed
+        wavefront expansion, which can also find non-monotone detours.
+        The seeded jitter diffuses equal-cost bends across the batch
+        exactly like the backtrace tie-breaking.
+        """
+        if ids.size == 0:
+            return ids
+        g = self.grid
+        nx = g.nx
+        k = ids.size
+        with _phase(self.telemetry, self.phases, "route_expand"):
+            h_cost, v_cost = g.cost_arrays(
+                congestion_weight=congestion_weight)
+            # Row/column prefix sums; costs are >= 1, so both are
+            # strictly increasing and |difference| is the leg cost in
+            # either direction.
+            hps = np.zeros((g.ny, nx))
+            hps[:, 1:] = np.cumsum(h_cost, axis=1)
+            vps = np.zeros((g.ny, nx))
+            vps[1:, :] = np.cumsum(v_cost, axis=0)
+            sx, dx = self.seg_sx[ids], self.seg_dx[ids]
+            sy, dy = self.seg_sy[ids], self.seg_dy[ids]
+            x1, x2 = np.minimum(sx, dx), np.maximum(sx, dx)
+            y1, y2 = np.minimum(sy, dy), np.maximum(sy, dy)
+            cand, wmax = _pattern_family(hps, vps, sx, sy, dx, dy)
+            cand += self.rng.random(cand.shape) * 1e-4
+            best = np.argmin(cand, axis=1)
+            if np.isinf(slack):
+                good = np.ones(k, dtype=bool)
+            else:
+                # Overflow penalty of the chosen route (cost minus its
+                # zero-congestion-weight twin), so the slack check is
+                # not poisoned by the history tax — same reasoning as
+                # the straight fast path.
+                h0, v0 = g.cost_arrays(congestion_weight=0.0)
+                hp0 = np.zeros((g.ny, nx))
+                hp0[:, 1:] = np.cumsum(h_cost - h0, axis=1)
+                vp0 = np.zeros((g.ny, nx))
+                vp0[1:, :] = np.cumsum(v_cost - v0, axis=0)
+                bc = np.minimum(
+                    np.where(best < wmax, x1 + best, 0), x2)
+                br = np.minimum(
+                    np.where(best >= wmax, y1 + best - wmax, 0), y2)
+                pen_hvh = (np.abs(hp0[sy, bc] - hp0[sy, sx])
+                           + np.abs(vp0[dy, bc] - vp0[sy, bc])
+                           + np.abs(hp0[dy, dx] - hp0[dy, bc]))
+                pen_vhv = (np.abs(vp0[br, sx] - vp0[sy, sx])
+                           + np.abs(hp0[br, dx] - hp0[br, sx])
+                           + np.abs(vp0[dy, dx] - vp0[br, dx]))
+                penalty = np.where(best < wmax, pen_hvh, pen_vhv)
+                good = penalty <= slack + 1e-9
+        with _phase(self.telemetry, self.phases, "route_commit"):
+            bend_c = np.where(best < wmax,
+                              np.minimum(x1 + best, x2), 0)
+            bend_r = np.where(best >= wmax,
+                              np.minimum(y1 + best - wmax, y2), 0)
+            for hvh_fam in (True, False):
+                pick = good & ((best < wmax) == hvh_fam)
+                if not pick.any():
+                    continue
+                self._commit_patterns(
+                    ids[pick], (bend_c if hvh_fam else bend_r)[pick],
+                    hvh_fam)
+        return ids[~good]
+
+    def _pattern_edge_parts(self, pids: IntArray, bend: IntArray,
+                            hvh: bool) -> tuple:
+        """Per-segment flat (h, v) edge arrays of pattern routes.
+
+        The two same-axis legs interleave per segment so ``np.split``
+        lands each segment's edges contiguous; nothing is committed.
+        """
+        g = self.grid
+        nx = g.nx
+        kk = pids.size
+        sx, dx = self.seg_sx[pids], self.seg_dx[pids]
+        sy, dy = self.seg_sy[pids], self.seg_dy[pids]
+        if hvh:
+            # legs: h (row sy: sx->c), v (col c: sy->dy),
+            #       h (row dy: c->dx)
+            l1, l2 = np.abs(bend - sx), np.abs(dy - sy)
+            l3 = np.abs(dx - bend)
+            same_h = (sy * (nx - 1) + np.minimum(sx, bend),
+                      dy * (nx - 1) + np.minimum(bend, dx))
+            cross = np.minimum(sy, dy) * nx + bend
+            cross_step = nx
+            same_step = 1
+        else:
+            # legs: v (col sx: sy->r), h (row r: sx->dx),
+            #       v (col dx: r->dy)
+            l1, l2 = np.abs(bend - sy), np.abs(dx - sx)
+            l3 = np.abs(dy - bend)
+            same_h = (np.minimum(sy, bend) * nx + sx,
+                      np.minimum(bend, dy) * nx + dx)
+            cross = bend * (nx - 1) + np.minimum(sx, dx)
+            cross_step = 1
+            same_step = nx
+        sbase = np.stack(same_h, axis=1).ravel()
+        slens = np.stack([l1, l3], axis=1).ravel()
+        sflat = _ragged_runs(sbase, np.full(2 * kk, same_step), slens)
+        cflat = _ragged_runs(cross, np.full(kk, cross_step), l2)
+        sparts = np.split(sflat, np.cumsum(l1 + l3)[:-1])
+        cparts = np.split(cflat, np.cumsum(l2)[:-1])
+        return (sparts, cparts) if hvh else (cparts, sparts)
+
+    def _commit_patterns(self, pids: IntArray, bend: IntArray,
+                         hvh: bool) -> None:
+        """Commit a family of pattern routes: usage, per-segment edge
+        lists, and the route descriptor (the path itself is rebuilt
+        from the descriptor at emit time)."""
+        g = self.grid
+        hparts, vparts = self._pattern_edge_parts(pids, bend, hvh)
+        if pids.size:
+            np.add.at(g.h_usage.ravel(),
+                      np.concatenate(hparts), 1)
+            np.add.at(g.v_usage.ravel(),
+                      np.concatenate(vparts), 1)
+        for j, i in enumerate(pids):
+            self.seg_h[i] = hparts[j]
+            self.seg_v[i] = vparts[j]
+        self.seg_kind[pids] = _KIND_HVH if hvh else _KIND_VHV
+        self.seg_bend[pids] = bend
+
+    def _route_chunk(self, ids: IntArray, hh: int, ww: int,
+                     congestion_weight: float) -> None:
+        g = self.grid
+        sx, sy = self.seg_sx[ids], self.seg_sy[ids]
+        dx, dy = self.seg_dx[ids], self.seg_dy[ids]
+        x0, y0 = self.windows[0][ids], self.windows[1][ids]
+        with _phase(self.telemetry, self.phases, "route_expand"):
+            h_cost, v_cost = g.cost_arrays(
+                congestion_weight=congestion_weight)
+            dist, hw, vw = _expand_chunk(
+                h_cost, v_cost, x0, y0, ww, hh, sx - x0, sy - y0)
+            px, py, done, ok = _backtrace(
+                dist, hw, vw, sx - x0, sy - y0, dx - x0, dy - y0,
+                self.rng)
+        with _phase(self.telemetry, self.phases, "route_commit"):
+            # Global step-stacked coordinates; the frozen tail of each
+            # finished row repeats its last cell, so "an edge exists at
+            # step s" is exactly "the position changed at step s".
+            gx = px + x0[:, None]
+            gy = py + y0[:, None]
+            ax, bx = gx[:, :-1], gx[:, 1:]
+            ay, by = gy[:, :-1], gy[:, 1:]
+            moved = ok[:, None] & ((ax != bx) | (ay != by))
+            horiz = moved & (ay == by)
+            vert = moved & (ay != by)
+            rows = np.broadcast_to(
+                np.arange(ids.size)[:, None], moved.shape)
+            h_flat = (ay * (g.nx - 1) + np.minimum(ax, bx))[horiz]
+            v_flat = (np.minimum(ay, by) * g.nx + ax)[vert]
+            h_rows, v_rows = rows[horiz], rows[vert]
+            # Distribute the flat edge lists back per segment (row
+            # order is already sorted by k).
+            h_cuts = np.searchsorted(h_rows, np.arange(ids.size))
+            v_cuts = np.searchsorted(v_rows, np.arange(ids.size))
+            h_parts = np.split(h_flat, h_cuts[1:])
+            v_parts = np.split(v_flat, v_cuts[1:])
+            h_add = [h_flat]
+            v_add = [v_flat]
+            for k, i in enumerate(ids):
+                if ok[k]:
+                    length = int(done[k]) + 1
+                    self.seg_paths[i] = np.stack(
+                        [gx[k, :length][::-1],
+                         gy[k, :length][::-1]], axis=1)
+                    self.seg_h[i] = h_parts[k]
+                    self.seg_v[i] = v_parts[k]
+                    self.seg_kind[i] = _KIND_EXPLICIT
+                    continue
+                # Window failed to descend: sequential fallback.
+                found = maze_route(
+                    g, (int(sx[k]), int(sy[k])),
+                    (int(dx[k]), int(dy[k])),
+                    congestion_weight=congestion_weight)
+                if found is None:
+                    if self.seg_kind[i] == _KIND_NONE:
+                        self.failed.append(
+                            self.net_names[self.seg_net[i]])
+                        continue
+                    # keep (recommit) the ripped-up old route
+                    h_add.append(self.seg_h[i])
+                    v_add.append(self.seg_v[i])
+                    continue
+                self.seg_paths[i] = np.asarray(found, dtype=np.int64)
+                self.seg_kind[i] = _KIND_EXPLICIT
+                he, ve = _path_edges(self.seg_paths[i], g.nx)
+                self.seg_h[i] = he
+                self.seg_v[i] = ve
+                h_add.append(he)
+                v_add.append(ve)
+            np.add.at(g.h_usage.ravel(), np.concatenate(h_add), 1)
+            np.add.at(g.v_usage.ravel(), np.concatenate(v_add), 1)
+
+    # -- negotiation helpers -------------------------------------------
+
+    def _penalty_arrays(self, congestion_weight: float) -> tuple:
+        """Flat overflow-penalty arrays: (newcomer, incumbent) per axis.
+
+        The newcomer arrays price *entering* an edge (the congestion
+        term of the grid's cost model); the incumbent arrays price
+        *staying* on one — the same term with the segment's own unit
+        of usage discounted, so an edge at exactly capacity taxes a
+        newcomer but not a segment already committed to it.
+        """
+        g = self.grid
+        out: list = []
+        for use, cap, hist in (
+                (g.h_usage, g.h_capacity, g.h_history),
+                (g.v_usage, g.v_capacity, g.v_history)):
+            scale = (congestion_weight * (1.0 + hist) / cap).ravel()
+            out.append(
+                (np.maximum(0.0, (use + 1 - cap)).ravel() * scale,
+                 np.maximum(0.0, (use - cap)).ravel() * scale))
+        (h_pen, h_pen0), (v_pen, v_pen0) = out
+        return h_pen, h_pen0, v_pen, v_pen0
+
+    def _stay_penalties(self, ids: IntArray, h_pen0: Any,
+                        v_pen0: Any) -> Any:
+        """Overflow penalty each segment's current path pays to stay."""
+        stay = np.zeros(ids.size)
+        for flat, pen0 in ((self.seg_h, h_pen0),
+                           (self.seg_v, v_pen0)):
+            arrs = [flat[i] for i in ids]
+            lens = np.asarray([0 if a is None else a.size
+                               for a in arrs])
+            if not lens.any():
+                continue
+            cat = np.concatenate(
+                [a for a in arrs if a is not None and a.size])
+            owner = np.repeat(np.arange(ids.size), lens)
+            stay += np.bincount(owner, weights=pen0[cat],
+                                minlength=ids.size)
+        return stay
+
+    def _escape_moves(self, ids: IntArray, h_pen: Any,
+                      v_pen: Any) -> tuple:
+        """Cheapest equal-length escape per segment.
+
+        Prices the whole monotone pattern family against the
+        *newcomer* penalty prefix sums and returns ``(penalty, bend,
+        is_hvh)`` for each segment's best candidate.  Priced with the
+        segment's own usage still committed, so wherever a candidate
+        reuses the current edges the estimate errs conservative.
+        """
+        g = self.grid
+        hp = np.zeros((g.ny, g.nx))
+        hp[:, 1:] = np.cumsum(h_pen.reshape(g.h_usage.shape), axis=1)
+        vp = np.zeros((g.ny, g.nx))
+        vp[1:, :] = np.cumsum(v_pen.reshape(g.v_usage.shape), axis=0)
+        pen = np.empty(ids.size)
+        bend = np.empty(ids.size, dtype=np.int64)
+        fam = np.empty(ids.size, dtype=bool)
+        for lo in range(0, ids.size, _CHUNK_CAP):
+            sl = slice(lo, lo + _CHUNK_CAP)
+            sub = ids[sl]
+            sx, dx = self.seg_sx[sub], self.seg_dx[sub]
+            sy, dy = self.seg_sy[sub], self.seg_dy[sub]
+            cand, wmax = _pattern_family(hp, vp, sx, sy, dx, dy)
+            cand += self.rng.random(cand.shape) * 1e-4
+            best = np.argmin(cand, axis=1)
+            pen[sl] = cand[np.arange(sub.size), best]
+            fam[sl] = best < wmax
+            x1, x2 = np.minimum(sx, dx), np.maximum(sx, dx)
+            y1, y2 = np.minimum(sy, dy), np.maximum(sy, dy)
+            bend[sl] = np.where(
+                best < wmax,
+                np.minimum(x1 + best, x2),
+                np.minimum(y1 + np.maximum(best - wmax, 0), y2))
+        return pen, bend, fam
+
+    def _relocate(self, congestion_weight: float) -> int:
+        """Vectorized equal-length escape rounds; returns move count.
+
+        This replicates where the sequential engine's negotiation
+        rounds actually win: rerouting every segment that crosses an
+        overflowed edge returns almost every path unchanged, and the
+        productive few are *equal-length staircase escapes* — exactly
+        the moves the monotone pattern family prices with prefix-sum
+        gathers.  Each pass selects the segments whose cheapest
+        escape strictly beats the (self-discounted) cost of staying
+        and commits the capacity-feasible subset in batches.
+
+        Returns the *stuck* movers: segments that would profit from
+        an escape but whose every profitable candidate is blocked on
+        full edges.  The caller forces those through the excess tail
+        (a paid move can still shed overflow even when no free
+        corridor exists).
+        """
+        g = self.grid
+        h_tax = 0.1 * g.h_history.ravel()
+        v_tax = 0.1 * g.v_history.ravel()
+        cand = np.flatnonzero(
+            (self.seg_sx != self.seg_dx)
+            & (self.seg_sy != self.seg_dy))
+        for _pass in range(_RELOC_PASSES):
+            if not cand.size:
+                break
+            (h_pen, h_pen0, v_pen,
+             v_pen0) = self._penalty_arrays(congestion_weight)
+            # Only segments crossing an overflowed edge are up for
+            # relocation (the sequential engine's rip criterion); the
+            # history tax joins the pricing so chronic-corridor
+            # incumbents prefer fresh corridors even at equal overflow
+            # — the same pressure that spreads the sequential engine's
+            # equal-cost reroutes.
+            stay_pen = self._stay_penalties(cand, h_pen0, v_pen0)
+            keep = stay_pen > 1e-12
+            cand = cand[keep]
+            if cand.size == 0:
+                break
+            stay = (stay_pen[keep]
+                    + self._stay_penalties(cand, h_tax, v_tax))
+            pen, bend, fam = self._escape_moves(
+                cand, h_pen + h_tax, v_pen + v_tax)
+            gain = stay - pen
+            movers = np.flatnonzero(gain > 1e-9)
+            if movers.size == 0:
+                break
+            order = movers[np.argsort(-gain[movers],
+                                      kind="stable")]
+            mv, tb, tf = cand[order], bend[order], fam[order]
+            # Capacity-aware acceptance, best gain first: a move is
+            # accepted only if every edge of its new route either has
+            # spare capacity left after the better-ranked moves ahead
+            # of it or is an edge the segment already holds (it keeps
+            # its unit there, consuming nothing).  An accepted wave
+            # therefore commits in one batch without the corridor
+            # pile-ups that chunk-blind commits suffer.  Acceptance
+            # runs several sub-waves against the same pricing: each
+            # wave's commits free their old edges, so vacancy chains
+            # propagate without paying for a full re-pricing.
+            parts: dict = {True: None, False: None}
+            fidx: dict = {}
+            for f in (True, False):
+                fidx[f] = np.flatnonzero(tf == f)
+                if fidx[f].size:
+                    parts[f] = self._pattern_edge_parts(
+                        mv[fidx[f]], tb[fidx[f]], f)
+            entries: list = []
+            for ax in (0, 1):
+                own_flat = self.seg_h if ax == 0 else self.seg_v
+                n_edges = (g.h_usage if ax == 0 else g.v_usage).size
+                new_parts: list = [None] * mv.size
+                for f in (True, False):
+                    if fidx[f].size:
+                        for j, p in zip(fidx[f], parts[f][ax]):
+                            new_parts[j] = p
+                lens = np.asarray([p.size for p in new_parts])
+                edge = (np.concatenate(new_parts) if lens.any()
+                        else _EMPTY_I64)
+                owner = np.repeat(np.arange(mv.size), lens)
+                olens = np.asarray([own_flat[i].size for i in mv])
+                okey = (np.repeat(mv, olens) * n_edges
+                        + np.concatenate(
+                            [own_flat[i] for i in mv]))
+                held = np.isin(mv[owner] * n_edges + edge, okey)
+                entries.append((edge, owner, held))
+            alive = np.ones(mv.size, dtype=bool)
+            committed = 0
+            for _wave in range(_ACCEPT_WAVES):
+                bad = np.zeros(mv.size, dtype=np.int64)
+                for ax, (edge, owner, held) in enumerate(entries):
+                    avail = ((g.h_capacity - g.h_usage) if ax == 0
+                             else (g.v_capacity
+                                   - g.v_usage)).ravel()
+                    ne = np.flatnonzero(alive[owner] & ~held)
+                    if not ne.size:
+                        continue
+                    e = edge[ne]
+                    srt = np.lexsort((ne, e))
+                    es = e[srt]
+                    starts = np.flatnonzero(
+                        np.r_[True, es[1:] != es[:-1]])
+                    rank = np.arange(es.size) - np.repeat(
+                        starts, np.diff(np.r_[starts, es.size]))
+                    ok = rank < avail[es]
+                    bad += np.bincount(owner[ne[srt[~ok]]],
+                                       minlength=mv.size)
+                acc = alive & (bad == 0)
+                if not acc.any():
+                    break
+                take, tbk, tfk = mv[acc], tb[acc], tf[acc]
+                self._rip_up(take)
+                for f in (True, False):
+                    s = tfk == f
+                    if s.any():
+                        self._commit_patterns(take[s], tbk[s], f)
+                committed += take.size
+                alive &= ~acc
+            # Movers not committed are re-priced against the updated
+            # usage; segments with no profitable escape are out until
+            # the next negotiation round re-prices the population.
+            cand = mv[alive]
+            if committed == 0:
+                break
+        return cand
+
+    def _overflowed_ids(self, margin: int = 0) -> IntArray:
+        """Segments to rip up: the *excess* on each overflowed edge.
+
+        Ripping every segment that merely touches an overflowed edge
+        (the sequential engine's policy) re-routes half the design per
+        round here, because a full-to-capacity edge carries dozens of
+        perfectly fine segments.  Instead each overflowed edge keeps a
+        capacity-sized subset of its segments and only the excess —
+        chosen by seeded random rank, so the run stays
+        bit-reproducible — goes back to the router.
+
+        ``margin`` shrinks the kept subset to ``cap - margin``: excess
+        alone just shuffles between corridors that the keepers pin at
+        exactly full, so later rounds evict a few keepers per edge too,
+        letting accumulated history push chronic traffic out of the
+        contested region.
+        """
+        h_of, v_of = self.grid.overflow_masks()
+        n_seg = self.seg_net.size
+        hit = np.zeros(n_seg, dtype=bool)
+        for flat, mask, cap in (
+                (self.seg_h, h_of.ravel(), self.grid.h_capacity),
+                (self.seg_v, v_of.ravel(), self.grid.v_capacity)):
+            routed = [i for i in range(n_seg)
+                      if flat[i] is not None and flat[i].size]
+            if not routed:
+                continue
+            cat = np.concatenate([flat[i] for i in routed])
+            sid = np.repeat(np.asarray(routed),
+                            [flat[i].size for i in routed])
+            bad = mask[cat]
+            edges, segs = cat[bad], sid[bad]
+            if edges.size == 0:
+                continue
+            order = np.lexsort((self.rng.permutation(edges.size),
+                                edges))
+            edges, segs = edges[order], segs[order]
+            starts = np.flatnonzero(
+                np.r_[True, edges[1:] != edges[:-1]])
+            rank = np.arange(edges.size) - np.repeat(
+                starts, np.diff(np.r_[starts, edges.size]))
+            hit |= np.bincount(segs[rank >= cap - margin],
+                               minlength=n_seg) > 0
+        return np.flatnonzero(hit)
+
+    def _rip_up(self, ids: IntArray) -> None:
+        g = self.grid
+        h_sub = [self.seg_h[i] for i in ids
+                 if self.seg_h[i] is not None]
+        v_sub = [self.seg_v[i] for i in ids
+                 if self.seg_v[i] is not None]
+        if h_sub:
+            np.add.at(g.h_usage.ravel(), np.concatenate(h_sub), -1)
+        if v_sub:
+            np.add.at(g.v_usage.ravel(), np.concatenate(v_sub), -1)
+
+    def _route_excess(self, ids: IntArray,
+                      congestion_weight: float,
+                      chunk: int = 32) -> None:
+        """Rip-and-reroute the redo set as small pattern batches.
+
+        The sequential engine's negotiation reroutes essentially never
+        change a path's *length* — the productive moves are monotone —
+        so the evicted excess can reroute through the pattern family
+        at a fraction of a maze search's cost.  Small chunks keep the
+        cost snapshot honest: each batch is ripped, priced against the
+        usage of everything else, and committed at its cheapest
+        monotone route (unconditionally — the excess has to live
+        somewhere, and the congestion weight prices where).  Straight
+        segments are skipped outright: their only monotone route is
+        the line they already hold, so rip-and-recommit would be an
+        expensive no-op (the sequential engine's equal-length reroutes
+        never moved them either).
+        """
+        bent = ids[(self.seg_sx[ids] != self.seg_dx[ids])
+                   & (self.seg_sy[ids] != self.seg_dy[ids])]
+        manhattan = (np.abs(self.seg_dx[bent] - self.seg_sx[bent])
+                     + np.abs(self.seg_dy[bent] - self.seg_sy[bent]))
+        bent = bent[np.argsort(manhattan, kind="stable")]
+        for lo in range(0, bent.size, chunk):
+            sub = bent[lo:lo + chunk]
+            self._rip_up(sub)
+            self._route_patterns(sub, congestion_weight, np.inf)
+
+    def _straight_paths(self, pids: IntArray) -> tuple:
+        """(L, 2) path cells of straight segments, one ragged run."""
+        sx, dx = self.seg_sx[pids], self.seg_dx[pids]
+        sy, dy = self.seg_sy[pids], self.seg_dy[pids]
+        horiz = sy == dy
+        ln = np.abs(dx - sx) + np.abs(dy - sy)
+        run = _ragged_runs(np.where(horiz, sx, sy),
+                           np.sign(np.where(horiz, dx - sx, dy - sy)),
+                           ln + 1)
+        fix = np.repeat(np.where(horiz, sy, sx), ln + 1)
+        hmask = np.repeat(horiz, ln + 1)
+        xy = np.stack([np.where(hmask, run, fix),
+                       np.where(hmask, fix, run)], axis=1)
+        return xy, ln + 1
+
+    def _pattern_paths(self, pids: IntArray, hvh: bool) -> tuple:
+        """(L, 2) path cells of pattern routes, legs in walk order."""
+        bend = self.seg_bend[pids]
+        kk = pids.size
+        sx, dx = self.seg_sx[pids], self.seg_dx[pids]
+        sy, dy = self.seg_sy[pids], self.seg_dy[pids]
+        if hvh:
+            l1, l2 = np.abs(bend - sx), np.abs(dy - sy)
+            l3 = np.abs(dx - bend)
+        else:
+            l1, l2 = np.abs(bend - sy), np.abs(dx - sx)
+            l3 = np.abs(dy - bend)
+        a1, a2 = (sx, sy) if hvh else (sy, sx)
+        b1, b2 = (dx, dy) if hvh else (dy, dx)
+        s1 = np.sign(bend - a1)
+        sv = np.sign(b2 - a2)
+        s3 = np.sign(b1 - bend)
+        along = _ragged_runs(
+            np.stack([a1, bend, bend + s3], axis=1).ravel(),
+            np.stack([np.where(s1 == 0, 1, s1), np.zeros(kk, int),
+                      s3], axis=1).ravel(),
+            np.stack([l1 + 1, l2, l3], axis=1).ravel())
+        across = _ragged_runs(
+            np.stack([a2, a2 + sv, np.broadcast_to(b2, (kk,))],
+                     axis=1).ravel(),
+            np.stack([np.zeros(kk, int), sv,
+                      np.zeros(kk, int)], axis=1).ravel(),
+            np.stack([l1 + 1, l2, l3], axis=1).ravel())
+        xy = np.stack([along, across] if hvh else [across, along],
+                      axis=1)
+        return xy, l1 + 1 + l2 + l3
+
+    def _emit(self, n_seg: int) -> tuple:
+        """Assemble the paths dict and the per-net QoR arrays.
+
+        Negotiation never materialized paths (rip-and-recommit would
+        have thrown them away), so the survivors' cells are rebuilt
+        here from their route descriptors in four bulk batches — one
+        per kind.  Each emitted path is an ``(L, 2)`` int64 view into
+        its batch's cell array (the documented result contract allows
+        arrays or lists per path); the only per-segment python work
+        left is the dict append.
+        """
+        g = self.grid
+        kind = self.seg_kind
+        routed = np.flatnonzero(kind != _KIND_NONE)
+        if not routed.size:
+            return {}, _EMPTY_I64.copy(), _EMPTY_I64.copy()
+        # kind -> (flat cell array, per-segment lengths), pids
+        # ascending — consumed in the same order below.
+        pts: list = [None] * 5
+        lens: list = [None] * 5
+        for k, build in (
+                (_KIND_STRAIGHT, self._straight_paths),
+                (_KIND_HVH,
+                 lambda p: self._pattern_paths(p, True)),
+                (_KIND_VHV,
+                 lambda p: self._pattern_paths(p, False))):
+            pids = np.flatnonzero(kind == k)
+            if pids.size:
+                xy, ln = build(pids)
+                pts[k], lens[k] = xy, ln.tolist()
+        exp = np.flatnonzero(kind == _KIND_EXPLICIT)
+        if exp.size:
+            pts[_KIND_EXPLICIT] = np.concatenate(
+                [self.seg_paths[i] for i in exp])
+            lens[_KIND_EXPLICIT] = [self.seg_paths[i].shape[0]
+                                    for i in exp]
+        paths: dict = {}
+        get = paths.get
+        names = self.net_names
+        seg_net = self.seg_net.tolist()
+        kind_l = kind.tolist()
+        ptr = [0] * 5
+        at = [0] * 5
+        for i in routed.tolist():
+            k = kind_l[i]
+            j = ptr[k]
+            lo = at[k]
+            hi = lo + lens[k][j]
+            ptr[k] = j + 1
+            at[k] = hi
+            nm = names[seg_net[i]]
+            lst = get(nm)
+            if lst is None:
+                paths[nm] = lst = []
+            lst.append(pts[k][lo:hi])
+        # sorted(paths) order for the arrays, per the result contract.
+        pos = {net: j for j, net in enumerate(sorted(paths))}
+        net_pos = np.asarray(
+            [pos.get(net, -1) for net in self.net_names],
+            dtype=np.int64)
+        net_idx = net_pos[self.seg_net[routed]]
+        # Monotone routes are manhattan-length by construction;
+        # explicit (wavefront/maze) routes count their stored cells.
+        seg_wl = (np.abs(self.seg_dx - self.seg_sx)
+                  + np.abs(self.seg_dy - self.seg_sy))[routed]
+        if exp.size:
+            seg_wl[kind[routed] == _KIND_EXPLICIT] = (
+                np.asarray(lens[_KIND_EXPLICIT], dtype=np.int64) - 1)
+        nwl = np.bincount(net_idx, weights=seg_wl,
+                          minlength=len(pos)).astype(np.int64)
+        nof = np.zeros(len(pos), dtype=np.int64)
+        h_of, v_of = g.overflow_masks()
+        if h_of.any() or v_of.any():
+            for edges, mask in ((self.seg_h, h_of.ravel()),
+                                (self.seg_v, v_of.ravel())):
+                ln = np.fromiter((edges[i].size for i in routed),
+                                 dtype=np.int64, count=len(routed))
+                cat = np.concatenate([edges[i] for i in routed])
+                owner = np.repeat(net_idx, ln)
+                nof += np.bincount(owner[mask[cat]],
+                                   minlength=len(pos))
+        return paths, nwl, nof
+
+    # -- driver --------------------------------------------------------
+
+    def route(self) -> RoutingResult:
+        t0 = time.perf_counter()
+        g = self.grid
+        with _phase(self.telemetry, self.phases, "route_decompose"):
+            (self.net_names, self.seg_net, self.seg_sx, self.seg_sy,
+             self.seg_dx, self.seg_dy) = _decompose(
+                self.placement, g, self.topology)
+            self.windows = _windows(g, self.seg_sx, self.seg_sy,
+                                    self.seg_dx, self.seg_dy,
+                                    pad=_FIRST_PAD)
+        n_seg = self.seg_net.size
+        self.seg_paths: list = [None] * n_seg
+        self.seg_h: list = [None] * n_seg
+        self.seg_v: list = [None] * n_seg
+        self.seg_kind = np.zeros(n_seg, dtype=np.int8)
+        self.seg_bend = np.zeros(n_seg, dtype=np.int64)
+        self.failed: list = []
+
+        self._route_ids(np.arange(n_seg), 2.0, chunk_cap=_CHUNK_CAP)
+
+        iterations = 1
+        widened = False
+        for rnd in range(self.max_iterations - 1):
+            if g.total_overflow() == 0:
+                break
+            if not widened:
+                # Reroutes need detour headroom the first pass didn't.
+                self.windows = _windows(g, self.seg_sx, self.seg_sy,
+                                        self.seg_dx, self.seg_dy)
+                widened = True
+            # One negotiation round: relocate the profitable
+            # equal-length escapes first (free moves), then rip the
+            # per-edge excess — plus any mover whose every profitable
+            # escape is blocked on full edges — and force it through
+            # the pattern tail at the round's congestion weight.
+            with _phase(self.telemetry, self.phases,
+                        "route_negotiate"):
+                g.bump_history()
+                sched = min(rnd, len(_NEG_MARGIN) - 1)
+                cw = _NEG_CW[sched]
+                stuck = self._relocate(cw)
+                redo = np.union1d(
+                    self._overflowed_ids(_NEG_MARGIN[sched]), stuck)
+                self._route_excess(redo, cw)
+            iterations += 1
+
+        with _phase(self.telemetry, self.phases, "route_emit"):
+            paths, nwl, nof = self._emit(n_seg)
+        return RoutingResult.assemble(
+            grid=g,
+            paths=paths,
+            failed=sorted(set(self.failed)),
+            iterations=iterations,
+            runtime_s=time.perf_counter() - t0,
+            engine="batched",
+            phase_ms=self.phases,
+            net_wirelength=nwl,
+            net_overflow=nof,
+        )
+
+
+def batched_route(placement: Placement, *, layers: int = 6,
+                  gcell_um: float = 5.0, topology: str = "mst",
+                  max_iterations: int = 4, seed: int = 0,
+                  telemetry: Any = None) -> RoutingResult:
+    """Vectorized global routing of a placement (engine ``batched``).
+
+    Same knobs and result contract as the sequential engines; ``seed``
+    only perturbs tie-breaking (candidate-score jitter and acceptance
+    shuffles), so a fixed seed gives a bit-identical result and
+    different seeds give equivalent QoR.  Paths in the result are
+    (L, 2) int64 arrays (see :class:`RoutingResult`).
+    """
+    return _BatchedRouter(
+        placement, layers=layers, gcell_um=gcell_um,
+        topology=topology, max_iterations=max_iterations, seed=seed,
+        telemetry=telemetry).route()

@@ -1,9 +1,15 @@
-"""Global routing: net decomposition, ordering, rip-up and reroute."""
+"""Global routing: net decomposition, ordering, rip-up and reroute.
+
+This module holds the *sequential* engines (maze A* and line-probe),
+the original per-net reference implementations the vectorized engine
+(:mod:`repro.route.batched`) is gated against.  The shared result
+contract lives in :mod:`repro.route.result`; engine selection goes
+through :mod:`repro.engines`.
+"""
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -11,44 +17,19 @@ from repro.place.placement import Placement
 from repro.route.grid import RoutingGrid
 from repro.route.linesearch import line_search_route
 from repro.route.maze import maze_route
+from repro.route.result import ROUTE_SCHEMA_VERSION, RoutingResult
 
-
-@dataclass
-class RoutingResult:
-    """Outcome of one global-routing run."""
-
-    grid: RoutingGrid
-    paths: dict                  # net -> list of gcell paths (2-pin segs)
-    failed: list                 # nets with no path found
-    wirelength: int
-    overflow: int
-    iterations: int
-    runtime_s: float
-    engine: str
-
-    @property
-    def success(self) -> bool:
-        """Clean routing: everything connected, no overflow."""
-        return not self.failed and self.overflow == 0
-
-    def net_lengths_gcells(self) -> dict:
-        """net -> routed length in gcell units."""
-        return {
-            net: sum(len(p) - 1 for p in segs)
-            for net, segs in self.paths.items()
-        }
-
-    def summary(self) -> str:
-        """One-line report."""
-        return (
-            f"{self.engine}: wl={self.wirelength} gcells, "
-            f"overflow={self.overflow}, failed={len(self.failed)}, "
-            f"iters={self.iterations}, {self.runtime_s * 1000:.0f} ms"
-        )
+__all__ = [
+    "ROUTE_SCHEMA_VERSION",
+    "RoutingResult",
+    "GlobalRouter",
+    "sequential_route",
+    "route_placement",
+]
 
 
 class GlobalRouter:
-    """Route a placement on a gcell grid.
+    """Route a placement on a gcell grid, one net segment at a time.
 
     Multi-pin nets are decomposed into 2-pin segments with Prim's MST
     over pin locations; segments are routed in ascending-length order;
@@ -147,12 +128,10 @@ class GlobalRouter:
         for (net, _, _), path in zip(segments, seg_paths):
             if path is not None:
                 paths.setdefault(net, []).append(path)
-        return RoutingResult(
+        return RoutingResult.assemble(
             grid=self.grid,
             paths=paths,
             failed=sorted(set(failed)),
-            wirelength=self.grid.wirelength(),
-            overflow=self.grid.total_overflow(),
             iterations=iterations,
             runtime_s=time.perf_counter() - t0,
             engine=self.engine,
@@ -166,12 +145,47 @@ class GlobalRouter:
         return False
 
 
-def route_placement(placement: Placement, *, engine: str = "maze",
-                    layers: int = 6, gcell_um: float = 5.0,
-                    topology: str = "mst",
-                    max_iterations: int = 4) -> RoutingResult:
-    """One-call global routing of a placement."""
+def sequential_route(placement: Placement, *, layers: int = 6,
+                     gcell_um: float = 5.0, topology: str = "mst",
+                     max_iterations: int = 4, seed: int = 0,
+                     telemetry=None,
+                     engine: str = "maze") -> RoutingResult:
+    """Uniform-kernel adapter over :class:`GlobalRouter`.
+
+    This is the callable the engine registry loads for the ``maze``
+    and ``line_search`` engines; it matches the routing-kernel
+    signature.  ``seed`` is accepted for signature parity — the
+    sequential engines are deterministic without it.  When a
+    ``telemetry`` sink is given the whole run is recorded as one
+    ``route_<engine>`` kernel span (the batched engine reports
+    per-phase spans instead).
+    """
+    del seed
     router = GlobalRouter(placement, engine=engine, layers=layers,
                           gcell_um=gcell_um, topology=topology,
                           max_iterations=max_iterations)
-    return router.route()
+    if telemetry is None:
+        return router.route()
+    from repro.orchestrate.telemetry import kernel_span
+    with kernel_span(telemetry, f"route_{engine}"):
+        return router.route()
+
+
+def route_placement(placement: Placement, *, engine: str = "maze",
+                    layers: int = 6, gcell_um: float = 5.0,
+                    topology: str = "mst", max_iterations: int = 4,
+                    seed: int = 0, telemetry=None) -> RoutingResult:
+    """One-call global routing of a placement.
+
+    ``engine`` resolves through the :mod:`repro.engines` registry
+    (strict: a typo raises :class:`~repro.engines.UnknownEngineError`
+    naming the known engines; deprecated aliases resolve with a
+    warning).  All engines share this signature, so swapping engines
+    is a string change.
+    """
+    from repro.engines import get_engine
+
+    kernel = get_engine("routing", engine).load()
+    return kernel(placement, layers=layers, gcell_um=gcell_um,
+                  topology=topology, max_iterations=max_iterations,
+                  seed=seed, telemetry=telemetry)

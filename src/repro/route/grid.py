@@ -99,6 +99,30 @@ class RoutingGrid:
         over = max(0.0, (use + 1 - cap) / cap)
         return base + congestion_weight * over * (1.0 + hist) + 0.1 * hist
 
+    def cost_arrays(self, *, base: float = 1.0,
+                    congestion_weight: float = 2.0):
+        """Vectorized :meth:`edge_cost` over every edge at once.
+
+        Returns ``(h_cost, v_cost)`` float arrays shaped like the usage
+        arrays; elementwise identical (bitwise) to calling
+        :meth:`edge_cost` per edge — the batched router's cost model IS
+        the maze router's cost model.
+        """
+        h_over = np.maximum(
+            0.0, (self.h_usage + 1 - self.h_capacity) / self.h_capacity)
+        v_over = np.maximum(
+            0.0, (self.v_usage + 1 - self.v_capacity) / self.v_capacity)
+        h = (base + congestion_weight * h_over * (1.0 + self.h_history)
+             + 0.1 * self.h_history)
+        v = (base + congestion_weight * v_over * (1.0 + self.v_history)
+             + 0.1 * self.v_history)
+        return h, v
+
+    def overflow_masks(self):
+        """Boolean ``(h, v)`` masks of currently overflowed edges."""
+        return (self.h_usage > self.h_capacity,
+                self.v_usage > self.v_capacity)
+
     def bump_history(self) -> None:
         """Accumulate history on currently overflowed edges."""
         self.h_history += np.maximum(

@@ -1,0 +1,132 @@
+"""The routing result contract shared by every routing engine.
+
+``RoutingResult`` is the one shape bench, signoff, and downstream
+stages (layer/track assignment) consume — engines differ in how they
+search, not in what they report.  Schema v2 adds per-net numpy arrays
+(``net_wirelength`` / ``net_overflow``) and a ``phase_ms`` breakdown so
+parity harnesses compare engines without poking engine-specific
+attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.route.grid import RoutingGrid
+
+#: Version of the RoutingResult field layout.  v2: ``schema_version``,
+#: ``net_names`` + per-net ``net_wirelength``/``net_overflow`` arrays,
+#: and the ``phase_ms`` kernel-phase breakdown.
+ROUTE_SCHEMA_VERSION = 2
+
+IntArray = Any  # numpy int64 ndarray (mypy --strict w/o numpy stubs)
+
+
+def _empty_i64() -> Any:
+    return np.zeros(0, dtype=np.int64)
+
+
+@dataclass
+class RoutingResult:
+    """Outcome of one global-routing run (any engine)."""
+
+    grid: RoutingGrid
+    #: net -> list of gcell paths (2-pin segs).  Each path is a
+    #: sequence of (x, y) gcells: a list of tuples (sequential
+    #: engines) or an (L, 2) int64 array (batched engine) — consumers
+    #: index/len/np.asarray either shape identically.
+    paths: dict
+    failed: list                 # nets with no path found
+    wirelength: int
+    overflow: int
+    iterations: int
+    runtime_s: float
+    engine: str
+    schema_version: int = ROUTE_SCHEMA_VERSION
+    net_names: tuple = ()        # sorted net order of the arrays below
+    net_wirelength: IntArray = field(default_factory=_empty_i64)
+    net_overflow: IntArray = field(default_factory=_empty_i64)
+    phase_ms: dict = field(default_factory=dict)
+
+    @property
+    def success(self) -> bool:
+        """Clean routing: everything connected, no overflow."""
+        return not self.failed and self.overflow == 0
+
+    def net_lengths_gcells(self) -> dict:
+        """net -> routed length in gcell units."""
+        return {
+            net: sum(len(p) - 1 for p in segs)
+            for net, segs in self.paths.items()
+        }
+
+    def summary(self) -> str:
+        """One-line report; identical format for every engine."""
+        return (
+            f"{self.engine}: wl={self.wirelength} gcells, "
+            f"overflow={self.overflow}, failed={len(self.failed)}, "
+            f"iters={self.iterations}, {self.runtime_s * 1000:.0f} ms"
+        )
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def assemble(cls, *, grid: RoutingGrid, paths: dict, failed: list,
+                 iterations: int, runtime_s: float, engine: str,
+                 phase_ms: dict | None = None,
+                 net_wirelength: "np.ndarray | None" = None,
+                 net_overflow: "np.ndarray | None" = None,
+                 ) -> "RoutingResult":
+        """Build a result with the per-net arrays filled in.
+
+        Totals come from the grid (the ground truth for usage);
+        per-net wirelength counts committed path edges and per-net
+        overflow counts path edges lying on currently-overflowed grid
+        edges — the quantities the parity gates compare.  An engine
+        that already tracks flat edge indices may pass the per-net
+        arrays precomputed (ordered by ``sorted(paths)``) to skip the
+        per-path accumulation.
+        """
+        net_names = tuple(sorted(paths))
+        if net_wirelength is not None and net_overflow is not None:
+            nwl = np.asarray(net_wirelength, dtype=np.int64)
+            nof = np.asarray(net_overflow, dtype=np.int64)
+        else:
+            index = {net: i for i, net in enumerate(net_names)}
+            nwl = np.zeros(len(net_names), dtype=np.int64)
+            nof = np.zeros(len(net_names), dtype=np.int64)
+            h_over = grid.h_usage > grid.h_capacity
+            v_over = grid.v_usage > grid.v_capacity
+            for net, segs in paths.items():
+                i = index[net]
+                for p in segs:
+                    if len(p) < 2:
+                        continue
+                    arr = np.asarray(p, dtype=np.int64)
+                    x, y = arr[:, 0], arr[:, 1]
+                    horiz = y[1:] == y[:-1]
+                    nwl[i] += arr.shape[0] - 1
+                    nof[i] += int(
+                        h_over[y[1:][horiz],
+                               np.minimum(x[1:], x[:-1])[horiz]]
+                        .sum())
+                    nof[i] += int(
+                        v_over[np.minimum(y[1:], y[:-1])[~horiz],
+                               x[1:][~horiz]].sum())
+        return cls(
+            grid=grid,
+            paths=paths,
+            failed=failed,
+            wirelength=grid.wirelength(),
+            overflow=grid.total_overflow(),
+            iterations=iterations,
+            runtime_s=runtime_s,
+            engine=engine,
+            net_names=net_names,
+            net_wirelength=nwl,
+            net_overflow=nof,
+            phase_ms=dict(phase_ms or {}),
+        )
