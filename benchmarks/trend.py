@@ -19,7 +19,10 @@ as "normalized metric over history":
 ``--check`` compares the two most recent rows of every (bench, quick)
 series and exits nonzero if any gated time-like metric regressed by
 more than 10% (machine-normalized, so a slower CI box alone does not
-trip it).
+trip it).  It also alerts — advisory unless ``--gate-best`` — when
+the newest row drifts more than ``--best-tolerance`` (default 25%)
+above the *best* value its series ever recorded, catching slow
+multi-commit erosion the pairwise gate cannot see.
 """
 
 from __future__ import annotations
@@ -168,7 +171,9 @@ def show(trend_path: Path) -> None:
               f"{row['bench']:<10} {metrics}")
 
 
-def check(trend_path: Path, tolerance: float = 0.10) -> int:
+def check(trend_path: Path, tolerance: float = 0.10,
+          best_tolerance: float = 0.25,
+          gate_best: bool = False) -> int:
     """Fail on >``tolerance`` regression of any gated kernel.
 
     For every (bench, quick) series in the trend file, the newest row
@@ -176,6 +181,14 @@ def check(trend_path: Path, tolerance: float = 0.10) -> int:
     headline metrics are gated (ratios and counts drift for
     legitimate reasons).  Both rows are machine-normalized at append
     time, so this compares code, not hardware.
+
+    The newest row is *also* compared against the best (smallest)
+    value the series ever recorded: a kernel can erode a few percent
+    per commit without ever tripping the vs-prev gate, so drifting
+    more than ``best_tolerance`` above the historical best prints a
+    ``DRIFT`` alert.  Alerts are advisory by default (a long-lived
+    series legitimately trades peak speed for features); with
+    ``gate_best`` they fail the check like a regression.
     """
     if not trend_path.exists():
         print("no trend file yet; nothing to check")
@@ -188,6 +201,7 @@ def check(trend_path: Path, tolerance: float = 0.10) -> int:
         series.setdefault((row["bench"], row.get("quick")),
                           []).append(row)
     failures = 0
+    drifts = 0
     for (bench, quick), rows in sorted(series.items()):
         spec = HEADLINES.get(bench)
         if spec is None or len(rows) < 2:
@@ -206,7 +220,19 @@ def check(trend_path: Path, tolerance: float = 0.10) -> int:
                 failures += 1
             else:
                 print(f"ok {tag}: {a:.4g} -> {b:.4g} ({ratio:.2f}x)")
-    if failures:
+            history = [r["metrics"][metric] for r in rows[:-1]
+                       if r["metrics"].get(metric)]
+            best = min(history) if history else None
+            if best and best > 0 and b / best > 1 + best_tolerance:
+                print(f"DRIFT {tag}: {b:.4g} is {b / best:.2f}x the "
+                      f"series best {best:.4g} "
+                      f"(alert above {1 + best_tolerance:.2f}x)")
+                drifts += 1
+    if drifts:
+        print(f"{drifts} gated kernel(s) drifted >"
+              f"{best_tolerance:.0%} above their series best"
+              + (" (gating)" if gate_best else " (advisory)"))
+    if failures or (gate_best and drifts):
         print(f"{failures} gated kernel(s) regressed >10%")
         return 1
     print("no gated kernel regressed")
@@ -286,7 +312,15 @@ def main(argv=None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="gate: fail on >10%% regression of any "
                              "time-like headline metric between the "
-                             "two newest rows of each series")
+                             "two newest rows of each series; also "
+                             "alert when the newest row drifts above "
+                             "the series' historical best")
+    parser.add_argument("--best-tolerance", type=float, default=0.25,
+                        help="vs-best drift alert threshold "
+                             "(default 0.25 = 25%%)")
+    parser.add_argument("--gate-best", action="store_true",
+                        help="treat vs-best drift alerts as failures "
+                             "instead of advisories")
     parser.add_argument("--report", action="store_true",
                         help="write the markdown summary "
                              "(BENCH_TREND.md) and exit")
@@ -298,7 +332,8 @@ def main(argv=None) -> int:
         show(trend_path)
         return 0
     if args.check:
-        return check(trend_path)
+        return check(trend_path, best_tolerance=args.best_tolerance,
+                     gate_best=args.gate_best)
     if args.report:
         return report(trend_path, Path(args.report_out))
     paths = [Path(p) for p in args.snapshots] or \

@@ -31,8 +31,11 @@ from repro.netlist.circuit import Netlist
 #: records written by an incompatible build.  v4: engine-selection
 #: knobs validate against the ``repro.engines`` registry at option
 #: construction and ``routing_engine`` defaults to the vectorized
-#: ``batched`` engine.
-FLOW_SCHEMA_VERSION = 4
+#: ``batched`` engine.  v5: every stage selects through the registry —
+#: ``synth_engine``, ``cts_engine``, and ``sizing_engine`` join
+#: ``place_engine``/``routing_engine`` (defaults reproduce the v4
+#: flow bit-for-bit).
+FLOW_SCHEMA_VERSION = 5
 
 
 class FlowStatus(str, Enum):
@@ -60,16 +63,20 @@ class FlowOptions:
     The named constructors give the two era recipes; individual knobs
     remain overridable for ablations and tuning (E8).
 
-    ``place_engine`` and ``routing_engine`` name engines in the
-    :mod:`repro.engines` registry and are validated — along with the
-    option values their knob schemas constrain — when the options
-    object is constructed, so a typo is a ``ValueError`` here rather
-    than a surprise mid-flow.  Unpickling (journal/cache decode)
-    bypasses the check; execution-time resolution handles retired
-    names via the registry's deprecation shims.
+    The ``*_engine`` fields name engines in the :mod:`repro.engines`
+    registry — one per flow stage (``synth_engine``, ``place_engine``,
+    ``cts_engine``, ``routing_engine``) plus ``sizing_engine`` for the
+    STA-hot sizing loop inside synthesis — and are validated, along
+    with the option values their knob schemas constrain, when the
+    options object is constructed, so a typo is a ``ValueError`` here
+    rather than a surprise mid-flow.  Unpickling (journal/cache
+    decode) bypasses the check; execution-time resolution handles
+    retired names via the registry's deprecation shims.
     """
 
     era: str = "2016"
+    synth_engine: str = "area"       # registry stage "synthesis"
+    sizing_engine: str = "incremental"  # registry stage "sizing"
     utilization: float = 0.4
     place_engine: str = "analytic"   # registry stage "placement"
     spreading_passes: int = 3
@@ -82,6 +89,7 @@ class FlowOptions:
     scan_chains: int = 1
     layout_aware_scan: bool = True
     cts: bool = False
+    cts_engine: str = "htree"        # registry stage "cts"
     clock_period_ps: float = 2000.0
     freq_ghz: float = 0.5
     seed: int = 0

@@ -100,6 +100,35 @@ def engine_names(stage: str) -> tuple[str, ...]:
     return tuple(name for (s, name) in _REGISTRY.specs if s == stage)
 
 
+def stage_names() -> tuple[str, ...]:
+    """Every stage with at least one registered engine, first-seen
+    order."""
+    seen: list[str] = []
+    for stage, _ in _REGISTRY.specs:
+        if stage not in seen:
+            seen.append(stage)
+    return tuple(seen)
+
+
+def axes() -> dict[str, tuple[str, ...]]:
+    """The full ablation grid: stage -> registered engine names.
+
+    One source of truth for sweep and tuning tooling
+    (:func:`repro.learn.tuner.engine_space`,
+    :func:`repro.orchestrate.sweep.engine_grid_options`): anything that
+    wants to enumerate "every engine of every stage" reads this map
+    instead of hard-coding names that rot when an engine is added or
+    retired.
+    """
+    return {stage: engine_names(stage) for stage in stage_names()}
+
+
+def stage_aliases(stage: str) -> dict[str, str]:
+    """The stage's deprecation shims: retired name -> successor."""
+    return {old: new for (s, old), new in _REGISTRY.aliases.items()
+            if s == stage}
+
+
 def default_engine(stage: str) -> str:
     """The stage's default engine name."""
     try:
@@ -155,8 +184,11 @@ def resolve_engine(stage: str, name: str) -> EngineSpec:
 
 #: (stage, FlowOptions attribute) pairs validated at option construction.
 OPTION_ENGINE_FIELDS: tuple[tuple[str, str], ...] = (
+    ("synthesis", "synth_engine"),
     ("placement", "place_engine"),
+    ("cts", "cts_engine"),
     ("routing", "routing_engine"),
+    ("sizing", "sizing_engine"),
 )
 
 

@@ -63,7 +63,8 @@ from repro.orchestrate.resilience import (
     resume_run,
     run,
 )
-from repro.orchestrate.sweep import SweepResult, run_sweep
+from repro.orchestrate.sweep import (SweepResult,
+                                     engine_grid_options, run_sweep)
 from repro.orchestrate.telemetry import (
     RunReport,
     Span,
@@ -111,6 +112,7 @@ __all__ = [
     "resume_run",
     "run",
     "run_stage",
+    "engine_grid_options",
     "run_sweep",
     "seal_blob",
     "stable_hash",

@@ -38,15 +38,30 @@ STAGE_NAMES = ("synthesis", "placement", "dft", "cts", "routing",
 
 
 def stage_synthesis(ctx) -> object:
-    """RTL-ish subject to mapped netlist (skipped for a netlist)."""
+    """RTL-ish subject to mapped netlist (skipped for a netlist).
+
+    ``options.synth_engine`` (the mapper: ``area`` | ``delay`` |
+    ``trivial``) and ``options.sizing_engine`` (the STA behind the
+    sizing loop: ``incremental`` | ``scalar``) resolve *leniently*
+    through the :mod:`repro.engines` registry, like every other stage:
+    a retired name from an old journal falls back with a warning
+    instead of failing the replay, while typos in fresh options
+    already raised at construction.  The canonical names then feed
+    :class:`~repro.synthesis.flow.SynthesisFlow`, whose body never
+    branches on them.
+    """
+    from repro.engines import resolve_engine
     from repro.netlist.circuit import Netlist
     from repro.synthesis.flow import SynthesisFlow
     subject = ctx["subject"]
     if isinstance(subject, Netlist):
         return subject
     options = ctx["options"]
-    flow = SynthesisFlow(ctx["library"], options.era,
-                         options.clock_period_ps)
+    flow = SynthesisFlow(
+        ctx["library"], options.era, options.clock_period_ps,
+        engine=resolve_engine("synthesis", options.synth_engine).name,
+        sizing_engine=resolve_engine(
+            "sizing", options.sizing_engine).name)
     return flow.run(subject).netlist
 
 
@@ -93,11 +108,19 @@ def stage_dft(ctx) -> object:
 
 
 def stage_cts(ctx) -> object:
-    """Clock-tree synthesis over the placement (optional stage)."""
+    """Clock-tree synthesis over the placement (optional stage).
+
+    ``options.cts_engine`` resolves leniently through the
+    :mod:`repro.engines` registry: ``htree`` (recursive-bisection
+    balanced tree, the default) or ``spine`` (the serpentine ablation
+    strawman).  Both kernels share the ``fn(placement) -> ClockTree``
+    signature, so the stage body never branches on engine names.
+    """
     options, placement = ctx["options"], ctx["dft"]
     if options.cts and placement.netlist.sequential_gates():
-        from repro.timing.cts import synthesize_clock_tree
-        return synthesize_clock_tree(placement)
+        from repro.engines import resolve_engine
+        kernel = resolve_engine("cts", options.cts_engine).load()
+        return kernel(placement)
     return None
 
 
@@ -150,7 +173,8 @@ def build_implement_dag(*, timeout_s: float | None = None,
     dag = FlowDAG()
     dag.add(Stage("synthesis", stage_synthesis,
                   params=("subject", "library", "options"),
-                  knobs=("era", "clock_period_ps"),
+                  knobs=("era", "clock_period_ps", "synth_engine",
+                         "sizing_engine"),
                   timeout_s=timeout_s, retries=retries))
     dag.add(Stage("placement", stage_placement,
                   deps=("synthesis",), params=("options",),
@@ -164,7 +188,7 @@ def build_implement_dag(*, timeout_s: float | None = None,
                   timeout_s=timeout_s, retries=retries))
     dag.add(Stage("cts", stage_cts,
                   deps=("dft",), params=("options",),
-                  knobs=("cts",), optional=True,
+                  knobs=("cts", "cts_engine"), optional=True,
                   timeout_s=timeout_s, retries=retries))
     dag.add(Stage("routing", stage_routing,
                   deps=("dft",), params=("options",),

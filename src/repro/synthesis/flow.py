@@ -14,14 +14,15 @@ the full drive ladder, sizing, and multi-Vt leakage recovery.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
+from repro.engines import get_engine
 from repro.netlist.aig import Aig
 from repro.netlist.cells import CellLibrary
 from repro.netlist.circuit import Netlist
-from repro.synthesis.mapping import map_aig
 from repro.synthesis.network import LogicNetwork
 from repro.synthesis.rewrite import balance, optimize_aig
-from repro.synthesis.sizing import assign_vt, size_gates
+from repro.synthesis.sizing import assign_vt
 from repro.timing import TimingAnalyzer, WireModel
 
 #: Flow recipes, oldest first.  Each maps to concrete pass settings.
@@ -61,15 +62,38 @@ class SynthesisFlow:
         (full AIG optimization, delay-aware mapping, sizing, multi-Vt).
     clock_period_ps:
         Timing target used by sizing and Vt recovery.
+    engine:
+        Mapper engine from the :mod:`repro.engines` registry
+        (``"area"`` | ``"delay"`` | ``"trivial"``; ``None`` means the
+        stage default).  The era recipe keeps choosing the
+        optimization script, cut size, and cell filter around it; the
+        run body never branches on the name.
+    sizing_engine:
+        Sizing-loop engine from the registry (``"incremental"`` |
+        ``"scalar"``; ``None`` means the stage default).  Both produce
+        bit-identical netlists — the engine only picks the timing
+        analyzer behind each trial resize.
+
+    Engine typos raise :class:`~repro.engines.UnknownEngineError` (a
+    ``ValueError``) here in the constructor; callers replaying old
+    journals resolve retired names leniently *before* constructing the
+    flow (see :func:`repro.orchestrate.flows.stage_synthesis`).
     """
 
     def __init__(self, library: CellLibrary, era: str = "2016",
-                 clock_period_ps: float = 1000.0):
+                 clock_period_ps: float = 1000.0, *,
+                 engine: str | None = None,
+                 sizing_engine: str | None = None) -> None:
+        from repro.engines import default_engine
         if era not in ERAS:
             raise ValueError(f"era must be one of {ERAS}")
         self.library = library
         self.era = era
         self.clock_period_ps = clock_period_ps
+        self.engine = get_engine(
+            "synthesis", engine or default_engine("synthesis")).name
+        self.sizing_engine = get_engine(
+            "sizing", sizing_engine or default_engine("sizing")).name
         node = library.node
         self.wire_model = WireModel.for_node(node)
 
@@ -84,27 +108,30 @@ class SynthesisFlow:
         else:
             raise TypeError("subject must be an Aig or LogicNetwork")
 
+        mapper = get_engine("synthesis", self.engine).load()
         if self.era == "1996":
             network.sweep()
             aig = network.to_aig()
-            netlist = map_aig(
-                aig, self.library, mode="area", cut_size=2,
+            netlist = mapper(
+                aig, self.library, cut_size=2,
                 cell_filter=_only("X1", ("rvt",)))
         elif self.era == "2006":
             network.optimize(effort="medium")
             aig = balance(network.to_aig())
-            netlist = map_aig(
-                aig, self.library, mode="area", cut_size=3,
+            netlist = mapper(
+                aig, self.library, cut_size=3,
                 cell_filter=_only("X1", ("rvt",)))
         else:  # 2016
             network.optimize(effort="high")
             aig = optimize_aig(network.to_aig(), effort="high")
-            # Area-mode mapping: the decade's gains land on area, delay,
-            # and power *simultaneously* (Domic), with sizing recovering
-            # speed where the clock demands it.
-            netlist = map_aig(aig, self.library, mode="area", cut_size=4)
-            size_gates(netlist, wire_model=self.wire_model,
-                       clock_period_ps=self.clock_period_ps)
+            # Area-mode mapping by default: the decade's gains land on
+            # area, delay, and power *simultaneously* (Domic), with
+            # sizing recovering speed where the clock demands it.
+            netlist = mapper(aig, self.library, cut_size=4,
+                             cell_filter=None)
+            size = get_engine("sizing", self.sizing_engine).load()
+            size(netlist, wire_model=self.wire_model,
+                 clock_period_ps=self.clock_period_ps)
             if any(c.vt_flavor == "hvt" for c in self.library):
                 assign_vt(netlist, wire_model=self.wire_model,
                           clock_period_ps=self.clock_period_ps)
@@ -123,21 +150,24 @@ class SynthesisFlow:
         )
 
 
-def _only(drive: str, vts: tuple):
+def _only(drive: str, vts: tuple[str, ...]) -> Callable[[Any], bool]:
     """Cell filter: restrict to one drive strength and given Vt set."""
-    def accept(cell) -> bool:
+    def accept(cell: Any) -> bool:
         return f"_{drive}_" in cell.name and cell.vt_flavor in vts
     return accept
 
 
-def decade_comparison(subject_factory, library: CellLibrary,
-                      clock_period_ps: float = 1000.0) -> dict:
+def decade_comparison(
+    subject_factory: Callable[[], Aig | LogicNetwork],
+    library: CellLibrary,
+    clock_period_ps: float = 1000.0,
+) -> dict[str, SynthesisResult]:
     """Run the same design through every era flow.
 
     ``subject_factory`` must return a *fresh* AIG or LogicNetwork per
     call (flows mutate their input).  Returns era -> SynthesisResult.
     """
-    results = {}
+    results: dict[str, SynthesisResult] = {}
     for era in ERAS:
         flow = SynthesisFlow(library, era, clock_period_ps)
         results[era] = flow.run(subject_factory())

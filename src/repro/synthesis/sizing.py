@@ -12,11 +12,17 @@ cone-limited ``update()`` instead of a whole-design re-analysis.  Pass
 ``incremental=False`` to fall back to a full scalar STA per trial (the
 pre-incremental behavior; the results are bit-identical either way,
 which ``benchmarks/bench_perf.py`` asserts).
+
+Flows select between the two through :mod:`repro.engines` — stage
+``"sizing"``, engines ``"incremental"`` and ``"scalar"`` — via
+``FlowOptions.sizing_engine`` rather than calling this module
+directly.
 """
 
 from __future__ import annotations
 
 import re
+from typing import Any, Callable
 
 from repro.netlist.cells import CellLibrary
 from repro.netlist.circuit import Netlist
@@ -26,7 +32,9 @@ _DRIVE_LADDER = ["X1", "X2", "X4"]
 _NAME_RE = re.compile(r"^(?P<base>[A-Z0-9]+)_(?P<drive>X\d)_(?P<vt>[a-z]+)$")
 
 
-def _variant(library: CellLibrary, cell_name: str, *, drive=None, vt=None):
+def _variant(library: CellLibrary, cell_name: str, *,
+             drive: str | None = None,
+             vt: str | None = None) -> Any:
     """Look up a sibling cell with a different drive or Vt, or None."""
     m = _NAME_RE.match(cell_name)
     if not m:
@@ -36,7 +44,10 @@ def _variant(library: CellLibrary, cell_name: str, *, drive=None, vt=None):
     return library.cells.get(name)
 
 
-def _make_analyzer(netlist, wire_model, clock_period_ps, incremental):
+def _make_analyzer(
+    netlist: Netlist, wire_model: WireModel | None,
+    clock_period_ps: float, incremental: bool,
+) -> tuple[Any, Callable[[], Any], Callable[[], Any]]:
     """(analyzer, evaluate, close): ``evaluate()`` returns a report for
     the netlist's current state — a cone update in incremental mode, a
     full scalar re-analysis otherwise."""
@@ -51,7 +62,7 @@ def _make_analyzer(netlist, wire_model, clock_period_ps, incremental):
 def size_gates(netlist: Netlist, *, wire_model: WireModel | None = None,
                clock_period_ps: float = 1000.0,
                max_passes: int = 4,
-               incremental: bool = True) -> dict:
+               incremental: bool = True) -> dict[str, float]:
     """Upsize cells along critical paths until timing stops improving.
 
     Mutates the netlist in place.  Returns a report with before/after
@@ -109,7 +120,7 @@ def size_gates(netlist: Netlist, *, wire_model: WireModel | None = None,
 def assign_vt(netlist: Netlist, *, wire_model: WireModel | None = None,
               clock_period_ps: float = 1000.0,
               slack_margin_ps: float = 0.0,
-              incremental: bool = True) -> dict:
+              incremental: bool = True) -> dict[str, float]:
     """Swap slack-rich gates to HVT (leakage recovery).
 
     A gate is swapped when its output slack stays positive by
@@ -126,7 +137,7 @@ def assign_vt(netlist: Netlist, *, wire_model: WireModel | None = None,
     try:
         report = analyzer.analyze()
         leak_before = netlist.leakage_nw()
-        swapped = []
+        swapped: list[Any] = []
         for gate in sorted(netlist.combinational_gates(),
                            key=lambda g: -g.cell.leak_nw):
             slack = report.slack_ps(gate.output)

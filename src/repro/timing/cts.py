@@ -11,19 +11,21 @@ model STA uses.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Any
 
-import numpy as np
+# A placed clock sink: (flop name, (x, y)).
+Sink = tuple[str, tuple[float, float]]
 
 
 @dataclass
 class ClockTree:
     """A synthesized clock tree."""
 
-    root: tuple                     # (x, y) of the clock entry point
-    segments: list                  # [(x0, y0, x1, y1)]
-    buffers: list                   # [(x, y)] repeater locations
-    sink_delays: dict               # flop name -> insertion delay ps
+    root: tuple[float, float]       # (x, y) of the clock entry point
+    segments: list[tuple[float, float, float, float]]
+    buffers: list[tuple[float, float]]   # repeater locations
+    sink_delays: dict[str, float]   # flop name -> insertion delay ps
     wirelength_um: float
 
     @property
@@ -39,7 +41,7 @@ class ClockTree:
         """Worst insertion delay."""
         return max(self.sink_delays.values(), default=0.0)
 
-    def clock_power_uw(self, node, freq_ghz: float) -> float:
+    def clock_power_uw(self, node: Any, freq_ghz: float) -> float:
         """Dynamic power of the tree's wire + buffer capacitance."""
         wire_cap_ff = self.wirelength_um * node.cwire_ff_per_um
         buf_cap_ff = len(self.buffers) * 4.0 * node.cgate_ff_per_um * \
@@ -48,7 +50,7 @@ class ClockTree:
         return cap_f * node.vdd ** 2 * freq_ghz * 1e9 * 1e6
 
 
-def synthesize_clock_tree(placement, *, max_leaf: int = 4,
+def synthesize_clock_tree(placement: Any, *, max_leaf: int = 4,
                           buffer_every_um: float | None = None) -> ClockTree:
     """Build a balanced clock tree over the placed flops.
 
@@ -69,9 +71,9 @@ def synthesize_clock_tree(placement, *, max_leaf: int = 4,
     if not flops:
         raise ValueError("design has no placed flops")
 
-    segments: list = []
-    buffers: list = []
-    sink_delays: dict = {}
+    segments: list[tuple[float, float, float, float]] = []
+    buffers: list[tuple[float, float]] = []
+    sink_delays: dict[str, float] = {}
     # Per-micron Elmore constants.
     r = node.rwire_ohm_per_um
     c = node.cwire_ff_per_um * 1e-15
@@ -80,20 +82,22 @@ def synthesize_clock_tree(placement, *, max_leaf: int = 4,
     def elmore_ps(length: float) -> float:
         return 0.5 * r * c * length ** 2 * 1e12
 
-    def segment_delay(length: float) -> tuple:
+    def segment_delay(length: float) -> tuple[float, int]:
         """(delay ps, buffers inserted) for one routed segment."""
+        assert buffer_every_um is not None
         nbuf = int(length // buffer_every_um)
         if nbuf == 0:
             return elmore_ps(length), 0
         piece = length / (nbuf + 1)
         return (nbuf + 1) * elmore_ps(piece) + nbuf * buf_delay_ps, nbuf
 
-    def center(group):
+    def center(group: list[Sink]) -> tuple[float, float]:
         xs = [p[0] for _, p in group]
         ys = [p[1] for _, p in group]
         return (sum(xs) / len(xs), sum(ys) / len(ys))
 
-    def build(group, entry, delay_ps):
+    def build(group: list[Sink], entry: tuple[float, float],
+              delay_ps: float) -> None:
         cx, cy = center(group)
         length = abs(entry[0] - cx) + abs(entry[1] - cy)
         d, nbuf = segment_delay(length)
@@ -132,7 +136,7 @@ def synthesize_clock_tree(placement, *, max_leaf: int = 4,
     )
 
 
-def naive_clock_spine(placement) -> ClockTree:
+def naive_clock_spine(placement: Any) -> ClockTree:
     """The strawman: one serpentine wire visiting flops in name order.
 
     Used as the CTS ablation baseline — its skew grows with the chain
@@ -146,8 +150,8 @@ def naive_clock_spine(placement) -> ClockTree:
         raise ValueError("design has no placed flops")
     r = node.rwire_ohm_per_um
     c = node.cwire_ff_per_um * 1e-15
-    segments = []
-    sink_delays = {}
+    segments: list[tuple[float, float, float, float]] = []
+    sink_delays: dict[str, float] = {}
     total = 0.0
     prev = (0.0, 0.0)
     delay = 0.0

@@ -348,8 +348,8 @@ class TestUnifiedApi:
         # Pinned literal on purpose: a schema bump must fail here and
         # be acknowledged by updating this test, not slide through via
         # the imported constant.
-        assert result.schema_version == 4
-        assert result.options.schema_version == 4
+        assert result.schema_version == 5
+        assert result.options.schema_version == 5
         assert result.run_id is None      # no journaling requested
         assert set(result.stage_runtimes) == set(STAGE_NAMES)
 
